@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: default run
+ * configuration, the paper's best-case (miss-bound, size-bound)
+ * search evaluated once per benchmark for both the performance-
+ * constrained and unconstrained cases, and output helpers.
+ */
+
+#ifndef DRISIM_BENCH_BENCH_COMMON_HH
+#define DRISIM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+
+namespace drisim::bench
+{
+
+/** Everything a figure bench needs. */
+struct BenchContext
+{
+    RunConfig cfg;
+    EnergyConstants constants = EnergyConstants::paper();
+    SearchSpace space;
+    /** The paper's performance constraint (Section 5.3). */
+    double maxSlowdownPct = 4.0;
+    /** DRI knobs not searched. */
+    DriParams driTemplate;
+};
+
+/** Default context: Table 1 system, scaled run length. */
+BenchContext defaultContext();
+
+/** Figure 3's two design points for one benchmark. */
+struct BaseResult
+{
+    RunOutput conv;                ///< detailed conventional run
+    SearchCandidate constrained;   ///< best with <= 4% slowdown
+    SearchCandidate unconstrained; ///< best regardless of slowdown
+};
+
+/**
+ * Evaluate the (size-bound x miss-bound) grid once on the fast
+ * model and detail-run both winners (the paper's "empirically
+ * searching the combination space", Section 5.3).
+ */
+BaseResult computeBase(const BenchmarkInfo &bench,
+                       const BenchContext &ctx);
+
+/** Print a figure/table banner. */
+void printHeader(const std::string &title,
+                 const std::string &paperRef);
+
+/** "62%" style reduction formatting from a relative value. */
+std::string fmtReduction(double relative);
+
+} // namespace drisim::bench
+
+#endif // DRISIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 3 — "Base energy-delay and average cache size
+ * measurements": for every benchmark, the best-case DRI i-cache
+ * energy-delay (normalized to the conventional i-cache), split into
+ * its leakage and extra-dynamic components, plus the average active
+ * cache size — for both the performance-constrained (<= 4%
+ * slowdown) and performance-unconstrained design points.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/str.hh"
+
+using namespace drisim;
+using namespace drisim::bench;
+
+namespace
+{
+
+void
+row(Table &t, const std::string &name, int cls,
+    const SearchCandidate &cand)
+{
+    const ComparisonResult &c = cand.cmp;
+    t.addRow({name, std::to_string(cls),
+              bytesToString(cand.dri.sizeBoundBytes),
+              std::to_string(cand.dri.missBound),
+              fmtDouble(c.relativeEnergyDelay(), 3),
+              fmtDouble(c.relativeEdLeakage(), 3),
+              fmtDouble(c.relativeEdDynamic(), 3),
+              fmtDouble(c.averageSizeFraction(), 3),
+              fmtDouble(c.slowdownPercent(), 2) + "%",
+              fmtPercent(c.driRun.missRate(), 2)});
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 3: base energy-delay and average cache size",
+                "Section 5.3, Figure 3 (64K direct-mapped DRI)");
+    std::cout << "C = performance-constrained (<=4% slowdown), "
+                 "U = unconstrained\n\n";
+
+    const BenchContext ctx = defaultContext();
+    std::cout << "run length: " << ctx.cfg.maxInstrs
+              << " instructions, sense interval "
+              << ctx.driTemplate.senseInterval << "\n";
+
+    Table tc({"benchmark", "class", "size-bound", "miss-bound",
+              "rel-ED", "ED-leak", "ED-dyn", "avg-size", "slowdown",
+              "miss-rate"});
+    Table tu = tc;
+
+    double sum_ed_c = 0.0;
+    double sum_ed_u = 0.0;
+    double sum_size_c = 0.0;
+    std::vector<std::pair<std::string, double>> bars_c;
+    std::vector<std::pair<std::string, double>> bars_size;
+
+    for (const auto &b : specSuite()) {
+        const BaseResult base = computeBase(b, ctx);
+        row(tc, b.name, b.benchClass, base.constrained);
+        row(tu, b.name, b.benchClass, base.unconstrained);
+        sum_ed_c += base.constrained.cmp.relativeEnergyDelay();
+        sum_ed_u += base.unconstrained.cmp.relativeEnergyDelay();
+        sum_size_c += base.constrained.cmp.averageSizeFraction();
+        bars_c.emplace_back(
+            b.name, base.constrained.cmp.relativeEnergyDelay());
+        bars_size.emplace_back(
+            b.name, base.constrained.cmp.averageSizeFraction());
+        std::cerr << "  [figure3] " << b.name << " done\n";
+    }
+
+    std::cout << "\n-- performance-constrained (left bars) --\n";
+    tc.print(std::cout);
+    std::cout << "\n-- performance-unconstrained (right bars) --\n";
+    tu.print(std::cout);
+
+    const double n = static_cast<double>(specSuite().size());
+    std::cout << "\nrelative energy-delay (constrained), 0..1:\n";
+    for (const auto &[name, v] : bars_c)
+        std::cout << "  " << name << std::string(10 - name.size(), ' ')
+                  << "|" << asciiBar(v) << "| "
+                  << fmtDouble(v, 3) << "\n";
+    std::cout << "\naverage cache size (constrained), 0..1:\n";
+    for (const auto &[name, v] : bars_size)
+        std::cout << "  " << name << std::string(10 - name.size(), ' ')
+                  << "|" << asciiBar(v) << "| "
+                  << fmtDouble(v, 3) << "\n";
+
+    std::cout << "\n== headline ==\n";
+    std::cout << "mean energy-delay reduction, constrained:   "
+              << fmtReduction(sum_ed_c / n) << "  (paper: ~62%)\n";
+    std::cout << "mean energy-delay reduction, unconstrained: "
+              << fmtReduction(sum_ed_u / n) << "  (paper: ~67%)\n";
+    std::cout << "mean cache size reduction, constrained:     "
+              << fmtReduction(sum_size_c / n) << "  (paper: ~62%)\n";
+    return 0;
+}

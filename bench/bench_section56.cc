@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Section 5.6 — "Varying sense-interval length and divisibility",
+ * plus a throttle on/off ablation (DESIGN.md Section 8).
+ *
+ * Paper claims: energy-delay varies by < 1% across a 16x interval
+ * range for all but go (< 5%); divisibility 4 or 8 coarsens
+ * resizing and hurts.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace drisim;
+using namespace drisim::bench;
+
+int
+main()
+{
+    printHeader("Section 5.6: sense interval, divisibility, throttle",
+                "Section 5.6 (text)");
+
+    const BenchContext ctx = defaultContext();
+
+    // Paper sweeps 250K..4M around a 1M base (scaled here 4x down
+    // around the 100K base, same 16x dynamic range).
+    const InstCount intervals[] = {25000, 50000, 100000, 200000,
+                                   400000};
+    Table ti({"benchmark", "ED 0.25x", "ED 0.5x", "ED 1x", "ED 2x",
+              "ED 4x", "max dev"});
+    Table td({"benchmark", "ED div2 (base)", "ED div4", "ED div8"});
+    Table tt({"benchmark", "ED throttled (base)", "ED no-throttle",
+              "resizes base", "resizes no-throttle"});
+
+    double worst_dev = 0.0;
+    std::string worst_name;
+
+    for (const auto &b : specSuite()) {
+        const BaseResult base = computeBase(b, ctx);
+        const DriParams &bp = base.constrained.dri;
+
+        // --- interval sweep -------------------------------------
+        std::vector<std::string> row{b.name};
+        double base_ed = base.constrained.cmp.relativeEnergyDelay();
+        double dev = 0.0;
+        for (InstCount iv : intervals) {
+            DriParams p = bp;
+            p.senseInterval = iv;
+            // Miss-bound is per interval: scale it with the length.
+            p.missBound = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       std::llround(static_cast<double>(bp.missBound) *
+                                    static_cast<double>(iv) /
+                                    static_cast<double>(
+                                        bp.senseInterval))));
+            const ComparisonResult c =
+                iv == bp.senseInterval
+                    ? base.constrained.cmp
+                    : evaluateDetailed(b, ctx.cfg, p, ctx.constants,
+                                       base.conv);
+            row.push_back(fmtDouble(c.relativeEnergyDelay(), 3));
+            dev = std::max(dev, std::abs(c.relativeEnergyDelay() -
+                                         base_ed));
+        }
+        row.push_back(fmtDouble(dev, 3));
+        ti.addRow(row);
+        if (dev > worst_dev) {
+            worst_dev = dev;
+            worst_name = b.name;
+        }
+
+        // --- divisibility ---------------------------------------
+        std::vector<std::string> drow{b.name,
+                                      fmtDouble(base_ed, 3)};
+        for (unsigned div : {4u, 8u}) {
+            DriParams p = bp;
+            p.divisibility = div;
+            const ComparisonResult c = evaluateDetailed(
+                b, ctx.cfg, p, ctx.constants, base.conv);
+            drow.push_back(fmtDouble(c.relativeEnergyDelay(), 3));
+        }
+        td.addRow(drow);
+
+        // --- throttle ablation ----------------------------------
+        DriParams p = bp;
+        p.throttleHoldIntervals = 0; // trigger becomes a no-op
+        const RunOutput no_thr = runDri(b, ctx.cfg, p);
+        const ComparisonResult c = compareRuns(
+            ctx.constants, base.conv.meas, no_thr.meas);
+        const RunOutput with_thr = runDri(b, ctx.cfg, bp);
+        tt.addRow({b.name, fmtDouble(base_ed, 3),
+                   fmtDouble(c.relativeEnergyDelay(), 3),
+                   std::to_string(with_thr.resizes),
+                   std::to_string(no_thr.resizes)});
+        std::cerr << "  [section56] " << b.name << " done\n";
+    }
+
+    std::cout << "\n-- sense-interval sweep (miss-bound scaled "
+                 "proportionally) --\n";
+    ti.print(std::cout);
+    std::cout << "largest deviation: " << fmtDouble(worst_dev, 3)
+              << " (" << worst_name
+              << "); paper: <0.01 for all but go (<0.05)\n";
+
+    std::cout << "\n-- divisibility --\n";
+    td.print(std::cout);
+    std::cout << "paper: divisibility 4/8 'prohibitively increases "
+                 "the resizing granularity'\n";
+
+    std::cout << "\n-- throttle ablation (not plotted in the paper; "
+                 "DESIGN.md Section 8) --\n";
+    tt.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Circuit-level design-space study of gated-Vdd (Section 3 /
+ * Section 5.1 of the paper, expanding on [19]): threshold-voltage
+ * scaling, gating-transistor width sizing, variant comparison, and
+ * temperature sensitivity — all from the analytical substrate.
+ */
+
+#include <cstdio>
+#include <initializer_list>
+#include <utility>
+
+#include "circuit/area_model.hh"
+#include "circuit/gated_vdd.hh"
+#include "circuit/sram_cell.hh"
+
+using namespace drisim::circuit;
+
+int
+main()
+{
+    const Technology tech = Technology::scaled018();
+
+    // --- 1. Why leakage forces this paper: Vt scaling ------------
+    std::printf("1) SRAM cell leakage vs threshold voltage "
+                "(0.18um, 1.0V, 110C)\n");
+    std::printf("%8s  %22s  %14s\n", "Vt (V)",
+                "active leak (nJ/cycle)", "rel. read time");
+    for (double vt = 0.40; vt > 0.14; vt -= 0.05) {
+        const SramCell cell(tech, vt);
+        std::printf("%8.2f  %22.3e  %14.2f\n", vt,
+                    cell.activeLeakagePerCycle(),
+                    cell.relativeReadTime());
+    }
+    std::printf("-> each 50 mV of Vt costs ~2.4x leakage; "
+                "scaling 0.4->0.2 V buys 2.2x speed for 35x "
+                "leakage. Gated-Vdd breaks the trade-off.\n\n");
+
+    // --- 2. Sizing the gating transistor --------------------------
+    std::printf("2) NMOS dual-Vt gated-Vdd width sizing "
+                "(per-cell width, charge pump +0.5V)\n");
+    std::printf("%12s  %18s  %14s  %8s\n", "width (um)",
+                "standby (nJ/cyc)", "rel. read time", "area");
+    const SramCell cell(tech, tech.vtLow);
+    for (double w : {0.4, 0.8, 1.1, 1.6, 2.4, 4.0}) {
+        GatedVddConfig cfg;
+        cfg.widthPerCellUm = w;
+        const GatedVdd g(tech, cell, cfg);
+        std::printf("%12.1f  %18.3e  %14.3f  %7.1f%%\n", w,
+                    g.standbyLeakagePerCycle(),
+                    g.relativeReadTime(),
+                    100.0 * g.areaOverheadFraction());
+    }
+    std::printf("-> the paper's point at ~1.1 um/cell: 53e-9 nJ "
+                "standby, 1.08 read, ~5%% area (Table 2).\n\n");
+
+    // --- 3. Variants ----------------------------------------------
+    std::printf("3) Gating variants at the Table 2 operating "
+                "point\n");
+    std::printf("%-22s  %16s  %9s  %11s  %7s\n", "variant",
+                "standby (nJ/cyc)", "savings", "read time", "area");
+    const std::pair<GatingKind, const char *> kinds[] = {
+        {GatingKind::NmosDualVt, "NMOS dual-Vt + pump"},
+        {GatingKind::NmosLowVt, "NMOS low-Vt"},
+        {GatingKind::PmosDualVt, "PMOS dual-Vt"},
+    };
+    for (const auto &[kind, kname] : kinds) {
+        GatedVddConfig cfg;
+        cfg.kind = kind;
+        const GatedVdd g(tech, cell, cfg);
+        std::printf("%-22s  %16.3e  %8.1f%%  %11.3f  %6.1f%%\n",
+                    kname, g.standbyLeakagePerCycle(),
+                    100.0 * g.leakageSavingsFraction(),
+                    g.relativeReadTime(),
+                    100.0 * g.areaOverheadFraction());
+    }
+    std::printf("-> PMOS gating leaves the bitline-to-ground path "
+                "through the access transistors unbroken and needs "
+                "wider devices; the paper picks wide NMOS dual-Vt "
+                "with a charge pump.\n\n");
+
+    // --- 4. Temperature --------------------------------------------
+    std::printf("4) Temperature sensitivity (NMOS dual-Vt)\n");
+    std::printf("%8s  %20s  %18s\n", "T (C)",
+                "active leak (nJ/cyc)", "standby (nJ/cyc)");
+    for (double celsius : {30.0, 70.0, 110.0}) {
+        const Technology t2 =
+            tech.atTemperature(celsius + 273.15);
+        const SramCell c2(t2, t2.vtLow);
+        const GatedVdd g2(t2, c2, GatedVddConfig{});
+        std::printf("%8.0f  %20.3e  %18.3e\n", celsius,
+                    c2.activeLeakagePerCycle(),
+                    g2.standbyLeakagePerCycle());
+    }
+    std::printf("-> Table 2 is quoted at the 110 C worst case; "
+                "gating keeps its ~30x margin across the range.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parameter tuner: sweeps the (miss-bound, size-bound) grid for one
+ * benchmark — the search the paper runs per benchmark in Section
+ * 5.3 — and prints the full energy-delay landscape with the
+ * constrained and unconstrained winners marked.
+ *
+ *   ./param_tuner [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "util/str.hh"
+
+using namespace drisim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "ijpeg";
+    const InstCount instrs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3000000;
+
+    const BenchmarkInfo &bench = findBenchmark(name);
+    RunConfig cfg;
+    cfg.maxInstrs = instrs;
+
+    std::printf("detailed conventional baseline for %s...\n",
+                bench.name.c_str());
+    const RunOutput conv = runConventional(bench, cfg);
+    std::printf("  %llu cycles, miss rate %.3f%%\n\n",
+                static_cast<unsigned long long>(conv.meas.cycles),
+                100.0 * conv.meas.missRate());
+
+    SearchSpace space; // default 7 size-bounds x 4 miss factors
+    DriParams tmpl;
+    tmpl.senseInterval = 100000;
+
+    const EnergyConstants constants = EnergyConstants::paper();
+    const SearchResult constrained = searchBestEnergyDelay(
+        bench, cfg, tmpl, space, constants, 4.0, conv);
+
+    Table t({"size-bound", "miss-bound", "rel-ED", "avg size",
+             "slowdown", "<=4%?"});
+    for (const auto &cand : constrained.evaluated) {
+        t.addRow({bytesToString(cand.dri.sizeBoundBytes),
+                  std::to_string(cand.dri.missBound),
+                  fmtDouble(cand.cmp.relativeEnergyDelay(), 3),
+                  fmtDouble(cand.cmp.averageSizeFraction(), 3),
+                  fmtDouble(cand.cmp.slowdownPercent(), 2) + "%",
+                  cand.feasible ? "yes" : "NO"});
+    }
+    std::printf("fast-model landscape (%zu configurations):\n",
+                constrained.evaluated.size());
+    t.print(std::cout);
+
+    const auto &best = constrained.best;
+    std::printf("\nbest constrained configuration "
+                "(re-run on the detailed core):\n");
+    std::printf("  size-bound %s, miss-bound %llu\n",
+                bytesToString(best.dri.sizeBoundBytes).c_str(),
+                static_cast<unsigned long long>(best.dri.missBound));
+    std::printf("  relative energy-delay %.3f (%.1f%% reduction), "
+                "slowdown %.2f%%, avg size %.3f\n",
+                best.cmp.relativeEnergyDelay(),
+                100.0 * (1 - best.cmp.relativeEnergyDelay()),
+                best.cmp.slowdownPercent(),
+                best.cmp.averageSizeFraction());
+
+    const SearchResult unconstrained = searchBestEnergyDelay(
+        bench, cfg, tmpl, space, constants, -1.0, conv);
+    const auto &ubest = unconstrained.best;
+    std::printf("\nbest unconstrained configuration:\n");
+    std::printf("  size-bound %s, miss-bound %llu\n",
+                bytesToString(ubest.dri.sizeBoundBytes).c_str(),
+                static_cast<unsigned long long>(
+                    ubest.dri.missBound));
+    std::printf("  relative energy-delay %.3f, slowdown %.2f%%\n",
+                ubest.cmp.relativeEnergyDelay(),
+                ubest.cmp.slowdownPercent());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark with a conventional 64K L1
+ * i-cache and with a DRI i-cache, and print the energy story.
+ *
+ *   ./quickstart [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "energy/accounting.hh"
+#include "harness/runner.hh"
+
+using namespace drisim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "compress";
+    const InstCount instrs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000000;
+
+    const BenchmarkInfo &bench = findBenchmark(name);
+
+    // 1. The Table 1 system with a conventional i-cache.
+    RunConfig cfg;
+    cfg.maxInstrs = instrs;
+    std::printf("running %s (class %d) for %llu instructions...\n",
+                bench.name.c_str(), bench.benchClass,
+                static_cast<unsigned long long>(instrs));
+    const RunOutput conv = runConventional(bench, cfg);
+
+    // 2. The same system with a DRI i-cache: downsize whenever an
+    //    interval sees fewer than missBound misses; never shrink
+    //    below 2 KB.
+    DriParams dri;
+    dri.sizeBoundBytes = 2048;
+    dri.senseInterval = 100000;
+    dri.missBound = 200;
+    const RunOutput adaptive = runDri(bench, cfg, dri);
+
+    // 3. Compare using the paper's energy model (Section 5.2).
+    const ComparisonResult cmp = compareRuns(
+        EnergyConstants::paper(), conv.meas, adaptive.meas);
+
+    std::printf("\nconventional 64K i-cache:\n");
+    std::printf("  cycles            %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(conv.meas.cycles),
+                conv.ipc);
+    std::printf("  L1I miss rate     %.3f%%\n",
+                100.0 * conv.meas.missRate());
+
+    std::printf("\nDRI i-cache (miss-bound %llu / %llu-instr "
+                "interval, size-bound %llu B):\n",
+                static_cast<unsigned long long>(dri.missBound),
+                static_cast<unsigned long long>(dri.senseInterval),
+                static_cast<unsigned long long>(dri.sizeBoundBytes));
+    std::printf("  cycles            %llu (slowdown %.2f%%)\n",
+                static_cast<unsigned long long>(
+                    adaptive.meas.cycles),
+                cmp.slowdownPercent());
+    std::printf("  L1I miss rate     %.3f%%\n",
+                100.0 * adaptive.meas.missRate());
+    std::printf("  avg active size   %.1f%% of 64K (%llu resizes)\n",
+                100.0 * cmp.averageSizeFraction(),
+                static_cast<unsigned long long>(adaptive.resizes));
+
+    std::printf("\nenergy (normalized to the conventional cache):\n");
+    std::printf("  relative energy-delay   %.3f\n",
+                cmp.relativeEnergyDelay());
+    std::printf("    leakage component     %.3f\n",
+                cmp.relativeEdLeakage());
+    std::printf("    extra dynamic         %.3f\n",
+                cmp.relativeEdDynamic());
+    std::printf("  => leakage energy-delay reduced by %.1f%%\n",
+                100.0 * (1.0 - cmp.relativeEnergyDelay()));
+    return 0;
+}

@@ -1,0 +1,83 @@
+#include "area_model.hh"
+
+#include <cmath>
+
+#include "../util/logging.hh"
+
+namespace drisim::circuit
+{
+
+LineAreaModel::LineAreaModel(const Technology &tech,
+                             unsigned cellsPerLine,
+                             const GatedVddConfig &gating)
+    : tech_(tech), cellsPerLine_(cellsPerLine), gating_(gating)
+{
+    drisim_assert(cellsPerLine > 0, "a line needs at least one cell");
+}
+
+double
+LineAreaModel::cellWidthUm() const
+{
+    return tech_.cellAreaUm2 / tech_.cellHeightUm;
+}
+
+double
+LineAreaModel::baseLineAreaUm2() const
+{
+    return tech_.cellAreaUm2 * cellsPerLine_;
+}
+
+double
+LineAreaModel::totalGateWidthUm() const
+{
+    if (gating_.kind == GatingKind::None)
+        return 0.0;
+    double w = gating_.widthPerCellUm * cellsPerLine_;
+    if (gating_.kind == GatingKind::PmosDualVt)
+        w /= tech_.pmosDriveRatio;
+    return w;
+}
+
+unsigned
+LineAreaModel::fingerRows() const
+{
+    const double total = totalGateWidthUm();
+    if (total <= 0.0)
+        return 0;
+    // Each finger is one cell-height long; a full row of fingers
+    // along the line provides lineLength / fingerPitch fingers, i.e.
+    // lineLength worth of width per row (fingers are cellHeight um
+    // of gate width each, packed at cellHeight pitch).
+    const double width_per_row =
+        cellWidthUm() * cellsPerLine_ / tech_.cellHeightUm *
+        tech_.cellHeightUm; // = line length um of gate width per row
+    return static_cast<unsigned>(std::ceil(total / width_per_row));
+}
+
+double
+LineAreaModel::gatedAreaUm2() const
+{
+    if (gating_.kind == GatingKind::None)
+        return 0.0;
+    // Each um of gate width occupies layoutPitchUm of silicon along
+    // the widened edge of the line.
+    return gating_.layoutPitchUm * totalGateWidthUm();
+}
+
+double
+LineAreaModel::overheadFraction() const
+{
+    return gatedAreaUm2() / baseLineAreaUm2();
+}
+
+double
+dataArrayAreaUm2(const Technology &tech, std::uint64_t sizeBytes,
+                 unsigned blockBytes, const GatedVddConfig &gating)
+{
+    const std::uint64_t lines = sizeBytes / blockBytes;
+    const LineAreaModel line(tech, blockBytes * 8, gating);
+    return static_cast<double>(lines) *
+           (line.baseLineAreaUm2() + line.gatedAreaUm2());
+}
+
+} // namespace drisim::circuit

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Array area model: SRAM subarray dimensions and the layout cost of
+ * the shared gated-Vdd transistor.
+ *
+ * Following the paper's Mentor IC-Station methodology: the gated-Vdd
+ * transistor is laid out as rows of parallel fingers running along
+ * the length of a cache line, each finger as long as the cell
+ * height, so only the data-array *width* grows (Section 5.1).
+ */
+
+#ifndef DRISIM_CIRCUIT_AREA_MODEL_HH
+#define DRISIM_CIRCUIT_AREA_MODEL_HH
+
+#include <cstdint>
+
+#include "gated_vdd.hh"
+#include "technology.hh"
+
+namespace drisim::circuit
+{
+
+/** Dimensions of one SRAM line (row of cells) and its gating. */
+struct LineAreaModel
+{
+    LineAreaModel(const Technology &tech, unsigned cellsPerLine,
+                  const GatedVddConfig &gating);
+
+    /** Cell width (um) derived from area and height. */
+    double cellWidthUm() const;
+
+    /** Ungated line area: cells only (um^2). */
+    double baseLineAreaUm2() const;
+
+    /** Total gate width needed for the line (um). */
+    double totalGateWidthUm() const;
+
+    /**
+     * Number of parallel finger rows: each finger is cellHeight um
+     * long, and fingers stack along the line width.
+     */
+    unsigned fingerRows() const;
+
+    /** Area added by the gated-Vdd structure (um^2). */
+    double gatedAreaUm2() const;
+
+    /** Fractional area overhead (Table 2 row "Area Increase"). */
+    double overheadFraction() const;
+
+  private:
+    Technology tech_;
+    unsigned cellsPerLine_;
+    GatedVddConfig gating_;
+};
+
+/** Whole data-array area for a cache (um^2), with/without gating. */
+double dataArrayAreaUm2(const Technology &tech, std::uint64_t sizeBytes,
+                        unsigned blockBytes, const GatedVddConfig &gating);
+
+} // namespace drisim::circuit
+
+#endif // DRISIM_CIRCUIT_AREA_MODEL_HH

@@ -1,0 +1,133 @@
+#include "cache_energy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "../util/bitops.hh"
+#include "../util/logging.hh"
+
+namespace drisim::circuit
+{
+
+namespace
+{
+
+// CACTI-lite component constants (0.18 um), chosen so the composite
+// model hits the paper's published figures (see EXPERIMENTS.md):
+//   - L2 (1 MB 4-way 64 B) access = ~3.6 nJ
+//   - L1 resizing-tag bitline       = ~0.0022 nJ
+/** Fraction of Vdd a read bitline swings before the sense amp fires. */
+constexpr double kReadSwing = 0.3;
+/** Sense-amp energy per sensed column, pJ. */
+constexpr double kSenseAmpPj = 0.1;
+/** Wordline capacitance per attached cell, fF. */
+constexpr double kWordlineCapPerCellFf = 0.5;
+/** H-tree routing capacitance per mm of wire, pF. */
+constexpr double kRouteCapPerMmPf = 0.28;
+/** Address/control wires routed alongside the data. */
+constexpr unsigned kAddrControlWires = 32;
+
+} // namespace
+
+unsigned
+CacheGeometry::rowsPerSubarray() const
+{
+    const std::uint64_t sets = numSets();
+    const std::uint64_t rows =
+        std::min<std::uint64_t>(sets, maxRowsPerSubarray);
+    return static_cast<unsigned>(rows);
+}
+
+CacheEnergyModel::CacheEnergyModel(const Technology &tech,
+                                   const CacheGeometry &geom)
+    : tech_(tech), geom_(geom), lowVtCell_(tech, tech.vtLow)
+{
+    drisim_assert(isPowerOf2(geom.sizeBytes) &&
+                  isPowerOf2(geom.blockBytes),
+                  "cache geometry must be power-of-two sized");
+}
+
+double
+CacheEnergyModel::leakagePerCycleNJ(std::uint64_t activeBytes,
+                                    double vt) const
+{
+    const SramCell cell(tech_, vt);
+    const double cells = static_cast<double>(activeBytes) * 8.0;
+    return cells * cell.activeLeakagePerCycle(1.0);
+}
+
+double
+CacheEnergyModel::fullLeakagePerCycleNJ() const
+{
+    return leakagePerCycleNJ(geom_.sizeBytes, tech_.vtLow);
+}
+
+double
+CacheEnergyModel::bitlineEnergyNJ() const
+{
+    // One bitline pair, precharged to Vdd, one side discharged by
+    // the access: E = C_bl * Vdd * Vswing. Tag bitlines swing fully.
+    const double c_bl_f =
+        lowVtCell_.bitlineCapFf(geom_.rowsPerSubarray()) * 1e-15;
+    const double joules = c_bl_f * tech_.vdd * tech_.vdd;
+    return joules * 1e9;
+}
+
+double
+CacheEnergyModel::accessEnergyNJ() const
+{
+    const unsigned block_bits = geom_.blockBytes * 8;
+    const unsigned set_index_bits =
+        exactLog2(geom_.sizeBytes / geom_.assoc);
+    const unsigned tag_bits = 32 - set_index_bits +
+                              exactLog2(geom_.blockBytes);
+    // All ways read in parallel (data + tag), CACTI style.
+    const double sensed_columns =
+        static_cast<double>(geom_.assoc) * (block_bits + tag_bits);
+
+    const double c_bl_f =
+        lowVtCell_.bitlineCapFf(geom_.rowsPerSubarray()) * 1e-15;
+    const double e_bitlines_j =
+        sensed_columns * c_bl_f * tech_.vdd * (tech_.vdd * kReadSwing);
+
+    const double e_sense_j = sensed_columns * kSenseAmpPj * 1e-12;
+
+    const double e_wordline_j = sensed_columns *
+                                kWordlineCapPerCellFf * 1e-15 *
+                                tech_.vdd * tech_.vdd;
+
+    // H-tree routing: block data plus address/control, across twice
+    // the array's linear dimension.
+    const double cells = static_cast<double>(geom_.sizeBytes) * 8.0;
+    const double area_mm2 = cells * tech_.cellAreaUm2 * 1e-6;
+    const double route_mm = 2.0 * std::sqrt(area_mm2);
+    const double wires = block_bits + kAddrControlWires;
+    const double e_route_j = wires * kRouteCapPerMmPf * 1e-12 *
+                             route_mm * tech_.vdd * tech_.vdd;
+
+    return (e_bitlines_j + e_sense_j + e_wordline_j + e_route_j) * 1e9;
+}
+
+CacheGeometry
+l1Geometry()
+{
+    CacheGeometry g;
+    g.sizeBytes = 64 * 1024;
+    g.assoc = 1;
+    g.blockBytes = 32;
+    g.maxRowsPerSubarray = 4096; // single full-height column
+    return g;
+}
+
+CacheGeometry
+l2Geometry()
+{
+    CacheGeometry g;
+    g.sizeBytes = 1024 * 1024;
+    g.assoc = 4;
+    g.blockBytes = 64;
+    g.maxRowsPerSubarray = 1024;
+    return g;
+}
+
+} // namespace drisim::circuit

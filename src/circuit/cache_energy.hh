@@ -1,0 +1,95 @@
+/**
+ * @file
+ * CACTI-lite: cache-level energy figures derived from the cell model.
+ *
+ * Section 5.2 of the paper reduces the circuit study to three
+ * constants, all of which this model derives:
+ *
+ *  - conventional 64 KB i-cache leakage = 0.91 nJ per 1 ns cycle
+ *    (= 64Ki bytes * 8 cells * low-Vt active cell leakage);
+ *  - dynamic energy of one resizing-tag bitline per L1 access
+ *    = 0.0022 nJ (full-height bitline pair swing);
+ *  - dynamic energy per L2 access = 3.6 nJ (from Kamble & Ghose's
+ *    analytical model [11]; we calibrate the routing term to it).
+ */
+
+#ifndef DRISIM_CIRCUIT_CACHE_ENERGY_HH
+#define DRISIM_CIRCUIT_CACHE_ENERGY_HH
+
+#include <cstdint>
+
+#include "sram_cell.hh"
+#include "technology.hh"
+
+namespace drisim::circuit
+{
+
+/** Physical organization of one cache for energy purposes. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 1;
+    unsigned blockBytes = 32;
+    /** Max rows per subarray before CACTI-style splitting. */
+    unsigned maxRowsPerSubarray = 4096;
+
+    std::uint64_t numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(blockBytes) *
+                            assoc);
+    }
+
+    /** Rows in one physical column (after subarray splitting). */
+    unsigned rowsPerSubarray() const;
+};
+
+/**
+ * Per-cache energy model built on the 6-T cell physics.
+ */
+class CacheEnergyModel
+{
+  public:
+    CacheEnergyModel(const Technology &tech, const CacheGeometry &geom);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /**
+     * Leakage energy per cycle for @p activeBytes of powered data
+     * array at cell threshold @p vt (nJ / cycle). The paper's
+     * 0.91 nJ figure is leakagePerCycleNJ(64 KiB, 0.2 V).
+     */
+    double leakagePerCycleNJ(std::uint64_t activeBytes, double vt) const;
+
+    /** Leakage per cycle for the full data array at low Vt. */
+    double fullLeakagePerCycleNJ() const;
+
+    /**
+     * Dynamic energy of driving ONE bitline pair for one access
+     * (nJ). This is the unit cost of a resizing tag bit
+     * (paper: 0.0022 nJ for the 64 KB L1 geometry).
+     */
+    double bitlineEnergyNJ() const;
+
+    /**
+     * Total dynamic energy of one read access (nJ): decode,
+     * wordline, data + tag bitlines for all ways, sense amps and
+     * output drive, plus array routing. Calibrated so the paper's
+     * L2 geometry (1 MB, 4-way, 64 B) gives 3.6 nJ.
+     */
+    double accessEnergyNJ() const;
+
+  private:
+    Technology tech_;
+    CacheGeometry geom_;
+    SramCell lowVtCell_;
+};
+
+/** The paper's L1 i-cache geometry (64 KB direct-mapped, 32 B). */
+CacheGeometry l1Geometry();
+
+/** The paper's L2 geometry (1 MB 4-way unified, 64 B blocks). */
+CacheGeometry l2Geometry();
+
+} // namespace drisim::circuit
+
+#endif // DRISIM_CIRCUIT_CACHE_ENERGY_HH

@@ -1,0 +1,136 @@
+#include "gated_vdd.hh"
+
+#include "../util/logging.hh"
+
+namespace drisim::circuit
+{
+
+GatedVdd::GatedVdd(const Technology &tech, const SramCell &cell,
+                   const GatedVddConfig &config)
+    : tech_(tech), cell_(cell), config_(config)
+{
+    drisim_assert(config.widthPerCellUm > 0.0 ||
+                  config.kind == GatingKind::None,
+                  "gated-Vdd width must be positive");
+}
+
+Mosfet
+GatedVdd::gateDevice() const
+{
+    Mosfet m;
+    m.widthUm = config_.widthPerCellUm;
+    // Power gates are drawn long-channel for leakage control:
+    // negligible DIBL.
+    m.dibl = false;
+    switch (config_.kind) {
+      case GatingKind::None:
+        m.widthUm = 0.0;
+        m.vt = tech_.vtLow;
+        break;
+      case GatingKind::NmosDualVt:
+        m.polarity = Polarity::Nmos;
+        m.vt = tech_.vtHigh;
+        break;
+      case GatingKind::NmosLowVt:
+        m.polarity = Polarity::Nmos;
+        m.vt = cell_.vt();
+        break;
+      case GatingKind::PmosDualVt:
+        m.polarity = Polarity::Pmos;
+        m.vt = tech_.vtHigh;
+        break;
+    }
+    return m;
+}
+
+double
+GatedVdd::standbyLeakageCurrentPerCell() const
+{
+    if (config_.kind == GatingKind::None)
+        return cell_.activeLeakageCurrent();
+
+    const Mosfet gate = gateDevice();
+
+    if (config_.kind == GatingKind::PmosDualVt) {
+        // The PMOS gate blocks only the paths sourced from Vdd
+        // (the two inverter legs); bitline-to-ground leakage through
+        // the off access transistor is untouched.
+        const double inverter_eq_width =
+            tech_.wPulldown + tech_.wPullup * tech_.pmosLeakRatio;
+        const Mosfet inverters{Polarity::Nmos, inverter_eq_width,
+                               cell_.vt()};
+        // Stack: gated PMOS (from Vdd) above the cell's inverter
+        // leakage paths. The topology is symmetric to the NMOS case.
+        const StackResult stack =
+            solveSeriesStack(tech_, gate, inverters);
+        const Mosfet access{Polarity::Nmos, tech_.wAccess, cell_.vt()};
+        return stack.current + offCurrent(tech_, access);
+    }
+
+    // NMOS gating: every cell leakage path terminates at ground
+    // through the gate device, so the whole cell stacks on it.
+    const StackResult stack =
+        solveSeriesStack(tech_, cell_.equivalentLeakDevice(), gate);
+    return stack.current;
+}
+
+double
+GatedVdd::standbyLeakagePerCycle(double cycleNs) const
+{
+    return standbyLeakageCurrentPerCell() * tech_.vdd * cycleNs;
+}
+
+double
+GatedVdd::seriesReadResistance() const
+{
+    switch (config_.kind) {
+      case GatingKind::None:
+      case GatingKind::PmosDualVt:
+        return 0.0;
+      default:
+        break;
+    }
+    const Mosfet gate = gateDevice();
+    const double gate_drive_v = tech_.vdd + config_.chargePumpBoostV;
+    return onResistance(tech_, gate, gate_drive_v);
+}
+
+double
+GatedVdd::relativeReadTime() const
+{
+    return cell_.relativeReadTime(seriesReadResistance());
+}
+
+double
+GatedVdd::readTimeFactor() const
+{
+    return cell_.relativeReadTime(seriesReadResistance()) /
+           cell_.relativeReadTime(0.0);
+}
+
+double
+GatedVdd::areaOverheadFraction() const
+{
+    if (config_.kind == GatingKind::None)
+        return 0.0;
+    // Rows of parallel transistor fingers along the cache line; each
+    // um of gate width consumes layoutPitchUm^2... i.e. pitch * width
+    // of silicon, normalized by one cell's area.
+    double width = config_.widthPerCellUm;
+    if (config_.kind == GatingKind::PmosDualVt) {
+        // PMOS needs extra width for equal drive; area follows.
+        width /= tech_.pmosDriveRatio;
+    }
+    return width * config_.layoutPitchUm / tech_.cellAreaUm2;
+}
+
+double
+GatedVdd::leakageSavingsFraction() const
+{
+    const double active = cell_.activeLeakageCurrent();
+    if (active <= 0.0)
+        return 0.0;
+    return 1.0 - standbyLeakageCurrentPerCell() / active;
+}
+
+} // namespace drisim::circuit

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Gated-Vdd supply gating for SRAM (Powell et al., ISLPED 2000; the
+ * circuit half of the paper, Section 3 and Figure 2 (b)).
+ *
+ * An extra transistor sits in the leakage path between the cell and
+ * one supply rail. Off, it stacks with the cell's own off devices
+ * (stacking effect) and collapses standby leakage; on, it adds a
+ * small series resistance to the read path.
+ *
+ * Variants modeled (paper Section 5.1 and [19]):
+ *  - NMOS between virtual ground and Gnd, dual-Vt (high-Vt gate
+ *    device, low-Vt cell) with a charge pump boosting the gate in
+ *    active mode — the paper's preferred configuration;
+ *  - NMOS with a single (low) Vt — stacking effect only;
+ *  - PMOS between Vdd and the cell — does not intercept the
+ *    bitline-to-ground leakage through the access transistors, so it
+ *    saves less.
+ */
+
+#ifndef DRISIM_CIRCUIT_GATED_VDD_HH
+#define DRISIM_CIRCUIT_GATED_VDD_HH
+
+#include "sram_cell.hh"
+#include "technology.hh"
+#include "transistor.hh"
+
+namespace drisim::circuit
+{
+
+/** Which gating transistor (if any) is inserted. */
+enum class GatingKind
+{
+    None,        ///< conventional cell, no gating
+    NmosDualVt,  ///< high-Vt NMOS to Gnd + charge pump (preferred)
+    NmosLowVt,   ///< low-Vt NMOS to Gnd (stacking effect only)
+    PmosDualVt,  ///< high-Vt PMOS from Vdd
+};
+
+/** Sizing and drive options for the gating device. */
+struct GatedVddConfig
+{
+    GatingKind kind = GatingKind::NmosDualVt;
+
+    /**
+     * Gating transistor width amortized per cell (um). The physical
+     * device is one wide transistor (rows of parallel fingers)
+     * shared by all cells of a cache line; per-cell width is
+     * total width / cells-per-line.
+     */
+    double widthPerCellUm = 1.1;
+
+    /**
+     * Charge-pump gate boost above Vdd in active mode (V);
+     * 0 disables the pump. The paper's preferred scheme uses one.
+     */
+    double chargePumpBoostV = 0.5;
+
+    /** Layout pitch consumed per um of gate width (um); area model. */
+    double layoutPitchUm = 0.4;
+};
+
+/**
+ * Evaluates one gated-Vdd configuration applied to a given SRAM
+ * cell: standby leakage, read-time impact, and area overhead —
+ * the three axes of Table 2.
+ */
+class GatedVdd
+{
+  public:
+    GatedVdd(const Technology &tech, const SramCell &cell,
+             const GatedVddConfig &config);
+
+    const GatedVddConfig &config() const { return config_; }
+
+    /** The gating device as sized by the configuration. */
+    Mosfet gateDevice() const;
+
+    /** Standby (gated-off) leakage current per cell, A. */
+    double standbyLeakageCurrentPerCell() const;
+
+    /** Standby leakage energy per cycle per cell, nJ (Table 2). */
+    double standbyLeakagePerCycle(double cycleNs = 1.0) const;
+
+    /**
+     * Series resistance the (on) gating device adds to the read
+     * path, amortized per cell, ohms. Zero for PMOS gating (the
+     * read discharge path does not traverse it) and for None.
+     */
+    double seriesReadResistance() const;
+
+    /** Read time relative to an ungated low-Vt cell (Table 2). */
+    double relativeReadTime() const;
+
+    /** Read-time multiplier versus the same cell without gating. */
+    double readTimeFactor() const;
+
+    /** Array area overhead as a fraction (Table 2: ~0.05). */
+    double areaOverheadFraction() const;
+
+    /**
+     * Standby leakage savings versus the cell's active leakage,
+     * as a fraction (Table 2: 0.97).
+     */
+    double leakageSavingsFraction() const;
+
+  private:
+    Technology tech_;
+    SramCell cell_;
+    GatedVddConfig config_;
+};
+
+} // namespace drisim::circuit
+
+#endif // DRISIM_CIRCUIT_GATED_VDD_HH

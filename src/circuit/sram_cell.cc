@@ -1,0 +1,81 @@
+#include "sram_cell.hh"
+
+#include <cmath>
+
+namespace drisim::circuit
+{
+
+namespace
+{
+
+/** Reference column height used for relative read-time figures. */
+constexpr unsigned kReferenceRows = 256;
+
+} // namespace
+
+SramCell::SramCell(const Technology &tech, double vt)
+    : tech_(tech), vt_(vt)
+{
+}
+
+double
+SramCell::activeLeakageCurrent() const
+{
+    const Mosfet pulldown{Polarity::Nmos, tech_.wPulldown, vt_};
+    const Mosfet access{Polarity::Nmos, tech_.wAccess, vt_};
+    const Mosfet pullup{Polarity::Pmos, tech_.wPullup, vt_};
+    return offCurrent(tech_, pulldown) + offCurrent(tech_, access) +
+           offCurrent(tech_, pullup);
+}
+
+double
+SramCell::activeLeakagePerCycle(double cycleNs) const
+{
+    // I (A) * Vdd (V) * t (ns) gives energy in nJ directly:
+    // 1 A * 1 V * 1 ns = 1e-9 J = 1 nJ.
+    return activeLeakageCurrent() * tech_.vdd * cycleNs;
+}
+
+Mosfet
+SramCell::equivalentLeakDevice() const
+{
+    // Fold the PMOS path into NMOS-equivalent width so the stack
+    // solver can treat the cell as one device.
+    const double eq_width = tech_.wPulldown + tech_.wAccess +
+                            tech_.wPullup * tech_.pmosLeakRatio;
+    return Mosfet{Polarity::Nmos, eq_width, vt_};
+}
+
+double
+SramCell::bitlineCapFf(unsigned rows) const
+{
+    const double drain_cap = tech_.bitlineCapPerRowFf * rows;
+    const double wire_cap =
+        tech_.bitlineWireCapPerUmFf * tech_.cellHeightUm * rows;
+    return drain_cap + wire_cap;
+}
+
+double
+SramCell::readTimeNs(unsigned rows, double extraSeriesOhms) const
+{
+    // Discharge path: access transistor in series with pull-down.
+    const Mosfet access{Polarity::Nmos, tech_.wAccess, vt_};
+    const Mosfet pulldown{Polarity::Nmos, tech_.wPulldown, vt_};
+    const double r_path = onResistance(tech_, access, tech_.vdd) +
+                          onResistance(tech_, pulldown, tech_.vdd) +
+                          extraSeriesOhms;
+    const double c_bl_f = bitlineCapFf(rows) * 1e-15;
+    // Fall from Vdd to 75% Vdd: t = R C ln(1/0.75).
+    const double t_s = r_path * c_bl_f * std::log(1.0 / 0.75);
+    return t_s * 1e9;
+}
+
+double
+SramCell::relativeReadTime(double extraSeriesOhms) const
+{
+    const SramCell reference(tech_, tech_.vtLow);
+    return readTimeNs(kReferenceRows, extraSeriesOhms) /
+           reference.readTimeNs(kReferenceRows, 0.0);
+}
+
+} // namespace drisim::circuit

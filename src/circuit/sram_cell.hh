@@ -1,0 +1,77 @@
+/**
+ * @file
+ * 6-T SRAM cell model: leakage paths and read timing (Figure 2 (a)).
+ *
+ * A cell holding a stable bit has three leaking devices:
+ *  - the off pull-down NMOS of the inverter whose output is high,
+ *  - the off pull-up PMOS of the inverter whose output is low,
+ *  - the off access NMOS on the low side (bitline precharged high).
+ * The fourth (access on the high side) sees ~0 Vds and is neglected.
+ *
+ * The read path discharges a precharged bitline through the access
+ * transistor in series with a pull-down; read time is taken (as in
+ * the paper) as the time for the bitline to fall to 75% of Vdd.
+ */
+
+#ifndef DRISIM_CIRCUIT_SRAM_CELL_HH
+#define DRISIM_CIRCUIT_SRAM_CELL_HH
+
+#include "technology.hh"
+#include "transistor.hh"
+
+namespace drisim::circuit
+{
+
+/** A 6-T SRAM cell at a given (single) threshold voltage. */
+class SramCell
+{
+  public:
+    /** Build a cell in @p tech with all six devices at @p vt volts. */
+    SramCell(const Technology &tech, double vt);
+
+    /** The cell threshold voltage (V). */
+    double vt() const { return vt_; }
+
+    const Technology &tech() const { return tech_; }
+
+    /** Total cell leakage current in active (powered) mode, A. */
+    double activeLeakageCurrent() const;
+
+    /**
+     * Active leakage energy per clock cycle, nJ
+     * (Table 2 row "Active Leakage Energy").
+     * @param cycleNs clock period in ns (1.0 for the 1 GHz core)
+     */
+    double activeLeakagePerCycle(double cycleNs = 1.0) const;
+
+    /**
+     * The cell's composite "off path" from Vdd to ground, as an
+     * equivalent single device for series-stack analysis: total
+     * leaking width with NMOS-equivalent scaling.
+     */
+    Mosfet equivalentLeakDevice() const;
+
+    /**
+     * Bitline discharge (read) time in ns through access + pull-down,
+     * with optional extra series resistance (ohms) from a gating
+     * device, for a column of @p rows cells.
+     */
+    double readTimeNs(unsigned rows, double extraSeriesOhms = 0.0) const;
+
+    /**
+     * Read time relative to a low-Vt reference cell in the same
+     * technology (Table 2 row "Relative Read Time").
+     */
+    double relativeReadTime(double extraSeriesOhms = 0.0) const;
+
+    /** Bitline capacitance for a @p rows-cell column, fF. */
+    double bitlineCapFf(unsigned rows) const;
+
+  private:
+    Technology tech_;
+    double vt_;
+};
+
+} // namespace drisim::circuit
+
+#endif // DRISIM_CIRCUIT_SRAM_CELL_HH

@@ -1,0 +1,20 @@
+#include "technology.hh"
+
+namespace drisim::circuit
+{
+
+Technology
+Technology::scaled018()
+{
+    return Technology{};
+}
+
+Technology
+Technology::atTemperature(double kelvin) const
+{
+    Technology t = *this;
+    t.temperatureK = kelvin;
+    return t;
+}
+
+} // namespace drisim::circuit

@@ -1,0 +1,102 @@
+#include "transistor.hh"
+
+#include <cmath>
+
+#include "../util/logging.hh"
+
+namespace drisim::circuit
+{
+
+namespace
+{
+
+/** Per-polarity leakage scale (A/um). */
+double
+leakScale(const Technology &tech, Polarity p)
+{
+    return p == Polarity::Nmos ? tech.i0NmosPerUm
+                               : tech.i0NmosPerUm * tech.pmosLeakRatio;
+}
+
+/** Per-polarity drive scale (A/um at 1 V overdrive). */
+double
+driveScale(const Technology &tech, Polarity p)
+{
+    return p == Polarity::Nmos ? tech.kDrivePerUm
+                               : tech.kDrivePerUm * tech.pmosDriveRatio;
+}
+
+} // namespace
+
+double
+subthresholdCurrent(const Technology &tech, const Mosfet &m,
+                    double vgs, double vds)
+{
+    if (vds <= 0.0)
+        return 0.0;
+    const double vt_therm = tech.thermalVoltage();
+    const double n = tech.subthresholdN;
+    const double eta = m.dibl ? tech.diblEta : 0.0;
+    const double exponent = (vgs - m.vt + eta * vds) / (n * vt_therm);
+    const double drain_term = 1.0 - std::exp(-vds / vt_therm);
+    return leakScale(tech, m.polarity) * m.widthUm * std::exp(exponent) *
+           drain_term;
+}
+
+double
+offCurrent(const Technology &tech, const Mosfet &m)
+{
+    return subthresholdCurrent(tech, m, 0.0, tech.vdd);
+}
+
+double
+onCurrent(const Technology &tech, const Mosfet &m, double vgs)
+{
+    const double overdrive = vgs - m.vt;
+    if (overdrive <= 0.0)
+        return 0.0;
+    return driveScale(tech, m.polarity) * m.widthUm *
+           std::pow(overdrive, tech.alphaPower);
+}
+
+double
+onResistance(const Technology &tech, const Mosfet &m, double vgs)
+{
+    const double ion = onCurrent(tech, m, vgs);
+    if (ion <= 0.0)
+        return 1e18;
+    return tech.vdd / ion;
+}
+
+StackResult
+solveSeriesStack(const Technology &tech, const Mosfet &top,
+                 const Mosfet &bottom, double vgsBottom)
+{
+    drisim_assert(tech.vdd > 0.0, "stack solve needs positive Vdd");
+
+    // topCurrent falls and bottomCurrent rises monotonically in Vx,
+    // so bisection on their difference converges.
+    auto top_current = [&](double vx) {
+        // Source of the top composite device rides at Vx: Vgs = -Vx.
+        return subthresholdCurrent(tech, top, -vx, tech.vdd - vx);
+    };
+    auto bottom_current = [&](double vx) {
+        return subthresholdCurrent(tech, bottom, vgsBottom, vx);
+    };
+
+    double lo = 0.0;
+    double hi = tech.vdd;
+    for (int iter = 0; iter < 100; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (top_current(mid) > bottom_current(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    StackResult res;
+    res.internalNodeV = 0.5 * (lo + hi);
+    res.current = bottom_current(res.internalNodeV);
+    return res;
+}
+
+} // namespace drisim::circuit

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MOSFET current models: subthreshold leakage (with the stacking
+ * effect) and alpha-power drive current.
+ *
+ * The stacking effect (Ye, Borkar, De [32]) is what makes gated-Vdd
+ * work: two series off-transistors self-reverse-bias at the shared
+ * node, cutting leakage by orders of magnitude. solveSeriesStack()
+ * finds the intermediate-node voltage where the two subthreshold
+ * currents balance.
+ */
+
+#ifndef DRISIM_CIRCUIT_TRANSISTOR_HH
+#define DRISIM_CIRCUIT_TRANSISTOR_HH
+
+#include "technology.hh"
+
+namespace drisim::circuit
+{
+
+/** Transistor polarity. */
+enum class Polarity { Nmos, Pmos };
+
+/** A sized transistor at a given threshold voltage. */
+struct Mosfet
+{
+    Polarity polarity = Polarity::Nmos;
+    /** Channel width, um. */
+    double widthUm = 1.0;
+    /** Threshold voltage, V. */
+    double vt = 0.2;
+    /**
+     * Short-channel device subject to DIBL. Power-gating
+     * transistors are drawn long-channel (false).
+     */
+    bool dibl = true;
+};
+
+/**
+ * Subthreshold (weak-inversion) current, amperes.
+ *
+ * I = i0 * W * exp((Vgs - Vt + eta Vds) / (n vT))
+ *        * (1 - exp(-Vds / vT))
+ *
+ * where eta is the DIBL coefficient (0 for long-channel devices).
+ *
+ * @param tech process corner
+ * @param m    the device
+ * @param vgs  gate-source voltage (V); 0 for an "off" device
+ * @param vds  drain-source voltage (V)
+ */
+double subthresholdCurrent(const Technology &tech, const Mosfet &m,
+                           double vgs, double vds);
+
+/** Off-current at Vgs = 0, Vds = Vdd — the standard Ioff figure. */
+double offCurrent(const Technology &tech, const Mosfet &m);
+
+/**
+ * Saturation drive current (amperes) via the alpha-power law:
+ * Ion = k * W * (Vgs - Vt)^alpha. Returns 0 if Vgs <= Vt.
+ */
+double onCurrent(const Technology &tech, const Mosfet &m, double vgs);
+
+/**
+ * Effective on-resistance (ohms) of the device when driven with
+ * @p vgs, linearized as Vdd / Ion. Infinite (huge) if off.
+ */
+double onResistance(const Technology &tech, const Mosfet &m, double vgs);
+
+/**
+ * Result of a two-device series leakage stack.
+ */
+struct StackResult
+{
+    /** Voltage of the internal (virtual rail) node, V. */
+    double internalNodeV = 0.0;
+    /** Leakage current through the stack, A. */
+    double current = 0.0;
+};
+
+/**
+ * Solve the series stack: @p top conducts from Vdd down to the
+ * internal node Vx, @p bottom from Vx to ground; both have their
+ * gates at ground (off). Used for an SRAM cell leaking through an
+ * off NMOS gated-Vdd device.
+ *
+ * The top device's source sits at Vx, so its Vgs = -Vx (reverse
+ * bias) and Vds = Vdd - Vx; the bottom device sees Vgs = vgsBottom
+ * (normally 0) and Vds = Vx. Binary search for current balance.
+ */
+StackResult solveSeriesStack(const Technology &tech, const Mosfet &top,
+                             const Mosfet &bottom, double vgsBottom = 0.0);
+
+} // namespace drisim::circuit
+
+#endif // DRISIM_CIRCUIT_TRANSISTOR_HH

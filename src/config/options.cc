@@ -1,0 +1,127 @@
+#include "options.hh"
+
+#include <cstdlib>
+
+#include "../util/str.hh"
+
+namespace drisim
+{
+
+namespace
+{
+
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(v.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseBool(const std::string &v, bool &out)
+{
+    if (v == "1" || v == "true" || v == "yes") {
+        out = true;
+        return true;
+    }
+    if (v == "0" || v == "false" || v == "no") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+parseOptions(int argc, const char *const *argv, Options &out,
+             std::string &error)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            error = "malformed option '" + token +
+                    "' (expected key=value)";
+            return false;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+
+        auto bad_value = [&] {
+            error = "bad value for '" + key + "': '" + value + "'";
+            return false;
+        };
+
+        std::uint64_t u = 0;
+        if (key == "instrs") {
+            if (!parseU64(value, u) || u == 0)
+                return bad_value();
+            out.run.maxInstrs = u;
+        } else if (key == "benchmark") {
+            if (value.empty())
+                return bad_value();
+            out.benchmark = value;
+        } else if (key == "l1i.size") {
+            if (!parseBytes(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l1i.sizeBytes = u;
+            out.dri.sizeBytes = u;
+        } else if (key == "l1i.assoc") {
+            if (!parseU64(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l1i.assoc = static_cast<unsigned>(u);
+            out.dri.assoc = static_cast<unsigned>(u);
+        } else if (key == "l1i.block") {
+            if (!parseBytes(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l1i.blockBytes = static_cast<unsigned>(u);
+            out.dri.blockBytes = static_cast<unsigned>(u);
+            out.run.core.fetchBlockBytes = static_cast<unsigned>(u);
+        } else if (key == "dri.size_bound") {
+            if (!parseBytes(value, u) || u == 0)
+                return bad_value();
+            out.dri.sizeBoundBytes = u;
+        } else if (key == "dri.miss_bound") {
+            if (!parseU64(value, u))
+                return bad_value();
+            out.dri.missBound = u;
+        } else if (key == "dri.interval") {
+            if (!parseU64(value, u) || u == 0)
+                return bad_value();
+            out.dri.senseInterval = u;
+        } else if (key == "dri.divisibility") {
+            if (!parseU64(value, u) || u < 2)
+                return bad_value();
+            out.dri.divisibility = static_cast<unsigned>(u);
+        } else if (key == "dri.throttle_hold") {
+            if (!parseU64(value, u))
+                return bad_value();
+            out.dri.throttleHoldIntervals =
+                static_cast<unsigned>(u);
+        } else if (key == "dri.adaptive") {
+            bool b = true;
+            if (!parseBool(value, b))
+                return bad_value();
+            out.dri.adaptive = b;
+        } else {
+            out.unknown.push_back(key);
+        }
+    }
+    error.clear();
+    return true;
+}
+
+std::string
+optionsUsage()
+{
+    return "options: instrs=N benchmark=NAME l1i.size=64K "
+           "l1i.assoc=N l1i.block=32 dri.size_bound=1K "
+           "dri.miss_bound=N dri.interval=N dri.divisibility=2 "
+           "dri.throttle_hold=N dri.adaptive=0|1";
+}
+
+} // namespace drisim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Key=value option parsing shared by the examples and bench
+ * binaries: overrides for run length, cache geometry and every DRI
+ * parameter, so experiments are scriptable without recompiling.
+ *
+ * Accepted keys (sizes take 512 / 4K / 1M suffixes):
+ *   instrs, benchmark,
+ *   l1i.size, l1i.assoc, l1i.block,
+ *   dri.size_bound, dri.miss_bound, dri.interval,
+ *   dri.divisibility, dri.throttle_hold, dri.adaptive
+ */
+
+#ifndef DRISIM_CONFIG_OPTIONS_HH
+#define DRISIM_CONFIG_OPTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "../core/dri_params.hh"
+#include "../harness/runner.hh"
+
+namespace drisim
+{
+
+/** Parsed command-line experiment options. */
+struct Options
+{
+    RunConfig run;
+    DriParams dri;
+    std::string benchmark = "compress";
+
+    /** Keys that were not recognized (caller decides severity). */
+    std::vector<std::string> unknown;
+};
+
+/**
+ * Parse argv-style "key=value" tokens into Options.
+ * Returns false (and fills @p error) on a malformed token or value;
+ * unknown keys are collected, not fatal.
+ */
+bool parseOptions(int argc, const char *const *argv, Options &out,
+                  std::string &error);
+
+/** One-line usage text listing the accepted keys. */
+std::string optionsUsage();
+
+} // namespace drisim
+
+#endif // DRISIM_CONFIG_OPTIONS_HH

@@ -1,0 +1,75 @@
+#include "size_mask.hh"
+
+#include "../util/bitops.hh"
+#include "../util/logging.hh"
+
+namespace drisim
+{
+
+SizeMask::SizeMask(unsigned offsetBits, unsigned minIndexBits,
+                   unsigned maxIndexBits)
+    : offsetBits_(offsetBits),
+      minIndexBits_(minIndexBits),
+      maxIndexBits_(maxIndexBits),
+      indexBits_(maxIndexBits)
+{
+    drisim_assert(minIndexBits <= maxIndexBits,
+                  "size-bound larger than the cache");
+    drisim_assert(maxIndexBits < 58, "index width out of range");
+}
+
+bool
+SizeMask::shrink(unsigned factor)
+{
+    drisim_assert(isPowerOf2(factor) && factor >= 2,
+                  "divisibility must be a power of two >= 2");
+    if (atMinimum())
+        return false;
+    unsigned step = exactLog2(factor);
+    unsigned target = indexBits_ > minIndexBits_ + step
+                          ? indexBits_ - step
+                          : minIndexBits_;
+    indexBits_ = target;
+    return true;
+}
+
+bool
+SizeMask::grow(unsigned factor)
+{
+    drisim_assert(isPowerOf2(factor) && factor >= 2,
+                  "divisibility must be a power of two >= 2");
+    if (atMaximum())
+        return false;
+    unsigned step = exactLog2(factor);
+    unsigned target = indexBits_ + step < maxIndexBits_
+                          ? indexBits_ + step
+                          : maxIndexBits_;
+    indexBits_ = target;
+    return true;
+}
+
+void
+SizeMask::setNumSets(std::uint64_t sets)
+{
+    drisim_assert(isPowerOf2(sets), "set count must be a power of two");
+    unsigned bits = exactLog2(sets);
+    drisim_assert(bits >= minIndexBits_ && bits <= maxIndexBits_,
+                  "set count outside the resizing range");
+    indexBits_ = bits;
+}
+
+SizeMask
+makeSizeMask(const DriParams &params)
+{
+    params.validate();
+    const unsigned offset_bits = exactLog2(params.blockBytes);
+    const std::uint64_t set_bytes =
+        static_cast<std::uint64_t>(params.blockBytes) * params.assoc;
+    const unsigned max_bits =
+        exactLog2(params.sizeBytes / set_bytes);
+    const unsigned min_bits =
+        exactLog2(params.sizeBoundBytes / set_bytes);
+    return SizeMask(offset_bits, min_bits, max_bits);
+}
+
+} // namespace drisim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The DRI i-cache size mask (Figure 1).
+ *
+ * A conventional cache uses a fixed group of index bits; the DRI
+ * i-cache ANDs the index with a resizable mask. Downsizing shifts
+ * the mask right (fewer index bits, removing the highest-numbered
+ * sets in power-of-two groups); upsizing shifts it left.
+ */
+
+#ifndef DRISIM_CORE_SIZE_MASK_HH
+#define DRISIM_CORE_SIZE_MASK_HH
+
+#include <cstdint>
+
+#include "../util/types.hh"
+#include "dri_params.hh"
+
+namespace drisim
+{
+
+/** Index-mask logic for one DRI i-cache. */
+class SizeMask
+{
+  public:
+    /**
+     * @param offsetBits   log2(block size)
+     * @param minIndexBits index bits at the size-bound
+     * @param maxIndexBits index bits at full size
+     * Starts at full size.
+     */
+    SizeMask(unsigned offsetBits, unsigned minIndexBits,
+             unsigned maxIndexBits);
+
+    unsigned offsetBits() const { return offsetBits_; }
+    unsigned minIndexBits() const { return minIndexBits_; }
+    unsigned maxIndexBits() const { return maxIndexBits_; }
+    unsigned indexBits() const { return indexBits_; }
+
+    /** Current number of selectable sets. */
+    std::uint64_t numSets() const
+    {
+        return std::uint64_t{1} << indexBits_;
+    }
+
+    std::uint64_t minSets() const
+    {
+        return std::uint64_t{1} << minIndexBits_;
+    }
+
+    std::uint64_t maxSets() const
+    {
+        return std::uint64_t{1} << maxIndexBits_;
+    }
+
+    /** The raw mask applied to the block address. */
+    std::uint64_t mask() const { return numSets() - 1; }
+
+    /** Set index for @p addr at the current size. */
+    std::uint64_t indexFor(Addr addr) const
+    {
+        return (addr >> offsetBits_) & mask();
+    }
+
+    /** Set index for @p addr at the minimum size (alias scanning). */
+    std::uint64_t minIndexFor(Addr addr) const
+    {
+        return (addr >> offsetBits_) & (minSets() - 1);
+    }
+
+    /**
+     * Shrink by @p factor (power of two), clamped at the minimum.
+     * @return true if the size changed
+     */
+    bool shrink(unsigned factor);
+
+    /** Grow by @p factor (power of two), clamped at the maximum. */
+    bool grow(unsigned factor);
+
+    /** Jump to an absolute set count (power of two, in range). */
+    void setNumSets(std::uint64_t sets);
+
+    bool atMinimum() const { return indexBits_ == minIndexBits_; }
+    bool atMaximum() const { return indexBits_ == maxIndexBits_; }
+
+  private:
+    unsigned offsetBits_;
+    unsigned minIndexBits_;
+    unsigned maxIndexBits_;
+    unsigned indexBits_;
+};
+
+/**
+ * Build the mask implied by a (validated) DRI parameter set:
+ * offset bits from the block size, index range from size-bound and
+ * full size divided by the set footprint.
+ */
+SizeMask makeSizeMask(const DriParams &params);
+
+} // namespace drisim
+
+#endif // DRISIM_CORE_SIZE_MASK_HH

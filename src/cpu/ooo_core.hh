@@ -1,0 +1,205 @@
+/**
+ * @file
+ * A compact cycle-stepped out-of-order core with the Table 1
+ * configuration: 8-wide fetch/issue/commit, 128-entry reorder
+ * buffer, 128-entry load/store queue, hybrid 2-level branch
+ * predictor, 1 GHz.
+ *
+ * Trace-driven timing model. The instruction stream carries the
+ * executed path; on a mispredicted control instruction, fetch stalls
+ * until the branch resolves plus a redirect penalty (wrong-path
+ * fetch is modeled as lost fetch bandwidth, not as cache pollution —
+ * the standard trace-driven approximation). I-cache misses stall
+ * fetch for the full fill latency; loads access the d-cache at
+ * issue; stores write at commit.
+ */
+
+#ifndef DRISIM_CPU_OOO_CORE_HH
+#define DRISIM_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "../core/dri_icache.hh"
+#include "../mem/memory.hh"
+#include "../stats/stats.hh"
+#include "branch_pred.hh"
+#include "isa.hh"
+
+namespace drisim
+{
+
+/** Pipeline configuration (Table 1 defaults). */
+struct OooParams
+{
+    unsigned fetchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned robSize = 128;
+    unsigned lsqSize = 128;
+    unsigned fetchQueueSize = 32;
+    /** Cycles to restart fetch after a branch resolves wrong. */
+    Cycles redirectPenalty = 3;
+    /** Fetch-group block granularity (i-cache line size). */
+    unsigned fetchBlockBytes = 32;
+    /** Per-class issue ports. */
+    unsigned memPorts = 2;
+    unsigned fpPorts = 4;
+    unsigned mulPorts = 2;
+    BranchPredParams bpred{};
+
+    /** Execution latencies per op class (cycles). */
+    static Cycles execLatency(OpClass op);
+};
+
+/** Results of one simulation run. */
+struct CoreStats
+{
+    Cycles cycles = 0;
+    InstCount instructions = 0;
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/** The out-of-order core. */
+class OooCore
+{
+  public:
+    /**
+     * @param params pipeline shape
+     * @param icache L1 instruction cache (conventional or DRI)
+     * @param dcache L1 data cache
+     * @param parent stats parent
+     */
+    OooCore(const OooParams &params, MemoryLevel *icache,
+            MemoryLevel *dcache, stats::StatGroup *parent);
+
+    /**
+     * Attach a DRI i-cache for retirement notifications and active-
+     * size integration (pass nullptr for conventional runs).
+     */
+    void setDri(DriICache *dri) { dri_ = dri; }
+
+    /**
+     * Run until @p stream ends or @p maxInstrs commit.
+     * @return cycles and instructions executed
+     */
+    CoreStats run(InstrStream &stream, InstCount maxInstrs);
+
+    BranchPredictor &predictor() { return bpred_; }
+
+    Cycles cycles() const { return now_; }
+    InstCount committed() const { return committedInstrs_.value(); }
+    std::uint64_t icacheStallCycles() const
+    {
+        return icacheStallCycles_.value();
+    }
+    std::uint64_t branchStallCycles() const
+    {
+        return branchStallCycles_.value();
+    }
+
+  private:
+    /** An in-flight instruction (ROB entry). */
+    struct RobEntry
+    {
+        Instr instr;
+        BranchPrediction pred;
+        bool predMade = false;
+        bool mispredict = false;
+        /** -1 when free of that dependency. */
+        std::int64_t prod1 = -1;
+        std::int64_t prod2 = -1;
+        /** Older store this load must wait for / forward from. */
+        std::int64_t depStore = -1;
+        bool issued = false;
+        Cycles completeAt = 0;
+    };
+
+    /** A fetched, not yet dispatched instruction. */
+    struct FetchedInstr
+    {
+        Instr instr;
+        BranchPrediction pred;
+        bool predMade = false;
+        bool mispredict = false;
+    };
+
+    RobEntry &rob(std::int64_t seq)
+    {
+        return robBuf_[static_cast<size_t>(seq) % robBuf_.size()];
+    }
+
+    bool producerDone(std::int64_t seq) const;
+    bool entryReady(const RobEntry &e) const;
+
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch(InstrStream &stream);
+    Cycles nextEventCycle() const;
+
+    OooParams params_;
+    MemoryLevel *icache_;
+    MemoryLevel *dcache_;
+    DriICache *dri_ = nullptr;
+    BranchPredictor bpred_;
+
+    Cycles now_ = 0;
+
+    /** ROB ring buffer: valid seqs are [seqHead_, seqTail_). */
+    std::vector<RobEntry> robBuf_;
+    std::int64_t seqHead_ = 0;
+    std::int64_t seqTail_ = 0;
+
+    std::vector<FetchedInstr> fetchQueue_;
+    size_t fetchQueueHead_ = 0;
+
+    /** Rename table: last in-flight writer per register. */
+    std::int64_t lastWriter_[64];
+
+    unsigned lsqOccupancy_ = 0;
+
+    /** In-flight store seqs (store-to-load forwarding search). */
+    std::deque<std::int64_t> storeSeqs_;
+
+    /** Fetch state. */
+    bool streamDone_ = false;
+    Cycles fetchResumeAt_ = 0;
+    bool haltedForBranch_ = false;
+    std::int64_t stallBranchSeq_ = -1; ///< unresolved mispredict
+    Cycles branchStallFrom_ = 0;
+    Addr lastFetchBlock_ = kInvalidAddr;
+    bool fetchStallIsIcache_ = false;
+    unsigned fetchBlockBytes_ = 32;
+
+    bool instrPending_ = false;
+    Instr pendingInstr_{};
+
+    /** Remaining instructions this run may commit (exact stop). */
+    InstCount commitBudget_ = 0;
+
+    /** Per-cycle work counters (idle-skip detection). */
+    unsigned commitsThisCycle_ = 0;
+    unsigned issuesThisCycle_ = 0;
+    unsigned dispatchesThisCycle_ = 0;
+    unsigned fetchesThisCycle_ = 0;
+
+    stats::StatGroup group_;
+    stats::Scalar committedInstrs_;
+    stats::Scalar simCycles_;
+    stats::Scalar icacheStallCycles_;
+    stats::Scalar branchStallCycles_;
+    stats::Scalar robFullStalls_;
+    stats::Scalar loadForwards_;
+    stats::Scalar mispredicts_;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_CPU_OOO_CORE_HH

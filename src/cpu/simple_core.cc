@@ -1,0 +1,65 @@
+#include "simple_core.hh"
+
+#include <cmath>
+
+#include "../util/logging.hh"
+
+namespace drisim
+{
+
+SimpleCore::SimpleCore(const SimpleCoreParams &params,
+                       MemoryLevel *icache)
+    : params_(params), icache_(icache)
+{
+    drisim_assert(params.baseCpi > 0.0, "base CPI must be positive");
+}
+
+CoreStats
+SimpleCore::run(InstrStream &stream, InstCount maxInstrs)
+{
+    InstCount instrs = 0;
+    Addr last_block = kInvalidAddr;
+    const Cycles hit_latency = 1;
+    InstCount retire_batch = 0;
+    double active_cycles = 0.0; // integrated as estimated cycles
+
+    Instr instr;
+    while (instrs < maxInstrs && stream.next(instr)) {
+        const Addr block = instr.pc / params_.fetchBlockBytes;
+        if (block != last_block) {
+            AccessResult r =
+                icache_->access(instr.pc, AccessType::InstFetch);
+            if (!r.hit)
+                missStall_ += r.latency - hit_latency;
+            last_block = block;
+        }
+        if (isControl(instr.op) && instr.taken)
+            last_block = kInvalidAddr;
+
+        ++instrs;
+        ++retire_batch;
+        if (retire_batch == 64) {
+            if (dri_) {
+                dri_->retireInstructions(retire_batch);
+                // Approximate cycle integration at base CPI.
+                const double step =
+                    params_.baseCpi * static_cast<double>(retire_batch);
+                active_cycles += step;
+                dri_->integrateCycles(
+                    static_cast<Cycles>(std::llround(step)));
+            }
+            retire_batch = 0;
+        }
+    }
+    if (dri_ && retire_batch > 0)
+        dri_->retireInstructions(retire_batch);
+
+    CoreStats s;
+    s.instructions = instrs;
+    s.cycles = static_cast<Cycles>(std::llround(
+        params_.baseCpi * static_cast<double>(instrs) +
+        params_.missOverlap * static_cast<double>(missStall_)));
+    return s;
+}
+
+} // namespace drisim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fast fetch-driven timing estimator.
+ *
+ * The paper's methodology searches the (miss-bound, size-bound)
+ * space per benchmark for the best energy-delay (Section 5.3). The
+ * full out-of-order model is too slow to sweep; this model runs the
+ * same instruction stream through the real i-cache (conventional or
+ * DRI, including all resizing behaviour) but estimates time as
+ *
+ *     cycles = baseCpi * instructions + overlap * missStallCycles
+ *
+ * where baseCpi is calibrated per benchmark from one detailed
+ * conventional run, and overlap accounts for the out-of-order
+ * back-end hiding part of the fetch stall. Cache *behaviour* is
+ * exact; only time is approximated. Winning configurations are
+ * re-run on the detailed model for reporting.
+ */
+
+#ifndef DRISIM_CPU_SIMPLE_CORE_HH
+#define DRISIM_CPU_SIMPLE_CORE_HH
+
+#include "../core/dri_icache.hh"
+#include "../mem/memory.hh"
+#include "isa.hh"
+#include "ooo_core.hh"
+
+namespace drisim
+{
+
+/** Fast-model configuration. */
+struct SimpleCoreParams
+{
+    /** Base CPI with no extra i-cache stalls (calibrated). */
+    double baseCpi = 0.5;
+    /** Fraction of each fetch-miss stall that reaches total time. */
+    double missOverlap = 0.85;
+    /** Fetch-group block size (i-cache line). */
+    unsigned fetchBlockBytes = 32;
+};
+
+/** Fetch-only fast model. */
+class SimpleCore
+{
+  public:
+    SimpleCore(const SimpleCoreParams &params, MemoryLevel *icache);
+
+    /** Attach a DRI i-cache for retire/integration callbacks. */
+    void setDri(DriICache *dri) { dri_ = dri; }
+
+    /** Run the stream; returns estimated cycles and instructions. */
+    CoreStats run(InstrStream &stream, InstCount maxInstrs);
+
+    /** Total fetch-miss stall cycles observed (pre-overlap). */
+    Cycles missStallCycles() const { return missStall_; }
+
+  private:
+    SimpleCoreParams params_;
+    MemoryLevel *icache_;
+    DriICache *dri_ = nullptr;
+    Cycles missStall_ = 0;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_CPU_SIMPLE_CORE_HH

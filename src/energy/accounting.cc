@@ -1,0 +1,61 @@
+#include "accounting.hh"
+
+namespace drisim
+{
+
+double
+ComparisonResult::relativeEnergyDelay() const
+{
+    const double conv_ed =
+        conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.energyDelay(driRun.cycles) / conv_ed;
+}
+
+double
+ComparisonResult::relativeEdLeakage() const
+{
+    const double conv_ed =
+        conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.l1LeakageNJ * static_cast<double>(driRun.cycles) /
+           conv_ed;
+}
+
+double
+ComparisonResult::relativeEdDynamic() const
+{
+    const double conv_ed =
+        conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return (dri.extraL1DynamicNJ + dri.extraL2DynamicNJ) *
+           static_cast<double>(driRun.cycles) / conv_ed;
+}
+
+double
+ComparisonResult::slowdownPercent() const
+{
+    if (convRun.cycles == 0)
+        return 0.0;
+    return 100.0 *
+           (static_cast<double>(driRun.cycles) /
+                static_cast<double>(convRun.cycles) -
+            1.0);
+}
+
+ComparisonResult
+compareRuns(const EnergyConstants &constants, const RunMeasurement &conv,
+            const RunMeasurement &dri)
+{
+    ComparisonResult r;
+    r.convRun = conv;
+    r.driRun = dri;
+    r.conventional = conventionalEnergy(constants, conv);
+    r.dri = driEnergy(constants, dri, conv);
+    return r;
+}
+
+} // namespace drisim

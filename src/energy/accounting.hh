@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Paired-run comparison: normalized energy-delay, slowdown, average
+ * size — the quantities Figures 3-6 plot.
+ */
+
+#ifndef DRISIM_ENERGY_ACCOUNTING_HH
+#define DRISIM_ENERGY_ACCOUNTING_HH
+
+#include "energy_model.hh"
+
+namespace drisim
+{
+
+/** Everything Figure 3 reports for one benchmark/config pair. */
+struct ComparisonResult
+{
+    EnergyBreakdown dri;
+    EnergyBreakdown conventional;
+    RunMeasurement driRun;
+    RunMeasurement convRun;
+
+    /** DRI energy-delay / conventional energy-delay. */
+    double relativeEnergyDelay() const;
+
+    /** Leakage-only component of the relative energy-delay bar. */
+    double relativeEdLeakage() const;
+
+    /** Extra (L1+L2) dynamic component of the bar. */
+    double relativeEdDynamic() const;
+
+    /** Execution-time increase, percent (positive = slower). */
+    double slowdownPercent() const;
+
+    /** Average powered size as a fraction of the base size. */
+    double averageSizeFraction() const
+    {
+        return driRun.avgActiveFraction;
+    }
+
+    /** Absolute L1I miss-rate increase (DRI - conventional). */
+    double extraMissRate() const
+    {
+        return driRun.missRate() - convRun.missRate();
+    }
+};
+
+/** Build the comparison for a paired (conventional, DRI) run. */
+ComparisonResult compareRuns(const EnergyConstants &constants,
+                             const RunMeasurement &conv,
+                             const RunMeasurement &dri);
+
+} // namespace drisim
+
+#endif // DRISIM_ENERGY_ACCOUNTING_HH

@@ -1,0 +1,59 @@
+#include "energy_model.hh"
+
+#include <algorithm>
+
+namespace drisim
+{
+
+EnergyConstants
+EnergyConstants::paper()
+{
+    return EnergyConstants{};
+}
+
+EnergyConstants
+EnergyConstants::derived(const circuit::Technology &tech,
+                         const circuit::CacheGeometry &l1,
+                         const circuit::CacheGeometry &l2)
+{
+    const circuit::CacheEnergyModel l1m(tech, l1);
+    const circuit::CacheEnergyModel l2m(tech, l2);
+    EnergyConstants c;
+    c.l1BaseBytes = l1.sizeBytes;
+    c.l1LeakPerCycleNJ = l1m.fullLeakagePerCycleNJ();
+    c.bitlinePerAccessNJ = l1m.bitlineEnergyNJ();
+    c.l2PerAccessNJ = l2m.accessEnergyNJ();
+    return c;
+}
+
+EnergyBreakdown
+driEnergy(const EnergyConstants &constants, const RunMeasurement &dri,
+          const RunMeasurement &conventional)
+{
+    EnergyBreakdown e;
+    e.l1LeakageNJ = dri.avgActiveFraction *
+                    constants.leakPerCycleNJ(dri.l1iBytes) *
+                    static_cast<double>(dri.cycles);
+    e.extraL1DynamicNJ = static_cast<double>(dri.resizingTagBits) *
+                         constants.bitlinePerAccessNJ *
+                         static_cast<double>(dri.l1iAccesses);
+    const std::uint64_t extra_l2 =
+        dri.l1iMisses > conventional.l1iMisses
+            ? dri.l1iMisses - conventional.l1iMisses
+            : 0;
+    e.extraL2DynamicNJ =
+        constants.l2PerAccessNJ * static_cast<double>(extra_l2);
+    return e;
+}
+
+EnergyBreakdown
+conventionalEnergy(const EnergyConstants &constants,
+                   const RunMeasurement &conventional)
+{
+    EnergyBreakdown e;
+    e.l1LeakageNJ = constants.leakPerCycleNJ(conventional.l1iBytes) *
+                    static_cast<double>(conventional.cycles);
+    return e;
+}
+
+} // namespace drisim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The paper's energy accounting (Section 5.2):
+ *
+ *   energy savings   = conventional leakage - effective DRI leakage
+ *   effective DRI    = L1 leakage + extra L1 dynamic + extra L2 dynamic
+ *   L1 leakage       = active fraction x convLeak/cycle x cycles
+ *                      (standby term ~ 0 with gated-Vdd)
+ *   extra L1 dynamic = resizing bits x bitline energy x L1 accesses
+ *   extra L2 dynamic = L2 energy/access x extra L2 accesses
+ *
+ * The three constants can be taken from the paper (0.91 nJ, 0.0022
+ * nJ, 3.6 nJ) or derived from the circuit substrate; both are
+ * provided and tested against each other.
+ */
+
+#ifndef DRISIM_ENERGY_ENERGY_MODEL_HH
+#define DRISIM_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "../circuit/cache_energy.hh"
+#include "../util/types.hh"
+
+namespace drisim
+{
+
+/** The three Section 5.2 constants plus the geometry they assume. */
+struct EnergyConstants
+{
+    /** Full-size L1 leakage per cycle (nJ) at the base size. */
+    double l1LeakPerCycleNJ = 0.91;
+    /** Base L1 size the leakage figure refers to (bytes). */
+    std::uint64_t l1BaseBytes = 64 * 1024;
+    /** Dynamic energy of one resizing-tag bitline per access (nJ). */
+    double bitlinePerAccessNJ = 0.0022;
+    /** Dynamic energy per L2 access (nJ). */
+    double l2PerAccessNJ = 3.6;
+
+    /** Leakage per cycle for an L1 of @p bytes (scales linearly). */
+    double leakPerCycleNJ(std::uint64_t bytes) const
+    {
+        return l1LeakPerCycleNJ * static_cast<double>(bytes) /
+               static_cast<double>(l1BaseBytes);
+    }
+
+    /** The constants exactly as published. */
+    static EnergyConstants paper();
+
+    /** The constants derived from the circuit substrate. */
+    static EnergyConstants
+    derived(const circuit::Technology &tech,
+            const circuit::CacheGeometry &l1,
+            const circuit::CacheGeometry &l2);
+};
+
+/** Raw measurements from one simulation run. */
+struct RunMeasurement
+{
+    Cycles cycles = 0;
+    InstCount instructions = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    /** Time-averaged powered fraction of the L1I (1.0 = fixed). */
+    double avgActiveFraction = 1.0;
+    /** Resizing tag bits in use (0 for a conventional cache). */
+    unsigned resizingTagBits = 0;
+    /** L1I capacity in bytes (base size). */
+    std::uint64_t l1iBytes = 64 * 1024;
+
+    double missRate() const
+    {
+        return l1iAccesses == 0
+                   ? 0.0
+                   : static_cast<double>(l1iMisses) /
+                         static_cast<double>(l1iAccesses);
+    }
+};
+
+/** Energy decomposition of a DRI (or conventional) run. */
+struct EnergyBreakdown
+{
+    double l1LeakageNJ = 0.0;
+    double extraL1DynamicNJ = 0.0;
+    double extraL2DynamicNJ = 0.0;
+
+    double effectiveNJ() const
+    {
+        return l1LeakageNJ + extraL1DynamicNJ + extraL2DynamicNJ;
+    }
+
+    /** Energy-delay product in nJ x cycles. */
+    double energyDelay(Cycles cycles) const
+    {
+        return effectiveNJ() * static_cast<double>(cycles);
+    }
+};
+
+/**
+ * Effective leakage energy of a DRI run paired against its
+ * conventional baseline (extra L2 accesses = DRI misses above the
+ * conventional cache's misses, clamped at zero).
+ */
+EnergyBreakdown driEnergy(const EnergyConstants &constants,
+                          const RunMeasurement &dri,
+                          const RunMeasurement &conventional);
+
+/** Leakage energy of the conventional baseline run. */
+EnergyBreakdown conventionalEnergy(const EnergyConstants &constants,
+                                   const RunMeasurement &conventional);
+
+} // namespace drisim
+
+#endif // DRISIM_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,201 @@
+#include "runner.hh"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "../core/dri_icache.hh"
+#include "../cpu/simple_core.hh"
+#include "../util/logging.hh"
+#include "../workload/generator.hh"
+
+namespace drisim
+{
+
+namespace
+{
+
+/** Program images are deterministic; build each benchmark once. */
+const ProgramImage &
+imageFor(const BenchmarkInfo &bench)
+{
+    static std::map<std::string, std::unique_ptr<ProgramImage>> cache;
+    static std::mutex mtx;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = cache.find(bench.name);
+    if (it == cache.end()) {
+        auto img = std::make_unique<ProgramImage>(
+            buildProgram(bench.spec));
+        it = cache.emplace(bench.name, std::move(img)).first;
+    }
+    return *it->second;
+}
+
+RunMeasurement
+measurementFromCounts(Cycles cycles, InstCount instrs,
+                      std::uint64_t accesses, std::uint64_t misses,
+                      double activeFraction, unsigned resizingBits,
+                      std::uint64_t l1iBytes)
+{
+    RunMeasurement m;
+    m.cycles = cycles;
+    m.instructions = instrs;
+    m.l1iAccesses = accesses;
+    m.l1iMisses = misses;
+    m.avgActiveFraction = activeFraction;
+    m.resizingTagBits = resizingBits;
+    m.l1iBytes = l1iBytes;
+    return m;
+}
+
+} // namespace
+
+InstCount
+defaultRunInstrs()
+{
+    const char *scale = std::getenv("DRISIM_SCALE");
+    double mult = 1.0;
+    if (scale && *scale) {
+        mult = std::atof(scale);
+        if (mult <= 0.0)
+            mult = 1.0;
+    }
+    return static_cast<InstCount>(10.0e6 * mult);
+}
+
+RunOutput
+runConventional(const BenchmarkInfo &bench, const RunConfig &config)
+{
+    stats::StatGroup root("sim");
+    Hierarchy hier(config.hier, &root, true);
+    OooCore core(config.core, hier.l1i(), &hier.l1d(), &root);
+
+    TraceGenerator gen(imageFor(bench));
+    CoreStats cs = core.run(gen, config.maxInstrs);
+
+    RunOutput out;
+    Cache *l1i = hier.convL1i();
+    out.meas = measurementFromCounts(
+        cs.cycles, cs.instructions, l1i->accesses(), l1i->misses(),
+        1.0, 0, config.hier.l1i.sizeBytes);
+    out.ipc = cs.ipc();
+    out.l1dMissRate = hier.l1d().missRate();
+    out.l2MissRate = hier.l2().missRate();
+    out.l2Accesses = hier.l2().accesses();
+    return out;
+}
+
+RunOutput
+runDri(const BenchmarkInfo &bench, const RunConfig &config,
+       const DriParams &dri)
+{
+    stats::StatGroup root("sim");
+    Hierarchy hier(config.hier, &root, false);
+    DriICache icache(dri, &hier.l2(), &root);
+    hier.setL1I(&icache);
+    OooCore core(config.core, &icache, &hier.l1d(), &root);
+    core.setDri(&icache);
+
+    TraceGenerator gen(imageFor(bench));
+    CoreStats cs = core.run(gen, config.maxInstrs);
+
+    RunOutput out;
+    out.meas = measurementFromCounts(
+        cs.cycles, cs.instructions, icache.accesses(), icache.misses(),
+        icache.averageActiveFraction(), dri.resizingTagBits(),
+        dri.sizeBytes);
+    out.ipc = cs.ipc();
+    out.l1dMissRate = hier.l1d().missRate();
+    out.l2MissRate = hier.l2().missRate();
+    out.l2Accesses = hier.l2().accesses();
+    out.resizes = icache.upsizes() + icache.downsizes();
+    out.throttleEvents = icache.controller().throttleEvents();
+    return out;
+}
+
+FastCalibration
+calibrateFast(const BenchmarkInfo &bench, const RunConfig &config,
+              const RunOutput &convDetailed)
+{
+    FastCalibration cal;
+    // Measure the conventional fetch-miss stall with the fast model
+    // (independent of CPI), then solve baseCpi so the fast model
+    // reproduces the detailed conventional cycle count.
+    stats::StatGroup root("cal");
+    Hierarchy hier(config.hier, &root, true);
+    SimpleCoreParams scp;
+    scp.baseCpi = 1.0; // irrelevant to stall measurement
+    scp.fetchBlockBytes = config.hier.l1i.blockBytes;
+    SimpleCore fast(scp, hier.l1i());
+    TraceGenerator gen(imageFor(bench));
+    fast.run(gen, config.maxInstrs);
+    const double stall =
+        static_cast<double>(fast.missStallCycles());
+
+    const double instrs =
+        static_cast<double>(convDetailed.meas.instructions);
+    const double cycles =
+        static_cast<double>(convDetailed.meas.cycles);
+    drisim_assert(instrs > 0, "calibration needs a non-empty run");
+    double base = (cycles - cal.missOverlap * stall) / instrs;
+    if (base < 0.125)
+        base = 0.125; // cannot beat the 8-wide ideal
+    cal.baseCpi = base;
+    return cal;
+}
+
+RunOutput
+runConventionalFast(const BenchmarkInfo &bench, const RunConfig &config,
+                    const FastCalibration &cal)
+{
+    stats::StatGroup root("fast");
+    Hierarchy hier(config.hier, &root, true);
+    SimpleCoreParams scp;
+    scp.baseCpi = cal.baseCpi;
+    scp.missOverlap = cal.missOverlap;
+    scp.fetchBlockBytes = config.hier.l1i.blockBytes;
+    SimpleCore fast(scp, hier.l1i());
+    TraceGenerator gen(imageFor(bench));
+    CoreStats cs = fast.run(gen, config.maxInstrs);
+
+    RunOutput out;
+    Cache *l1i = hier.convL1i();
+    out.meas = measurementFromCounts(
+        cs.cycles, cs.instructions, l1i->accesses(), l1i->misses(),
+        1.0, 0, config.hier.l1i.sizeBytes);
+    out.ipc = cs.ipc();
+    out.l2Accesses = hier.l2().accesses();
+    return out;
+}
+
+RunOutput
+runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
+           const DriParams &dri, const FastCalibration &cal)
+{
+    stats::StatGroup root("fast");
+    Hierarchy hier(config.hier, &root, false);
+    DriICache icache(dri, &hier.l2(), &root);
+    hier.setL1I(&icache);
+    SimpleCoreParams scp;
+    scp.baseCpi = cal.baseCpi;
+    scp.missOverlap = cal.missOverlap;
+    scp.fetchBlockBytes = dri.blockBytes;
+    SimpleCore fast(scp, &icache);
+    fast.setDri(&icache);
+    TraceGenerator gen(imageFor(bench));
+    CoreStats cs = fast.run(gen, config.maxInstrs);
+
+    RunOutput out;
+    out.meas = measurementFromCounts(
+        cs.cycles, cs.instructions, icache.accesses(), icache.misses(),
+        icache.averageActiveFraction(), dri.resizingTagBits(),
+        dri.sizeBytes);
+    out.ipc = cs.ipc();
+    out.l2Accesses = hier.l2().accesses();
+    out.resizes = icache.upsizes() + icache.downsizes();
+    out.throttleEvents = icache.controller().throttleEvents();
+    return out;
+}
+
+} // namespace drisim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Run orchestration: builds a benchmark's program image, wires the
+ * hierarchy and core, runs, and extracts RunMeasurements. Supports
+ * the detailed out-of-order model and the fast fetch-driven model
+ * (used only for parameter search; see SimpleCore).
+ */
+
+#ifndef DRISIM_HARNESS_RUNNER_HH
+#define DRISIM_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "../core/dri_params.hh"
+#include "../cpu/ooo_core.hh"
+#include "../energy/energy_model.hh"
+#include "../mem/hierarchy.hh"
+#include "../workload/spec_suite.hh"
+
+namespace drisim
+{
+
+/** Common knobs for one simulation run. */
+struct RunConfig
+{
+    /** Cache geometries (Table 1 defaults). */
+    HierarchyParams hier{};
+    /** Core shape (Table 1 defaults). */
+    OooParams core{};
+    /** Instructions to simulate. */
+    InstCount maxInstrs = 10 * 1000 * 1000;
+};
+
+/** What one run produced. */
+struct RunOutput
+{
+    RunMeasurement meas;
+    double ipc = 0.0;
+    double l1dMissRate = 0.0;
+    double l2MissRate = 0.0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t resizes = 0;
+    std::uint64_t throttleEvents = 0;
+};
+
+/**
+ * Default run length honouring the DRISIM_SCALE environment
+ * variable (a multiplier on 10 M instructions; see DESIGN.md,
+ * Scaling methodology).
+ */
+InstCount defaultRunInstrs();
+
+/** Detailed run with a conventional L1 i-cache. */
+RunOutput runConventional(const BenchmarkInfo &bench,
+                          const RunConfig &config);
+
+/** Detailed run with a DRI L1 i-cache. */
+RunOutput runDri(const BenchmarkInfo &bench, const RunConfig &config,
+                 const DriParams &dri);
+
+/** Fast-model calibration from a detailed conventional run. */
+struct FastCalibration
+{
+    /** Base CPI once i-cache stalls are removed. */
+    double baseCpi = 0.5;
+    /** Stall-to-time transfer fraction. */
+    double missOverlap = 0.85;
+};
+
+/**
+ * Derive the fast-model calibration for a benchmark from its
+ * detailed conventional run (see SimpleCore docs).
+ */
+FastCalibration calibrateFast(const BenchmarkInfo &bench,
+                              const RunConfig &config,
+                              const RunOutput &convDetailed);
+
+/** Fast conventional run (search baseline). */
+RunOutput runConventionalFast(const BenchmarkInfo &bench,
+                              const RunConfig &config,
+                              const FastCalibration &cal);
+
+/** Fast DRI run (search candidate). */
+RunOutput runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
+                     const DriParams &dri, const FastCalibration &cal);
+
+} // namespace drisim
+
+#endif // DRISIM_HARNESS_RUNNER_HH

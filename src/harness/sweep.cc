@@ -1,0 +1,103 @@
+#include "sweep.hh"
+
+#include <algorithm>
+
+#include "../util/logging.hh"
+
+namespace drisim
+{
+
+ComparisonResult
+evaluateDetailed(const BenchmarkInfo &bench, const RunConfig &config,
+                 const DriParams &dri, const EnergyConstants &constants,
+                 const RunOutput &convDetailed)
+{
+    RunOutput d = runDri(bench, config, dri);
+    return compareRuns(constants, convDetailed.meas, d.meas);
+}
+
+SearchResult
+searchBestEnergyDelay(const BenchmarkInfo &bench, const RunConfig &config,
+                      const DriParams &driTemplate,
+                      const SearchSpace &space,
+                      const EnergyConstants &constants,
+                      double maxSlowdownPct,
+                      const RunOutput &convDetailed)
+{
+    SearchResult result;
+    result.convDetailed = convDetailed;
+
+    const FastCalibration cal =
+        calibrateFast(bench, config, convDetailed);
+    const RunOutput conv_fast = runConventionalFast(bench, config, cal);
+
+    // Conventional misses per sense interval, for miss-bound scaling.
+    const double intervals =
+        static_cast<double>(config.maxInstrs) /
+        static_cast<double>(driTemplate.senseInterval);
+    const double conv_misses_per_interval =
+        intervals > 0.0
+            ? static_cast<double>(conv_fast.meas.l1iMisses) / intervals
+            : 0.0;
+
+    bool have_best = false;
+    double best_ed = 0.0;
+    DriParams best_params = driTemplate;
+
+    for (std::uint64_t size_bound : space.sizeBounds) {
+        if (size_bound > driTemplate.sizeBytes)
+            continue;
+        if (size_bound < static_cast<std::uint64_t>(
+                             driTemplate.blockBytes) *
+                             driTemplate.assoc)
+            continue;
+        for (double factor : space.missBoundFactors) {
+            DriParams p = driTemplate;
+            p.sizeBoundBytes = size_bound;
+            p.missBound = std::max<std::uint64_t>(
+                space.missBoundFloor,
+                static_cast<std::uint64_t>(
+                    factor * conv_misses_per_interval));
+
+            RunOutput d = runDriFast(bench, config, p, cal);
+            SearchCandidate cand;
+            cand.dri = p;
+            cand.cmp =
+                compareRuns(constants, conv_fast.meas, d.meas);
+            cand.feasible =
+                maxSlowdownPct <= 0.0 ||
+                cand.cmp.slowdownPercent() <= maxSlowdownPct;
+            result.evaluated.push_back(cand);
+
+            if (!cand.feasible)
+                continue;
+            const double ed = cand.cmp.relativeEnergyDelay();
+            if (!have_best || ed < best_ed) {
+                have_best = true;
+                best_ed = ed;
+                best_params = p;
+            }
+        }
+    }
+
+    if (!have_best) {
+        // Nothing met the constraint: fall back to the least-harm
+        // configuration (full-size size-bound disables downsizing).
+        best_params = driTemplate;
+        best_params.sizeBoundBytes = driTemplate.sizeBytes;
+        best_params.missBound = std::max<std::uint64_t>(
+            space.missBoundFloor,
+            static_cast<std::uint64_t>(2.0 *
+                                       conv_misses_per_interval));
+    }
+
+    result.best.dri = best_params;
+    result.best.cmp = evaluateDetailed(bench, config, best_params,
+                                       constants, convDetailed);
+    result.best.feasible =
+        maxSlowdownPct <= 0.0 ||
+        result.best.cmp.slowdownPercent() <= maxSlowdownPct;
+    return result;
+}
+
+} // namespace drisim

@@ -1,0 +1,92 @@
+#include "table.hh"
+
+#include <algorithm>
+
+#include "../util/logging.hh"
+#include "../util/str.hh"
+
+namespace drisim
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    drisim_assert(cells.size() == headers_.size(),
+                  "row has %zu cells, table has %zu columns",
+                  cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    return strFormat("%.*f", decimals, v);
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return strFormat("%.*f%%", decimals, 100.0 * fraction);
+}
+
+std::string
+asciiBar(double value, unsigned width)
+{
+    double v = std::clamp(value, 0.0, 1.0);
+    const unsigned n =
+        static_cast<unsigned>(v * static_cast<double>(width) + 0.5);
+    std::string bar(n, '#');
+    bar.resize(width, ' ');
+    return bar;
+}
+
+} // namespace drisim

@@ -1,0 +1,115 @@
+#include "cache.hh"
+
+#include "../util/bitops.hh"
+#include "../util/logging.hh"
+
+namespace drisim
+{
+
+Cache::Cache(const CacheParams &params, MemoryLevel *below,
+             stats::StatGroup *parent)
+    : params_(params),
+      below_(below),
+      offsetBits_(exactLog2(params.blockBytes)),
+      store_(params.sizeBytes /
+                 (static_cast<std::uint64_t>(params.blockBytes) *
+                  params.assoc),
+             params.assoc, params.repl),
+      group_(parent, params.name),
+      accesses_(&group_, "accesses", "total accesses"),
+      misses_(&group_, "misses", "total misses"),
+      fetchAccesses_(&group_, "fetch_accesses", "instruction fetches"),
+      loadAccesses_(&group_, "load_accesses", "data loads"),
+      storeAccesses_(&group_, "store_accesses", "data stores"),
+      writebacks_(&group_, "writebacks", "dirty blocks written back"),
+      evictions_(&group_, "evictions", "valid blocks evicted")
+{
+    drisim_assert(isPowerOf2(params.sizeBytes) &&
+                  isPowerOf2(params.blockBytes),
+                  "%s: size and block size must be powers of two",
+                  params.name.c_str());
+    drisim_assert(params.sizeBytes >=
+                  static_cast<std::uint64_t>(params.blockBytes) *
+                  params.assoc,
+                  "%s: size too small for one set", params.name.c_str());
+}
+
+std::uint64_t
+Cache::indexOf(Addr block_addr) const
+{
+    return block_addr & (store_.numSets() - 1);
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr ba = blockAddr(addr);
+    return store_.findWay(indexOf(ba), ba) != TagStore::kNoWay;
+}
+
+AccessResult
+Cache::access(Addr addr, AccessType type)
+{
+    ++accesses_;
+    switch (type) {
+      case AccessType::InstFetch: ++fetchAccesses_; break;
+      case AccessType::Load:      ++loadAccesses_; break;
+      case AccessType::Store:     ++storeAccesses_; break;
+    }
+
+    const Addr ba = blockAddr(addr);
+    const std::uint64_t set = indexOf(ba);
+
+    int way = store_.findWay(set, ba);
+    if (way != TagStore::kNoWay) {
+        store_.touch(set, static_cast<unsigned>(way));
+        if (type == AccessType::Store)
+            store_.markDirty(set, static_cast<unsigned>(way));
+        return {true, params_.hitLatency};
+    }
+
+    ++misses_;
+    Cycles latency = params_.hitLatency;
+    if (below_)
+        latency += below_->access(ba << offsetBits_,
+                                  type == AccessType::Store
+                                      ? AccessType::Load // fill read
+                                      : type)
+                       .latency;
+
+    const CacheBlk evicted = store_.insert(set, ba);
+    if (evicted.valid) {
+        ++evictions_;
+        if (evicted.dirty) {
+            ++writebacks_;
+            // Writeback traffic is off the critical path (write
+            // buffer); count it at the lower level without latency.
+            if (below_)
+                below_->access(evicted.blockAddr << offsetBits_,
+                               AccessType::Store);
+        }
+    }
+    if (type == AccessType::Store) {
+        int w = store_.findWay(set, ba);
+        drisim_assert(w != TagStore::kNoWay, "fill lost its block");
+        store_.markDirty(set, static_cast<unsigned>(w));
+    }
+    return {false, latency};
+}
+
+void
+Cache::invalidateAll()
+{
+    store_.invalidateAll();
+}
+
+double
+Cache::missRate() const
+{
+    return accesses_.value() == 0
+               ? 0.0
+               : static_cast<double>(misses_.value()) /
+                     static_cast<double>(accesses_.value());
+}
+
+} // namespace drisim

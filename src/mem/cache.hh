@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A conventional (fixed-size) cache level.
+ *
+ * Write policy: write-allocate, write-back. Dirty evictions are
+ * counted as writeback traffic but are not charged on the access
+ * latency path (write-buffer assumption), matching the paper's focus
+ * on read/fetch latency.
+ */
+
+#ifndef DRISIM_MEM_CACHE_HH
+#define DRISIM_MEM_CACHE_HH
+
+#include <string>
+
+#include "../stats/stats.hh"
+#include "../util/types.hh"
+#include "memory.hh"
+#include "tag_store.hh"
+
+namespace drisim
+{
+
+/** Static configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 1;
+    unsigned blockBytes = 32;
+    Cycles hitLatency = 1;
+    ReplPolicy repl = ReplPolicy::LRU;
+};
+
+/** A conventional cache backed by a lower MemoryLevel. */
+class Cache : public MemoryLevel
+{
+  public:
+    /**
+     * @param params geometry and latency
+     * @param below  the next level (L2 or memory); may be nullptr
+     *               for a standalone cache (misses then cost only
+     *               hitLatency)
+     * @param parent stats parent group
+     */
+    Cache(const CacheParams &params, MemoryLevel *below,
+          stats::StatGroup *parent);
+
+    AccessResult access(Addr addr, AccessType type) override;
+    void invalidateAll() override;
+
+    const CacheParams &params() const { return params_; }
+    std::uint64_t numSets() const { return store_.numSets(); }
+    unsigned offsetBits() const { return offsetBits_; }
+
+    /** Block address (addr with the offset stripped). */
+    Addr blockAddr(Addr addr) const { return addr >> offsetBits_; }
+
+    /** Non-mutating containment probe (tests). */
+    bool contains(Addr addr) const;
+
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+    double missRate() const;
+
+    /** Zero the statistics (not the contents). */
+    void resetStats() { group_.resetAll(); }
+
+    stats::StatGroup &statGroup() { return group_; }
+
+  private:
+    std::uint64_t indexOf(Addr blockAddr) const;
+
+    CacheParams params_;
+    MemoryLevel *below_;
+    unsigned offsetBits_;
+    TagStore store_;
+
+    stats::StatGroup group_;
+    stats::Scalar accesses_;
+    stats::Scalar misses_;
+    stats::Scalar fetchAccesses_;
+    stats::Scalar loadAccesses_;
+    stats::Scalar storeAccesses_;
+    stats::Scalar writebacks_;
+    stats::Scalar evictions_;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_MEM_CACHE_HH

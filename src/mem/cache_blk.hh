@@ -1,0 +1,47 @@
+/**
+ * @file
+ * One cache block frame.
+ */
+
+#ifndef DRISIM_MEM_CACHE_BLK_HH
+#define DRISIM_MEM_CACHE_BLK_HH
+
+#include "../util/types.hh"
+
+namespace drisim
+{
+
+/**
+ * A block frame. The simulator stores the full block address as the
+ * tag; this is behaviourally identical to storing the architectural
+ * tag bits (the set index supplies the remaining bits) and lets the
+ * DRI i-cache keep "resizing tag bits" for every possible size
+ * without per-size tag arithmetic (paper Section 2.1).
+ */
+struct CacheBlk
+{
+    /** Block address (addr >> offsetBits); kInvalidAddr if invalid. */
+    Addr blockAddr = kInvalidAddr;
+
+    /** Valid bit. */
+    bool valid = false;
+
+    /** Dirty bit (d-cache / L2 writeback support). */
+    bool dirty = false;
+
+    /** Replacement timestamp (LRU) or insertion order. */
+    std::uint64_t lastTouch = 0;
+
+    void
+    invalidate()
+    {
+        blockAddr = kInvalidAddr;
+        valid = false;
+        dirty = false;
+        lastTouch = 0;
+    }
+};
+
+} // namespace drisim
+
+#endif // DRISIM_MEM_CACHE_BLK_HH

@@ -1,0 +1,20 @@
+#include "hierarchy.hh"
+
+namespace drisim
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params,
+                     stats::StatGroup *parent, bool buildConvL1i)
+    : params_(params)
+{
+    mem_ = std::make_unique<MainMemory>(params.l2.blockBytes, parent);
+    l2_ = std::make_unique<Cache>(params.l2, mem_.get(), parent);
+    l1d_ = std::make_unique<Cache>(params.l1d, l2_.get(), parent);
+    if (buildConvL1i) {
+        convL1i_ = std::make_unique<Cache>(params.l1i, l2_.get(),
+                                           parent);
+        l1i_ = convL1i_.get();
+    }
+}
+
+} // namespace drisim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Table 1 memory system: L1 i-cache (conventional or DRI),
+ * L1 d-cache, unified L2, main memory.
+ */
+
+#ifndef DRISIM_MEM_HIERARCHY_HH
+#define DRISIM_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "../stats/stats.hh"
+#include "cache.hh"
+#include "memory.hh"
+
+namespace drisim
+{
+
+/** Parameters for the whole memory system (Table 1 defaults). */
+struct HierarchyParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 1, 32, 1, ReplPolicy::LRU};
+    CacheParams l1d{"l1d", 64 * 1024, 2, 32, 1, ReplPolicy::LRU};
+    CacheParams l2{"l2", 1024 * 1024, 4, 64, 12, ReplPolicy::LRU};
+};
+
+/**
+ * Owns memory + L2 + L1D and (optionally) a conventional L1I.
+ * The L1I slot is a MemoryLevel pointer so a DRI i-cache can be
+ * substituted by the caller.
+ */
+class Hierarchy
+{
+  public:
+    /**
+     * @param params         cache geometries
+     * @param parent         stats parent
+     * @param buildConvL1i   when true, construct a conventional L1I;
+     *                       when false the caller installs its own
+     *                       (e.g. a DriICache) via setL1I()
+     */
+    Hierarchy(const HierarchyParams &params, stats::StatGroup *parent,
+              bool buildConvL1i = true);
+
+    /** Install a caller-owned L1 i-cache (e.g. DRI). */
+    void setL1I(MemoryLevel *l1i) { l1i_ = l1i; }
+
+    MemoryLevel *l1i() { return l1i_; }
+    Cache &l1d() { return *l1d_; }
+    Cache &l2() { return *l2_; }
+    MainMemory &mem() { return *mem_; }
+
+    /** Conventional L1I if one was built, else nullptr. */
+    Cache *convL1i() { return convL1i_.get(); }
+
+    const HierarchyParams &params() const { return params_; }
+
+  private:
+    HierarchyParams params_;
+    std::unique_ptr<MainMemory> mem_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<Cache> convL1i_;
+    MemoryLevel *l1i_ = nullptr;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_MEM_HIERARCHY_HH

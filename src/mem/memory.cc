@@ -1,0 +1,31 @@
+#include "memory.hh"
+
+#include "../util/logging.hh"
+
+namespace drisim
+{
+
+MainMemory::MainMemory(unsigned transferBytes, stats::StatGroup *parent)
+    : transferBytes_(transferBytes),
+      group_(parent, "mem"),
+      accesses_(&group_, "accesses", "main memory accesses")
+{
+    drisim_assert(transferBytes % kChunkBytes == 0,
+                  "transfer size must be a multiple of %u bytes",
+                  kChunkBytes);
+}
+
+Cycles
+MainMemory::transferLatency() const
+{
+    return kBaseLatency + kPerChunk * (transferBytes_ / kChunkBytes);
+}
+
+AccessResult
+MainMemory::access(Addr, AccessType)
+{
+    ++accesses_;
+    return {true, transferLatency()};
+}
+
+} // namespace drisim

@@ -1,0 +1,40 @@
+#include "repl_policy.hh"
+
+#include "../util/logging.hh"
+
+namespace drisim
+{
+
+unsigned
+selectVictim(std::span<const CacheBlk> ways, ReplPolicy policy,
+             std::uint64_t tick)
+{
+    drisim_assert(!ways.empty(), "victim selection on an empty set");
+
+    for (unsigned w = 0; w < ways.size(); ++w) {
+        if (!ways[w].valid)
+            return w;
+    }
+
+    switch (policy) {
+      case ReplPolicy::LRU: {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < ways.size(); ++w) {
+            if (ways[w].lastTouch < ways[victim].lastTouch)
+                victim = w;
+        }
+        return victim;
+      }
+      case ReplPolicy::Random: {
+        // SplitMix-style hash of the tick for reproducible "random".
+        std::uint64_t z = tick + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return static_cast<unsigned>(z % ways.size());
+      }
+    }
+    drisim_panic("unknown replacement policy");
+}
+
+} // namespace drisim

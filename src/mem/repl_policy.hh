@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * Table 1 specifies LRU for the 2-way L1 d-cache; the 4-way L2 and
+ * 4-way DRI variants use LRU as well. Random is provided for
+ * sensitivity studies.
+ */
+
+#ifndef DRISIM_MEM_REPL_POLICY_HH
+#define DRISIM_MEM_REPL_POLICY_HH
+
+#include <cstdint>
+#include <span>
+
+#include "cache_blk.hh"
+
+namespace drisim
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy { LRU, Random };
+
+/**
+ * Pick the victim way within a set. Invalid ways win immediately;
+ * otherwise LRU picks the smallest lastTouch and Random hashes the
+ * provided tick for determinism.
+ *
+ * @param ways   the block frames of one set
+ * @param policy which policy to apply
+ * @param tick   a monotonically increasing value (for Random)
+ * @return the victim way index
+ */
+unsigned selectVictim(std::span<const CacheBlk> ways, ReplPolicy policy,
+                      std::uint64_t tick);
+
+} // namespace drisim
+
+#endif // DRISIM_MEM_REPL_POLICY_HH

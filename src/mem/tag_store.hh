@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Generic set-associative tag/data directory.
+ *
+ * Both the conventional caches and the DRI i-cache are built on this
+ * store; the DRI i-cache simply restricts which sets are live and
+ * remaps the index (size mask).
+ */
+
+#ifndef DRISIM_MEM_TAG_STORE_HH
+#define DRISIM_MEM_TAG_STORE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "../util/types.hh"
+#include "cache_blk.hh"
+#include "repl_policy.hh"
+
+namespace drisim
+{
+
+/**
+ * A numSets x assoc array of block frames, addressed by set index
+ * and full block address.
+ */
+class TagStore
+{
+  public:
+    TagStore(std::uint64_t numSets, unsigned assoc,
+             ReplPolicy policy = ReplPolicy::LRU);
+
+    std::uint64_t numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Not-found sentinel for findWay(). */
+    static constexpr int kNoWay = -1;
+
+    /**
+     * Find the way holding @p blockAddr within @p set, or kNoWay.
+     * Does not update replacement state.
+     */
+    int findWay(std::uint64_t set, Addr blockAddr) const;
+
+    /** Mark @p way of @p set most-recently used. */
+    void touch(std::uint64_t set, unsigned way);
+
+    /**
+     * Insert @p blockAddr into @p set, evicting the policy's victim.
+     * @return the evicted frame's prior contents (valid == false if
+     *         the frame was free).
+     */
+    CacheBlk insert(std::uint64_t set, Addr blockAddr);
+
+    /** Mark @p way of @p set dirty (store hit). */
+    void markDirty(std::uint64_t set, unsigned way);
+
+    /** Invalidate one frame. */
+    void invalidate(std::uint64_t set, unsigned way);
+
+    /** Invalidate every frame of @p set. */
+    void invalidateSet(std::uint64_t set);
+
+    /** Invalidate the whole store. */
+    void invalidateAll();
+
+    /** Read-only view of a set's ways. */
+    std::span<const CacheBlk> set(std::uint64_t set) const;
+
+    /** Number of valid frames (for tests/occupancy stats). */
+    std::uint64_t validCount() const;
+
+  private:
+    std::span<CacheBlk> mutableSet(std::uint64_t set);
+
+    std::uint64_t numSets_;
+    unsigned assoc_;
+    ReplPolicy policy_;
+    std::uint64_t tick_ = 0;
+    std::vector<CacheBlk> blocks_;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_MEM_TAG_STORE_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A compact SimpleScalar/gem5-style statistics package.
+ *
+ * Stats self-register with a StatGroup; groups form a tree rooted at
+ * a simulation component, and the whole tree can be dumped as
+ * name = value lines. Every simulator module exposes its counters
+ * through this package so tests and the bench harness read one
+ * uniform interface.
+ */
+
+#ifndef DRISIM_STATS_STATS_HH
+#define DRISIM_STATS_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace drisim::stats
+{
+
+class StatGroup;
+
+/** Base class for all statistics: named, described, resettable. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Reset to the zero state. */
+    virtual void reset() = 0;
+
+    /** Print "name value # desc" lines, prefixed with @p prefix. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically growing (or adjustable) 64-bit event counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
+    void set(std::uint64_t v) { value_ = v; }
+
+    std::uint64_t value() const { return value_; }
+
+    void reset() override { value_ = 0; }
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A running mean of double-valued samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** Add one sample. */
+    void sample(double v);
+
+    /** Add @p weight copies of sample value @p v. */
+    void sample(double v, std::uint64_t weight);
+
+    double mean() const;
+    std::uint64_t samples() const { return count_; }
+
+    void reset() override;
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram over [min, max) with uniform bucket width,
+ * plus underflow/overflow buckets.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double min, double max, unsigned buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t bucketCount(unsigned i) const { return buckets_.at(i); }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+
+    void reset() override;
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+
+  private:
+    double min_;
+    double max_;
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of statistics and child groups. Components
+ * (caches, cores) own a StatGroup and declare members against it.
+ */
+class StatGroup
+{
+  public:
+    /** Root group (no parent). */
+    explicit StatGroup(std::string name);
+
+    /** Child group; registers with @p parent. */
+    StatGroup(StatGroup *parent, std::string name);
+
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Reset this group's stats and all descendants. */
+    void resetAll();
+
+    /** Dump "prefix.name value # desc" for the whole subtree. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Find a directly-owned stat by name (nullptr if absent). */
+    const StatBase *find(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+    void addStat(StatBase *stat);
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    std::string name_;
+    StatGroup *parent_ = nullptr;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace drisim::stats
+
+#endif // DRISIM_STATS_STATS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in drisim (loop trip counts, branch
+ * outcomes, data strides) flows through Xoshiro256** seeded from the
+ * workload spec, so a given benchmark model always produces the exact
+ * same dynamic instruction stream. This is what makes paired
+ * conventional/DRI runs directly comparable.
+ */
+
+#ifndef DRISIM_UTIL_RANDOM_HH
+#define DRISIM_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace drisim
+{
+
+/**
+ * Xoshiro256** PRNG (Blackman & Vigna). Deterministic, fast, and
+ * identical across platforms — unlike std::mt19937 distributions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via SplitMix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive (lo <= hi). */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish positive integer with mean approximately
+     * @p mean (>= 1); used for loop trip counts.
+     */
+    std::uint64_t geometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace drisim
+
+#endif // DRISIM_UTIL_RANDOM_HH

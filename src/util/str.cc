@@ -1,0 +1,98 @@
+#include "str.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace drisim
+{
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        out.assign(buf.data(), static_cast<size_t>(n));
+    }
+    va_end(ap2);
+    va_end(ap);
+    return out;
+}
+
+std::vector<std::string>
+strSplit(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+strTrim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+bytesToString(std::uint64_t bytes)
+{
+    if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+        return std::to_string(bytes >> 20) + "M";
+    if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0)
+        return std::to_string(bytes >> 10) + "K";
+    return std::to_string(bytes);
+}
+
+bool
+parseBytes(const std::string &raw, std::uint64_t &out)
+{
+    std::string s = strTrim(raw);
+    if (s.empty())
+        return false;
+    std::uint64_t mult = 1;
+    char last = s.back();
+    if (last == 'K' || last == 'k') {
+        mult = 1ull << 10;
+        s.pop_back();
+    } else if (last == 'M' || last == 'm') {
+        mult = 1ull << 20;
+        s.pop_back();
+    } else if (last == 'G' || last == 'g') {
+        mult = 1ull << 30;
+        s.pop_back();
+    }
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = v * mult;
+    return true;
+}
+
+} // namespace drisim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string helpers for table printing and option parsing.
+ */
+
+#ifndef DRISIM_UTIL_STR_HH
+#define DRISIM_UTIL_STR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drisim
+{
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p s on @p sep (no empty-token suppression). */
+std::vector<std::string> strSplit(const std::string &s, char sep);
+
+/** Trim ASCII whitespace from both ends. */
+std::string strTrim(const std::string &s);
+
+/**
+ * Render a byte count with a binary suffix: 1024 -> "1K",
+ * 65536 -> "64K", 1048576 -> "1M". Non-multiples fall back to bytes.
+ */
+std::string bytesToString(std::uint64_t bytes);
+
+/**
+ * Parse sizes like "64K", "1M", "512" into bytes.
+ * Returns false on malformed input.
+ */
+bool parseBytes(const std::string &s, std::uint64_t &out);
+
+} // namespace drisim
+
+#endif // DRISIM_UTIL_STR_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every drisim module.
+ */
+
+#ifndef DRISIM_UTIL_TYPES_HH
+#define DRISIM_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace drisim
+{
+
+/** A byte address in the simulated machine's physical address space. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles (the simulated core runs at 1 GHz). */
+using Cycles = std::uint64_t;
+
+/** A count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+/** A generic event/occurrence counter value. */
+using Count = std::uint64_t;
+
+/** Invalid/unset address sentinel. */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+} // namespace drisim
+
+#endif // DRISIM_UTIL_TYPES_HH

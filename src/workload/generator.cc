@@ -1,0 +1,286 @@
+#include "generator.hh"
+
+#include "../util/logging.hh"
+
+namespace drisim
+{
+
+TraceGenerator::TraceGenerator(const ProgramImage &image)
+    : img_(image), rng_(image.seed)
+{
+    drisim_assert(!img_.phases.empty(), "program has no phases");
+    reset();
+}
+
+void
+TraceGenerator::reset()
+{
+    rng_ = Rng(img_.seed);
+    phaseIdx_ = 0;
+    emittedInPhase_ = 0;
+    produced_ = 0;
+    destCounter_ = 0;
+    fpDestCounter_ = 0;
+    for (auto &r : recentDest_)
+        r = 1;
+    recentIdx_ = 0;
+    seqLoadOff_ = 0;
+    seqStoreOff_ = 0;
+    stack_.clear();
+    enterPhase(0);
+}
+
+void
+TraceGenerator::enterPhase(size_t phase)
+{
+    phaseIdx_ = phase;
+    emittedInPhase_ = 0;
+    stack_.clear();
+    pushFrame(img_.phases[phase].driver);
+    seqLoadOff_ = 0;
+    seqStoreOff_ = 0;
+}
+
+void
+TraceGenerator::pushFrame(int func)
+{
+    Frame f;
+    f.func = func;
+    f.block = 0;
+    f.instr = 0;
+    f.latchRemaining.assign(
+        img_.functions[static_cast<size_t>(func)].blocks.size(), 0);
+    stack_.push_back(std::move(f));
+}
+
+const BasicBlock &
+TraceGenerator::blockOf(const Frame &f) const
+{
+    return img_.functions[static_cast<size_t>(f.func)]
+        .blocks[static_cast<size_t>(f.block)];
+}
+
+Addr
+TraceGenerator::loadAddress()
+{
+    const Phase &ph = img_.phases[phaseIdx_];
+    if (rng_.chance(0.7)) {
+        seqLoadOff_ = (seqLoadOff_ + 8) % ph.dataBytes;
+        return ph.dataBase + seqLoadOff_;
+    }
+    return ph.dataBase + (rng_.range(ph.dataBytes) & ~Addr{7});
+}
+
+Addr
+TraceGenerator::storeAddress()
+{
+    const Phase &ph = img_.phases[phaseIdx_];
+    if (rng_.chance(0.8)) {
+        seqStoreOff_ = (seqStoreOff_ + 8) % ph.dataBytes;
+        return ph.dataBase + seqStoreOff_;
+    }
+    return ph.dataBase + (rng_.range(ph.dataBytes) & ~Addr{7});
+}
+
+void
+TraceGenerator::makeBodyInstr(Instr &out, Addr pc)
+{
+    const OpMix &mix = img_.phases[phaseIdx_].mix;
+    out.pc = pc;
+    out.taken = false;
+    out.nextPc = pc + kInstrBytes;
+    out.memAddr = 0;
+
+    const double roll = rng_.uniform();
+    double acc = mix.loadFrac;
+
+    // Pick sources among recently produced values: real dependency
+    // chains with distance 1..8.
+    const std::uint8_t s1 =
+        recentDest_[(recentIdx_ + 7) & 7]; // distance ~1
+    const std::uint8_t s2 =
+        recentDest_[rng_.range(8)];        // distance 1..8
+
+    auto set_dest = [&](bool fp) {
+        std::uint8_t d;
+        if (fp) {
+            d = static_cast<std::uint8_t>(33 + (fpDestCounter_++ % 27));
+        } else {
+            d = static_cast<std::uint8_t>(1 + (destCounter_++ % 27));
+        }
+        out.dest = d;
+        recentDest_[recentIdx_ & 7] = d;
+        ++recentIdx_;
+    };
+
+    if (roll < acc) {
+        out.op = OpClass::Load;
+        out.src1 = 30; // base register
+        out.src2 = 0;
+        set_dest(false);
+        out.memAddr = loadAddress();
+        return;
+    }
+    acc += mix.storeFrac;
+    if (roll < acc) {
+        out.op = OpClass::Store;
+        out.src1 = s1;
+        out.src2 = 30;
+        out.dest = 0;
+        out.memAddr = storeAddress();
+        return;
+    }
+    acc += mix.fpFrac;
+    if (roll < acc) {
+        out.op = OpClass::FpAlu;
+        out.src1 = s1 >= 33 ? s1 : 33;
+        out.src2 = s2 >= 33 ? s2 : 34;
+        set_dest(true);
+        return;
+    }
+    acc += mix.mulFrac;
+    if (roll < acc) {
+        out.op = OpClass::IntMul;
+        out.src1 = s1;
+        out.src2 = s2;
+        set_dest(false);
+        return;
+    }
+    out.op = OpClass::IntAlu;
+    out.src1 = s1;
+    out.src2 = rng_.chance(0.6) ? s2 : std::uint8_t{0};
+    set_dest(false);
+}
+
+bool
+TraceGenerator::next(Instr &out)
+{
+    const Phase &phase = img_.phases[phaseIdx_];
+    Frame &f = stack_.back();
+    const BasicBlock &b = blockOf(f);
+    const Addr pc = b.pcOf(f.instr);
+
+    // Phase transition: splice in a jump to the next phase's driver.
+    if (emittedInPhase_ >= phase.duration) {
+        const size_t next_phase = (phaseIdx_ + 1) % img_.phases.size();
+        const int next_driver = img_.phases[next_phase].driver;
+        const Addr target =
+            img_.functions[static_cast<size_t>(next_driver)]
+                .blocks[0]
+                .startPc;
+        out = Instr{};
+        out.pc = pc;
+        out.op = OpClass::Jump;
+        out.taken = true;
+        out.nextPc = target;
+        enterPhase(next_phase);
+        ++produced_;
+        return true;
+    }
+
+    const bool is_term = (f.instr == b.numInstrs - 1) &&
+                         b.term != BlockTerm::FallThrough;
+
+    if (!is_term) {
+        makeBodyInstr(out, pc);
+        ++f.instr;
+        if (f.instr >= b.numInstrs) {
+            // FallThrough into the sequential successor.
+            f.block = b.fallthrough >= 0 ? b.fallthrough : f.block + 1;
+            f.instr = 0;
+        }
+        ++emittedInPhase_;
+        ++produced_;
+        return true;
+    }
+
+    // Terminator.
+    out = Instr{};
+    out.pc = pc;
+    out.memAddr = 0;
+    switch (b.term) {
+      case BlockTerm::CondBranch: {
+        out.op = OpClass::Branch;
+        out.src1 = recentDest_[(recentIdx_ + 7) & 7];
+        const bool taken = rng_.chance(b.takenProb);
+        out.taken = taken;
+        const int next = taken ? b.target : b.fallthrough;
+        const BasicBlock &nb = img_.functions[
+            static_cast<size_t>(f.func)].blocks[
+            static_cast<size_t>(next)];
+        out.nextPc = taken ? nb.startPc : b.endPc();
+        f.block = next;
+        f.instr = 0;
+        break;
+      }
+      case BlockTerm::LoopLatch: {
+        out.op = OpClass::Branch;
+        out.src1 = recentDest_[(recentIdx_ + 7) & 7];
+        std::uint64_t rem =
+            f.latchRemaining[static_cast<size_t>(f.block)];
+        if (rem == 0) {
+            rem = rng_.geometric(static_cast<double>(b.meanTrips));
+        }
+        --rem;
+        const bool taken = rem > 0;
+        f.latchRemaining[static_cast<size_t>(f.block)] =
+            taken ? rem : 0;
+        out.taken = taken;
+        const int next = taken ? b.target : b.fallthrough;
+        const BasicBlock &nb = img_.functions[
+            static_cast<size_t>(f.func)].blocks[
+            static_cast<size_t>(next)];
+        out.nextPc = taken ? nb.startPc : b.endPc();
+        f.block = next;
+        f.instr = 0;
+        break;
+      }
+      case BlockTerm::Jump: {
+        out.op = OpClass::Jump;
+        out.taken = true;
+        const BasicBlock &nb = img_.functions[
+            static_cast<size_t>(f.func)].blocks[
+            static_cast<size_t>(b.target)];
+        out.nextPc = nb.startPc;
+        f.block = b.target;
+        f.instr = 0;
+        break;
+      }
+      case BlockTerm::Call: {
+        out.op = OpClass::Call;
+        out.taken = true;
+        const Function &callee =
+            img_.functions[static_cast<size_t>(b.callee)];
+        out.nextPc = callee.blocks[0].startPc;
+        // Park the caller at the return point before descending.
+        f.block = b.fallthrough;
+        f.instr = 0;
+        pushFrame(b.callee);
+        break;
+      }
+      case BlockTerm::Return: {
+        out.op = OpClass::Return;
+        out.taken = true;
+        if (stack_.size() > 1) {
+            stack_.pop_back();
+            Frame &caller = stack_.back();
+            out.nextPc = blockOf(caller).pcOf(caller.instr);
+        } else {
+            // The driver never returns; defensive restart.
+            out.nextPc = img_.functions[
+                static_cast<size_t>(f.func)].blocks[0].startPc;
+            f.block = 0;
+            f.instr = 0;
+        }
+        break;
+      }
+      case BlockTerm::FallThrough:
+        drisim_panic("FallThrough cannot be a terminator");
+    }
+
+    ++emittedInPhase_;
+    ++produced_;
+    return true;
+}
+
+} // namespace drisim

@@ -1,0 +1,271 @@
+#include "program.hh"
+
+#include <algorithm>
+
+#include "../util/bitops.hh"
+#include "../util/logging.hh"
+#include "../util/random.hh"
+
+namespace drisim
+{
+
+namespace
+{
+
+/** Builder for one phase's functions. */
+class PhaseBuilder
+{
+  public:
+    PhaseBuilder(const PhaseSpec &ps, Rng &rng) : ps_(ps), rng_(rng) {}
+
+    /** Build one worker function of roughly @p targetInstrs. */
+    Function
+    buildWorker(unsigned targetInstrs, const std::string &name)
+    {
+        Function f;
+        f.name = name;
+        unsigned used = 0;
+
+        auto body_len = [&]() -> unsigned {
+            const unsigned avg = ps_.avgBlockInstrs;
+            return static_cast<unsigned>(
+                rng_.between(std::max(2u, avg / 2), avg + avg / 2));
+        };
+
+        // Entry straight-line block.
+        f.blocks.push_back(makeBody(body_len()));
+        used += f.blocks.back().numInstrs;
+
+        // Loop nests until the budget is spent.
+        while (used + 16 < targetInstrs) {
+            const int header = static_cast<int>(f.blocks.size());
+            f.blocks.push_back(makeBody(body_len()));
+            used += f.blocks.back().numInstrs;
+
+            // Optional forward skip branch inside the loop body
+            // (hammocks make the branch predictor work for a living).
+            if (rng_.chance(0.35) && used + 12 < targetInstrs) {
+                BasicBlock cond = makeBody(body_len());
+                cond.term = BlockTerm::CondBranch;
+                cond.takenProb = 1.0 - ps_.branchBias;
+                const int cond_id = static_cast<int>(f.blocks.size());
+                cond.target = cond_id + 2;     // skip one block
+                cond.fallthrough = cond_id + 1;
+                f.blocks.push_back(cond);
+                used += cond.numInstrs;
+
+                f.blocks.push_back(makeBody(body_len()));
+                used += f.blocks.back().numInstrs;
+            }
+
+            BasicBlock latch = makeBody(
+                std::max(3u, body_len() / 2));
+            latch.term = BlockTerm::LoopLatch;
+            latch.target = header;
+            latch.fallthrough = static_cast<int>(f.blocks.size()) + 1;
+            latch.meanTrips =
+                std::max<std::uint64_t>(2, rng_.geometric(
+                    static_cast<double>(ps_.meanInnerTrips)));
+            f.blocks.push_back(latch);
+            used += f.blocks.back().numInstrs;
+        }
+
+        // Return block.
+        BasicBlock ret = makeBody(2);
+        ret.term = BlockTerm::Return;
+        f.blocks.push_back(ret);
+
+        fixupTargets(f);
+        return f;
+    }
+
+    /**
+     * Build the phase driver: one call site per entry of
+     * @p callOrder, looping forever.
+     */
+    Function
+    buildDriver(const std::vector<int> &callOrder,
+                const std::string &name)
+    {
+        Function f;
+        f.name = name;
+        for (int callee : callOrder) {
+            BasicBlock b = makeBody(3);
+            b.term = BlockTerm::Call;
+            b.callee = callee;
+            b.fallthrough = static_cast<int>(f.blocks.size()) + 1;
+            f.blocks.push_back(b);
+        }
+        BasicBlock loop = makeBody(2);
+        loop.term = BlockTerm::Jump;
+        loop.target = 0;
+        f.blocks.push_back(loop);
+        fixupTargets(f);
+        return f;
+    }
+
+  private:
+    BasicBlock
+    makeBody(unsigned instrs)
+    {
+        BasicBlock b;
+        b.numInstrs = std::max(1u, instrs);
+        b.term = BlockTerm::FallThrough;
+        b.fallthrough = -1; // sequential; set by fixup
+        return b;
+    }
+
+    void
+    fixupTargets(Function &f)
+    {
+        const int last = static_cast<int>(f.blocks.size()) - 1;
+        for (int i = 0; i <= last; ++i) {
+            BasicBlock &b = f.blocks[static_cast<size_t>(i)];
+            if (b.fallthrough < 0 && b.term != BlockTerm::Return &&
+                b.term != BlockTerm::Jump)
+                b.fallthrough = std::min(i + 1, last);
+            if (b.fallthrough > last)
+                b.fallthrough = last;
+            if (b.target > last)
+                b.target = last;
+        }
+    }
+
+    const PhaseSpec &ps_;
+    Rng &rng_;
+};
+
+} // namespace
+
+ProgramImage
+buildProgram(const ProgramSpec &spec)
+{
+    drisim_assert(!spec.phases.empty(),
+                  "a program needs at least one phase");
+    ProgramImage img;
+    img.name = spec.name;
+    img.seed = spec.seed;
+    Rng rng(spec.seed);
+
+    Addr text_cursor = spec.textBase;
+    Addr data_cursor = spec.dataBase;
+
+    for (size_t pi = 0; pi < spec.phases.size(); ++pi) {
+        const PhaseSpec &ps = spec.phases[pi];
+        PhaseBuilder builder(ps, rng);
+        Phase phase;
+        phase.name = ps.name;
+        phase.duration = ps.dynInstrs;
+        phase.mix = ps.mix;
+        phase.dataBase = data_cursor;
+        phase.dataBytes = ps.dataBytes;
+
+        // --- Workers ---------------------------------------------
+        const std::uint64_t budget_instrs = ps.codeBytes / kInstrBytes;
+        std::vector<int> workers;
+        std::uint64_t used = 0;
+        // Keep ~8% of the footprint for the driver's call sites.
+        const std::uint64_t worker_budget =
+            budget_instrs - std::min<std::uint64_t>(
+                                budget_instrs / 12, 512);
+        while (used < worker_budget) {
+            std::uint64_t remaining = worker_budget - used;
+            unsigned target = static_cast<unsigned>(std::min(
+                remaining,
+                rng.between(ps.minFnInstrs, ps.maxFnInstrs)));
+            if (remaining < ps.minFnInstrs + ps.minFnInstrs / 2)
+                target = static_cast<unsigned>(remaining);
+            Function w = builder.buildWorker(
+                std::max(32u, target),
+                ps.name + "_w" + std::to_string(workers.size()));
+            used += w.sizeBytes() / kInstrBytes;
+            workers.push_back(static_cast<int>(img.functions.size()));
+            img.functions.push_back(std::move(w));
+        }
+
+        // --- Driver call order -----------------------------------
+        std::vector<int> order = workers;
+        if (ps.callIrregularity > 0.0 && workers.size() > 1) {
+            // Duplicate a fraction of call sites and shuffle.
+            const size_t extra = static_cast<size_t>(
+                ps.callIrregularity *
+                static_cast<double>(workers.size()));
+            for (size_t i = 0; i < extra; ++i)
+                order.push_back(workers[rng.range(workers.size())]);
+            for (size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.range(i)]);
+        }
+
+        const int driver_id = static_cast<int>(img.functions.size());
+        img.functions.push_back(
+            builder.buildDriver(order, ps.name + "_driver"));
+
+        phase.driver = driver_id;
+        phase.functions.push_back(driver_id);
+        for (int w : workers)
+            phase.functions.push_back(w);
+
+        // --- Layout -----------------------------------------------
+        // Most code sits in bank 0; a conflictFraction share of the
+        // workers goes into banks bankStrideBytes away, which alias
+        // with bank 0 modulo the stride (direct-mapped conflicts).
+        // Conflict banks start conflictSkipBytes into the stride so
+        // they collide with early workers, not the hot driver.
+        const unsigned banks = std::max(1u, ps.conflictBanks);
+        std::vector<Addr> bank_cursor(banks);
+        bank_cursor[0] = text_cursor;
+        // For small phases the skip would dodge the code entirely;
+        // cap it at a third of the footprint.
+        const std::uint64_t skip =
+            std::min<std::uint64_t>(ps.conflictSkipBytes,
+                                    ps.codeBytes / 3);
+        for (unsigned b = 1; b < banks; ++b)
+            bank_cursor[b] = text_cursor + b * ps.bankStrideBytes +
+                             skip;
+
+        auto place = [&](int fid, unsigned bank) {
+            Function &f = img.functions[static_cast<size_t>(fid)];
+            Addr pc = bank_cursor[bank];
+            for (auto &blk : f.blocks) {
+                blk.startPc = pc;
+                pc += blk.numInstrs * kInstrBytes;
+            }
+            bank_cursor[bank] = roundUp(pc, 64);
+        };
+        place(driver_id, 0);
+
+        // Every k-th worker lands in a conflict bank.
+        const unsigned k =
+            banks > 1 && ps.conflictFraction > 0.0
+                ? std::max(2u, static_cast<unsigned>(
+                                   1.0 / ps.conflictFraction + 0.5))
+                : 0;
+        unsigned conflict_rr = 1;
+        for (size_t i = 0; i < workers.size(); ++i) {
+            unsigned bank = 0;
+            if (k != 0 && (i + 1) % k == 0) {
+                bank = conflict_rr;
+                conflict_rr = conflict_rr + 1 < banks
+                                  ? conflict_rr + 1
+                                  : 1;
+            }
+            place(workers[i], bank);
+        }
+
+        // Advance the text cursor past everything this phase laid
+        // out, with a gap so phases never overlap.
+        Addr high = 0;
+        for (unsigned b = 0; b < banks; ++b)
+            high = std::max(high, bank_cursor[b]);
+        text_cursor = roundUp(high, 64 * 1024) + 64 * 1024;
+
+        data_cursor = roundUp(data_cursor + ps.dataBytes, 4096) +
+                      (1u << 20);
+
+        img.phases.push_back(std::move(phase));
+    }
+
+    return img;
+}
+
+} // namespace drisim

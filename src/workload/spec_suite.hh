@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The synthetic SPEC95 suite (see DESIGN.md, Substitutions).
+ *
+ * Fifteen benchmark models named after the SPEC95 programs the paper
+ * runs, each built to match its published i-cache behaviour class
+ * (Section 5.3):
+ *
+ *  - class 1: small instruction working sets held in tight loops
+ *    (applu, compress, li, mgrid, swim);
+ *  - class 2: large working sets used throughout execution
+ *    (apsi, fpppp, go, m88ksim, perl), fpppp needing the full 64 KB;
+ *  - class 3: distinct phases with diverse i-cache requirements
+ *    (gcc, hydro2d, ijpeg, su2cor, tomcatv).
+ *
+ * Benchmarks the paper reports as exhibiting direct-mapped conflict
+ * misses (gcc, go, hydro2d, su2cor, swim, tomcatv — Figure 6) place
+ * part of their hot code in banks 64 KB apart.
+ */
+
+#ifndef DRISIM_WORKLOAD_SPEC_SUITE_HH
+#define DRISIM_WORKLOAD_SPEC_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "program.hh"
+
+namespace drisim
+{
+
+/** One benchmark: spec plus its paper classification. */
+struct BenchmarkInfo
+{
+    std::string name;
+    /** Paper class 1..3 (Section 5.3). */
+    int benchClass = 1;
+    ProgramSpec spec;
+};
+
+/** All 15 benchmarks in the paper's presentation order. */
+const std::vector<BenchmarkInfo> &specSuite();
+
+/** Look up one benchmark by name (fatal if unknown). */
+const BenchmarkInfo &findBenchmark(const std::string &name);
+
+} // namespace drisim
+
+#endif // DRISIM_WORKLOAD_SPEC_SUITE_HH

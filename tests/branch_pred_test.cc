@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Branch-predictor tests: bimodal/gshare learning, chooser
+ * arbitration, BTB targets, RAS behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_pred.hh"
+#include "stats/stats.hh"
+
+namespace drisim
+{
+namespace
+{
+
+class BranchPredTest : public ::testing::Test
+{
+  protected:
+    BranchPredTest() : root_("t"), bp_(BranchPredParams{}, &root_) {}
+
+    /** Train and measure accuracy on an outcome pattern. */
+    double
+    accuracy(Addr pc, const std::vector<bool> &pattern, int reps)
+    {
+        int correct = 0;
+        int total = 0;
+        for (int r = 0; r < reps; ++r) {
+            for (bool taken : pattern) {
+                auto pred = bp_.predict(pc, OpClass::Branch);
+                const Addr target = taken ? pc + 64 : pc + 4;
+                if (pred.taken == taken)
+                    ++correct;
+                ++total;
+                bp_.update(pc, OpClass::Branch, taken, target);
+            }
+        }
+        return static_cast<double>(correct) / total;
+    }
+
+    stats::StatGroup root_;
+    BranchPredictor bp_;
+};
+
+TEST_F(BranchPredTest, LearnsAlwaysTaken)
+{
+    const double acc = accuracy(0x1000, {true}, 200);
+    EXPECT_GT(acc, 0.97);
+}
+
+TEST_F(BranchPredTest, LearnsAlwaysNotTaken)
+{
+    const double acc = accuracy(0x1000, {false}, 200);
+    EXPECT_GT(acc, 0.97);
+}
+
+TEST_F(BranchPredTest, GshareLearnsAlternatingPattern)
+{
+    // Bimodal cannot learn T,N,T,N...; gshare (with history) can.
+    const double acc = accuracy(0x2000, {true, false}, 300);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST_F(BranchPredTest, GshareLearnsLoopExitPattern)
+{
+    // 7 taken + 1 not-taken, the classic loop-latch shape.
+    std::vector<bool> pattern(8, true);
+    pattern[7] = false;
+    const double acc = accuracy(0x3000, pattern, 200);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST_F(BranchPredTest, BtbProvidesTargets)
+{
+    const Addr pc = 0x4000;
+    const Addr target = 0x5000;
+    // First prediction: no BTB entry yet.
+    auto p1 = bp_.predict(pc, OpClass::Jump);
+    EXPECT_TRUE(p1.taken);
+    EXPECT_EQ(p1.target, kInvalidAddr);
+    bp_.update(pc, OpClass::Jump, true, target);
+    auto p2 = bp_.predict(pc, OpClass::Jump);
+    EXPECT_EQ(p2.target, target);
+}
+
+TEST_F(BranchPredTest, RasPredictsReturns)
+{
+    const Addr call_pc = 0x6000;
+    const Addr ret_pc = 0x7000;
+    auto pc_call = bp_.predict(call_pc, OpClass::Call);
+    (void)pc_call;
+    bp_.update(call_pc, OpClass::Call, true, 0x7000);
+    auto pr = bp_.predict(ret_pc, OpClass::Return);
+    EXPECT_TRUE(pr.taken);
+    EXPECT_EQ(pr.target, call_pc + kInstrBytes);
+}
+
+TEST_F(BranchPredTest, RasNestedCalls)
+{
+    bp_.predict(0x100, OpClass::Call);
+    bp_.predict(0x200, OpClass::Call);
+    auto r1 = bp_.predict(0x300, OpClass::Return);
+    EXPECT_EQ(r1.target, 0x200u + kInstrBytes);
+    auto r2 = bp_.predict(0x400, OpClass::Return);
+    EXPECT_EQ(r2.target, 0x100u + kInstrBytes);
+}
+
+TEST_F(BranchPredTest, MispredictedDetectsDirectionAndTarget)
+{
+    BranchPrediction p;
+    p.taken = true;
+    p.target = 0x100;
+    EXPECT_FALSE(BranchPredictor::mispredicted(p, true, 0x100));
+    EXPECT_TRUE(BranchPredictor::mispredicted(p, false, 0x0));
+    EXPECT_TRUE(BranchPredictor::mispredicted(p, true, 0x200));
+    p.taken = false;
+    EXPECT_FALSE(BranchPredictor::mispredicted(p, false, 0x0));
+}
+
+TEST_F(BranchPredTest, StatsAccumulate)
+{
+    accuracy(0x8000, {true, true, false}, 50);
+    EXPECT_GT(bp_.lookups(), 0u);
+}
+
+} // namespace
+} // namespace drisim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Conventional cache tests: hit/miss behaviour, latencies, conflict
+ * and capacity behaviour, writeback accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "stats/stats.hh"
+
+namespace drisim
+{
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.name = "c";
+    p.sizeBytes = 1024;
+    p.assoc = 1;
+    p.blockBytes = 32;
+    p.hitLatency = 1;
+    return p;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    stats::StatGroup root("t");
+    Cache c(smallCache(), nullptr, &root);
+    auto r1 = c.access(0x100, AccessType::InstFetch);
+    EXPECT_FALSE(r1.hit);
+    auto r2 = c.access(0x100, AccessType::InstFetch);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(r2.latency, 1u);
+    // Same block, different byte: still a hit.
+    auto r3 = c.access(0x11F, AccessType::InstFetch);
+    EXPECT_TRUE(r3.hit);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.accesses(), 3u);
+}
+
+TEST(Cache, MissLatencyIncludesLowerLevel)
+{
+    stats::StatGroup root("t");
+    MainMemory mem(64, &root);
+    CacheParams p2 = smallCache();
+    p2.name = "l2";
+    p2.sizeBytes = 4096;
+    p2.blockBytes = 64;
+    p2.hitLatency = 12;
+    Cache l2(p2, &mem, &root);
+    Cache l1(smallCache(), &l2, &root);
+
+    // Cold L1 miss -> L2 miss -> memory: 1 + 12 + (80 + 4*8) = 125.
+    auto r = l1.access(0x2000, AccessType::InstFetch);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.latency, 1u + 12u + 80u + 4u * 8u);
+
+    // Second block in the same L2 line: L1 miss, L2 hit -> 13.
+    auto r2 = l1.access(0x2020, AccessType::InstFetch);
+    EXPECT_FALSE(r2.hit);
+    EXPECT_EQ(r2.latency, 13u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    stats::StatGroup root("t");
+    Cache c(smallCache(), nullptr, &root); // 32 sets
+    // 0x0 and 0x400 (1024 apart) map to the same set.
+    c.access(0x0, AccessType::InstFetch);
+    c.access(0x400, AccessType::InstFetch);
+    auto r = c.access(0x0, AccessType::InstFetch);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(c.misses(), 3u);
+}
+
+TEST(Cache, AssociativityAbsorbsConflict)
+{
+    stats::StatGroup root("t");
+    CacheParams p = smallCache();
+    p.assoc = 2;
+    Cache c(p, nullptr, &root);
+    c.access(0x0, AccessType::InstFetch);
+    c.access(0x400, AccessType::InstFetch);
+    auto r = c.access(0x0, AccessType::InstFetch);
+    EXPECT_TRUE(r.hit);
+}
+
+TEST(Cache, LruWithinSet)
+{
+    stats::StatGroup root("t");
+    CacheParams p = smallCache();
+    p.assoc = 2; // 16 sets; stride 512 collides
+    Cache c(p, nullptr, &root);
+    c.access(0x000, AccessType::InstFetch);
+    c.access(0x200, AccessType::InstFetch);
+    c.access(0x000, AccessType::InstFetch);   // A now MRU
+    c.access(0x400, AccessType::InstFetch);   // evicts 0x200
+    EXPECT_TRUE(c.access(0x000, AccessType::InstFetch).hit);
+    EXPECT_FALSE(c.access(0x200, AccessType::InstFetch).hit);
+}
+
+TEST(Cache, CapacitySweepEvictsEverything)
+{
+    stats::StatGroup root("t");
+    Cache c(smallCache(), nullptr, &root);
+    // Two full passes over 2x the capacity: every access misses.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 2048; a += 32)
+            c.access(a, AccessType::InstFetch);
+    EXPECT_EQ(c.misses(), c.accesses());
+}
+
+TEST(Cache, FitsInCacheNoRepeatMisses)
+{
+    stats::StatGroup root("t");
+    Cache c(smallCache(), nullptr, &root);
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr a = 0; a < 1024; a += 32)
+            c.access(a, AccessType::InstFetch);
+    // Only the cold pass misses.
+    EXPECT_EQ(c.misses(), 32u);
+    EXPECT_NEAR(c.missRate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    stats::StatGroup root("t");
+    MainMemory mem(32, &root);
+    Cache c(smallCache(), &mem, &root);
+    c.access(0x000, AccessType::Store); // dirty
+    c.access(0x400, AccessType::InstFetch); // evicts dirty block
+    EXPECT_EQ(c.writebacks(), 1u);
+    // Clean eviction: no writeback.
+    c.access(0x800, AccessType::InstFetch);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, ContainsProbeDoesNotTouch)
+{
+    stats::StatGroup root("t");
+    Cache c(smallCache(), nullptr, &root);
+    EXPECT_FALSE(c.contains(0x100));
+    c.access(0x100, AccessType::Load);
+    const auto accesses_before = c.accesses();
+    EXPECT_TRUE(c.contains(0x100));
+    EXPECT_EQ(c.accesses(), accesses_before);
+}
+
+TEST(Cache, InvalidateAllColdsTheCache)
+{
+    stats::StatGroup root("t");
+    Cache c(smallCache(), nullptr, &root);
+    c.access(0x100, AccessType::InstFetch);
+    c.invalidateAll();
+    EXPECT_FALSE(c.access(0x100, AccessType::InstFetch).hit);
+}
+
+TEST(MainMemory, Table1Latency)
+{
+    stats::StatGroup root("t");
+    // Table 1: 80 cycles + 4 per 8 bytes. 64 B line -> 112.
+    MainMemory mem(64, &root);
+    EXPECT_EQ(mem.transferLatency(), 112u);
+    auto r = mem.access(0x0, AccessType::Load);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, 112u);
+    EXPECT_EQ(mem.accesses(), 1u);
+}
+
+} // namespace
+} // namespace drisim

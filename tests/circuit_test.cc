@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Circuit substrate tests: transistor current models, stacking
+ * effect, and the SRAM cell against the paper's Table 2 anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/sram_cell.hh"
+#include "circuit/technology.hh"
+#include "circuit/transistor.hh"
+
+namespace drisim::circuit
+{
+namespace
+{
+
+const Technology tech = Technology::scaled018();
+
+TEST(Transistor, OffCurrentFallsExponentiallyWithVt)
+{
+    const Mosfet lo{Polarity::Nmos, 1.0, 0.2};
+    const Mosfet hi{Polarity::Nmos, 1.0, 0.4};
+    const double ratio = offCurrent(tech, lo) / offCurrent(tech, hi);
+    // Table 2: 1740/50 ~ 34.8x between Vt = 0.2 V and 0.4 V.
+    EXPECT_NEAR(ratio, 34.8, 2.0);
+}
+
+TEST(Transistor, OffCurrentScalesLinearlyWithWidth)
+{
+    const Mosfet w1{Polarity::Nmos, 1.0, 0.2};
+    const Mosfet w2{Polarity::Nmos, 2.0, 0.2};
+    EXPECT_NEAR(offCurrent(tech, w2) / offCurrent(tech, w1), 2.0,
+                1e-9);
+}
+
+TEST(Transistor, LeakageGrowsWithTemperature)
+{
+    const Mosfet m{Polarity::Nmos, 1.0, 0.3};
+    const Technology cold = tech.atTemperature(300.0);
+    const Technology hot = tech.atTemperature(383.15);
+    EXPECT_GT(offCurrent(hot, m), 3.0 * offCurrent(cold, m));
+}
+
+TEST(Transistor, OnCurrentAlphaPower)
+{
+    const Mosfet lo{Polarity::Nmos, 1.0, 0.2};
+    const Mosfet hi{Polarity::Nmos, 1.0, 0.4};
+    const double ratio = onCurrent(tech, lo, tech.vdd) /
+                         onCurrent(tech, hi, tech.vdd);
+    // (0.8/0.6)^alpha = 2.22 by calibration.
+    EXPECT_NEAR(ratio, 2.22, 0.02);
+    EXPECT_EQ(onCurrent(tech, hi, 0.3), 0.0); // below threshold
+}
+
+TEST(Transistor, PmosWeakerThanNmos)
+{
+    const Mosfet n{Polarity::Nmos, 1.0, 0.2};
+    const Mosfet p{Polarity::Pmos, 1.0, 0.2};
+    EXPECT_LT(offCurrent(tech, p), offCurrent(tech, n));
+    EXPECT_LT(onCurrent(tech, p, 1.0), onCurrent(tech, n, 1.0));
+}
+
+TEST(Transistor, NoCurrentWithoutDrainBias)
+{
+    const Mosfet m{Polarity::Nmos, 1.0, 0.2};
+    EXPECT_EQ(subthresholdCurrent(tech, m, 0.0, 0.0), 0.0);
+}
+
+TEST(Stack, SelfReverseBiasReducesLeakage)
+{
+    // The stacking effect [32]: series off-transistors self
+    // reverse-bias at the shared node.
+    const Mosfet top{Polarity::Nmos, 1.0, 0.2};
+    const Mosfet bottom{Polarity::Nmos, 1.0, 0.2};
+    const StackResult r = solveSeriesStack(tech, top, bottom);
+    EXPECT_LT(r.current, 0.7 * offCurrent(tech, top));
+    EXPECT_GT(r.internalNodeV, 0.0);
+    EXPECT_LT(r.internalNodeV, tech.vdd);
+}
+
+TEST(Stack, DiblDeepensTheStackingEffect)
+{
+    // With DIBL modeled, the stacked device's small Vds raises its
+    // effective Vt: equal-Vt stacks then cut leakage ~5-10x, the
+    // textbook figure.
+    Technology dibl_tech = tech;
+    dibl_tech.diblEta = 0.1;
+    const Mosfet top{Polarity::Nmos, 1.0, 0.2};
+    const Mosfet bottom{Polarity::Nmos, 1.0, 0.2};
+    const StackResult r = solveSeriesStack(dibl_tech, top, bottom);
+    EXPECT_LT(r.current, offCurrent(dibl_tech, top) / 5.0);
+
+    const StackResult flat = solveSeriesStack(tech, top, bottom);
+    // Comparing relative reductions (i0 cancels).
+    EXPECT_LT(r.current / offCurrent(dibl_tech, top),
+              flat.current / offCurrent(tech, top));
+}
+
+TEST(Stack, CurrentBalances)
+{
+    const Mosfet top{Polarity::Nmos, 1.035, 0.2};
+    const Mosfet bottom{Polarity::Nmos, 1.1, 0.4};
+    const StackResult r = solveSeriesStack(tech, top, bottom);
+    const double i_top =
+        subthresholdCurrent(tech, top, -r.internalNodeV,
+                            tech.vdd - r.internalNodeV);
+    EXPECT_NEAR(i_top / r.current, 1.0, 1e-3);
+}
+
+TEST(SramCell, Table2ActiveLeakageLowVt)
+{
+    const SramCell cell(tech, tech.vtLow);
+    // Table 2: 1740e-9 nJ per 1 ns cycle.
+    EXPECT_NEAR(cell.activeLeakagePerCycle(), 1740e-9, 60e-9);
+}
+
+TEST(SramCell, Table2ActiveLeakageHighVt)
+{
+    const SramCell cell(tech, tech.vtHigh);
+    // Table 2: 50e-9 nJ per 1 ns cycle.
+    EXPECT_NEAR(cell.activeLeakagePerCycle(), 50e-9, 5e-9);
+}
+
+TEST(SramCell, Table2RelativeReadTimes)
+{
+    const SramCell lo(tech, tech.vtLow);
+    const SramCell hi(tech, tech.vtHigh);
+    EXPECT_NEAR(lo.relativeReadTime(), 1.00, 0.01);
+    EXPECT_NEAR(hi.relativeReadTime(), 2.22, 0.05);
+}
+
+TEST(SramCell, LeakageEnergyScalesWithCycleTime)
+{
+    const SramCell cell(tech, tech.vtLow);
+    EXPECT_NEAR(cell.activeLeakagePerCycle(2.0),
+                2.0 * cell.activeLeakagePerCycle(1.0), 1e-15);
+}
+
+TEST(SramCell, ReadTimeGrowsWithRowsAndSeriesResistance)
+{
+    const SramCell cell(tech, tech.vtLow);
+    EXPECT_GT(cell.readTimeNs(512), cell.readTimeNs(256));
+    EXPECT_GT(cell.readTimeNs(256, 1000.0), cell.readTimeNs(256));
+}
+
+} // namespace
+} // namespace drisim::circuit

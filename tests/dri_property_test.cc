@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Property-based tests for the DRI i-cache, parameterized over
+ * geometry (size, associativity, block size, size-bound,
+ * divisibility). Invariants checked against a reference model and
+ * against the cache's own bookkeeping under randomized access and
+ * resize sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dri_icache.hh"
+#include "mem/cache.hh"
+#include "stats/stats.hh"
+#include "util/random.hh"
+
+namespace drisim
+{
+namespace
+{
+
+struct Geometry
+{
+    std::uint64_t sizeBytes;
+    unsigned assoc;
+    unsigned blockBytes;
+    std::uint64_t sizeBound;
+    unsigned divisibility;
+};
+
+class DriPropertyTest : public ::testing::TestWithParam<Geometry>
+{
+};
+
+DriParams
+paramsFor(const Geometry &g)
+{
+    DriParams p;
+    p.sizeBytes = g.sizeBytes;
+    p.assoc = g.assoc;
+    p.blockBytes = g.blockBytes;
+    p.sizeBoundBytes = g.sizeBound;
+    p.divisibility = g.divisibility;
+    p.missBound = 50;
+    p.senseInterval = 500;
+    return p;
+}
+
+/**
+ * Invariant: a hit in the DRI i-cache implies the block was fetched
+ * earlier and not destroyed by an intervening downsize of its set
+ * nor remapped by a resize. We track a shadow set of "certainly
+ * absent" blocks: any block never accessed must never hit.
+ */
+TEST_P(DriPropertyTest, NeverHitsUnfetchedBlocks)
+{
+    const Geometry g = GetParam();
+    stats::StatGroup root("t");
+    DriICache c(paramsFor(g), nullptr, &root);
+    Rng rng(g.sizeBytes + g.assoc * 131 + g.divisibility);
+
+    std::set<Addr> fetched;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr block = rng.range(4096);
+        const Addr addr = block * g.blockBytes;
+        const bool hit = c.access(addr, AccessType::InstFetch).hit;
+        if (hit) {
+            EXPECT_TRUE(fetched.count(block)) << "phantom hit";
+        }
+        fetched.insert(block);
+        if (i % 100 == 0)
+            c.retireInstructions(100);
+    }
+}
+
+/** Invariant: the set count is always a power of two within
+ *  [minSets, maxSets], whatever the resize history. */
+TEST_P(DriPropertyTest, SetCountStaysInRange)
+{
+    const Geometry g = GetParam();
+    stats::StatGroup root("t");
+    DriICache c(paramsFor(g), nullptr, &root);
+    Rng rng(g.sizeBytes * 3 + g.blockBytes);
+
+    const std::uint64_t min_sets = c.sizeMask().minSets();
+    const std::uint64_t max_sets = c.sizeMask().maxSets();
+    for (int i = 0; i < 300; ++i) {
+        const int burst = static_cast<int>(rng.range(200));
+        for (int j = 0; j < burst; ++j)
+            c.access(rng.range(1 << 20) * g.blockBytes,
+                     AccessType::InstFetch);
+        c.retireInstructions(rng.range(1000));
+        const std::uint64_t sets = c.currentSets();
+        EXPECT_GE(sets, min_sets);
+        EXPECT_LE(sets, max_sets);
+        EXPECT_EQ(sets & (sets - 1), 0u) << "not a power of two";
+    }
+}
+
+/** Invariant: accesses = hits + misses, and the active fraction
+ *  equals currentSets / maxSets at all times. */
+TEST_P(DriPropertyTest, CountsAreConsistent)
+{
+    const Geometry g = GetParam();
+    stats::StatGroup root("t");
+    DriICache c(paramsFor(g), nullptr, &root);
+    Rng rng(g.sizeBound + 17);
+
+    std::uint64_t hits = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const Addr addr = rng.range(2048) * g.blockBytes;
+        hits += c.access(addr, AccessType::InstFetch).hit ? 1 : 0;
+        if (i % 500 == 0)
+            c.retireInstructions(500);
+        EXPECT_DOUBLE_EQ(
+            c.activeFraction(),
+            static_cast<double>(c.currentSets()) /
+                static_cast<double>(c.sizeMask().maxSets()));
+    }
+    EXPECT_EQ(c.accesses(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(c.accesses() - c.misses(), hits);
+}
+
+/**
+ * Behavioural equivalence: with adaptation disabled, the DRI
+ * i-cache at full size must produce exactly the same hit/miss
+ * sequence as a conventional direct-mapped/set-associative cache
+ * of the same geometry.
+ */
+TEST_P(DriPropertyTest, NonAdaptiveMatchesConventional)
+{
+    const Geometry g = GetParam();
+    stats::StatGroup root("t");
+    DriParams p = paramsFor(g);
+    p.adaptive = false;
+    DriICache dri(p, nullptr, &root);
+
+    CacheParams cp;
+    cp.name = "ref";
+    cp.sizeBytes = g.sizeBytes;
+    cp.assoc = g.assoc;
+    cp.blockBytes = g.blockBytes;
+    Cache ref(cp, nullptr, &root);
+
+    Rng rng(g.sizeBytes ^ 0xdead);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.range(1 << 14) * g.blockBytes;
+        const bool a = dri.access(addr, AccessType::InstFetch).hit;
+        const bool b = ref.access(addr, AccessType::InstFetch).hit;
+        ASSERT_EQ(a, b) << "divergence at access " << i;
+    }
+}
+
+/**
+ * Invariant: blocks whose min-size index keeps them in the powered
+ * region survive an immediate downsize; a hit after downsizing is
+ * only legal for such blocks.
+ */
+TEST_P(DriPropertyTest, SurvivorsAreLowSets)
+{
+    const Geometry g = GetParam();
+    if (g.sizeBound == g.sizeBytes)
+        GTEST_SKIP() << "no resizing range";
+    stats::StatGroup root("t");
+    DriParams p = paramsFor(g);
+    p.missBound = 1000000; // force downsizing at every interval
+    DriICache c(p, nullptr, &root);
+
+    // Touch every set once.
+    const std::uint64_t sets = c.currentSets();
+    for (std::uint64_t s = 0; s < sets; ++s)
+        c.access(s * g.blockBytes, AccessType::InstFetch);
+
+    c.retireInstructions(p.senseInterval); // downsize
+    const std::uint64_t new_sets = c.currentSets();
+    ASSERT_LT(new_sets, sets);
+
+    for (std::uint64_t s = 0; s < sets; ++s) {
+        const bool hit =
+            c.access(s * g.blockBytes, AccessType::InstFetch).hit;
+        if (s < new_sets) {
+            EXPECT_TRUE(hit) << "low set " << s << " lost";
+        } else {
+            EXPECT_FALSE(hit) << "gated set " << s << " retained";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DriPropertyTest,
+    ::testing::Values(
+        Geometry{8 * 1024, 1, 32, 1024, 2},
+        Geometry{8 * 1024, 2, 32, 1024, 2},
+        Geometry{16 * 1024, 4, 32, 2048, 2},
+        Geometry{8 * 1024, 1, 64, 2048, 2},
+        Geometry{64 * 1024, 1, 32, 1024, 2},
+        Geometry{64 * 1024, 4, 32, 4096, 4},
+        Geometry{16 * 1024, 1, 16, 1024, 8},
+        Geometry{4 * 1024, 1, 32, 4 * 1024, 2}),
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        const Geometry &g = info.param;
+        return std::to_string(g.sizeBytes / 1024) + "K_a" +
+               std::to_string(g.assoc) + "_b" +
+               std::to_string(g.blockBytes) + "_sb" +
+               std::to_string(g.sizeBound / 1024) + "K_d" +
+               std::to_string(g.divisibility);
+    });
+
+} // namespace
+} // namespace drisim

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Energy-accounting tests: the Section 5.2 formulas, the Section
+ * 5.2.1 ratio checks, and agreement between the published constants
+ * and the circuit-derived ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/accounting.hh"
+#include "energy/energy_model.hh"
+
+namespace drisim
+{
+namespace
+{
+
+RunMeasurement
+conv(Cycles cycles = 1000000, std::uint64_t accesses = 1000000,
+     std::uint64_t misses = 1000)
+{
+    RunMeasurement m;
+    m.cycles = cycles;
+    m.instructions = cycles;
+    m.l1iAccesses = accesses;
+    m.l1iMisses = misses;
+    m.avgActiveFraction = 1.0;
+    m.resizingTagBits = 0;
+    return m;
+}
+
+TEST(EnergyModel, ConventionalLeakage)
+{
+    const EnergyConstants c = EnergyConstants::paper();
+    const auto e = conventionalEnergy(c, conv());
+    // 0.91 nJ/cycle * 1M cycles.
+    EXPECT_NEAR(e.l1LeakageNJ, 0.91e6, 1.0);
+    EXPECT_EQ(e.extraL1DynamicNJ, 0.0);
+    EXPECT_EQ(e.extraL2DynamicNJ, 0.0);
+}
+
+TEST(EnergyModel, DriLeakageScalesWithActiveFraction)
+{
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement dri = conv();
+    dri.avgActiveFraction = 0.25;
+    const auto e = driEnergy(c, dri, conv());
+    EXPECT_NEAR(e.l1LeakageNJ, 0.25 * 0.91e6, 1.0);
+}
+
+TEST(EnergyModel, ExtraL1DynamicFollowsResizingBits)
+{
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement dri = conv();
+    dri.resizingTagBits = 5;
+    const auto e = driEnergy(c, dri, conv());
+    // 5 bits * 0.0022 nJ * 1M accesses.
+    EXPECT_NEAR(e.extraL1DynamicNJ, 5 * 0.0022 * 1e6, 1.0);
+}
+
+TEST(EnergyModel, ExtraL2ChargesOnlyExtraMisses)
+{
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement dri = conv();
+    dri.l1iMisses = 5000; // 4000 extra over the baseline's 1000
+    const auto e = driEnergy(c, dri, conv());
+    EXPECT_NEAR(e.extraL2DynamicNJ, 3.6 * 4000, 1e-6);
+
+    // Fewer misses than conventional: clamped to zero.
+    dri.l1iMisses = 500;
+    const auto e2 = driEnergy(c, dri, conv());
+    EXPECT_EQ(e2.extraL2DynamicNJ, 0.0);
+}
+
+TEST(EnergyModel, Section521L1DynamicRatio)
+{
+    // Paper: with 5 resizing bits and a 50% active fraction, the
+    // extra L1 dynamic energy is ~2.4% of the L1 leakage energy
+    // (accesses ~ cycles).
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement dri = conv();
+    dri.resizingTagBits = 5;
+    dri.avgActiveFraction = 0.5;
+    const auto e = driEnergy(c, dri, conv());
+    EXPECT_NEAR(e.extraL1DynamicNJ / e.l1LeakageNJ, 0.024, 0.002);
+}
+
+TEST(EnergyModel, Section521L2DynamicRatio)
+{
+    // Paper: at a 1% absolute extra miss rate and 50% active
+    // fraction, extra L2 dynamic is ~8% of L1 leakage.
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement base = conv(1000000, 1000000, 0);
+    RunMeasurement dri = base;
+    dri.avgActiveFraction = 0.5;
+    dri.l1iMisses = 10000; // 1% of accesses
+    const auto e = driEnergy(c, dri, base);
+    EXPECT_NEAR(e.extraL2DynamicNJ / e.l1LeakageNJ, 0.079, 0.005);
+}
+
+TEST(EnergyModel, LeakageScalesWithCacheSize)
+{
+    const EnergyConstants c = EnergyConstants::paper();
+    EXPECT_NEAR(c.leakPerCycleNJ(128 * 1024), 1.82, 1e-9);
+    EXPECT_NEAR(c.leakPerCycleNJ(32 * 1024), 0.455, 1e-9);
+}
+
+TEST(EnergyModel, DerivedConstantsMatchPaper)
+{
+    const EnergyConstants paper = EnergyConstants::paper();
+    const EnergyConstants derived = EnergyConstants::derived(
+        circuit::Technology::scaled018(), circuit::l1Geometry(),
+        circuit::l2Geometry());
+    EXPECT_NEAR(derived.l1LeakPerCycleNJ, paper.l1LeakPerCycleNJ,
+                0.02);
+    EXPECT_NEAR(derived.bitlinePerAccessNJ, paper.bitlinePerAccessNJ,
+                0.0003);
+    EXPECT_NEAR(derived.l2PerAccessNJ, paper.l2PerAccessNJ, 0.2);
+}
+
+TEST(Accounting, RelativeEnergyDelayOfIdenticalRunIsActiveFraction)
+{
+    // Same cycles/misses, full active fraction, no resizing bits:
+    // the DRI run degenerates to the conventional cache.
+    const EnergyConstants c = EnergyConstants::paper();
+    const auto r = compareRuns(c, conv(), conv());
+    EXPECT_NEAR(r.relativeEnergyDelay(), 1.0, 1e-9);
+    EXPECT_NEAR(r.slowdownPercent(), 0.0, 1e-9);
+}
+
+TEST(Accounting, ComponentsSumToTotal)
+{
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement dri = conv();
+    dri.avgActiveFraction = 0.3;
+    dri.resizingTagBits = 6;
+    dri.l1iMisses = 3000;
+    dri.cycles = 1050000;
+    const auto r = compareRuns(c, conv(), dri);
+    EXPECT_NEAR(r.relativeEdLeakage() + r.relativeEdDynamic(),
+                r.relativeEnergyDelay(), 1e-9);
+}
+
+TEST(Accounting, SlowdownSignsAreRight)
+{
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement dri = conv();
+    dri.cycles = 1040000;
+    auto r = compareRuns(c, conv(), dri);
+    EXPECT_NEAR(r.slowdownPercent(), 4.0, 1e-6);
+}
+
+TEST(Accounting, HeadlineShapeA62PercentReduction)
+{
+    // A representative Figure 3 bar: active fraction ~0.35, 6
+    // resizing bits, small extra misses, 2% slowdown -> relative
+    // energy-delay lands in the 0.3-0.45 band (a 55-70% reduction).
+    const EnergyConstants c = EnergyConstants::paper();
+    RunMeasurement base = conv();
+    RunMeasurement dri = base;
+    dri.avgActiveFraction = 0.35;
+    dri.resizingTagBits = 6;
+    dri.l1iMisses = base.l1iMisses + 2000;
+    dri.cycles = 1020000;
+    const auto r = compareRuns(c, base, dri);
+    EXPECT_GT(r.relativeEnergyDelay(), 0.30);
+    EXPECT_LT(r.relativeEnergyDelay(), 0.45);
+}
+
+} // namespace
+} // namespace drisim

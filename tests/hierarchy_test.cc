@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory-system wiring tests against the Table 1 configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace drisim
+{
+namespace
+{
+
+TEST(Hierarchy, Table1Defaults)
+{
+    const HierarchyParams p;
+    EXPECT_EQ(p.l1i.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l1i.assoc, 1u);
+    EXPECT_EQ(p.l1i.hitLatency, 1u);
+    EXPECT_EQ(p.l1d.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l1d.assoc, 2u);
+    EXPECT_EQ(p.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(p.l2.assoc, 4u);
+    EXPECT_EQ(p.l2.hitLatency, 12u);
+}
+
+TEST(Hierarchy, BuildsConventionalL1i)
+{
+    stats::StatGroup root("t");
+    Hierarchy h(HierarchyParams{}, &root, true);
+    ASSERT_NE(h.convL1i(), nullptr);
+    EXPECT_EQ(h.l1i(), h.convL1i());
+}
+
+TEST(Hierarchy, L1MissFillsL2)
+{
+    stats::StatGroup root("t");
+    Hierarchy h(HierarchyParams{}, &root, true);
+    h.l1i()->access(0x1000, AccessType::InstFetch);
+    EXPECT_EQ(h.l2().accesses(), 1u);
+    EXPECT_EQ(h.mem().accesses(), 1u);
+    // L1 hit afterwards: no new L2 traffic.
+    h.l1i()->access(0x1000, AccessType::InstFetch);
+    EXPECT_EQ(h.l2().accesses(), 1u);
+}
+
+TEST(Hierarchy, L2SharedBetweenInstAndData)
+{
+    stats::StatGroup root("t");
+    Hierarchy h(HierarchyParams{}, &root, true);
+    // Instruction fetch brings the 64 B L2 line in; a data access
+    // to the same line hits in L2.
+    h.l1i()->access(0x2000, AccessType::InstFetch);
+    auto r = h.l1d().access(0x2020, AccessType::Load);
+    EXPECT_FALSE(r.hit); // L1D miss
+    EXPECT_EQ(h.mem().accesses(), 1u); // but no second memory trip
+}
+
+TEST(Hierarchy, DcacheMissLatencyChain)
+{
+    stats::StatGroup root("t");
+    Hierarchy h(HierarchyParams{}, &root, true);
+    auto r = h.l1d().access(0x3000, AccessType::Load);
+    // 1 (L1D) + 12 (L2) + 112 (memory 64 B) cycles.
+    EXPECT_EQ(r.latency, 125u);
+}
+
+TEST(Hierarchy, ExternalL1iInstallable)
+{
+    stats::StatGroup root("t");
+    Hierarchy h(HierarchyParams{}, &root, false);
+    EXPECT_EQ(h.convL1i(), nullptr);
+    // The DRI i-cache (or any MemoryLevel) can take the slot.
+    MainMemory fake(32, &root);
+    h.setL1I(&fake);
+    EXPECT_EQ(h.l1i(), &fake);
+}
+
+} // namespace
+} // namespace drisim

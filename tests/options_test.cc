@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Option-parser tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/options.hh"
+
+namespace drisim
+{
+namespace
+{
+
+bool
+parse(std::initializer_list<const char *> args, Options &out,
+      std::string &err)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return parseOptions(static_cast<int>(argv.size()), argv.data(),
+                        out, err);
+}
+
+TEST(Options, Defaults)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({}, o, err));
+    EXPECT_EQ(o.benchmark, "compress");
+    EXPECT_EQ(o.dri.sizeBytes, 64u * 1024);
+    EXPECT_TRUE(o.unknown.empty());
+}
+
+TEST(Options, ParsesRunAndBenchmark)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(
+        parse({"instrs=500000", "benchmark=gcc"}, o, err));
+    EXPECT_EQ(o.run.maxInstrs, 500000u);
+    EXPECT_EQ(o.benchmark, "gcc");
+}
+
+TEST(Options, ParsesGeometryWithSuffixes)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"l1i.size=128K", "l1i.assoc=4",
+                       "l1i.block=64"},
+                      o, err));
+    EXPECT_EQ(o.run.hier.l1i.sizeBytes, 128u * 1024);
+    EXPECT_EQ(o.dri.sizeBytes, 128u * 1024);
+    EXPECT_EQ(o.dri.assoc, 4u);
+    EXPECT_EQ(o.dri.blockBytes, 64u);
+    EXPECT_EQ(o.run.core.fetchBlockBytes, 64u);
+}
+
+TEST(Options, ParsesDriKnobs)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"dri.size_bound=2K", "dri.miss_bound=123",
+                       "dri.interval=50000", "dri.divisibility=4",
+                       "dri.throttle_hold=7", "dri.adaptive=0"},
+                      o, err));
+    EXPECT_EQ(o.dri.sizeBoundBytes, 2048u);
+    EXPECT_EQ(o.dri.missBound, 123u);
+    EXPECT_EQ(o.dri.senseInterval, 50000u);
+    EXPECT_EQ(o.dri.divisibility, 4u);
+    EXPECT_EQ(o.dri.throttleHoldIntervals, 7u);
+    EXPECT_FALSE(o.dri.adaptive);
+}
+
+TEST(Options, CollectsUnknownKeys)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"nonsense=1", "instrs=10"}, o, err));
+    ASSERT_EQ(o.unknown.size(), 1u);
+    EXPECT_EQ(o.unknown[0], "nonsense");
+    EXPECT_EQ(o.run.maxInstrs, 10u);
+}
+
+TEST(Options, RejectsMalformedTokens)
+{
+    Options o;
+    std::string err;
+    EXPECT_FALSE(parse({"no_equals"}, o, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parse({"=value"}, o, err));
+}
+
+TEST(Options, RejectsBadValues)
+{
+    Options o;
+    std::string err;
+    EXPECT_FALSE(parse({"instrs=abc"}, o, err));
+    EXPECT_FALSE(parse({"instrs=0"}, o, err));
+    EXPECT_FALSE(parse({"l1i.size=banana"}, o, err));
+    EXPECT_FALSE(parse({"dri.divisibility=1"}, o, err));
+    EXPECT_FALSE(parse({"dri.adaptive=maybe"}, o, err));
+}
+
+TEST(Options, UsageMentionsEveryKey)
+{
+    const std::string u = optionsUsage();
+    for (const char *key :
+         {"instrs", "benchmark", "l1i.size", "l1i.assoc",
+          "l1i.block", "dri.size_bound", "dri.miss_bound",
+          "dri.interval", "dri.divisibility", "dri.throttle_hold",
+          "dri.adaptive"})
+        EXPECT_NE(u.find(key), std::string::npos) << key;
+}
+
+} // namespace
+} // namespace drisim

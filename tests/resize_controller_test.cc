@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Resize-controller tests: miss-bound decisions, interval
+ * accounting, and the oscillation throttle (Section 2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/resize_controller.hh"
+
+namespace drisim
+{
+namespace
+{
+
+DriParams
+params(std::uint64_t missBound = 100, InstCount interval = 1000)
+{
+    DriParams p;
+    p.missBound = missBound;
+    p.senseInterval = interval;
+    return p;
+}
+
+TEST(ResizeController, IntervalBoundaryDetection)
+{
+    ResizeController c(params(100, 1000));
+    EXPECT_FALSE(c.recordInstructions(999));
+    EXPECT_TRUE(c.recordInstructions(1));
+    // Large batches can cross multiple boundaries.
+    EXPECT_TRUE(c.recordInstructions(2500));
+    EXPECT_TRUE(c.recordInstructions(0));
+    EXPECT_FALSE(c.recordInstructions(0));
+}
+
+TEST(ResizeController, FewMissesMeansDownsize)
+{
+    ResizeController c(params(100));
+    c.recordMiss(10);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Downsize);
+}
+
+TEST(ResizeController, ManyMissesMeansUpsize)
+{
+    ResizeController c(params(100));
+    c.recordMiss(500);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Upsize);
+}
+
+TEST(ResizeController, ExactBoundHolds)
+{
+    ResizeController c(params(100));
+    c.recordMiss(100);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Hold);
+}
+
+TEST(ResizeController, BoundsSuppressResizing)
+{
+    ResizeController c(params(100));
+    c.recordMiss(10);
+    EXPECT_EQ(c.endInterval(true, false), ResizeDecision::Hold);
+    c.recordMiss(500);
+    EXPECT_EQ(c.endInterval(false, true), ResizeDecision::Hold);
+}
+
+TEST(ResizeController, MissCounterResetsEachInterval)
+{
+    ResizeController c(params(100));
+    c.recordMiss(500);
+    c.endInterval(false, false);
+    EXPECT_EQ(c.missCount(), 0u);
+    c.recordMiss(10);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Downsize);
+}
+
+TEST(ResizeController, NonAdaptiveAlwaysHolds)
+{
+    DriParams p = params(100);
+    p.adaptive = false;
+    ResizeController c(p);
+    c.recordMiss(10000);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Hold);
+}
+
+TEST(ResizeController, OscillationTriggersThrottle)
+{
+    // 3-bit counter triggers at 4 reversals (MSB rule); the freeze
+    // then blocks downsizing for throttleHoldIntervals intervals.
+    DriParams p = params(100);
+    ResizeController c(p);
+
+    auto flip = [&](bool up) {
+        c.recordMiss(up ? 500 : 0);
+        ResizeDecision d = c.endInterval(false, false);
+        c.noteApplied(d);
+        return d;
+    };
+
+    // Alternate down/up; each non-first resize is a reversal.
+    flip(false);
+    int reversals = 0;
+    bool up = true;
+    while (c.throttleEvents() == 0 && reversals < 20) {
+        flip(up);
+        up = !up;
+        ++reversals;
+    }
+    EXPECT_EQ(c.throttleEvents(), 1u);
+    EXPECT_EQ(reversals, 4);
+    EXPECT_TRUE(c.downsizeFrozen());
+
+    // While frozen, few misses must not downsize.
+    c.recordMiss(0);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Hold);
+    // But upsizing stays allowed.
+    c.recordMiss(500);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Upsize);
+}
+
+TEST(ResizeController, FreezeExpiresAfterHoldIntervals)
+{
+    DriParams p = params(100);
+    p.throttleHoldIntervals = 3;
+    ResizeController c(p);
+
+    auto flip = [&](bool up) {
+        c.recordMiss(up ? 500 : 0);
+        c.noteApplied(c.endInterval(false, false));
+    };
+    flip(false);
+    for (int i = 0; i < 4; ++i)
+        flip(i % 2 == 0);
+    ASSERT_TRUE(c.downsizeFrozen());
+
+    // Three Hold intervals tick the freeze down.
+    for (int i = 0; i < 3; ++i) {
+        c.recordMiss(100); // exact bound -> hold
+        c.endInterval(false, false);
+    }
+    EXPECT_FALSE(c.downsizeFrozen());
+    c.recordMiss(0);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Downsize);
+}
+
+TEST(ResizeController, SteadyResizingDoesNotThrottle)
+{
+    // Monotone downsizing (no reversals) must never freeze.
+    ResizeController c(params(100));
+    for (int i = 0; i < 10; ++i) {
+        c.recordMiss(0);
+        ResizeDecision d = c.endInterval(false, false);
+        EXPECT_EQ(d, ResizeDecision::Downsize);
+        c.noteApplied(d);
+    }
+    EXPECT_EQ(c.throttleEvents(), 0u);
+}
+
+TEST(ResizeController, IntervalCountAdvances)
+{
+    ResizeController c(params());
+    c.endInterval(false, false);
+    c.endInterval(false, false);
+    EXPECT_EQ(c.intervals(), 2u);
+}
+
+} // namespace
+} // namespace drisim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fast fetch-driven model tests: the cycle estimate formula and the
+ * exactness of its cache behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/simple_core.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+
+namespace drisim
+{
+namespace
+{
+
+class SeqStream : public InstrStream
+{
+  public:
+    SeqStream(Addr base, InstCount n) : pc_(base), left_(n) {}
+
+    bool
+    next(Instr &out) override
+    {
+        if (left_ == 0)
+            return false;
+        --left_;
+        out = Instr{};
+        out.pc = pc_;
+        out.op = OpClass::IntAlu;
+        out.nextPc = pc_ + kInstrBytes;
+        pc_ += kInstrBytes;
+        return true;
+    }
+
+  private:
+    Addr pc_;
+    InstCount left_;
+};
+
+TEST(SimpleCore, CycleFormula)
+{
+    stats::StatGroup root("t");
+    MainMemory mem(32, &root);
+    Cache icache(CacheParams{"ic", 1024, 1, 32, 1, ReplPolicy::LRU},
+                 &mem, &root);
+    SimpleCoreParams p;
+    p.baseCpi = 0.5;
+    p.missOverlap = 0.8;
+    SimpleCore core(p, &icache);
+
+    // 1024 sequential instructions sweep 128 blocks; the 1 KB cache
+    // holds 32, so every block misses (cold + capacity on wrap).
+    SeqStream s(0x0, 1024);
+    auto r = core.run(s, 1u << 30);
+    EXPECT_EQ(r.instructions, 1024u);
+    const double expect = 0.5 * 1024.0 +
+                          0.8 * static_cast<double>(
+                                    core.missStallCycles());
+    EXPECT_NEAR(static_cast<double>(r.cycles), expect, 1.0);
+    EXPECT_EQ(icache.misses(), 128u);
+    // Each miss stalls (1 + 12/L2miss...) here: L2-less chain to
+    // memory: 80 + 16 = 96 + 1 - 1 hit cycle.
+    EXPECT_EQ(core.missStallCycles(), 128u * (80 + 16));
+}
+
+TEST(SimpleCore, OneAccessPerBlockNotPerInstr)
+{
+    stats::StatGroup root("t");
+    Cache icache(
+        CacheParams{"ic", 64 * 1024, 1, 32, 1, ReplPolicy::LRU},
+        nullptr, &root);
+    SimpleCore core(SimpleCoreParams{}, &icache);
+    SeqStream s(0x0, 800);
+    core.run(s, 1u << 30);
+    // 800 instructions = 100 blocks = 100 cache accesses.
+    EXPECT_EQ(icache.accesses(), 100u);
+}
+
+TEST(SimpleCore, TakenBranchForcesNewBlockAccess)
+{
+    stats::StatGroup root("t");
+    Cache icache(
+        CacheParams{"ic", 64 * 1024, 1, 32, 1, ReplPolicy::LRU},
+        nullptr, &root);
+    SimpleCore core(SimpleCoreParams{}, &icache);
+
+    // Two instructions in the SAME block, joined by a taken jump:
+    // the refetch after the jump recharges the block access.
+    class JumpStream : public InstrStream
+    {
+      public:
+        bool
+        next(Instr &out) override
+        {
+            if (n_ >= 100)
+                return false;
+            out = Instr{};
+            out.pc = 0x1000 + (n_ % 2) * 4;
+            out.op = OpClass::Jump;
+            out.taken = true;
+            out.nextPc = 0x1000 + ((n_ + 1) % 2) * 4;
+            ++n_;
+            return true;
+        }
+
+      private:
+        int n_ = 0;
+    } s;
+    core.run(s, 1u << 30);
+    EXPECT_EQ(icache.accesses(), 100u);
+}
+
+TEST(SimpleCore, RespectsMaxInstrs)
+{
+    stats::StatGroup root("t");
+    Cache icache(
+        CacheParams{"ic", 64 * 1024, 1, 32, 1, ReplPolicy::LRU},
+        nullptr, &root);
+    SimpleCore core(SimpleCoreParams{}, &icache);
+    SeqStream s(0x0, 1000000);
+    auto r = core.run(s, 2500);
+    EXPECT_EQ(r.instructions, 2500u);
+}
+
+} // namespace
+} // namespace drisim

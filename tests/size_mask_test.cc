@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Size-mask tests (Figure 1): index selection across resizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/size_mask.hh"
+
+namespace drisim
+{
+namespace
+{
+
+// 64 KB direct-mapped, 32 B blocks, 1 KB size-bound:
+// offset 5 bits, index 5..11 bits.
+SizeMask
+mask64K()
+{
+    return SizeMask(5, 5, 11);
+}
+
+TEST(SizeMask, StartsAtMaximum)
+{
+    SizeMask m = mask64K();
+    EXPECT_EQ(m.numSets(), 2048u);
+    EXPECT_TRUE(m.atMaximum());
+    EXPECT_FALSE(m.atMinimum());
+    EXPECT_EQ(m.mask(), 0x7FFull);
+}
+
+TEST(SizeMask, ShrinkHalvesSets)
+{
+    SizeMask m = mask64K();
+    EXPECT_TRUE(m.shrink(2));
+    EXPECT_EQ(m.numSets(), 1024u);
+    EXPECT_TRUE(m.shrink(2));
+    EXPECT_EQ(m.numSets(), 512u);
+}
+
+TEST(SizeMask, ShrinkClampsAtMinimum)
+{
+    SizeMask m = mask64K();
+    for (int i = 0; i < 10; ++i)
+        m.shrink(2);
+    EXPECT_EQ(m.numSets(), 32u);
+    EXPECT_TRUE(m.atMinimum());
+    EXPECT_FALSE(m.shrink(2));
+}
+
+TEST(SizeMask, GrowClampsAtMaximum)
+{
+    SizeMask m = mask64K();
+    m.setNumSets(32);
+    EXPECT_TRUE(m.grow(2));
+    EXPECT_EQ(m.numSets(), 64u);
+    for (int i = 0; i < 10; ++i)
+        m.grow(2);
+    EXPECT_EQ(m.numSets(), 2048u);
+    EXPECT_FALSE(m.grow(2));
+}
+
+TEST(SizeMask, Divisibility4StepsTwoBits)
+{
+    SizeMask m = mask64K();
+    EXPECT_TRUE(m.shrink(4));
+    EXPECT_EQ(m.numSets(), 512u);
+    EXPECT_TRUE(m.grow(4));
+    EXPECT_EQ(m.numSets(), 2048u);
+}
+
+TEST(SizeMask, PartialStepClampsToBound)
+{
+    SizeMask m(5, 5, 6); // 32..64 sets only
+    EXPECT_TRUE(m.shrink(4)); // would go to 16; clamps to 32
+    EXPECT_EQ(m.numSets(), 32u);
+}
+
+TEST(SizeMask, IndexUsesMaskedBits)
+{
+    SizeMask m = mask64K();
+    const Addr addr = 0x0001'2345;
+    // Full size: bits [15:5].
+    EXPECT_EQ(m.indexFor(addr), (addr >> 5) & 0x7FF);
+    m.setNumSets(32);
+    // 1 KB: bits [9:5].
+    EXPECT_EQ(m.indexFor(addr), (addr >> 5) & 0x1F);
+    // Min-index helper is size independent.
+    EXPECT_EQ(m.minIndexFor(addr), (addr >> 5) & 0x1F);
+}
+
+TEST(SizeMask, DownsizingRemovesHighestNumberedSets)
+{
+    // Paper: "downsizing removes the highest-numbered sets in
+    // groups of powers of two" — indexes below the new set count
+    // are unchanged by resizing.
+    SizeMask m = mask64K();
+    const Addr addr = 0x40; // block 2, set 2 at any size
+    const auto idx_full = m.indexFor(addr);
+    m.setNumSets(32);
+    EXPECT_EQ(m.indexFor(addr), idx_full);
+}
+
+TEST(SizeMask, SetNumSetsValidatesRange)
+{
+    SizeMask m = mask64K();
+    m.setNumSets(256);
+    EXPECT_EQ(m.indexBits(), 8u);
+    EXPECT_EQ(m.minSets(), 32u);
+    EXPECT_EQ(m.maxSets(), 2048u);
+}
+
+} // namespace
+} // namespace drisim

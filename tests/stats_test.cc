@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace drisim::stats
+{
+namespace
+{
+
+TEST(Scalar, CountsAndResets)
+{
+    StatGroup g("g");
+    Scalar s(&g, "events", "event count");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 41;
+    EXPECT_EQ(s.value(), 42u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Scalar, SetOverwrites)
+{
+    StatGroup g("g");
+    Scalar s(&g, "x", "");
+    s.set(100);
+    EXPECT_EQ(s.value(), 100u);
+}
+
+TEST(Average, Mean)
+{
+    StatGroup g("g");
+    Average a(&g, "avg", "");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    a.sample(2.0, 2);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.samples(), 4u);
+}
+
+TEST(Distribution, Buckets)
+{
+    StatGroup g("g");
+    Distribution d(&g, "d", "", 0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(0.5);
+    d.sample(2.5);
+    d.sample(9.99);
+    d.sample(10.0);
+    d.sample(50.0);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 2u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 1u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_EQ(d.samples(), 6u);
+}
+
+TEST(Distribution, WeightedSamplesAndMean)
+{
+    StatGroup g("g");
+    Distribution d(&g, "d", "", 0.0, 4.0, 4);
+    d.sample(1.0, 3);
+    d.sample(3.0, 1);
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.5);
+}
+
+TEST(StatGroup, DumpHierarchy)
+{
+    StatGroup root("sim");
+    StatGroup child(&root, "cache");
+    Scalar hits(&child, "hits", "cache hits");
+    hits += 7;
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sim.cache.hits 7"), std::string::npos);
+    EXPECT_NE(out.find("# cache hits"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup root("sim");
+    StatGroup child(&root, "c");
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, FindByName)
+{
+    StatGroup g("g");
+    Scalar s(&g, "needle", "");
+    EXPECT_EQ(g.find("needle"), &s);
+    EXPECT_EQ(g.find("missing"), nullptr);
+}
+
+} // namespace
+} // namespace drisim::stats

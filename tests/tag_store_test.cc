@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TagStore unit tests: lookup, insertion, LRU victims, invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tag_store.hh"
+
+namespace drisim
+{
+namespace
+{
+
+TEST(TagStore, MissThenHit)
+{
+    TagStore ts(16, 2);
+    EXPECT_EQ(ts.findWay(3, 0xABC), TagStore::kNoWay);
+    ts.insert(3, 0xABC);
+    EXPECT_NE(ts.findWay(3, 0xABC), TagStore::kNoWay);
+    EXPECT_EQ(ts.findWay(4, 0xABC), TagStore::kNoWay);
+}
+
+TEST(TagStore, FillsInvalidWaysFirst)
+{
+    TagStore ts(4, 4);
+    for (Addr a = 0; a < 4; ++a) {
+        CacheBlk evicted = ts.insert(0, 0x100 + a);
+        EXPECT_FALSE(evicted.valid);
+    }
+    EXPECT_EQ(ts.validCount(), 4u);
+}
+
+TEST(TagStore, LruEvictsLeastRecentlyTouched)
+{
+    TagStore ts(1, 2);
+    ts.insert(0, 0xA);
+    ts.insert(0, 0xB);
+    // Touch A so B becomes LRU.
+    ts.touch(0, static_cast<unsigned>(ts.findWay(0, 0xA)));
+    CacheBlk evicted = ts.insert(0, 0xC);
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_EQ(evicted.blockAddr, 0xBu);
+    EXPECT_NE(ts.findWay(0, 0xA), TagStore::kNoWay);
+    EXPECT_EQ(ts.findWay(0, 0xB), TagStore::kNoWay);
+}
+
+TEST(TagStore, DirectMappedAlwaysReplaces)
+{
+    TagStore ts(8, 1);
+    ts.insert(2, 0x10);
+    CacheBlk evicted = ts.insert(2, 0x20);
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_EQ(evicted.blockAddr, 0x10u);
+}
+
+TEST(TagStore, DirtyBitSurvivesUntilEviction)
+{
+    TagStore ts(2, 1);
+    ts.insert(0, 0x1);
+    ts.markDirty(0, 0);
+    CacheBlk evicted = ts.insert(0, 0x2);
+    EXPECT_TRUE(evicted.dirty);
+}
+
+TEST(TagStore, InvalidateSingle)
+{
+    TagStore ts(4, 2);
+    ts.insert(1, 0x5);
+    int way = ts.findWay(1, 0x5);
+    ASSERT_NE(way, TagStore::kNoWay);
+    ts.invalidate(1, static_cast<unsigned>(way));
+    EXPECT_EQ(ts.findWay(1, 0x5), TagStore::kNoWay);
+    EXPECT_EQ(ts.validCount(), 0u);
+}
+
+TEST(TagStore, InvalidateSetAndAll)
+{
+    TagStore ts(4, 2);
+    for (std::uint64_t s = 0; s < 4; ++s)
+        ts.insert(s, 0x100 + s);
+    ts.invalidateSet(2);
+    EXPECT_EQ(ts.validCount(), 3u);
+    ts.invalidateAll();
+    EXPECT_EQ(ts.validCount(), 0u);
+}
+
+TEST(TagStore, RandomPolicyStaysInBounds)
+{
+    TagStore ts(2, 4, ReplPolicy::Random);
+    for (Addr a = 0; a < 100; ++a)
+        ts.insert(0, a);
+    EXPECT_EQ(ts.validCount(), 4u);
+}
+
+} // namespace
+} // namespace drisim

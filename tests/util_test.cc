@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the utility layer: bit operations, RNG, strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitops.hh"
+#include "util/random.hh"
+#include "util/str.hh"
+
+namespace drisim
+{
+namespace
+{
+
+TEST(BitOps, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(65535));
+}
+
+TEST(BitOps, Log2Family)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64 * 1024), 16u);
+    EXPECT_EQ(exactLog2(32), 5u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(8), 3u);
+}
+
+TEST(BitOps, Masks)
+{
+    EXPECT_EQ(maskLow(0), 0ull);
+    EXPECT_EQ(maskLow(5), 0x1Full);
+    EXPECT_EQ(maskLow(64), ~0ull);
+    EXPECT_EQ(bits(0xABCDull, 7, 4), 0xCull);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(BitOps, Rounding)
+{
+    EXPECT_EQ(roundUp(13, 8), 16ull);
+    EXPECT_EQ(roundUp(16, 8), 16ull);
+    EXPECT_EQ(roundDown(13, 8), 8ull);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.range(13);
+        EXPECT_LT(v, 13u);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.between(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(11);
+    const double mean = 16.0;
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05);
+}
+
+TEST(Rng, GeometricFloorsAtOne)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.geometric(0.5), 1u);
+}
+
+TEST(Str, Format)
+{
+    EXPECT_EQ(strFormat("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(Str, SplitTrim)
+{
+    auto parts = strSplit("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(strTrim("  hi \t"), "hi");
+    EXPECT_EQ(strTrim(""), "");
+}
+
+TEST(Str, BytesRoundTrip)
+{
+    EXPECT_EQ(bytesToString(1024), "1K");
+    EXPECT_EQ(bytesToString(64 * 1024), "64K");
+    EXPECT_EQ(bytesToString(1024 * 1024), "1M");
+    EXPECT_EQ(bytesToString(100), "100");
+
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseBytes("64K", v));
+    EXPECT_EQ(v, 64u * 1024);
+    EXPECT_TRUE(parseBytes("2M", v));
+    EXPECT_EQ(v, 2u * 1024 * 1024);
+    EXPECT_TRUE(parseBytes("512", v));
+    EXPECT_EQ(v, 512u);
+    EXPECT_FALSE(parseBytes("abc", v));
+    EXPECT_FALSE(parseBytes("", v));
+}
+
+} // namespace
+} // namespace drisim

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Program-builder tests: footprints, layout, bank conflicts,
+ * CFG well-formedness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/program.hh"
+
+namespace drisim
+{
+namespace
+{
+
+ProgramSpec
+simpleSpec(std::uint64_t codeBytes = 8192)
+{
+    ProgramSpec s;
+    s.name = "test";
+    s.seed = 7;
+    PhaseSpec p;
+    p.name = "main";
+    p.codeBytes = codeBytes;
+    p.dynInstrs = 100000;
+    s.phases = {p};
+    return s;
+}
+
+TEST(ProgramBuilder, FootprintMatchesSpec)
+{
+    for (std::uint64_t kb : {2, 8, 32, 60}) {
+        const ProgramImage img = buildProgram(simpleSpec(kb * 1024));
+        const double actual =
+            static_cast<double>(img.phaseCodeBytes(0));
+        const double target = static_cast<double>(kb * 1024);
+        EXPECT_NEAR(actual / target, 1.0, 0.15)
+            << kb << "KiB footprint off";
+    }
+}
+
+TEST(ProgramBuilder, FunctionsDoNotOverlap)
+{
+    const ProgramImage img = buildProgram(simpleSpec(32 * 1024));
+    std::vector<std::pair<Addr, Addr>> extents;
+    for (const auto &f : img.functions) {
+        ASSERT_FALSE(f.blocks.empty());
+        extents.emplace_back(f.blocks.front().startPc,
+                             f.blocks.back().endPc());
+    }
+    for (size_t i = 0; i < extents.size(); ++i)
+        for (size_t j = i + 1; j < extents.size(); ++j) {
+            const bool disjoint =
+                extents[i].second <= extents[j].first ||
+                extents[j].second <= extents[i].first;
+            EXPECT_TRUE(disjoint)
+                << "functions " << i << " and " << j << " overlap";
+        }
+}
+
+TEST(ProgramBuilder, BlocksAreContiguousWithinFunction)
+{
+    const ProgramImage img = buildProgram(simpleSpec());
+    for (const auto &f : img.functions) {
+        for (size_t b = 0; b + 1 < f.blocks.size(); ++b)
+            EXPECT_EQ(f.blocks[b].endPc(), f.blocks[b + 1].startPc);
+    }
+}
+
+TEST(ProgramBuilder, CfgTargetsInRange)
+{
+    const ProgramImage img = buildProgram(simpleSpec(16 * 1024));
+    for (const auto &f : img.functions) {
+        const int n = static_cast<int>(f.blocks.size());
+        for (const auto &b : f.blocks) {
+            if (b.term == BlockTerm::CondBranch ||
+                b.term == BlockTerm::LoopLatch ||
+                b.term == BlockTerm::Jump) {
+                EXPECT_GE(b.target, 0);
+                EXPECT_LT(b.target, n);
+            }
+            if (b.term != BlockTerm::Return &&
+                b.term != BlockTerm::Jump) {
+                EXPECT_GE(b.fallthrough, 0);
+                EXPECT_LT(b.fallthrough, n);
+            }
+            if (b.term == BlockTerm::Call) {
+                EXPECT_GE(b.callee, 0);
+                EXPECT_LT(b.callee,
+                          static_cast<int>(img.functions.size()));
+            }
+        }
+        // Workers end in Return; drivers end in a backward Jump.
+        const BlockTerm last = f.blocks.back().term;
+        EXPECT_TRUE(last == BlockTerm::Return ||
+                    last == BlockTerm::Jump);
+    }
+}
+
+TEST(ProgramBuilder, LoopLatchesPointBackward)
+{
+    const ProgramImage img = buildProgram(simpleSpec(16 * 1024));
+    for (const auto &f : img.functions)
+        for (size_t b = 0; b < f.blocks.size(); ++b)
+            if (f.blocks[b].term == BlockTerm::LoopLatch) {
+                EXPECT_LT(f.blocks[b].target, static_cast<int>(b));
+            }
+}
+
+TEST(ProgramBuilder, ConflictBanksAlias64K)
+{
+    ProgramSpec s = simpleSpec(16 * 1024);
+    s.phases[0].conflictBanks = 2;
+    s.phases[0].conflictFraction = 0.5;
+    const ProgramImage img = buildProgram(s);
+
+    // Some pair of functions must collide modulo 64 KB.
+    bool found = false;
+    for (size_t i = 0; i < img.functions.size() && !found; ++i) {
+        for (size_t j = i + 1; j < img.functions.size(); ++j) {
+            const Addr a = img.functions[i].blocks.front().startPc;
+            const Addr b = img.functions[j].blocks.front().startPc;
+            if (a != b && (a % (64 * 1024)) == (b % (64 * 1024))) {
+                found = true;
+                break;
+            }
+        }
+    }
+    // With conflictFraction 0.5 the banks hold interleaved ranges
+    // that alias; at least extents must overlap mod 64 KB.
+    std::set<Addr> mod_starts;
+    bool overlap = false;
+    for (const auto &f : img.functions) {
+        for (const auto &blk : f.blocks) {
+            const Addr m = blk.startPc % (64 * 1024);
+            if (!mod_starts.insert(m).second)
+                overlap = true;
+        }
+    }
+    EXPECT_TRUE(found || overlap);
+}
+
+TEST(ProgramBuilder, SingleBankNeverAliases)
+{
+    const ProgramImage img = buildProgram(simpleSpec(16 * 1024));
+    std::set<Addr> mods;
+    for (const auto &f : img.functions)
+        for (const auto &blk : f.blocks)
+            for (unsigned i = 0; i < blk.numInstrs; ++i)
+                EXPECT_TRUE(
+                    mods.insert(blk.pcOf(i) % (1ull << 26)).second);
+}
+
+TEST(ProgramBuilder, MultiPhaseRegionsDisjoint)
+{
+    ProgramSpec s = simpleSpec();
+    PhaseSpec p2 = s.phases[0];
+    p2.name = "second";
+    p2.codeBytes = 4096;
+    s.phases.push_back(p2);
+    const ProgramImage img = buildProgram(s);
+    ASSERT_EQ(img.phases.size(), 2u);
+
+    // Phase text regions must not overlap.
+    auto extent = [&](size_t phase) {
+        Addr lo = ~Addr{0};
+        Addr hi = 0;
+        for (int fid : img.phases[phase].functions) {
+            const auto &f = img.functions[static_cast<size_t>(fid)];
+            lo = std::min(lo, f.blocks.front().startPc);
+            hi = std::max(hi, f.blocks.back().endPc());
+        }
+        return std::make_pair(lo, hi);
+    };
+    auto [lo0, hi0] = extent(0);
+    auto [lo1, hi1] = extent(1);
+    EXPECT_TRUE(hi0 <= lo1 || hi1 <= lo0);
+}
+
+TEST(ProgramBuilder, DeterministicForSameSeed)
+{
+    const ProgramImage a = buildProgram(simpleSpec());
+    const ProgramImage b = buildProgram(simpleSpec());
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (size_t i = 0; i < a.functions.size(); ++i) {
+        ASSERT_EQ(a.functions[i].blocks.size(),
+                  b.functions[i].blocks.size());
+        for (size_t j = 0; j < a.functions[i].blocks.size(); ++j) {
+            EXPECT_EQ(a.functions[i].blocks[j].startPc,
+                      b.functions[i].blocks[j].startPc);
+            EXPECT_EQ(a.functions[i].blocks[j].numInstrs,
+                      b.functions[i].blocks[j].numInstrs);
+        }
+    }
+}
+
+TEST(ProgramBuilder, IrregularityAddsCallSites)
+{
+    ProgramSpec s = simpleSpec(32 * 1024);
+    const ProgramImage plain = buildProgram(s);
+    s.phases[0].callIrregularity = 1.0;
+    const ProgramImage irregular = buildProgram(s);
+
+    auto driver_calls = [](const ProgramImage &img) {
+        const auto &d = img.functions[static_cast<size_t>(
+            img.phases[0].driver)];
+        size_t n = 0;
+        for (const auto &b : d.blocks)
+            n += b.term == BlockTerm::Call;
+        return n;
+    };
+    EXPECT_GT(driver_calls(irregular), driver_calls(plain));
+}
+
+} // namespace
+} // namespace drisim
