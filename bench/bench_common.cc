@@ -13,7 +13,8 @@ defaultContext()
     ctx.cfg.maxInstrs = defaultRunInstrs();
     // Keep the paper's interval-to-run ratio: the paper senses
     // every 1M instructions over full SPEC runs; we sense every
-    // 100K over 10M-instruction runs (DESIGN.md, Scaling).
+    // 100K over 10M-instruction runs (docs/DESIGN.md, Scaling
+    // methodology).
     ctx.driTemplate.senseInterval = 100 * 1000;
     ctx.driTemplate.divisibility = 2;
     return ctx;

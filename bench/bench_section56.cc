@@ -1,7 +1,7 @@
 /**
  * @file
  * Section 5.6 — "Varying sense-interval length and divisibility",
- * plus a throttle on/off ablation (DESIGN.md Section 8).
+ * plus a throttle on/off ablation (docs/DESIGN.md, Throttling).
  *
  * Paper claims: energy-delay varies by < 1% across a 16x interval
  * range for all but go (< 5%); divisibility 4 or 8 coarsens
@@ -110,7 +110,7 @@ main()
                  "the resizing granularity'\n";
 
     std::cout << "\n-- throttle ablation (not plotted in the paper; "
-                 "DESIGN.md Section 8) --\n";
+                 "docs/DESIGN.md, Throttling) --\n";
     tt.print(std::cout);
     return 0;
 }

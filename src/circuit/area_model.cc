@@ -1,8 +1,13 @@
-#include "area_model.hh"
+/**
+ * @file
+ * SRAM subarray dimensions and gated-Vdd transistor layout cost.
+ */
+
+#include "circuit/area_model.hh"
 
 #include <cmath>
 
-#include "../util/logging.hh"
+#include "util/logging.hh"
 
 namespace drisim::circuit
 {

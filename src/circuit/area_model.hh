@@ -14,8 +14,8 @@
 
 #include <cstdint>
 
-#include "gated_vdd.hh"
-#include "technology.hh"
+#include "circuit/gated_vdd.hh"
+#include "circuit/technology.hh"
 
 namespace drisim::circuit
 {

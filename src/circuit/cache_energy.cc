@@ -1,10 +1,15 @@
-#include "cache_energy.hh"
+/**
+ * @file
+ * CACTI-lite cache energy: derives the Section 5.2 constants.
+ */
+
+#include "circuit/cache_energy.hh"
 
 #include <algorithm>
 #include <cmath>
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace drisim::circuit
 {

@@ -18,8 +18,8 @@
 
 #include <cstdint>
 
-#include "sram_cell.hh"
-#include "technology.hh"
+#include "circuit/sram_cell.hh"
+#include "circuit/technology.hh"
 
 namespace drisim::circuit
 {

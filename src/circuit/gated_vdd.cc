@@ -1,6 +1,12 @@
-#include "gated_vdd.hh"
+/**
+ * @file
+ * Gated-Vdd variant evaluation: standby leakage, read-time and
+ * area penalties per gating scheme.
+ */
 
-#include "../util/logging.hh"
+#include "circuit/gated_vdd.hh"
+
+#include "util/logging.hh"
 
 namespace drisim::circuit
 {

@@ -21,9 +21,9 @@
 #ifndef DRISIM_CIRCUIT_GATED_VDD_HH
 #define DRISIM_CIRCUIT_GATED_VDD_HH
 
-#include "sram_cell.hh"
-#include "technology.hh"
-#include "transistor.hh"
+#include "circuit/sram_cell.hh"
+#include "circuit/technology.hh"
+#include "circuit/transistor.hh"
 
 namespace drisim::circuit
 {

@@ -1,4 +1,9 @@
-#include "sram_cell.hh"
+/**
+ * @file
+ * 6-T SRAM cell leakage paths and read-timing estimate.
+ */
+
+#include "circuit/sram_cell.hh"
 
 #include <cmath>
 

@@ -16,8 +16,8 @@
 #ifndef DRISIM_CIRCUIT_SRAM_CELL_HH
 #define DRISIM_CIRCUIT_SRAM_CELL_HH
 
-#include "technology.hh"
-#include "transistor.hh"
+#include "circuit/technology.hh"
+#include "circuit/transistor.hh"
 
 namespace drisim::circuit
 {

@@ -1,4 +1,9 @@
-#include "technology.hh"
+/**
+ * @file
+ * Process-technology parameter sets (0.18 um base and scaled corners).
+ */
+
+#include "circuit/technology.hh"
 
 namespace drisim::circuit
 {

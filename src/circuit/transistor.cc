@@ -1,8 +1,14 @@
-#include "transistor.hh"
+/**
+ * @file
+ * MOSFET subthreshold-leakage and alpha-power drive models, plus the
+ * series-stack solver behind the stacking effect.
+ */
+
+#include "circuit/transistor.hh"
 
 #include <cmath>
 
-#include "../util/logging.hh"
+#include "util/logging.hh"
 
 namespace drisim::circuit
 {

@@ -13,7 +13,7 @@
 #ifndef DRISIM_CIRCUIT_TRANSISTOR_HH
 #define DRISIM_CIRCUIT_TRANSISTOR_HH
 
-#include "technology.hh"
+#include "circuit/technology.hh"
 
 namespace drisim::circuit
 {

@@ -1,8 +1,13 @@
-#include "options.hh"
+/**
+ * @file
+ * Key=value option parsing and application to RunConfig/DriParams.
+ */
+
+#include "config/options.hh"
 
 #include <cstdlib>
 
-#include "../util/str.hh"
+#include "util/str.hh"
 
 namespace drisim
 {

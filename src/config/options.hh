@@ -17,8 +17,8 @@
 #include <string>
 #include <vector>
 
-#include "../core/dri_params.hh"
-#include "../harness/runner.hh"
+#include "core/dri_params.hh"
+#include "harness/runner.hh"
 
 namespace drisim
 {

@@ -1,7 +1,13 @@
-#include "dri_dcache.hh"
+/**
+ * @file
+ * DRI d-cache: adds writeback-before-gating and dirty-alias
+ * handling on top of the i-cache resize machinery.
+ */
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
+#include "core/dri_dcache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

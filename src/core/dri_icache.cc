@@ -1,7 +1,13 @@
-#include "dri_icache.hh"
+/**
+ * @file
+ * DRI i-cache: masked indexing, resizing-tag lookup, sense-interval
+ * resize steps, and alias-sweeping invalidation.
+ */
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
+#include "core/dri_icache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

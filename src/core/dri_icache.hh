@@ -21,12 +21,12 @@
 
 #include <cstdint>
 
-#include "../mem/memory.hh"
-#include "../mem/tag_store.hh"
-#include "../stats/stats.hh"
-#include "dri_params.hh"
-#include "resize_controller.hh"
-#include "size_mask.hh"
+#include "mem/memory.hh"
+#include "mem/tag_store.hh"
+#include "stats/stats.hh"
+#include "core/dri_params.hh"
+#include "core/resize_controller.hh"
+#include "core/size_mask.hh"
 
 namespace drisim
 {

@@ -8,8 +8,8 @@
 
 #include <cstdint>
 
-#include "../mem/repl_policy.hh"
-#include "../util/types.hh"
+#include "mem/repl_policy.hh"
+#include "util/types.hh"
 
 namespace drisim
 {

@@ -1,6 +1,12 @@
-#include "resize_controller.hh"
+/**
+ * @file
+ * Miss-bound / throttle FSM: interval accounting and the
+ * upsize/downsize/hold decision.
+ */
 
-#include "../util/logging.hh"
+#include "core/resize_controller.hh"
+
+#include "util/logging.hh"
 
 namespace drisim
 {

@@ -14,8 +14,8 @@
 
 #include <cstdint>
 
-#include "../util/types.hh"
-#include "dri_params.hh"
+#include "util/types.hh"
+#include "core/dri_params.hh"
 
 namespace drisim
 {

@@ -1,7 +1,12 @@
-#include "size_mask.hh"
+/**
+ * @file
+ * Resizable index-mask arithmetic (shift per divisibility step).
+ */
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
+#include "core/size_mask.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

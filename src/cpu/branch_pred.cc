@@ -1,7 +1,12 @@
-#include "branch_pred.hh"
+/**
+ * @file
+ * Hybrid bimodal+gshare predictor, BTB, and return-address stack.
+ */
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
+#include "cpu/branch_pred.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

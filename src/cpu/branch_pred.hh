@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <vector>
 
-#include "../stats/stats.hh"
-#include "../util/types.hh"
-#include "isa.hh"
+#include "stats/stats.hh"
+#include "util/types.hh"
+#include "cpu/isa.hh"
 
 namespace drisim
 {

@@ -8,7 +8,7 @@
  * simulation): branch outcomes and memory addresses are known, and
  * CPU models charge timing for mispredictions rather than fetching
  * wrong-path instructions (standard trace-driven approximation;
- * see DESIGN.md).
+ * see docs/DESIGN.md, Trace-driven approximation).
  */
 
 #ifndef DRISIM_CPU_ISA_HH
@@ -16,7 +16,7 @@
 
 #include <cstdint>
 
-#include "../util/types.hh"
+#include "util/types.hh"
 
 namespace drisim
 {

@@ -1,9 +1,15 @@
-#include "ooo_core.hh"
+/**
+ * @file
+ * Cycle-stepped out-of-order core: fetch/issue/commit pipeline with
+ * ROB/LSQ occupancy and misprediction timing.
+ */
+
+#include "cpu/ooo_core.hh"
 
 #include <algorithm>
 #include <limits>
 
-#include "../util/logging.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

@@ -21,11 +21,11 @@
 #include <deque>
 #include <vector>
 
-#include "../core/dri_icache.hh"
-#include "../mem/memory.hh"
-#include "../stats/stats.hh"
-#include "branch_pred.hh"
-#include "isa.hh"
+#include "core/dri_icache.hh"
+#include "mem/memory.hh"
+#include "stats/stats.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/isa.hh"
 
 namespace drisim
 {

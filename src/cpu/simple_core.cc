@@ -1,8 +1,13 @@
-#include "simple_core.hh"
+/**
+ * @file
+ * Fast fetch-driven timing estimator used by the parameter search.
+ */
+
+#include "cpu/simple_core.hh"
 
 #include <cmath>
 
-#include "../util/logging.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

@@ -20,10 +20,10 @@
 #ifndef DRISIM_CPU_SIMPLE_CORE_HH
 #define DRISIM_CPU_SIMPLE_CORE_HH
 
-#include "../core/dri_icache.hh"
-#include "../mem/memory.hh"
-#include "isa.hh"
-#include "ooo_core.hh"
+#include "core/dri_icache.hh"
+#include "mem/memory.hh"
+#include "cpu/isa.hh"
+#include "cpu/ooo_core.hh"
 
 namespace drisim
 {

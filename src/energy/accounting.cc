@@ -1,4 +1,10 @@
-#include "accounting.hh"
+/**
+ * @file
+ * Paired conventional/DRI comparison: normalized energy-delay,
+ * slowdown and average active size.
+ */
+
+#include "energy/accounting.hh"
 
 namespace drisim
 {

@@ -7,7 +7,7 @@
 #ifndef DRISIM_ENERGY_ACCOUNTING_HH
 #define DRISIM_ENERGY_ACCOUNTING_HH
 
-#include "energy_model.hh"
+#include "energy/energy_model.hh"
 
 namespace drisim
 {

@@ -1,4 +1,9 @@
-#include "energy_model.hh"
+/**
+ * @file
+ * Section 5.2 energy accounting: leakage plus extra-dynamic terms.
+ */
+
+#include "energy/energy_model.hh"
 
 #include <algorithm>
 

@@ -19,8 +19,8 @@
 
 #include <cstdint>
 
-#include "../circuit/cache_energy.hh"
-#include "../util/types.hh"
+#include "circuit/cache_energy.hh"
+#include "util/types.hh"
 
 namespace drisim
 {

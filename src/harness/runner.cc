@@ -1,14 +1,20 @@
-#include "runner.hh"
+/**
+ * @file
+ * Run orchestration: builds the workload, wires hierarchy and core,
+ * runs, and extracts measurements.
+ */
+
+#include "harness/runner.hh"
 
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
 
-#include "../core/dri_icache.hh"
-#include "../cpu/simple_core.hh"
-#include "../util/logging.hh"
-#include "../workload/generator.hh"
+#include "core/dri_icache.hh"
+#include "cpu/simple_core.hh"
+#include "util/logging.hh"
+#include "workload/generator.hh"
 
 namespace drisim
 {

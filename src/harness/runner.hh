@@ -12,11 +12,11 @@
 #include <cstdint>
 #include <string>
 
-#include "../core/dri_params.hh"
-#include "../cpu/ooo_core.hh"
-#include "../energy/energy_model.hh"
-#include "../mem/hierarchy.hh"
-#include "../workload/spec_suite.hh"
+#include "core/dri_params.hh"
+#include "cpu/ooo_core.hh"
+#include "energy/energy_model.hh"
+#include "mem/hierarchy.hh"
+#include "workload/spec_suite.hh"
 
 namespace drisim
 {
@@ -46,7 +46,7 @@ struct RunOutput
 
 /**
  * Default run length honouring the DRISIM_SCALE environment
- * variable (a multiplier on 10 M instructions; see DESIGN.md,
+ * variable (a multiplier on 10 M instructions; see docs/DESIGN.md,
  * Scaling methodology).
  */
 InstCount defaultRunInstrs();

@@ -1,8 +1,14 @@
-#include "sweep.hh"
+/**
+ * @file
+ * Best-case (miss-bound x size-bound) search with fast-model
+ * calibration and detailed re-run of the winner.
+ */
+
+#include "harness/sweep.hh"
 
 #include <algorithm>
 
-#include "../util/logging.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

@@ -15,8 +15,8 @@
 
 #include <vector>
 
-#include "../energy/accounting.hh"
-#include "runner.hh"
+#include "energy/accounting.hh"
+#include "harness/runner.hh"
 
 namespace drisim
 {

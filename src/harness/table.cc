@@ -1,9 +1,14 @@
-#include "table.hh"
+/**
+ * @file
+ * Fixed-width table rendering, ASCII bars and CSV export.
+ */
+
+#include "harness/table.hh"
 
 #include <algorithm>
 
-#include "../util/logging.hh"
-#include "../util/str.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
 
 namespace drisim
 {

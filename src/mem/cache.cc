@@ -1,7 +1,12 @@
-#include "cache.hh"
+/**
+ * @file
+ * Conventional fixed-size cache level (write-allocate, write-back).
+ */
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
+#include "mem/cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

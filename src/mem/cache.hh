@@ -13,10 +13,10 @@
 
 #include <string>
 
-#include "../stats/stats.hh"
-#include "../util/types.hh"
-#include "memory.hh"
-#include "tag_store.hh"
+#include "stats/stats.hh"
+#include "util/types.hh"
+#include "mem/memory.hh"
+#include "mem/tag_store.hh"
 
 namespace drisim
 {

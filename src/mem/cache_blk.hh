@@ -6,7 +6,7 @@
 #ifndef DRISIM_MEM_CACHE_BLK_HH
 #define DRISIM_MEM_CACHE_BLK_HH
 
-#include "../util/types.hh"
+#include "util/types.hh"
 
 namespace drisim
 {

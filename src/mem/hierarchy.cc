@@ -1,4 +1,10 @@
-#include "hierarchy.hh"
+/**
+ * @file
+ * Assembles the Table 1 memory system: L1I (conventional or DRI),
+ * L1D, unified L2, main memory.
+ */
+
+#include "mem/hierarchy.hh"
 
 namespace drisim
 {

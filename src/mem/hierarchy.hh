@@ -9,9 +9,9 @@
 
 #include <memory>
 
-#include "../stats/stats.hh"
-#include "cache.hh"
-#include "memory.hh"
+#include "stats/stats.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
 
 namespace drisim
 {

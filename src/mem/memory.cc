@@ -1,6 +1,11 @@
-#include "memory.hh"
+/**
+ * @file
+ * MemoryLevel base plumbing and the main-memory terminal level.
+ */
 
-#include "../util/logging.hh"
+#include "mem/memory.hh"
+
+#include "util/logging.hh"
 
 namespace drisim
 {

@@ -11,8 +11,8 @@
 
 #include <cstdint>
 
-#include "../stats/stats.hh"
-#include "../util/types.hh"
+#include "stats/stats.hh"
+#include "util/types.hh"
 
 namespace drisim
 {

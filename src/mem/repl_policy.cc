@@ -1,6 +1,11 @@
-#include "repl_policy.hh"
+/**
+ * @file
+ * Victim selection for each replacement policy.
+ */
 
-#include "../util/logging.hh"
+#include "mem/repl_policy.hh"
+
+#include "util/logging.hh"
 
 namespace drisim
 {

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <span>
 
-#include "cache_blk.hh"
+#include "mem/cache_blk.hh"
 
 namespace drisim
 {

@@ -1,7 +1,12 @@
-#include "tag_store.hh"
+/**
+ * @file
+ * Set/way tag array with per-block state and resizing-tag support.
+ */
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
+#include "mem/tag_store.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {

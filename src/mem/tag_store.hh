@@ -14,9 +14,9 @@
 #include <span>
 #include <vector>
 
-#include "../util/types.hh"
-#include "cache_blk.hh"
-#include "repl_policy.hh"
+#include "util/types.hh"
+#include "mem/cache_blk.hh"
+#include "mem/repl_policy.hh"
 
 namespace drisim
 {

@@ -1,10 +1,15 @@
-#include "stats.hh"
+/**
+ * @file
+ * Self-registering statistics tree and name = value dumping.
+ */
+
+#include "stats/stats.hh"
 
 #include <algorithm>
 #include <cassert>
 #include <iomanip>
 
-#include "../util/logging.hh"
+#include "util/logging.hh"
 
 namespace drisim::stats
 {

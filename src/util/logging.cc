@@ -1,4 +1,9 @@
-#include "logging.hh"
+/**
+ * @file
+ * Leveled logging sinks.
+ */
+
+#include "util/logging.hh"
 
 #include <cstdio>
 #include <cstdlib>

@@ -1,4 +1,9 @@
-#include "random.hh"
+/**
+ * @file
+ * Seeded deterministic RNG streams.
+ */
+
+#include "util/random.hh"
 
 #include <cassert>
 #include <cmath>

@@ -1,4 +1,9 @@
-#include "str.hh"
+/**
+ * @file
+ * String/number formatting helpers (byte sizes, fixed-width doubles).
+ */
+
+#include "util/str.hh"
 
 #include <cctype>
 #include <cstdarg>

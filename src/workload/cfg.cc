@@ -1,4 +1,9 @@
-#include "cfg.hh"
+/**
+ * @file
+ * CFG construction and address-layout helpers.
+ */
+
+#include "workload/cfg.hh"
 
 namespace drisim
 {

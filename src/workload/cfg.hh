@@ -16,8 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "../cpu/isa.hh"
-#include "../util/types.hh"
+#include "cpu/isa.hh"
+#include "util/types.hh"
 
 namespace drisim
 {

@@ -1,6 +1,12 @@
-#include "generator.hh"
+/**
+ * @file
+ * Trace generation: interprets a ProgramImage CFG into the executed
+ * instruction stream.
+ */
 
-#include "../util/logging.hh"
+#include "workload/generator.hh"
+
+#include "util/logging.hh"
 
 namespace drisim
 {

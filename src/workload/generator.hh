@@ -14,9 +14,9 @@
 
 #include <vector>
 
-#include "../cpu/isa.hh"
-#include "../util/random.hh"
-#include "cfg.hh"
+#include "cpu/isa.hh"
+#include "util/random.hh"
+#include "workload/cfg.hh"
 
 namespace drisim
 {

@@ -1,10 +1,15 @@
-#include "program.hh"
+/**
+ * @file
+ * Program builder: lowers a ProgramSpec into a laid-out ProgramImage.
+ */
+
+#include "workload/program.hh"
 
 #include <algorithm>
 
-#include "../util/bitops.hh"
-#include "../util/logging.hh"
-#include "../util/random.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
 
 namespace drisim
 {

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "cfg.hh"
+#include "workload/cfg.hh"
 
 namespace drisim
 {

@@ -1,6 +1,11 @@
-#include "spec_suite.hh"
+/**
+ * @file
+ * The fifteen synthetic SPEC95 benchmark specs and their classes.
+ */
 
-#include "../util/logging.hh"
+#include "workload/spec_suite.hh"
+
+#include "util/logging.hh"
 
 namespace drisim
 {

@@ -1,6 +1,6 @@
 /**
  * @file
- * The synthetic SPEC95 suite (see DESIGN.md, Substitutions).
+ * The synthetic SPEC95 suite (see docs/DESIGN.md, Substitutions).
  *
  * Fifteen benchmark models named after the SPEC95 programs the paper
  * runs, each built to match its published i-cache behaviour class
@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "program.hh"
+#include "workload/program.hh"
 
 namespace drisim
 {
