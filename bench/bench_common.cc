@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/str.hh"
 
 namespace drisim::bench
 {
@@ -20,83 +24,211 @@ defaultContext()
     return ctx;
 }
 
+bool
+parseBenchArgs(int argc, char **argv, BenchContext &ctx,
+               std::string &error)
+{
+    const std::string usage =
+        std::string("usage: ") + (argc > 0 ? argv[0] : "bench") +
+        " [--jobs N]   (N=0 means DRISIM_JOBS env, else serial)";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+        } else if (arg.rfind("jobs=", 0) == 0) {
+            value = arg.substr(5);
+        } else {
+            error = "unknown argument '" + arg + "'\n" + usage;
+            return false;
+        }
+        unsigned v = 0;
+        if (!parseJobsValue(value, v)) {
+            error = "bad jobs value '" + value + "'\n" + usage;
+            return false;
+        }
+        ctx.cfg.jobs = v;
+    }
+    ctx.exec.reset(); // rebuilt lazily with the parsed worker count
+    error.clear();
+    return true;
+}
+
+Executor &
+benchExecutor(const BenchContext &ctx)
+{
+    if (!ctx.exec)
+        ctx.exec = std::make_shared<Executor>(ctx.cfg.jobs);
+    return *ctx.exec;
+}
+
+std::string
+workerBanner(const BenchContext &ctx)
+{
+    const unsigned n = resolveJobCount(ctx.cfg.jobs);
+    return strFormat("%u worker%s (--jobs)", n, n == 1 ? "" : "s");
+}
+
 BaseResult
 computeBase(const BenchmarkInfo &bench, const BenchContext &ctx)
 {
     BaseResult out;
-    out.conv = runConventional(bench, ctx.cfg);
 
-    const FastCalibration cal =
-        calibrateFast(bench, ctx.cfg, out.conv);
-    const RunOutput conv_fast =
-        runConventionalFast(bench, ctx.cfg, cal);
-
-    const double intervals =
-        static_cast<double>(ctx.cfg.maxInstrs) /
-        static_cast<double>(ctx.driTemplate.senseInterval);
-    const double conv_mpi =
-        static_cast<double>(conv_fast.meas.l1iMisses) / intervals;
-
-    bool have_c = false;
-    bool have_u = false;
-    double best_c = 0.0;
-    double best_u = 0.0;
-    DriParams params_c = ctx.driTemplate;
-    DriParams params_u = ctx.driTemplate;
-
+    struct Cell
+    {
+        std::uint64_t sizeBound;
+        double factor;
+    };
+    std::vector<Cell> cells;
     for (std::uint64_t size_bound : ctx.space.sizeBounds) {
         if (size_bound > ctx.driTemplate.sizeBytes)
             continue;
-        for (double factor : ctx.space.missBoundFactors) {
-            DriParams p = ctx.driTemplate;
-            p.sizeBoundBytes = size_bound;
-            p.missBound = std::max<std::uint64_t>(
-                ctx.space.missBoundFloor,
-                static_cast<std::uint64_t>(factor * conv_mpi));
-
-            const RunOutput d = runDriFast(bench, ctx.cfg, p, cal);
-            const ComparisonResult cmp =
-                compareRuns(ctx.constants, conv_fast.meas, d.meas);
-            const double ed = cmp.relativeEnergyDelay();
-
-            if (!have_u || ed < best_u) {
-                have_u = true;
-                best_u = ed;
-                params_u = p;
-            }
-            if (cmp.slowdownPercent() <= ctx.maxSlowdownPct &&
-                (!have_c || ed < best_c)) {
-                have_c = true;
-                best_c = ed;
-                params_c = p;
-            }
-        }
+        for (double factor : ctx.space.missBoundFactors)
+            cells.push_back({size_bound, factor});
     }
 
-    if (!have_c) {
-        // Constraint unreachable (fpppp-like): pin to full size.
-        params_c = ctx.driTemplate;
-        params_c.sizeBoundBytes = ctx.driTemplate.sizeBytes;
-        params_c.missBound = std::max<std::uint64_t>(
-            ctx.space.missBoundFloor,
-            static_cast<std::uint64_t>(2.0 * conv_mpi));
+    Executor &exec = benchExecutor(ctx);
+    JobGraph graph;
+
+    const JobId conv = graph.add(
+        bench.name + "/conv-detailed", [&](const JobContext &) {
+            out.conv = runConventional(bench, ctx.cfg);
+        });
+
+    FastCalibration cal;
+    RunOutput conv_fast;
+    double conv_mpi = 0.0;
+    const JobId calibrate = graph.add(
+        bench.name + "/calibrate",
+        [&](const JobContext &) {
+            cal = calibrateFast(bench, ctx.cfg, out.conv);
+            conv_fast = runConventionalFast(bench, ctx.cfg, cal);
+            const double intervals =
+                static_cast<double>(ctx.cfg.maxInstrs) /
+                static_cast<double>(ctx.driTemplate.senseInterval);
+            conv_mpi =
+                static_cast<double>(conv_fast.meas.l1iMisses) /
+                intervals;
+        },
+        {conv});
+
+    struct CellResult
+    {
+        DriParams dri;
+        double ed = 0.0;
+        double slowdown = 0.0;
+    };
+    std::vector<CellResult> slots(cells.size());
+    std::vector<JobId> grid;
+    grid.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        grid.push_back(graph.add(
+            strFormat("%s/sb=%llu/mbf=%g", bench.name.c_str(),
+                      static_cast<unsigned long long>(
+                          cells[i].sizeBound),
+                      cells[i].factor),
+            [&, i](const JobContext &) {
+                DriParams p = ctx.driTemplate;
+                p.sizeBoundBytes = cells[i].sizeBound;
+                p.missBound = std::max<std::uint64_t>(
+                    ctx.space.missBoundFloor,
+                    static_cast<std::uint64_t>(cells[i].factor *
+                                               conv_mpi));
+
+                const RunOutput d =
+                    runDriFast(bench, ctx.cfg, p, cal);
+                const ComparisonResult cmp = compareRuns(
+                    ctx.constants, conv_fast.meas, d.meas);
+                slots[i] = {p, cmp.relativeEnergyDelay(),
+                            cmp.slowdownPercent()};
+            },
+            {calibrate}));
     }
 
-    out.constrained.dri = params_c;
-    out.constrained.cmp = evaluateDetailed(
-        bench, ctx.cfg, params_c, ctx.constants, out.conv);
-    out.constrained.feasible =
-        out.constrained.cmp.slowdownPercent() <= ctx.maxSlowdownPct;
+    // Listing calibrate explicitly also covers the empty-grid case,
+    // where select (and the winner jobs behind it) would otherwise
+    // run unordered with respect to conv-detailed and calibrate.
+    std::vector<JobId> selectDeps = grid;
+    selectDeps.push_back(calibrate);
 
-    if (have_u && !(params_u.sizeBoundBytes ==
-                        params_c.sizeBoundBytes &&
-                    params_u.missBound == params_c.missBound)) {
-        out.unconstrained.dri = params_u;
-        out.unconstrained.cmp = evaluateDetailed(
-            bench, ctx.cfg, params_u, ctx.constants, out.conv);
-    } else {
+    DriParams params_c = ctx.driTemplate;
+    DriParams params_u = ctx.driTemplate;
+    bool u_distinct = false;
+    const JobId select = graph.add(
+        bench.name + "/select",
+        [&](const JobContext &) {
+            // Index-order scan: independent of which worker finished
+            // which cell first.
+            bool have_c = false;
+            bool have_u = false;
+            double best_c = 0.0;
+            double best_u = 0.0;
+            for (const CellResult &cell : slots) {
+                if (!have_u || cell.ed < best_u) {
+                    have_u = true;
+                    best_u = cell.ed;
+                    params_u = cell.dri;
+                }
+                if (cell.slowdown <= ctx.maxSlowdownPct &&
+                    (!have_c || cell.ed < best_c)) {
+                    have_c = true;
+                    best_c = cell.ed;
+                    params_c = cell.dri;
+                }
+            }
+            if (!have_c) {
+                // Constraint unreachable (fpppp-like): pin to full
+                // size.
+                params_c = ctx.driTemplate;
+                params_c.sizeBoundBytes = ctx.driTemplate.sizeBytes;
+                params_c.missBound = std::max<std::uint64_t>(
+                    ctx.space.missBoundFloor,
+                    static_cast<std::uint64_t>(2.0 * conv_mpi));
+            }
+            u_distinct =
+                have_u && !(params_u.sizeBoundBytes ==
+                                params_c.sizeBoundBytes &&
+                            params_u.missBound == params_c.missBound);
+        },
+        selectDeps);
+
+    graph.add(
+        bench.name + "/winner-constrained",
+        [&](const JobContext &) {
+            out.constrained.dri = params_c;
+            out.constrained.cmp = evaluateDetailed(
+                bench, ctx.cfg, params_c, ctx.constants, out.conv);
+            out.constrained.feasible =
+                out.constrained.cmp.slowdownPercent() <=
+                ctx.maxSlowdownPct;
+        },
+        {select});
+
+    graph.add(
+        bench.name + "/winner-unconstrained",
+        [&](const JobContext &) {
+            // Runs concurrently with the constrained winner; when
+            // both searches picked the same cell the copy happens
+            // after the graph (the constrained job may still be in
+            // flight here).
+            if (!u_distinct)
+                return;
+            out.unconstrained.dri = params_u;
+            out.unconstrained.cmp = evaluateDetailed(
+                bench, ctx.cfg, params_u, ctx.constants, out.conv);
+        },
+        {select});
+
+    exec.run(graph);
+
+    if (!u_distinct)
         out.unconstrained = out.constrained;
-    }
     out.unconstrained.feasible = true;
     return out;
 }

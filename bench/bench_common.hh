@@ -1,16 +1,20 @@
 /**
  * @file
  * Shared plumbing for the per-figure bench binaries: default run
- * configuration, the paper's best-case (miss-bound, size-bound)
- * search evaluated once per benchmark for both the performance-
- * constrained and unconstrained cases, and output helpers.
+ * configuration, common flag parsing (--jobs), the paper's best-case
+ * (miss-bound, size-bound) search evaluated once per benchmark for
+ * both the performance-constrained and unconstrained cases, and
+ * output helpers. The search runs as an executor JobGraph
+ * (harness/executor.hh); results are identical at any --jobs value.
  */
 
 #ifndef DRISIM_BENCH_BENCH_COMMON_HH
 #define DRISIM_BENCH_BENCH_COMMON_HH
 
+#include <memory>
 #include <string>
 
+#include "harness/executor.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -28,10 +32,29 @@ struct BenchContext
     double maxSlowdownPct = 4.0;
     /** DRI knobs not searched. */
     DriParams driTemplate;
+
+    /** Worker pool shared by every sweep in this bench run; created
+     *  lazily by benchExecutor() so the worker threads spawn once,
+     *  not per benchmark. Copies of the context share it. */
+    mutable std::shared_ptr<Executor> exec;
 };
+
+/** The context's pool, created on first use with cfg.jobs workers. */
+Executor &benchExecutor(const BenchContext &ctx);
 
 /** Default context: Table 1 system, scaled run length. */
 BenchContext defaultContext();
+
+/**
+ * Parse the flags every bench binary accepts (--jobs N, --jobs=N,
+ * jobs=N) into @p ctx. Returns false and fills @p error (usage
+ * included) on anything unrecognized.
+ */
+bool parseBenchArgs(int argc, char **argv, BenchContext &ctx,
+                    std::string &error);
+
+/** "<resolved workers> worker(s)" banner line for run headers. */
+std::string workerBanner(const BenchContext &ctx);
 
 /** Figure 3's two design points for one benchmark. */
 struct BaseResult
@@ -44,7 +67,9 @@ struct BaseResult
 /**
  * Evaluate the (size-bound x miss-bound) grid once on the fast
  * model and detail-run both winners (the paper's "empirically
- * searching the combination space", Section 5.3).
+ * searching the combination space", Section 5.3). Internally a
+ * JobGraph: conv-detailed -> calibrate -> grid -> select -> the two
+ * detailed winner runs in parallel.
  */
 BaseResult computeBase(const BenchmarkInfo &bench,
                        const BenchContext &ctx);

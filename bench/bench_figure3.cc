@@ -38,17 +38,24 @@ row(Table &t, const std::string &name, int cls,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx = defaultContext();
+    std::string err;
+    if (!parseBenchArgs(argc, argv, ctx, err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+
     printHeader("Figure 3: base energy-delay and average cache size",
                 "Section 5.3, Figure 3 (64K direct-mapped DRI)");
     std::cout << "C = performance-constrained (<=4% slowdown), "
                  "U = unconstrained\n\n";
 
-    const BenchContext ctx = defaultContext();
     std::cout << "run length: " << ctx.cfg.maxInstrs
               << " instructions, sense interval "
-              << ctx.driTemplate.senseInterval << "\n";
+              << ctx.driTemplate.senseInterval << ", "
+              << workerBanner(ctx) << "\n";
 
     Table tc({"benchmark", "class", "size-bound", "miss-bound",
               "rel-ED", "ED-leak", "ED-dyn", "avg-size", "slowdown",

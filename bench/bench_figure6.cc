@@ -28,15 +28,21 @@ struct GeometryCase
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx = defaultContext();
+    std::string err;
+    if (!parseBenchArgs(argc, argv, ctx, err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+
     printHeader("Figure 6: varying conventional cache parameters",
                 "Section 5.5, Figure 6");
     std::cout << "A = 64K 4-way, B = 64K direct-mapped (base), "
                  "C = 128K direct-mapped; each vs a conventional "
-                 "cache of equal geometry\n\n";
-
-    const BenchContext ctx = defaultContext();
+                 "cache of equal geometry\n"
+              << workerBanner(ctx) << "\n\n";
     const GeometryCase cases[] = {
         {"A 64K/4w", 64 * 1024, 4},
         {"B 64K/dm", 64 * 1024, 1},
@@ -51,39 +57,46 @@ main()
         const BaseResult base = computeBase(b, ctx);
         const DriParams &bp = base.constrained.dri;
 
+        // Cases A and C each need their own conventional baseline
+        // plus a DRI re-run — four detailed simulations. Run both
+        // cases as executor jobs; case B reuses the base result.
+        ComparisonResult offBase[2];
+        benchExecutor(ctx).forEachIndex(
+            b.name + "/geometry", 2,
+            [&](std::size_t k, const JobContext &) {
+                const GeometryCase &g = cases[k == 0 ? 0 : 2];
+
+                RunConfig cfg = ctx.cfg;
+                cfg.hier.l1i.sizeBytes = g.sizeBytes;
+                cfg.hier.l1i.assoc = g.assoc;
+
+                DriParams p = bp;
+                p.sizeBytes = g.sizeBytes;
+                p.assoc = g.assoc;
+                // Keep the size-bound's absolute magnitude; the
+                // 128K cache just gains one resizing bit (Section
+                // 5.5). A 4-way set needs at least one full set.
+                if (p.sizeBoundBytes <
+                    static_cast<std::uint64_t>(p.blockBytes) *
+                        p.assoc)
+                    p.sizeBoundBytes =
+                        static_cast<std::uint64_t>(p.blockBytes) *
+                        p.assoc;
+
+                const RunOutput conv = runConventional(b, cfg);
+                offBase[k] = evaluateDetailed(b, cfg, p,
+                                              ctx.constants, conv);
+            });
+
         std::string ed[3];
         std::string size[3];
         std::string slow[3];
+        const ComparisonResult *cmps[3] = {
+            &offBase[0], &base.constrained.cmp, &offBase[1]};
         for (int i = 0; i < 3; ++i) {
-            const GeometryCase &g = cases[i];
-
-            RunConfig cfg = ctx.cfg;
-            cfg.hier.l1i.sizeBytes = g.sizeBytes;
-            cfg.hier.l1i.assoc = g.assoc;
-
-            DriParams p = bp;
-            p.sizeBytes = g.sizeBytes;
-            p.assoc = g.assoc;
-            // Keep the size-bound's absolute magnitude; the 128K
-            // cache just gains one resizing bit (Section 5.5). A
-            // 4-way set needs at least one full set.
-            if (p.sizeBoundBytes <
-                static_cast<std::uint64_t>(p.blockBytes) * p.assoc)
-                p.sizeBoundBytes =
-                    static_cast<std::uint64_t>(p.blockBytes) *
-                    p.assoc;
-
-            const ComparisonResult c =
-                i == 1 ? base.constrained.cmp
-                       : [&] {
-                             const RunOutput conv =
-                                 runConventional(b, cfg);
-                             return evaluateDetailed(
-                                 b, cfg, p, ctx.constants, conv);
-                         }();
-            ed[i] = fmtDouble(c.relativeEnergyDelay(), 3);
-            size[i] = fmtDouble(c.averageSizeFraction(), 3);
-            slow[i] = fmtDouble(c.slowdownPercent(), 1) + "%";
+            ed[i] = fmtDouble(cmps[i]->relativeEnergyDelay(), 3);
+            size[i] = fmtDouble(cmps[i]->averageSizeFraction(), 3);
+            slow[i] = fmtDouble(cmps[i]->slowdownPercent(), 1) + "%";
         }
         t.addRow({b.name, ed[0], ed[1], ed[2], size[0], size[1],
                   size[2], slow[0], slow[1], slow[2]});

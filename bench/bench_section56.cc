@@ -17,12 +17,18 @@ using namespace drisim;
 using namespace drisim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx = defaultContext();
+    std::string err;
+    if (!parseBenchArgs(argc, argv, ctx, err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+
     printHeader("Section 5.6: sense interval, divisibility, throttle",
                 "Section 5.6 (text)");
-
-    const BenchContext ctx = defaultContext();
+    std::cout << workerBanner(ctx) << "\n";
 
     // Paper sweeps 250K..4M around a 1M base (scaled here 4x down
     // around the 100K base, same 16x dynamic range).
@@ -41,11 +47,17 @@ main()
         const BaseResult base = computeBase(b, ctx);
         const DriParams &bp = base.constrained.dri;
 
-        // --- interval sweep -------------------------------------
-        std::vector<std::string> row{b.name};
+        // --- interval sweep + divisibility ----------------------
+        // All off-base variants of both ablations are independent
+        // detailed runs; batch them through one executor pass.
         double base_ed = base.constrained.cmp.relativeEnergyDelay();
-        double dev = 0.0;
+        std::vector<DriParams> variants;
+        std::vector<const ComparisonResult *> ivCmp;
         for (InstCount iv : intervals) {
+            if (iv == bp.senseInterval) {
+                ivCmp.push_back(&base.constrained.cmp);
+                continue;
+            }
             DriParams p = bp;
             p.senseInterval = iv;
             // Miss-bound is per interval: scale it with the length.
@@ -55,14 +67,31 @@ main()
                                     static_cast<double>(iv) /
                                     static_cast<double>(
                                         bp.senseInterval))));
-            const ComparisonResult c =
-                iv == bp.senseInterval
-                    ? base.constrained.cmp
-                    : evaluateDetailed(b, ctx.cfg, p, ctx.constants,
-                                       base.conv);
-            row.push_back(fmtDouble(c.relativeEnergyDelay(), 3));
-            dev = std::max(dev, std::abs(c.relativeEnergyDelay() -
-                                         base_ed));
+            variants.push_back(p);
+            ivCmp.push_back(nullptr); // filled from the batch below
+        }
+        const std::size_t divFirst = variants.size();
+        for (unsigned div : {4u, 8u}) {
+            DriParams p = bp;
+            p.divisibility = div;
+            variants.push_back(p);
+        }
+        const std::vector<ComparisonResult> batch =
+            evaluateDetailedBatch(b, ctx.cfg, variants,
+                                  ctx.constants, base.conv,
+                                  &benchExecutor(ctx));
+
+        std::vector<std::string> row{b.name};
+        double dev = 0.0;
+        std::size_t next = 0;
+        for (const ComparisonResult *&slot : ivCmp) {
+            if (!slot)
+                slot = &batch[next++];
+            row.push_back(
+                fmtDouble(slot->relativeEnergyDelay(), 3));
+            dev = std::max(dev,
+                           std::abs(slot->relativeEnergyDelay() -
+                                    base_ed));
         }
         row.push_back(fmtDouble(dev, 3));
         ti.addRow(row);
@@ -71,25 +100,28 @@ main()
             worst_name = b.name;
         }
 
-        // --- divisibility ---------------------------------------
         std::vector<std::string> drow{b.name,
                                       fmtDouble(base_ed, 3)};
-        for (unsigned div : {4u, 8u}) {
-            DriParams p = bp;
-            p.divisibility = div;
-            const ComparisonResult c = evaluateDetailed(
-                b, ctx.cfg, p, ctx.constants, base.conv);
-            drow.push_back(fmtDouble(c.relativeEnergyDelay(), 3));
-        }
+        for (std::size_t k = divFirst; k < variants.size(); ++k)
+            drow.push_back(
+                fmtDouble(batch[k].relativeEnergyDelay(), 3));
         td.addRow(drow);
 
         // --- throttle ablation ----------------------------------
         DriParams p = bp;
         p.throttleHoldIntervals = 0; // trigger becomes a no-op
-        const RunOutput no_thr = runDri(b, ctx.cfg, p);
+        RunOutput no_thr;
+        RunOutput with_thr;
+        benchExecutor(ctx).forEachIndex(
+            b.name + "/throttle", 2,
+            [&](std::size_t k, const JobContext &) {
+                if (k == 0)
+                    no_thr = runDri(b, ctx.cfg, p);
+                else
+                    with_thr = runDri(b, ctx.cfg, bp);
+            });
         const ComparisonResult c = compareRuns(
             ctx.constants, base.conv.meas, no_thr.meas);
-        const RunOutput with_thr = runDri(b, ctx.cfg, bp);
         tt.addRow({b.name, fmtDouble(base_ed, 3),
                    fmtDouble(c.relativeEnergyDelay(), 3),
                    std::to_string(with_thr.resizes),

@@ -35,8 +35,17 @@ cacheDesc(const CacheParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Table 1 runs no simulations, but accepts the common flags so
+    // every bench binary has a uniform command line.
+    bench::BenchContext ctx = bench::defaultContext();
+    std::string err;
+    if (!bench::parseBenchArgs(argc, argv, ctx, err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+
     bench::printHeader("Table 1: system configuration parameters",
                        "Section 4, Table 1");
 

@@ -6,6 +6,8 @@
  */
 
 #include <iostream>
+#include <iterator>
+#include <utility>
 
 #include "bench_common.hh"
 #include "circuit/area_model.hh"
@@ -16,8 +18,15 @@ using namespace drisim;
 using namespace drisim::circuit;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchContext ctx = bench::defaultContext();
+    std::string err;
+    if (!bench::parseBenchArgs(argc, argv, ctx, err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+
     bench::printHeader(
         "Table 2: threshold voltage and gated-Vdd trade-offs",
         "Section 5.1, Table 2 (0.18um, Vdd = 1.0 V, 110 C)");
@@ -61,18 +70,25 @@ main()
                  "Section 3 discussion):\n";
     Table v({"variant", "standby (x1e-9 nJ)", "savings",
              "rel. read time", "area"});
-    for (auto [kind, name] :
-         {std::pair{GatingKind::NmosDualVt, "NMOS dual-Vt + pump"},
-          std::pair{GatingKind::NmosLowVt, "NMOS low-Vt"},
-          std::pair{GatingKind::PmosDualVt, "PMOS dual-Vt"}}) {
-        GatedVddConfig c;
-        c.kind = kind;
-        const GatedVdd g(tech, low_vt, c);
-        v.addRow({name, nj(g.standbyLeakagePerCycle()),
-                  fmtPercent(g.leakageSavingsFraction(), 1),
-                  fmtDouble(g.relativeReadTime(), 2),
-                  fmtPercent(g.areaOverheadFraction(), 1)});
-    }
+    // Evaluated as executor jobs filling index-addressed row slots:
+    // the rendered table is identical at any --jobs value.
+    const std::pair<GatingKind, const char *> variants[] = {
+        {GatingKind::NmosDualVt, "NMOS dual-Vt + pump"},
+        {GatingKind::NmosLowVt, "NMOS low-Vt"},
+        {GatingKind::PmosDualVt, "PMOS dual-Vt"}};
+    v.reserveRows(std::size(variants));
+    bench::benchExecutor(ctx).forEachIndex(
+        "table2/variant", std::size(variants),
+        [&](std::size_t i, const JobContext &) {
+            const auto &[kind, name] = variants[i];
+            GatedVddConfig c;
+            c.kind = kind;
+            const GatedVdd g(tech, low_vt, c);
+            v.setRow(i, {name, nj(g.standbyLeakagePerCycle()),
+                         fmtPercent(g.leakageSavingsFraction(), 1),
+                         fmtDouble(g.relativeReadTime(), 2),
+                         fmtPercent(g.areaOverheadFraction(), 1)});
+        });
     v.print(std::cout);
 
     std::cout << "\nDerived Section 5.2 constants "

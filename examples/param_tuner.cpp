@@ -3,16 +3,21 @@
  * Parameter tuner: sweeps the (miss-bound, size-bound) grid for one
  * benchmark — the search the paper runs per benchmark in Section
  * 5.3 — and prints the full energy-delay landscape with the
- * constrained and unconstrained winners marked.
+ * constrained and unconstrained winners marked. The grid runs on the
+ * harness executor; the landscape and winners are identical at any
+ * --jobs value.
  *
- *   ./param_tuner [benchmark] [instructions]
+ *   ./param_tuner [benchmark] [instructions] [--jobs N]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "harness/executor.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -23,16 +28,45 @@ using namespace drisim;
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "ijpeg";
-    const InstCount instrs =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3000000;
+    std::string name = "ijpeg";
+    InstCount instrs = 3000000;
+    unsigned jobs = 0;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value after %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+        } else {
+            positional.push_back(arg);
+            continue;
+        }
+        if (!parseJobsValue(value, jobs)) {
+            std::fprintf(stderr, "bad jobs value '%s'\n",
+                         value.c_str());
+            return 2;
+        }
+    }
+    if (!positional.empty())
+        name = positional[0];
+    if (positional.size() > 1)
+        instrs = std::strtoull(positional[1].c_str(), nullptr, 10);
 
     const BenchmarkInfo &bench = findBenchmark(name);
     RunConfig cfg;
     cfg.maxInstrs = instrs;
+    cfg.jobs = jobs;
 
-    std::printf("detailed conventional baseline for %s...\n",
-                bench.name.c_str());
+    std::printf("detailed conventional baseline for %s "
+                "(%u workers)...\n",
+                bench.name.c_str(), resolveJobCount(cfg.jobs));
     const RunOutput conv = runConventional(bench, cfg);
     std::printf("  %llu cycles, miss rate %.3f%%\n\n",
                 static_cast<unsigned long long>(conv.meas.cycles),
@@ -46,15 +80,19 @@ main(int argc, char **argv)
     const SearchResult constrained = searchBestEnergyDelay(
         bench, cfg, tmpl, space, constants, 4.0, conv);
 
+    // Rows are filled by slot index, the same aggregation scheme
+    // the executor uses for the search itself.
     Table t({"size-bound", "miss-bound", "rel-ED", "avg size",
              "slowdown", "<=4%?"});
-    for (const auto &cand : constrained.evaluated) {
-        t.addRow({bytesToString(cand.dri.sizeBoundBytes),
-                  std::to_string(cand.dri.missBound),
-                  fmtDouble(cand.cmp.relativeEnergyDelay(), 3),
-                  fmtDouble(cand.cmp.averageSizeFraction(), 3),
-                  fmtDouble(cand.cmp.slowdownPercent(), 2) + "%",
-                  cand.feasible ? "yes" : "NO"});
+    t.reserveRows(constrained.evaluated.size());
+    for (std::size_t i = 0; i < constrained.evaluated.size(); ++i) {
+        const SearchCandidate &cand = constrained.evaluated[i];
+        t.setRow(i, {bytesToString(cand.dri.sizeBoundBytes),
+                     std::to_string(cand.dri.missBound),
+                     fmtDouble(cand.cmp.relativeEnergyDelay(), 3),
+                     fmtDouble(cand.cmp.averageSizeFraction(), 3),
+                     fmtDouble(cand.cmp.slowdownPercent(), 2) + "%",
+                     cand.feasible ? "yes" : "NO"});
     }
     std::printf("fast-model landscape (%zu configurations):\n",
                 constrained.evaluated.size());

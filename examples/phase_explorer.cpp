@@ -5,31 +5,38 @@
  * cache size over time as an ASCII strip chart — the behaviour
  * Section 5.3 describes for class 3 benchmarks.
  *
- *   ./phase_explorer [benchmark] [instructions]
+ * Accepts a comma-separated benchmark list; each benchmark's chart
+ * is computed as an executor job (so a list explores in parallel at
+ * --jobs > 1) and printed in list order.
+ *
+ *   ./phase_explorer [benchmark[,benchmark...]] [instructions]
+ *                    [--jobs N]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/dri_icache.hh"
 #include "cpu/ooo_core.hh"
+#include "harness/executor.hh"
+#include "harness/runner.hh"
 #include "mem/hierarchy.hh"
 #include "workload/generator.hh"
 #include "workload/spec_suite.hh"
 
 using namespace drisim;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    const std::string name = argc > 1 ? argv[1] : "hydro2d";
-    const InstCount instrs =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4000000;
 
-    const BenchmarkInfo &bench = findBenchmark(name);
-    const ProgramImage image = buildProgram(bench.spec);
+/** Run one benchmark and render its strip chart into a string. */
+std::string
+exploreOne(const BenchmarkInfo &bench, InstCount instrs)
+{
+    const ProgramImage &image = programImageFor(bench);
 
     stats::StatGroup root("sim");
     Hierarchy hier(HierarchyParams{}, &root, false);
@@ -44,11 +51,17 @@ main(int argc, char **argv)
 
     TraceGenerator gen(image);
 
-    std::printf("%s: DRI active size per %llu-instruction interval "
-                "(# = 4K active)\n\n",
-                bench.name.c_str(),
-                static_cast<unsigned long long>(dp.senseInterval));
-    std::printf("%10s  %-16s  %s\n", "instrs", "phase", "active size");
+    std::ostringstream os;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s: DRI active size per %llu-instruction interval "
+                  "(# = 4K active)\n\n",
+                  bench.name.c_str(),
+                  static_cast<unsigned long long>(dp.senseInterval));
+    os << line;
+    std::snprintf(line, sizeof(line), "%10s  %-16s  %s\n", "instrs",
+                  "phase", "active size");
+    os << line;
 
     // Step the core one sense interval at a time and sample.
     InstCount done = 0;
@@ -59,19 +72,89 @@ main(int argc, char **argv)
         std::string bar(static_cast<size_t>(kb / 4), '#');
         const std::string phase =
             image.phases[gen.currentPhase()].name;
-        std::printf("%10llu  %-16s  |%-16s| %3lluK\n",
-                    static_cast<unsigned long long>(done),
-                    phase.c_str(), bar.c_str(),
-                    static_cast<unsigned long long>(kb));
+        std::snprintf(line, sizeof(line),
+                      "%10llu  %-16s  |%-16s| %3lluK\n",
+                      static_cast<unsigned long long>(done),
+                      phase.c_str(), bar.c_str(),
+                      static_cast<unsigned long long>(kb));
+        os << line;
     }
 
-    std::printf("\nsummary: avg active fraction %.3f, "
-                "%llu downsizes, %llu upsizes, %llu blocks lost to "
-                "gating, miss rate %.3f%%\n",
-                icache.averageActiveFraction(),
-                static_cast<unsigned long long>(icache.downsizes()),
-                static_cast<unsigned long long>(icache.upsizes()),
-                static_cast<unsigned long long>(icache.blocksLost()),
-                100.0 * icache.missRate());
+    std::snprintf(
+        line, sizeof(line),
+        "\nsummary: avg active fraction %.3f, "
+        "%llu downsizes, %llu upsizes, %llu blocks lost to "
+        "gating, miss rate %.3f%%\n",
+        icache.averageActiveFraction(),
+        static_cast<unsigned long long>(icache.downsizes()),
+        static_cast<unsigned long long>(icache.upsizes()),
+        static_cast<unsigned long long>(icache.blocksLost()),
+        100.0 * icache.missRate());
+    os << line;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string names = "hydro2d";
+    InstCount instrs = 4000000;
+    unsigned jobs = 0;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value after %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+        } else {
+            positional.push_back(arg);
+            continue;
+        }
+        if (!parseJobsValue(value, jobs)) {
+            std::fprintf(stderr, "bad jobs value '%s'\n",
+                         value.c_str());
+            return 2;
+        }
+    }
+    if (!positional.empty())
+        names = positional[0];
+    if (positional.size() > 1)
+        instrs = std::strtoull(positional[1].c_str(), nullptr, 10);
+
+    std::vector<const BenchmarkInfo *> benches;
+    std::stringstream ss(names);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            benches.push_back(&findBenchmark(item));
+    if (benches.empty()) {
+        std::fprintf(stderr, "no benchmarks given\n");
+        return 2;
+    }
+
+    // Charts land in index-addressed slots and print in list order
+    // whatever the completion interleaving.
+    std::vector<std::string> charts(benches.size());
+    Executor exec(jobs);
+    exec.forEachIndex("phase_explorer", benches.size(),
+                      [&](std::size_t i, const JobContext &) {
+                          charts[i] = exploreOne(*benches[i], instrs);
+                      });
+
+    for (std::size_t i = 0; i < charts.size(); ++i) {
+        if (i > 0)
+            std::printf("\n%s\n\n",
+                        std::string(64, '=').c_str());
+        std::fputs(charts[i].c_str(), stdout);
+    }
     return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 
+#include "harness/executor.hh"
 #include "util/str.hh"
 
 namespace drisim
@@ -66,6 +67,11 @@ parseOptions(int argc, const char *const *argv, Options &out,
             if (!parseU64(value, u) || u == 0)
                 return bad_value();
             out.run.maxInstrs = u;
+        } else if (key == "jobs") {
+            unsigned jobs = 0;
+            if (!parseJobsValue(value, jobs))
+                return bad_value();
+            out.run.jobs = jobs;
         } else if (key == "benchmark") {
             if (value.empty())
                 return bad_value();
@@ -123,7 +129,7 @@ parseOptions(int argc, const char *const *argv, Options &out,
 std::string
 optionsUsage()
 {
-    return "options: instrs=N benchmark=NAME l1i.size=64K "
+    return "options: instrs=N jobs=N benchmark=NAME l1i.size=64K "
            "l1i.assoc=N l1i.block=32 dri.size_bound=1K "
            "dri.miss_bound=N dri.interval=N dri.divisibility=2 "
            "dri.throttle_hold=N dri.adaptive=0|1";

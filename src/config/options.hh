@@ -5,10 +5,13 @@
  * parameter, so experiments are scriptable without recompiling.
  *
  * Accepted keys (sizes take 512 / 4K / 1M suffixes):
- *   instrs, benchmark,
+ *   instrs, jobs, benchmark,
  *   l1i.size, l1i.assoc, l1i.block,
  *   dri.size_bound, dri.miss_bound, dri.interval,
  *   dri.divisibility, dri.throttle_hold, dri.adaptive
+ *
+ * `jobs` is the sweep worker count (0 = DRISIM_JOBS env, else
+ * serial); see harness/executor.hh.
  */
 
 #ifndef DRISIM_CONFIG_OPTIONS_HH

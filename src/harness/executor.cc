@@ -1,0 +1,209 @@
+/**
+ * @file
+ * JobGraph scheduling on the work-stealing pool.
+ */
+
+#include "harness/executor.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace drisim
+{
+
+unsigned
+hardwareJobCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+bool
+parseJobsValue(std::string_view text, unsigned &out)
+{
+    if (text.empty() || text.size() > 4)
+        return false;
+    unsigned v = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (v > 4096)
+        return false;
+    out = v;
+    return true;
+}
+
+unsigned
+defaultJobCount()
+{
+    const char *env = std::getenv("DRISIM_JOBS");
+    if (env && *env) {
+        unsigned v = 0;
+        if (parseJobsValue(env, v))
+            return v == 0 ? hardwareJobCount() : v;
+        warn("ignoring malformed DRISIM_JOBS='%s'", env);
+    }
+    return 1;
+}
+
+unsigned
+resolveJobCount(unsigned requested)
+{
+    return requested > 0 ? requested : defaultJobCount();
+}
+
+std::uint64_t
+jobSeed(std::string_view key)
+{
+    // FNV-1a over the key bytes...
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    // ...then a SplitMix64 finalizer so near-identical keys (grid
+    // neighbours) land far apart.
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+}
+
+JobId
+JobGraph::add(std::string key,
+              std::function<void(const JobContext &)> fn,
+              std::vector<JobId> deps)
+{
+    const JobId id = jobs_.size();
+    Job job;
+    job.key = std::move(key);
+    job.fn = std::move(fn);
+    job.depCount = deps.size();
+    job.pendingDeps = deps.size();
+    jobs_.push_back(std::move(job));
+    for (const JobId dep : deps) {
+        drisim_assert(dep < id,
+                      "job '%s' depends on job %zu, which has not "
+                      "been added yet",
+                      jobs_[id].key.c_str(), dep);
+        jobs_[dep].dependents.push_back(id);
+    }
+    return id;
+}
+
+const std::string &
+JobGraph::key(JobId id) const
+{
+    drisim_assert(id < jobs_.size(), "bad job id %zu", id);
+    return jobs_[id].key;
+}
+
+JobState
+JobGraph::state(JobId id) const
+{
+    drisim_assert(id < jobs_.size(), "bad job id %zu", id);
+    return jobs_[id].state;
+}
+
+Executor::Executor(unsigned jobs)
+    : pool_(resolveJobCount(jobs) - 1)
+{
+}
+
+void
+Executor::run(JobGraph &graph)
+{
+    drisim_assert(active_ == nullptr,
+                  "Executor::run() is not re-entrant");
+    active_ = &graph;
+    cancelled_ = false;
+    firstError_ = nullptr;
+    remaining_.store(graph.jobs_.size(), std::memory_order_relaxed);
+
+    // Reset before anything is submitted: once the first job is in
+    // the pool its completions mutate dependents' state concurrently.
+    for (auto &job : graph.jobs_) {
+        job.state = JobState::Pending;
+        job.pendingDeps = job.depCount;
+    }
+    for (JobId id = 0; id < graph.jobs_.size(); ++id)
+        if (graph.jobs_[id].depCount == 0)
+            pool_.submit([this, &graph, id] { runJob(graph, id); });
+
+    pool_.helpWhile([this] {
+        return remaining_.load(std::memory_order_acquire) > 0;
+    });
+
+    active_ = nullptr;
+    if (firstError_)
+        std::rethrow_exception(firstError_);
+}
+
+void
+Executor::runJob(JobGraph &graph, JobId id)
+{
+    auto &job = graph.jobs_[id];
+
+    JobState outcome;
+    if (cancelled_) {
+        outcome = JobState::Skipped;
+    } else {
+        JobContext ctx;
+        ctx.id = id;
+        ctx.seed = jobSeed(job.key);
+        const int slot = WorkStealingPool::currentSlot();
+        ctx.worker = slot >= 0 ? static_cast<unsigned>(slot) : 0;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            job.state = JobState::Running;
+        }
+        try {
+            job.fn(ctx);
+            outcome = JobState::Done;
+        } catch (...) {
+            outcome = JobState::Failed;
+            std::lock_guard<std::mutex> lock(mu_);
+            cancelled_ = true;
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+    }
+
+    std::vector<JobId> ready;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job.state = outcome;
+        for (const JobId dep : job.dependents) {
+            // Dependents are released even when this job failed or
+            // was skipped: with the graph cancelled they drain as
+            // Skipped, keeping the remaining-jobs count exact.
+            if (--graph.jobs_[dep].pendingDeps == 0)
+                ready.push_back(dep);
+        }
+    }
+    for (const JobId dep : ready)
+        pool_.submit(
+            [this, &graph, dep] { runJob(graph, dep); });
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+Executor::forEachIndex(
+    std::string_view keyPrefix, std::size_t n,
+    const std::function<void(std::size_t, const JobContext &)> &fn)
+{
+    JobGraph graph;
+    for (std::size_t i = 0; i < n; ++i)
+        graph.add(strFormat("%.*s/%zu",
+                            static_cast<int>(keyPrefix.size()),
+                            keyPrefix.data(), i),
+                  [&fn, i](const JobContext &ctx) { fn(i, ctx); });
+    run(graph);
+}
+
+} // namespace drisim

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 
 #include "core/dri_icache.hh"
 #include "cpu/simple_core.hh"
@@ -22,20 +23,51 @@ namespace drisim
 namespace
 {
 
-/** Program images are deterministic; build each benchmark once. */
+/**
+ * Program images are deterministic; build each benchmark once and
+ * share it. Executor workers construct a TraceGenerator per run, so
+ * the lookup is the harness's hottest synchronization point: reads
+ * take a shared lock and proceed in parallel (the serial-era
+ * exclusive mutex made every worker queue up here). A cache miss
+ * builds outside any lock — two workers racing on a cold benchmark
+ * do redundant deterministic work and the first insert wins.
+ */
+class ProgramImageCache
+{
+  public:
+    const ProgramImage &get(const BenchmarkInfo &bench)
+    {
+        {
+            std::shared_lock<std::shared_mutex> lock(mu_);
+            auto it = cache_.find(bench.name);
+            if (it != cache_.end())
+                return *it->second;
+        }
+        auto img =
+            std::make_unique<ProgramImage>(buildProgram(bench.spec));
+        std::unique_lock<std::shared_mutex> lock(mu_);
+        auto [it, inserted] =
+            cache_.try_emplace(bench.name, std::move(img));
+        (void)inserted;
+        return *it->second;
+    }
+
+  private:
+    std::shared_mutex mu_;
+    std::map<std::string, std::unique_ptr<ProgramImage>> cache_;
+};
+
+ProgramImageCache &
+imageCache()
+{
+    static ProgramImageCache cache;
+    return cache;
+}
+
 const ProgramImage &
 imageFor(const BenchmarkInfo &bench)
 {
-    static std::map<std::string, std::unique_ptr<ProgramImage>> cache;
-    static std::mutex mtx;
-    std::lock_guard<std::mutex> lock(mtx);
-    auto it = cache.find(bench.name);
-    if (it == cache.end()) {
-        auto img = std::make_unique<ProgramImage>(
-            buildProgram(bench.spec));
-        it = cache.emplace(bench.name, std::move(img)).first;
-    }
-    return *it->second;
+    return imageCache().get(bench);
 }
 
 RunMeasurement
@@ -56,6 +88,12 @@ measurementFromCounts(Cycles cycles, InstCount instrs,
 }
 
 } // namespace
+
+const ProgramImage &
+programImageFor(const BenchmarkInfo &bench)
+{
+    return imageFor(bench);
+}
 
 InstCount
 defaultRunInstrs()

@@ -21,6 +21,8 @@
 namespace drisim
 {
 
+struct ProgramImage; // workload/cfg.hh
+
 /** Common knobs for one simulation run. */
 struct RunConfig
 {
@@ -30,6 +32,13 @@ struct RunConfig
     OooParams core{};
     /** Instructions to simulate. */
     InstCount maxInstrs = 10 * 1000 * 1000;
+    /**
+     * Worker count for sweep-shaped work (the --jobs knob): 0 defers
+     * to the DRISIM_JOBS environment variable, absent which runs are
+     * serial. Results are bit-identical at any value; see
+     * harness/executor.hh.
+     */
+    unsigned jobs = 0;
 };
 
 /** What one run produced. */
@@ -50,6 +59,15 @@ struct RunOutput
  * Scaling methodology).
  */
 InstCount defaultRunInstrs();
+
+/**
+ * Build (or fetch) the cached deterministic program image for
+ * @p bench. Thread-safe and read-mostly: concurrent runs of the same
+ * benchmark share one image without serializing on a writer lock.
+ * Sweep graphs may call this from a root job to warm the cache
+ * before fanning out.
+ */
+const ProgramImage &programImageFor(const BenchmarkInfo &bench);
 
 /** Detailed run with a conventional L1 i-cache. */
 RunOutput runConventional(const BenchmarkInfo &bench,

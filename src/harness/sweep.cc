@@ -1,14 +1,21 @@
 /**
  * @file
  * Best-case (miss-bound x size-bound) search with fast-model
- * calibration and detailed re-run of the winner.
+ * calibration and detailed re-run of the winner, executed as a
+ * JobGraph: calibrate -> fast-model grid -> select -> detailed
+ * winner. Grid cells land in index-addressed slots and the selection
+ * scans them in grid order, so results are bit-identical at any
+ * worker count.
  */
 
 #include "harness/sweep.hh"
 
 #include <algorithm>
+#include <optional>
 
+#include "harness/executor.hh"
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace drisim
 {
@@ -22,6 +29,26 @@ evaluateDetailed(const BenchmarkInfo &bench, const RunConfig &config,
     return compareRuns(constants, convDetailed.meas, d.meas);
 }
 
+std::vector<ComparisonResult>
+evaluateDetailedBatch(const BenchmarkInfo &bench,
+                      const RunConfig &config,
+                      const std::vector<DriParams> &variants,
+                      const EnergyConstants &constants,
+                      const RunOutput &convDetailed, Executor *exec)
+{
+    std::vector<ComparisonResult> out(variants.size());
+    std::optional<Executor> local;
+    if (!exec)
+        exec = &local.emplace(config.jobs);
+    exec->forEachIndex(
+        bench.name + "/detailed", variants.size(),
+        [&](std::size_t i, const JobContext &) {
+            out[i] = evaluateDetailed(bench, config, variants[i],
+                                      constants, convDetailed);
+        });
+    return out;
+}
+
 SearchResult
 searchBestEnergyDelay(const BenchmarkInfo &bench, const RunConfig &config,
                       const DriParams &driTemplate,
@@ -33,23 +60,16 @@ searchBestEnergyDelay(const BenchmarkInfo &bench, const RunConfig &config,
     SearchResult result;
     result.convDetailed = convDetailed;
 
-    const FastCalibration cal =
-        calibrateFast(bench, config, convDetailed);
-    const RunOutput conv_fast = runConventionalFast(bench, config, cal);
-
-    // Conventional misses per sense interval, for miss-bound scaling.
-    const double intervals =
-        static_cast<double>(config.maxInstrs) /
-        static_cast<double>(driTemplate.senseInterval);
-    const double conv_misses_per_interval =
-        intervals > 0.0
-            ? static_cast<double>(conv_fast.meas.l1iMisses) / intervals
-            : 0.0;
-
-    bool have_best = false;
-    double best_ed = 0.0;
-    DriParams best_params = driTemplate;
-
+    // Grid cells are fixed up front (the filter depends only on the
+    // template); each cell's miss-bound is resolved inside its job
+    // once the calibration stage has produced the conventional
+    // misses-per-interval.
+    struct Cell
+    {
+        std::uint64_t sizeBound;
+        double factor;
+    };
+    std::vector<Cell> cells;
     for (std::uint64_t size_bound : space.sizeBounds) {
         if (size_bound > driTemplate.sizeBytes)
             continue;
@@ -57,52 +77,110 @@ searchBestEnergyDelay(const BenchmarkInfo &bench, const RunConfig &config,
                              driTemplate.blockBytes) *
                              driTemplate.assoc)
             continue;
-        for (double factor : space.missBoundFactors) {
-            DriParams p = driTemplate;
-            p.sizeBoundBytes = size_bound;
-            p.missBound = std::max<std::uint64_t>(
-                space.missBoundFloor,
-                static_cast<std::uint64_t>(
-                    factor * conv_misses_per_interval));
+        for (double factor : space.missBoundFactors)
+            cells.push_back({size_bound, factor});
+    }
 
-            RunOutput d = runDriFast(bench, config, p, cal);
-            SearchCandidate cand;
-            cand.dri = p;
-            cand.cmp =
-                compareRuns(constants, conv_fast.meas, d.meas);
-            cand.feasible =
-                maxSlowdownPct <= 0.0 ||
-                cand.cmp.slowdownPercent() <= maxSlowdownPct;
-            result.evaluated.push_back(cand);
+    Executor exec(config.jobs);
+    JobGraph graph;
 
-            if (!cand.feasible)
-                continue;
-            const double ed = cand.cmp.relativeEnergyDelay();
-            if (!have_best || ed < best_ed) {
-                have_best = true;
-                best_ed = ed;
-                best_params = p;
+    FastCalibration cal;
+    RunOutput conv_fast;
+    double conv_misses_per_interval = 0.0;
+    const JobId calibrate = graph.add(
+        bench.name + "/calibrate", [&](const JobContext &) {
+            cal = calibrateFast(bench, config, convDetailed);
+            conv_fast = runConventionalFast(bench, config, cal);
+            const double intervals =
+                static_cast<double>(config.maxInstrs) /
+                static_cast<double>(driTemplate.senseInterval);
+            conv_misses_per_interval =
+                intervals > 0.0
+                    ? static_cast<double>(conv_fast.meas.l1iMisses) /
+                          intervals
+                    : 0.0;
+        });
+
+    result.evaluated.resize(cells.size());
+    std::vector<JobId> grid;
+    grid.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        grid.push_back(graph.add(
+            strFormat("%s/sb=%llu/mbf=%g", bench.name.c_str(),
+                      static_cast<unsigned long long>(
+                          cells[i].sizeBound),
+                      cells[i].factor),
+            [&, i](const JobContext &) {
+                DriParams p = driTemplate;
+                p.sizeBoundBytes = cells[i].sizeBound;
+                p.missBound = std::max<std::uint64_t>(
+                    space.missBoundFloor,
+                    static_cast<std::uint64_t>(
+                        cells[i].factor *
+                        conv_misses_per_interval));
+
+                RunOutput d = runDriFast(bench, config, p, cal);
+                SearchCandidate cand;
+                cand.dri = p;
+                cand.cmp =
+                    compareRuns(constants, conv_fast.meas, d.meas);
+                cand.feasible =
+                    maxSlowdownPct <= 0.0 ||
+                    cand.cmp.slowdownPercent() <= maxSlowdownPct;
+                result.evaluated[i] = cand;
+            },
+            {calibrate}));
+    }
+
+    // The selection needs every grid slot AND the calibration
+    // outputs (listing calibrate explicitly also covers the
+    // empty-grid case, where it would otherwise run unordered).
+    std::vector<JobId> selectDeps = grid;
+    selectDeps.push_back(calibrate);
+
+    DriParams best_params = driTemplate;
+    const JobId select = graph.add(
+        bench.name + "/select",
+        [&](const JobContext &) {
+            bool have_best = false;
+            double best_ed = 0.0;
+            for (const SearchCandidate &cand : result.evaluated) {
+                if (!cand.feasible)
+                    continue;
+                const double ed = cand.cmp.relativeEnergyDelay();
+                if (!have_best || ed < best_ed) {
+                    have_best = true;
+                    best_ed = ed;
+                    best_params = cand.dri;
+                }
             }
-        }
-    }
+            if (!have_best) {
+                // Nothing met the constraint: fall back to the
+                // least-harm configuration (full-size size-bound
+                // disables downsizing).
+                best_params = driTemplate;
+                best_params.sizeBoundBytes = driTemplate.sizeBytes;
+                best_params.missBound = std::max<std::uint64_t>(
+                    space.missBoundFloor,
+                    static_cast<std::uint64_t>(
+                        2.0 * conv_misses_per_interval));
+            }
+        },
+        selectDeps);
 
-    if (!have_best) {
-        // Nothing met the constraint: fall back to the least-harm
-        // configuration (full-size size-bound disables downsizing).
-        best_params = driTemplate;
-        best_params.sizeBoundBytes = driTemplate.sizeBytes;
-        best_params.missBound = std::max<std::uint64_t>(
-            space.missBoundFloor,
-            static_cast<std::uint64_t>(2.0 *
-                                       conv_misses_per_interval));
-    }
+    graph.add(
+        bench.name + "/winner-detailed",
+        [&](const JobContext &) {
+            result.best.dri = best_params;
+            result.best.cmp = evaluateDetailed(
+                bench, config, best_params, constants, convDetailed);
+            result.best.feasible =
+                maxSlowdownPct <= 0.0 ||
+                result.best.cmp.slowdownPercent() <= maxSlowdownPct;
+        },
+        {select});
 
-    result.best.dri = best_params;
-    result.best.cmp = evaluateDetailed(bench, config, best_params,
-                                       constants, convDetailed);
-    result.best.feasible =
-        maxSlowdownPct <= 0.0 ||
-        result.best.cmp.slowdownPercent() <= maxSlowdownPct;
+    exec.run(graph);
     return result;
 }
 

@@ -82,6 +82,21 @@ ComparisonResult evaluateDetailed(const BenchmarkInfo &bench,
                                   const EnergyConstants &constants,
                                   const RunOutput &convDetailed);
 
+class Executor; // harness/executor.hh
+
+/**
+ * Detailed paired evaluation of several configurations, run as
+ * independent executor jobs. Results come back in the order of
+ * @p variants regardless of completion order. Pass an @p exec to
+ * reuse an existing pool; otherwise one is created with config.jobs
+ * workers for the call.
+ */
+std::vector<ComparisonResult> evaluateDetailedBatch(
+    const BenchmarkInfo &bench, const RunConfig &config,
+    const std::vector<DriParams> &variants,
+    const EnergyConstants &constants, const RunOutput &convDetailed,
+    Executor *exec = nullptr);
+
 } // namespace drisim
 
 #endif // DRISIM_HARNESS_SWEEP_HH

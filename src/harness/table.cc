@@ -28,6 +28,25 @@ Table::addRow(std::vector<std::string> cells)
 }
 
 void
+Table::reserveRows(size_t n)
+{
+    rows_.resize(rows_.size() + n,
+                 std::vector<std::string>(headers_.size()));
+}
+
+void
+Table::setRow(size_t index, std::vector<std::string> cells)
+{
+    drisim_assert(index < rows_.size(),
+                  "row %zu out of range (%zu rows)", index,
+                  rows_.size());
+    drisim_assert(cells.size() == headers_.size(),
+                  "row has %zu cells, table has %zu columns",
+                  cells.size(), headers_.size());
+    rows_[index] = std::move(cells);
+}
+
+void
 Table::print(std::ostream &os) const
 {
     std::vector<size_t> width(headers_.size());

@@ -23,6 +23,16 @@ class Table
     /** Append one row (must match the header count). */
     void addRow(std::vector<std::string> cells);
 
+    /**
+     * Pre-size the table to @p n empty rows so parallel producers
+     * can fill them by index: the rendered order is the slot order,
+     * never the completion order.
+     */
+    void reserveRows(size_t n);
+
+    /** Fill slot @p index (created by reserveRows or addRow). */
+    void setRow(size_t index, std::vector<std::string> cells);
+
     /** Render with padded columns. */
     void print(std::ostream &os) const;
 

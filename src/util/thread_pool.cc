@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Work-stealing task pool implementation.
+ */
+
+#include "util/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace drisim
+{
+
+namespace
+{
+
+/** Slot of the current thread; -1 outside the pool. */
+thread_local int tl_slot = -1;
+
+} // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned background)
+    : background_(background), deques_(background + 1)
+{
+    threads_.reserve(background_);
+    for (unsigned slot = 1; slot <= background_; ++slot)
+        threads_.emplace_back(
+            [this, slot] { workerLoop(slot); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+int
+WorkStealingPool::currentSlot()
+{
+    return tl_slot;
+}
+
+void
+WorkStealingPool::submit(PoolTask task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const int slot = tl_slot;
+        if (slot >= 0 &&
+            static_cast<std::size_t>(slot) < deques_.size()) {
+            deques_[static_cast<std::size_t>(slot)].push_back(
+                std::move(task));
+        } else {
+            deques_[submitRound_ % deques_.size()].push_back(
+                std::move(task));
+            ++submitRound_;
+        }
+    }
+    cv_.notify_one();
+}
+
+bool
+WorkStealingPool::tryPop(unsigned slot, PoolTask &out)
+{
+    auto &own = deques_[slot];
+    if (!own.empty()) {
+        out = std::move(own.back());
+        own.pop_back();
+        return true;
+    }
+    for (std::size_t i = 1; i < deques_.size(); ++i) {
+        auto &victim = deques_[(slot + i) % deques_.size()];
+        if (!victim.empty()) {
+            out = std::move(victim.front());
+            victim.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(unsigned slot)
+{
+    tl_slot = static_cast<int>(slot);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        PoolTask task;
+        if (tryPop(slot, task)) {
+            lock.unlock();
+            task();
+            task = nullptr; // release captures before relocking
+            lock.lock();
+            // A completion may unblock helpWhile() predicates or
+            // expose newly-submitted dependents to sleeping peers.
+            cv_.notify_all();
+            continue;
+        }
+        if (stop_)
+            return;
+        cv_.wait(lock);
+    }
+}
+
+void
+WorkStealingPool::helpWhile(const std::function<bool()> &pending)
+{
+    drisim_assert(tl_slot == -1,
+                  "helpWhile() re-entered from a pool slot");
+    tl_slot = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (pending()) {
+        PoolTask task;
+        if (tryPop(0, task)) {
+            lock.unlock();
+            task();
+            task = nullptr;
+            lock.lock();
+            cv_.notify_all();
+            continue;
+        }
+        cv_.wait(lock);
+    }
+    lock.unlock();
+    tl_slot = -1;
+}
+
+} // namespace drisim

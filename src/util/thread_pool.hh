@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Work-stealing task pool underlying the harness executor.
+ *
+ * Tasks live in per-slot deques: a worker pops its own deque from
+ * the back (newest first, so dependent continuations run while their
+ * inputs are cache-warm) and steals from another slot's front (oldest
+ * first, so stolen work is the least likely to be picked up soon by
+ * its owner). Slot 0 belongs to the thread that calls helpWhile() —
+ * the pool's owner participates in execution instead of blocking —
+ * and slots 1..background belong to OS threads the pool owns.
+ *
+ * Queue manipulation is guarded by a single pool mutex. Tasks here
+ * are whole cache simulations (milliseconds to seconds each), so
+ * scheduling cost is noise; the coarse lock keeps the sleep/wake
+ * logic evidently correct and ThreadSanitizer-clean rather than
+ * micro-optimal.
+ */
+
+#ifndef DRISIM_UTIL_THREAD_POOL_HH
+#define DRISIM_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace drisim
+{
+
+/** A task: any callable; exceptions must be handled by the caller's
+ *  wrapper (the pool itself never swallows or rethrows). */
+using PoolTask = std::function<void()>;
+
+class WorkStealingPool
+{
+  public:
+    /**
+     * @param background number of OS worker threads to spawn; 0 is
+     * valid and makes helpWhile() execute everything on the calling
+     * thread (the serial reference configuration).
+     */
+    explicit WorkStealingPool(unsigned background);
+
+    /** Joins all workers. Queues must be drained first (the executor
+     *  always runs graphs to completion before destruction). */
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Total execution slots: background threads + the helping
+     *  caller. */
+    unsigned slots() const { return background_ + 1; }
+
+    /**
+     * Enqueue a task. When called from a pool slot (a worker thread
+     * or the caller inside helpWhile()) the task goes to that slot's
+     * own deque; otherwise slots are chosen round-robin.
+     */
+    void submit(PoolTask task);
+
+    /**
+     * Execute tasks on the calling thread (as slot 0) until
+     * @p pending returns false. @p pending is evaluated under the
+     * pool lock after every task completion, so any state it reads
+     * must be updated by the tasks themselves (the executor uses a
+     * remaining-jobs counter). Sleeps when no task is runnable.
+     */
+    void helpWhile(const std::function<bool()> &pending);
+
+    /**
+     * Slot index of the calling thread: 0 for the helping caller,
+     * 1..background for pool threads, -1 for foreign threads.
+     */
+    static int currentSlot();
+
+  private:
+    void workerLoop(unsigned slot);
+
+    /** Pop a task for @p slot: own deque back, then steal another
+     *  deque's front. Requires the lock. */
+    bool tryPop(unsigned slot, PoolTask &out);
+
+    const unsigned background_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::deque<PoolTask>> deques_;
+    std::vector<std::thread> threads_;
+    unsigned submitRound_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_UTIL_THREAD_POOL_HH

@@ -9,9 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <numeric>
 #include <set>
 
 #include "core/dri_icache.hh"
+#include "energy/accounting.hh"
+#include "harness/runner.hh"
 #include "mem/cache.hh"
 #include "stats/stats.hh"
 #include "util/random.hh"
@@ -186,6 +191,105 @@ TEST_P(DriPropertyTest, SurvivorsAreLowSets)
         } else {
             EXPECT_FALSE(hit) << "gated set " << s << " retained";
         }
+    }
+}
+
+/**
+ * Order-independence property behind the parallel sweep engine: the
+ * harness aggregates per-cell results into index-addressed slots and
+ * reduces them in slot order, so *any* interleaving of job
+ * completion must yield totals identical to the serial walk.
+ *
+ * Exercised with a deliberately-shuffled mock executor: the "jobs"
+ * are real DRI runs over a parameter grid, executed in random
+ * permutations of the grid order, writing into slots exactly the way
+ * harness/sweep.cc does.
+ */
+TEST(AggregationProperty, ShuffledCompletionOrderMatchesSerialSum)
+{
+    // The grid: distinct (size-bound, miss-bound) cells.
+    struct Cell
+    {
+        std::uint64_t sizeBound;
+        std::uint64_t missBound;
+    };
+    std::vector<Cell> cells;
+    for (std::uint64_t sb : {1024u, 2048u, 8192u})
+        for (std::uint64_t mb : {20u, 200u, 2000u})
+            cells.push_back({sb, mb});
+
+    // One "job": a short randomized run against a DRI cache with
+    // that cell's parameters, producing an energy-relevant
+    // measurement. Deterministic per cell (seeded from the cell),
+    // like executor jobs seeded from their key.
+    auto evaluateCell = [](const Cell &cell) {
+        stats::StatGroup root("agg");
+        DriParams p;
+        p.sizeBytes = 16 * 1024;
+        p.sizeBoundBytes = cell.sizeBound;
+        p.missBound = cell.missBound;
+        p.senseInterval = 500;
+        DriICache c(p, nullptr, &root);
+        Rng rng(cell.sizeBound * 131 + cell.missBound);
+        for (int i = 0; i < 4000; ++i) {
+            c.access(rng.range(1024) * 32, AccessType::InstFetch);
+            if (i % 250 == 0)
+                c.retireInstructions(250);
+        }
+        RunMeasurement m;
+        m.cycles = c.accesses() + 10 * c.misses();
+        m.instructions = 4000;
+        m.l1iAccesses = c.accesses();
+        m.l1iMisses = c.misses();
+        m.avgActiveFraction = c.averageActiveFraction();
+        m.l1iBytes = p.sizeBytes;
+        return m;
+    };
+
+    // Serial reference: walk the grid in index order.
+    std::vector<RunMeasurement> serialSlots(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        serialSlots[i] = evaluateCell(cells[i]);
+
+    const EnergyConstants constants = EnergyConstants::paper();
+    auto aggregate = [&](const std::vector<RunMeasurement> &slots) {
+        // The reductions the table/figure paths perform: energy and
+        // miss totals over slots in index order.
+        std::uint64_t misses = 0;
+        std::uint64_t cycles = 0;
+        double energy = 0.0;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            misses += slots[i].l1iMisses;
+            cycles += slots[i].cycles;
+            energy += compareRuns(constants, slots[0], slots[i])
+                          .relativeEnergyDelay();
+        }
+        return std::tuple{misses, cycles, energy};
+    };
+    const auto serialTotals = aggregate(serialSlots);
+
+    // Mock executor: complete the same jobs in shuffled order,
+    // writing each result into its slot (never appending).
+    Rng shuffleRng(0xc0ffee);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<std::size_t> perm(cells.size());
+        std::iota(perm.begin(), perm.end(), 0u);
+        for (std::size_t i = perm.size(); i > 1; --i)
+            std::swap(perm[i - 1], perm[shuffleRng.range(i)]);
+
+        std::vector<RunMeasurement> slots(cells.size());
+        for (const std::size_t job : perm)
+            slots[job] = evaluateCell(cells[job]);
+
+        const auto totals = aggregate(slots);
+        EXPECT_EQ(std::get<0>(totals), std::get<0>(serialTotals))
+            << "miss total diverged on trial " << trial;
+        EXPECT_EQ(std::get<1>(totals), std::get<1>(serialTotals))
+            << "cycle total diverged on trial " << trial;
+        // Bit-identical, not EXPECT_DOUBLE_EQ: summation order is
+        // fixed by the slot scan, not by completion order.
+        EXPECT_EQ(std::get<2>(totals), std::get<2>(serialTotals))
+            << "energy total diverged on trial " << trial;
     }
 }
 

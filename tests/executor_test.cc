@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Executor tests: JobGraph scheduling, deterministic per-job
+ * seeding, exception propagation/cancellation, and the determinism
+ * regression suite — the same search grid run at jobs=1, jobs=4 and
+ * jobs=hardware_concurrency() must produce byte-identical results.
+ * Also the ThreadSanitizer smoke for concurrent harness runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "harness/executor.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+
+namespace drisim
+{
+namespace
+{
+
+// --------------------------------------------------------------
+// Seeding and worker-count resolution
+// --------------------------------------------------------------
+
+TEST(JobSeed, DeterministicAndKeySensitive)
+{
+    EXPECT_EQ(jobSeed("compress/sb=4096/mbf=32"),
+              jobSeed("compress/sb=4096/mbf=32"));
+    EXPECT_NE(jobSeed("compress/sb=4096/mbf=32"),
+              jobSeed("compress/sb=4096/mbf=2"));
+    EXPECT_NE(jobSeed("a"), jobSeed("b"));
+    EXPECT_NE(jobSeed(""), jobSeed("a"));
+}
+
+TEST(JobSeed, GridNeighboursLandFarApart)
+{
+    // The SplitMix finalizer must avalanche near-identical keys.
+    std::set<std::uint64_t> seeds;
+    for (int sb : {1024, 2048, 4096})
+        for (int f : {2, 8, 32})
+            seeds.insert(jobSeed("li/sb=" + std::to_string(sb) +
+                                 "/mbf=" + std::to_string(f)));
+    EXPECT_EQ(seeds.size(), 9u);
+}
+
+TEST(JobCount, ParseRejectsGarbageAndWraparound)
+{
+    unsigned v = 77;
+    EXPECT_TRUE(parseJobsValue("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseJobsValue("16", v));
+    EXPECT_EQ(v, 16u);
+    EXPECT_TRUE(parseJobsValue("4096", v));
+
+    v = 77;
+    EXPECT_FALSE(parseJobsValue("", v));
+    EXPECT_FALSE(parseJobsValue("-1", v)); // no 4-billion-thread pool
+    EXPECT_FALSE(parseJobsValue("+4", v));
+    EXPECT_FALSE(parseJobsValue("4x", v));
+    EXPECT_FALSE(parseJobsValue("4097", v));
+    EXPECT_FALSE(parseJobsValue("99999999", v));
+    EXPECT_EQ(v, 77u); // failures leave the output untouched
+}
+
+TEST(JobCount, ResolutionHonoursEnvAndRequest)
+{
+    unsetenv("DRISIM_JOBS");
+    EXPECT_EQ(resolveJobCount(0), 1u); // serial unless opted in
+    EXPECT_EQ(resolveJobCount(3), 3u);
+
+    setenv("DRISIM_JOBS", "5", 1);
+    EXPECT_EQ(resolveJobCount(0), 5u);
+    EXPECT_EQ(resolveJobCount(2), 2u); // explicit beats env
+
+    setenv("DRISIM_JOBS", "0", 1);
+    EXPECT_EQ(resolveJobCount(0), hardwareJobCount()); // 0 = auto
+
+    setenv("DRISIM_JOBS", "bogus", 1);
+    EXPECT_EQ(resolveJobCount(0), 1u);
+    unsetenv("DRISIM_JOBS");
+}
+
+// --------------------------------------------------------------
+// Graph scheduling
+// --------------------------------------------------------------
+
+TEST(Executor, ForEachIndexRunsEveryIndexExactlyOnce)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        std::vector<int> hits(100, 0);
+        std::atomic<int> total{0};
+        Executor exec(jobs);
+        exec.forEachIndex("cover", hits.size(),
+                          [&](std::size_t i, const JobContext &) {
+                              ++hits[i]; // distinct slots: no lock
+                              total.fetch_add(1);
+                          });
+        EXPECT_EQ(total.load(), 100);
+        for (const int h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(Executor, DependenciesOrderEffects)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        std::vector<int> order;
+        JobGraph g;
+        const JobId a = g.add("a", [&](const JobContext &) {
+            order.push_back(0);
+        });
+        const JobId b = g.add(
+            "b", [&](const JobContext &) { order.push_back(1); },
+            {a});
+        g.add(
+            "c", [&](const JobContext &) { order.push_back(2); },
+            {b});
+        Executor exec(jobs);
+        exec.run(g);
+        // A chain serializes whatever the worker count: the vector
+        // is safe to mutate without a lock and must come out sorted.
+        EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+        EXPECT_EQ(g.state(a), JobState::Done);
+        EXPECT_EQ(g.state(b), JobState::Done);
+    }
+}
+
+TEST(Executor, DiamondDependencyJoins)
+{
+    // a -> {b, c} -> d: d must observe both branches.
+    int left = 0;
+    int right = 0;
+    int sum = 0;
+    JobGraph g;
+    const JobId a =
+        g.add("a", [&](const JobContext &) { left = 3; });
+    const JobId b = g.add(
+        "b", [&](const JobContext &) { right = 4; }, {a});
+    const JobId c = g.add(
+        "c", [&](const JobContext &) { left *= 2; }, {a});
+    g.add(
+        "d", [&](const JobContext &) { sum = left + right; },
+        {b, c});
+    Executor exec(4);
+    exec.run(g);
+    EXPECT_EQ(sum, 10);
+}
+
+TEST(Executor, ContextCarriesKeySeedAndWorker)
+{
+    std::uint64_t seen = 0;
+    unsigned worker = 99;
+    JobGraph g;
+    g.add("seed-check", [&](const JobContext &ctx) {
+        seen = ctx.seed;
+        worker = ctx.worker;
+    });
+    Executor exec(1);
+    exec.run(g);
+    EXPECT_EQ(seen, jobSeed("seed-check"));
+    EXPECT_EQ(worker, 0u); // serial: the calling thread ran it
+}
+
+TEST(Executor, GraphCanBeRerun)
+{
+    int runs = 0;
+    JobGraph g;
+    const JobId a =
+        g.add("a", [&](const JobContext &) { ++runs; });
+    g.add(
+        "b", [&](const JobContext &) { ++runs; }, {a});
+    Executor exec(2);
+    exec.run(g);
+    exec.run(g);
+    EXPECT_EQ(runs, 4);
+}
+
+TEST(Executor, ManyIndependentJobsAcrossWorkers)
+{
+    std::atomic<int> total{0};
+    JobGraph g;
+    for (int i = 0; i < 200; ++i)
+        g.add("job/" + std::to_string(i),
+              [&](const JobContext &) { total.fetch_add(1); });
+    Executor exec(4);
+    EXPECT_EQ(exec.workers(), 4u);
+    exec.run(g);
+    EXPECT_EQ(total.load(), 200);
+    for (JobId id = 0; id < g.size(); ++id)
+        EXPECT_EQ(g.state(id), JobState::Done);
+}
+
+// --------------------------------------------------------------
+// Exceptions and cancellation
+// --------------------------------------------------------------
+
+TEST(Executor, ExceptionPropagatesAndCancelsDependents)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        std::atomic<int> ran{0};
+        JobGraph g;
+        const JobId boom = g.add("boom", [](const JobContext &) {
+            throw std::runtime_error("boom");
+        });
+        std::vector<JobId> children;
+        for (int i = 0; i < 6; ++i)
+            children.push_back(g.add(
+                "child/" + std::to_string(i),
+                [&](const JobContext &) { ran.fetch_add(1); },
+                {boom}));
+        Executor exec(jobs);
+        EXPECT_THROW(exec.run(g), std::runtime_error);
+        EXPECT_EQ(g.state(boom), JobState::Failed);
+        EXPECT_EQ(ran.load(), 0);
+        for (const JobId c : children)
+            EXPECT_EQ(g.state(c), JobState::Skipped);
+    }
+}
+
+TEST(Executor, MidChainFailureSkipsOnlyDownstream)
+{
+    JobGraph g;
+    const JobId a = g.add("a", [](const JobContext &) {});
+    const JobId b = g.add(
+        "b",
+        [](const JobContext &) {
+            throw std::logic_error("mid-chain");
+        },
+        {a});
+    const JobId c = g.add(
+        "c", [](const JobContext &) {}, {b});
+    const JobId d = g.add(
+        "d", [](const JobContext &) {}, {c});
+    Executor exec(1);
+    EXPECT_THROW(exec.run(g), std::logic_error);
+    EXPECT_EQ(g.state(a), JobState::Done);
+    EXPECT_EQ(g.state(b), JobState::Failed);
+    EXPECT_EQ(g.state(c), JobState::Skipped);
+    EXPECT_EQ(g.state(d), JobState::Skipped);
+}
+
+TEST(Executor, ParallelFailureStillDrainsTheGraph)
+{
+    // One of many parallel jobs throws; the run must terminate,
+    // rethrow, and leave every job in a terminal state.
+    JobGraph g;
+    for (int i = 0; i < 32; ++i) {
+        if (i == 7)
+            g.add("thrower", [](const JobContext &) {
+                throw std::runtime_error("x");
+            });
+        else
+            g.add("ok/" + std::to_string(i),
+                  [](const JobContext &) {});
+    }
+    Executor exec(4);
+    EXPECT_THROW(exec.run(g), std::runtime_error);
+    int failed = 0;
+    for (JobId id = 0; id < g.size(); ++id) {
+        const JobState s = g.state(id);
+        EXPECT_TRUE(s == JobState::Done || s == JobState::Failed ||
+                    s == JobState::Skipped);
+        failed += s == JobState::Failed ? 1 : 0;
+    }
+    EXPECT_EQ(failed, 1);
+}
+
+// --------------------------------------------------------------
+// Determinism regression suite (the point of the executor)
+// --------------------------------------------------------------
+
+RunConfig
+searchConfig(unsigned jobs)
+{
+    RunConfig c;
+    c.maxInstrs = 200 * 1000;
+    c.jobs = jobs;
+    return c;
+}
+
+SearchResult
+searchAt(unsigned jobs)
+{
+    const auto &b = findBenchmark("compress");
+    const RunConfig cfg = searchConfig(jobs);
+    const RunOutput conv = runConventional(b, cfg);
+    SearchSpace space;
+    space.sizeBounds = {1024, 4096, 65536};
+    space.missBoundFactors = {4.0, 32.0};
+    DriParams tmpl;
+    tmpl.senseInterval = 50000;
+    return searchBestEnergyDelay(b, cfg, tmpl, space,
+                                 EnergyConstants::paper(), 4.0, conv);
+}
+
+void
+expectSameParams(const DriParams &a, const DriParams &b)
+{
+    EXPECT_EQ(a.sizeBoundBytes, b.sizeBoundBytes);
+    EXPECT_EQ(a.missBound, b.missBound);
+    EXPECT_EQ(a.senseInterval, b.senseInterval);
+    EXPECT_EQ(a.divisibility, b.divisibility);
+}
+
+void
+expectSameComparison(const ComparisonResult &a,
+                     const ComparisonResult &b)
+{
+    // Bit-identical, not approximately equal: the parallel schedule
+    // must not perturb a single floating-point operation.
+    EXPECT_EQ(a.relativeEnergyDelay(), b.relativeEnergyDelay());
+    EXPECT_EQ(a.slowdownPercent(), b.slowdownPercent());
+    EXPECT_EQ(a.averageSizeFraction(), b.averageSizeFraction());
+    EXPECT_EQ(a.driRun.cycles, b.driRun.cycles);
+    EXPECT_EQ(a.driRun.l1iMisses, b.driRun.l1iMisses);
+    EXPECT_EQ(a.convRun.cycles, b.convRun.cycles);
+}
+
+TEST(Determinism, SearchIsIdenticalAtAnyWorkerCount)
+{
+    const SearchResult serial = searchAt(1);
+    ASSERT_EQ(serial.evaluated.size(), 6u);
+
+    for (const unsigned jobs : {4u, hardwareJobCount()}) {
+        const SearchResult parallel = searchAt(jobs);
+
+        expectSameParams(serial.best.dri, parallel.best.dri);
+        EXPECT_EQ(serial.best.feasible, parallel.best.feasible);
+        expectSameComparison(serial.best.cmp, parallel.best.cmp);
+
+        // The evaluated vector must be identically *ordered*, not
+        // just equal as a set.
+        ASSERT_EQ(serial.evaluated.size(), parallel.evaluated.size());
+        for (std::size_t i = 0; i < serial.evaluated.size(); ++i) {
+            expectSameParams(serial.evaluated[i].dri,
+                             parallel.evaluated[i].dri);
+            EXPECT_EQ(serial.evaluated[i].feasible,
+                      parallel.evaluated[i].feasible);
+            expectSameComparison(serial.evaluated[i].cmp,
+                                 parallel.evaluated[i].cmp);
+        }
+    }
+}
+
+TEST(Determinism, EmptyGridFallbackStillOrdersCalibration)
+{
+    // Every candidate size-bound is filtered out (16 < one block),
+    // so the grid is empty and the fallback miss-bound comes from
+    // the calibration stage. The select/winner jobs must still be
+    // sequenced after calibrate — at any worker count, and with the
+    // same result.
+    const auto &b = findBenchmark("compress");
+    SearchSpace space;
+    space.sizeBounds = {16};
+    space.missBoundFactors = {2.0};
+    DriParams tmpl;
+    tmpl.senseInterval = 50000;
+
+    SearchResult results[2];
+    const unsigned counts[2] = {1, 4};
+    for (int k = 0; k < 2; ++k) {
+        const RunConfig cfg = searchConfig(counts[k]);
+        const RunOutput conv = runConventional(b, cfg);
+        results[k] = searchBestEnergyDelay(
+            b, cfg, tmpl, space, EnergyConstants::paper(), 4.0,
+            conv);
+        EXPECT_TRUE(results[k].evaluated.empty());
+        // Fallback pins to full size with a 2x-conventional-MPI
+        // miss-bound, which needs the calibration output: well
+        // above the 16-miss floor for this run length.
+        EXPECT_EQ(results[k].best.dri.sizeBoundBytes,
+                  tmpl.sizeBytes);
+        EXPECT_GT(results[k].best.dri.missBound, 16u);
+    }
+    expectSameParams(results[0].best.dri, results[1].best.dri);
+    expectSameComparison(results[0].best.cmp, results[1].best.cmp);
+}
+
+TEST(Determinism, DetailedBatchMatchesSingleEvaluations)
+{
+    const auto &b = findBenchmark("li");
+    const RunConfig cfg = searchConfig(4);
+    const RunOutput conv = runConventional(b, cfg);
+    const EnergyConstants constants = EnergyConstants::paper();
+
+    std::vector<DriParams> variants;
+    for (const std::uint64_t sb : {1024u, 4096u, 65536u}) {
+        DriParams p;
+        p.sizeBoundBytes = sb;
+        p.missBound = 200;
+        p.senseInterval = 50000;
+        variants.push_back(p);
+    }
+    const std::vector<ComparisonResult> batch =
+        evaluateDetailedBatch(b, cfg, variants, constants, conv);
+    ASSERT_EQ(batch.size(), variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const ComparisonResult one = evaluateDetailed(
+            b, cfg, variants[i], constants, conv);
+        expectSameComparison(one, batch[i]);
+    }
+}
+
+// --------------------------------------------------------------
+// ThreadSanitizer smoke: concurrent harness runs (exercises the
+// shared program-image cache and every per-run object under real
+// parallelism; run with DRISIM_SANITIZE=thread in CI)
+// --------------------------------------------------------------
+
+TEST(Executor, ConcurrentRunnersShareImagesSafely)
+{
+    const RunConfig cfg = searchConfig(0);
+    const char *names[] = {"compress", "li", "mgrid", "applu"};
+
+    // Serial reference.
+    std::vector<std::uint64_t> refCycles;
+    for (const char *n : names) {
+        const auto out = runConventional(findBenchmark(n), cfg);
+        refCycles.push_back(out.meas.cycles);
+    }
+
+    // Two parallel lanes per benchmark, all workers hammering the
+    // image cache at once.
+    std::vector<std::uint64_t> cycles(8, 0);
+    Executor exec(4);
+    exec.forEachIndex(
+        "tsan-smoke", 8, [&](std::size_t i, const JobContext &) {
+            const auto &bench = findBenchmark(names[i % 4]);
+            cycles[i] = runConventional(bench, cfg).meas.cycles;
+        });
+    for (std::size_t i = 0; i < cycles.size(); ++i)
+        EXPECT_EQ(cycles[i], refCycles[i % 4]) << names[i % 4];
+}
+
+} // namespace
+} // namespace drisim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Golden-value regression tests for the paper-reproduction path.
+ *
+ * The executor refactor (and any future PR) must not silently shift
+ * reproduced numbers: these tests lock in the searchBestEnergyDelay
+ * winner and the rendered table row for two small benchmarks at a
+ * fixed run length and grid. Everything in the pipeline is
+ * deterministic — the workload generator is seeded from the spec and
+ * per-job seeds derive from job keys — so exact integer counts and
+ * formatted strings are stable; floating-point golds allow a 1e-9
+ * slack only for cross-toolchain drift.
+ *
+ * If a change legitimately alters these numbers (e.g. a model fix),
+ * re-baseline deliberately and say so in the PR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "util/str.hh"
+
+namespace drisim
+{
+namespace
+{
+
+struct GoldenCase
+{
+    const char *benchmark;
+    // Winner identity.
+    std::uint64_t sizeBoundBytes;
+    std::uint64_t missBound;
+    bool feasible;
+    // Winner detailed comparison.
+    double relativeEnergyDelay;
+    double slowdownPercent;
+    double averageSizeFraction;
+    // Detailed conventional baseline.
+    std::uint64_t convCycles;
+    std::uint64_t convMisses;
+    // Rendered figure-3-style table row.
+    const char *row;
+};
+
+SearchResult
+runSearch(const std::string &name)
+{
+    const auto &b = findBenchmark(name);
+    RunConfig cfg;
+    cfg.maxInstrs = 400 * 1000;
+    const RunOutput conv = runConventional(b, cfg);
+
+    SearchSpace space;
+    space.sizeBounds = {1024, 4096, 65536};
+    space.missBoundFactors = {2.0, 32.0};
+    DriParams tmpl;
+    tmpl.senseInterval = 50000;
+    return searchBestEnergyDelay(b, cfg, tmpl, space,
+                                 EnergyConstants::paper(), 4.0, conv);
+}
+
+/** The cells bench_figure3 prints for a winner. */
+std::string
+renderRow(const std::string &name, const SearchResult &sr)
+{
+    Table t({"benchmark", "size-bound", "miss-bound", "rel-ED",
+             "avg-size", "slowdown"});
+    const SearchCandidate &c = sr.best;
+    t.addRow({name, bytesToString(c.dri.sizeBoundBytes),
+              std::to_string(c.dri.missBound),
+              fmtDouble(c.cmp.relativeEnergyDelay(), 3),
+              fmtDouble(c.cmp.averageSizeFraction(), 3),
+              fmtDouble(c.cmp.slowdownPercent(), 2) + "%"});
+    std::ostringstream os;
+    t.printCsv(os);
+    // Second CSV line is the row itself.
+    const std::string out = os.str();
+    const std::size_t nl = out.find('\n');
+    return out.substr(nl + 1, out.find('\n', nl + 1) - nl - 1);
+}
+
+class GoldenSearch : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenSearch, WinnerAndRowMatchGolden)
+{
+    const GoldenCase &gold = GetParam();
+    const SearchResult sr = runSearch(gold.benchmark);
+
+    ASSERT_EQ(sr.evaluated.size(), 6u);
+    EXPECT_EQ(sr.best.dri.sizeBoundBytes, gold.sizeBoundBytes);
+    EXPECT_EQ(sr.best.dri.missBound, gold.missBound);
+    EXPECT_EQ(sr.best.feasible, gold.feasible);
+
+    EXPECT_NEAR(sr.best.cmp.relativeEnergyDelay(),
+                gold.relativeEnergyDelay, 1e-9);
+    EXPECT_NEAR(sr.best.cmp.slowdownPercent(), gold.slowdownPercent,
+                1e-9);
+    EXPECT_NEAR(sr.best.cmp.averageSizeFraction(),
+                gold.averageSizeFraction, 1e-9);
+
+    EXPECT_EQ(sr.convDetailed.meas.cycles, gold.convCycles);
+    EXPECT_EQ(sr.convDetailed.meas.l1iMisses, gold.convMisses);
+
+    EXPECT_EQ(renderRow(gold.benchmark, sr), gold.row);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPath, GoldenSearch,
+    ::testing::Values(
+        GoldenCase{"compress", 4096, 2312, true,
+                   0.304218293145288, 0.0, 0.301705092747997,
+                   274076, 578,
+                   "compress,4K,2312,0.304,0.302,0.00%"},
+        GoldenCase{"li", 4096, 2236, true,
+                   0.389214444022277, 0.0, 0.385553343060236,
+                   192593, 559,
+                   "li,4K,2236,0.389,0.386,0.00%"}),
+    [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        return std::string(info.param.benchmark);
+    });
+
+} // namespace
+} // namespace drisim

@@ -156,6 +156,31 @@ TEST(Table, AlignsAndCounts)
     EXPECT_NE(out.find("----"), std::string::npos);
 }
 
+TEST(Table, SetRowFillsSlotsInOrderIndependentOfWriteOrder)
+{
+    Table t({"a", "b"});
+    t.reserveRows(3);
+    EXPECT_EQ(t.rows(), 3u);
+    // Filled out of order — rendered in slot order.
+    t.setRow(2, {"3", "z"});
+    t.setRow(0, {"1", "x"});
+    t.setRow(1, {"2", "y"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,x\n2,y\n3,z\n");
+}
+
+TEST(Table, ReserveRowsAppendsToExistingRows)
+{
+    Table t({"h"});
+    t.addRow({"first"});
+    t.reserveRows(1);
+    t.setRow(1, {"second"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "h\nfirst\nsecond\n");
+}
+
 TEST(Table, CsvOutput)
 {
     Table t({"a", "b"});
