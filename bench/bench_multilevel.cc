@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Multi-level DRI study — the scenario the paper defers: gated-Vdd
+ * resizing applied to the L2 as well as the L1 i-cache, evaluated
+ * with per-level leakage/dynamic accounting and a hierarchy-total
+ * figure of merit (after Bai et al., "Power-Performance Trade-Offs
+ * in Nanometer-Scale Multi-Level Caches Considering Total Leakage";
+ * see docs/REPRODUCTION.md, Multi-level study).
+ *
+ * For every benchmark the (L1 size-bound x L2 size-bound) grid is
+ * searched under the paper's 4% slowdown constraint, every cell on
+ * the detailed core — the fast model carries no d-cache traffic,
+ * so L2 behaviour is wrong there (see harness/multilevel.hh) — and
+ * the winner's energy is reported split by level; the per-level
+ * rows sum to the printed hierarchy total by construction (locked
+ * by tests).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "harness/multilevel.hh"
+#include "util/str.hh"
+
+using namespace drisim;
+using namespace drisim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx = defaultContext();
+    std::string err;
+    if (!parseBenchArgs(argc, argv, ctx, err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+
+    printHeader("Multi-level DRI: per-level leakage accounting",
+                "extension of Section 5 after Bai et al. "
+                "(PAPERS.md)");
+    std::cout << "grid: (L1 size-bound x L2 size-bound), <=4% "
+                 "slowdown, hierarchy energy-delay objective\n\n";
+    std::cout << "run length: " << ctx.cfg.maxInstrs
+              << " instructions, sense interval "
+              << ctx.driTemplate.senseInterval << ", "
+              << workerBanner(ctx) << "\n";
+
+    const MultiLevelConstants constants = MultiLevelConstants::paper();
+    const MultiLevelSpace space;
+    DriParams l2Template = HierarchyParams::defaultL2DriParams();
+    l2Template.senseInterval = ctx.driTemplate.senseInterval;
+
+    Table summary({"benchmark", "L1-bound", "L1-mb", "L2-bound",
+                   "L2-mb", "rel-ED", "L1-size", "L2-size",
+                   "slowdown"});
+
+    struct PerBench
+    {
+        std::string name;
+        MultiLevelCandidate best;
+    };
+    std::vector<PerBench> winners;
+
+    double sum_ed = 0.0;
+    double sum_l1_size = 0.0;
+    double sum_l2_size = 0.0;
+    for (const auto &b : specSuite()) {
+        const RunOutput conv = runConventional(b, ctx.cfg);
+        const MultiLevelSearchResult sr = searchMultiLevel(
+            b, ctx.cfg, ctx.driTemplate, l2Template, space, constants,
+            ctx.maxSlowdownPct, conv, &benchExecutor(ctx));
+        summary.addRow(multiLevelRowCells(b.name, sr.best));
+        winners.push_back({b.name, sr.best});
+        sum_ed += sr.best.cmp.relativeEnergyDelay();
+        sum_l1_size += sr.best.cmp.l1AverageSizeFraction();
+        sum_l2_size += sr.best.cmp.l2AverageSizeFraction();
+        std::cerr << "  [multilevel] " << b.name << " done\n";
+    }
+
+    std::cout << "\n-- best configurations (<=4% slowdown) --\n";
+    summary.print(std::cout);
+
+    std::cout << "\n-- per-level energy of each winner (nJ; rows sum "
+                 "to the hierarchy total) --\n";
+    for (const PerBench &w : winners) {
+        std::cout << "\n" << w.name << ":\n";
+        Table t({"level", "leakage", "dynamic", "total"});
+        addHierarchyEnergyRows(t, w.best.cmp.dri);
+        t.print(std::cout);
+    }
+
+    const double n = static_cast<double>(specSuite().size());
+    std::cout << "\n== headline ==\n";
+    std::cout << "mean hierarchy energy-delay reduction: "
+              << fmtReduction(sum_ed / n) << "\n";
+    std::cout << "mean L1 active size: "
+              << fmtDouble(sum_l1_size / n, 3)
+              << ", mean L2 active size: "
+              << fmtDouble(sum_l2_size / n, 3) << "\n";
+    return 0;
+}

@@ -7,7 +7,12 @@
  * harness executor; the landscape and winners are identical at any
  * --jobs value.
  *
- *   ./param_tuner [benchmark] [instructions] [--jobs N]
+ * With --l2 the tuner switches to the multi-level scenario: the
+ * (L1 size-bound x L2 size-bound) grid over a hierarchy whose L2
+ * resizes too, scored by hierarchy energy-delay with per-level
+ * energy rows (harness/multilevel.hh).
+ *
+ *   ./param_tuner [benchmark] [instructions] [--jobs N] [--l2]
  */
 
 #include <cstdio>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "harness/executor.hh"
+#include "harness/multilevel.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -25,17 +31,92 @@
 
 using namespace drisim;
 
+namespace
+{
+
+/** The --l2 mode: multi-level grid, per-level energy rows. */
+int
+tuneMultiLevel(const BenchmarkInfo &bench, const RunConfig &cfg)
+{
+    std::printf("detailed conventional baseline for %s "
+                "(%u workers)...\n",
+                bench.name.c_str(), resolveJobCount(cfg.jobs));
+    const RunOutput conv = runConventional(bench, cfg);
+    std::printf("  %llu cycles, L1I miss rate %.3f%%, L2 miss rate "
+                "%.3f%%\n\n",
+                static_cast<unsigned long long>(conv.meas.cycles),
+                100.0 * conv.meas.missRate(),
+                100.0 * conv.l2MissRate);
+
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 100000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 100000;
+
+    const MultiLevelConstants constants =
+        MultiLevelConstants::paper();
+    const MultiLevelSpace space;
+    const MultiLevelSearchResult sr =
+        searchMultiLevel(bench, cfg, l1Tmpl, l2Tmpl, space, constants,
+                         4.0, conv);
+
+    Table t({"L1-bound", "L1-mb", "L2-bound", "L2-mb", "rel-ED",
+             "L1-size", "L2-size", "slowdown", "<=4%?"});
+    for (const MultiLevelCandidate &cand : sr.evaluated) {
+        t.addRow({bytesToString(cand.l1.sizeBoundBytes),
+                  std::to_string(cand.l1.missBound),
+                  bytesToString(cand.l2.sizeBoundBytes),
+                  std::to_string(cand.l2.missBound),
+                  fmtDouble(cand.cmp.relativeEnergyDelay(), 3),
+                  fmtDouble(cand.cmp.l1AverageSizeFraction(), 3),
+                  fmtDouble(cand.cmp.l2AverageSizeFraction(), 3),
+                  fmtDouble(cand.cmp.slowdownPercent(), 2) + "%",
+                  cand.feasible ? "yes" : "NO"});
+    }
+    std::printf("detailed landscape (%zu configurations):\n",
+                sr.evaluated.size());
+    t.print(std::cout);
+
+    const MultiLevelCandidate &best = sr.best;
+    std::printf("\nbest configuration (lowest feasible hierarchy "
+                "energy-delay):\n");
+    std::printf("  L1 bound %s / miss-bound %llu, L2 bound %s / "
+                "miss-bound %llu\n",
+                bytesToString(best.l1.sizeBoundBytes).c_str(),
+                static_cast<unsigned long long>(best.l1.missBound),
+                bytesToString(best.l2.sizeBoundBytes).c_str(),
+                static_cast<unsigned long long>(best.l2.missBound));
+    std::printf("  hierarchy energy-delay %.3f (%.1f%% reduction), "
+                "slowdown %.2f%%\n\n",
+                best.cmp.relativeEnergyDelay(),
+                100.0 * (1 - best.cmp.relativeEnergyDelay()),
+                best.cmp.slowdownPercent());
+
+    std::printf("per-level energy (nJ; rows sum to the hierarchy "
+                "total):\n");
+    Table e({"level", "leakage", "dynamic", "total"});
+    addHierarchyEnergyRows(e, best.cmp.dri);
+    e.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     std::string name = "ijpeg";
     InstCount instrs = 3000000;
     unsigned jobs = 0;
+    bool multilevel = false;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
-        if (arg == "--jobs" || arg == "-j") {
+        if (arg == "--l2") {
+            multilevel = true;
+            continue;
+        } else if (arg == "--jobs" || arg == "-j") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value after %s\n",
                              arg.c_str());
@@ -63,6 +144,9 @@ main(int argc, char **argv)
     RunConfig cfg;
     cfg.maxInstrs = instrs;
     cfg.jobs = jobs;
+
+    if (multilevel)
+        return tuneMultiLevel(bench, cfg);
 
     std::printf("detailed conventional baseline for %s "
                 "(%u workers)...\n",

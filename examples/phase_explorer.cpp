@@ -7,10 +7,12 @@
  *
  * Accepts a comma-separated benchmark list; each benchmark's chart
  * is computed as an executor job (so a list explores in parallel at
- * --jobs > 1) and printed in list order.
+ * --jobs > 1) and printed in list order. With --l2 the hierarchy's
+ * L2 resizes too (mem/hierarchy.hh) and each sample line carries a
+ * second strip for the L2 active size.
  *
  *   ./phase_explorer [benchmark[,benchmark...]] [instructions]
- *                    [--jobs N]
+ *                    [--jobs N] [--l2]
  */
 
 #include <cstdio>
@@ -34,33 +36,43 @@ namespace
 
 /** Run one benchmark and render its strip chart into a string. */
 std::string
-exploreOne(const BenchmarkInfo &bench, InstCount instrs)
+exploreOne(const BenchmarkInfo &bench, InstCount instrs, bool l2Dri)
 {
     const ProgramImage &image = programImageFor(bench);
 
     stats::StatGroup root("sim");
-    Hierarchy hier(HierarchyParams{}, &root, false);
+    HierarchyParams hp;
+    hp.l2Dri = l2Dri;
+    hp.l2DriParams.senseInterval = 100000;
+    hp.l2DriParams.missBound = 30;
+    Hierarchy hier(hp, &root, false);
     DriParams dp;
     dp.sizeBoundBytes = 1024;
     dp.senseInterval = 100000;
     dp.missBound = 150;
-    DriICache icache(dp, &hier.l2(), &root);
+    DriICache icache(dp, hier.l2Level(), &root);
     hier.setL1I(&icache);
     OooCore core(OooParams{}, &icache, &hier.l1d(), &root);
     core.setDri(&icache);
+    core.addResizable(hier.driL2());
 
     TraceGenerator gen(image);
 
     std::ostringstream os;
-    char line[160];
+    char line[200];
     std::snprintf(line, sizeof(line),
                   "%s: DRI active size per %llu-instruction interval "
-                  "(# = 4K active)\n\n",
+                  "(# = 4K active%s)\n\n",
                   bench.name.c_str(),
-                  static_cast<unsigned long long>(dp.senseInterval));
+                  static_cast<unsigned long long>(dp.senseInterval),
+                  l2Dri ? "; L2 strip: @ = 64K active" : "");
     os << line;
-    std::snprintf(line, sizeof(line), "%10s  %-16s  %s\n", "instrs",
-                  "phase", "active size");
+    if (l2Dri)
+        std::snprintf(line, sizeof(line), "%10s  %-16s  %-20s %s\n",
+                      "instrs", "phase", "L1I active", "L2 active");
+    else
+        std::snprintf(line, sizeof(line), "%10s  %-16s  %s\n",
+                      "instrs", "phase", "active size");
     os << line;
 
     // Step the core one sense interval at a time and sample.
@@ -72,11 +84,25 @@ exploreOne(const BenchmarkInfo &bench, InstCount instrs)
         std::string bar(static_cast<size_t>(kb / 4), '#');
         const std::string phase =
             image.phases[gen.currentPhase()].name;
-        std::snprintf(line, sizeof(line),
-                      "%10llu  %-16s  |%-16s| %3lluK\n",
-                      static_cast<unsigned long long>(done),
-                      phase.c_str(), bar.c_str(),
-                      static_cast<unsigned long long>(kb));
+        if (l2Dri) {
+            const std::uint64_t l2kb =
+                hier.driL2()->currentSizeBytes() / 1024;
+            std::string l2bar(static_cast<size_t>(l2kb / 64), '@');
+            std::snprintf(line, sizeof(line),
+                          "%10llu  %-16s  |%-16s| %3lluK |%-16s| "
+                          "%4lluK\n",
+                          static_cast<unsigned long long>(done),
+                          phase.c_str(), bar.c_str(),
+                          static_cast<unsigned long long>(kb),
+                          l2bar.c_str(),
+                          static_cast<unsigned long long>(l2kb));
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%10llu  %-16s  |%-16s| %3lluK\n",
+                          static_cast<unsigned long long>(done),
+                          phase.c_str(), bar.c_str(),
+                          static_cast<unsigned long long>(kb));
+        }
         os << line;
     }
 
@@ -91,6 +117,20 @@ exploreOne(const BenchmarkInfo &bench, InstCount instrs)
         static_cast<unsigned long long>(icache.blocksLost()),
         100.0 * icache.missRate());
     os << line;
+    if (l2Dri) {
+        ResizableCache *l2 = hier.driL2();
+        std::snprintf(
+            line, sizeof(line),
+            "L2: avg active fraction %.3f, %llu downsizes, "
+            "%llu upsizes, %llu resize writebacks, miss rate "
+            "%.3f%%\n",
+            l2->averageActiveFraction(),
+            static_cast<unsigned long long>(l2->downsizes()),
+            static_cast<unsigned long long>(l2->upsizes()),
+            static_cast<unsigned long long>(l2->resizeWritebacks()),
+            100.0 * l2->missRate());
+        os << line;
+    }
     return os.str();
 }
 
@@ -102,11 +142,15 @@ main(int argc, char **argv)
     std::string names = "hydro2d";
     InstCount instrs = 4000000;
     unsigned jobs = 0;
+    bool l2Dri = false;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
-        if (arg == "--jobs" || arg == "-j") {
+        if (arg == "--l2") {
+            l2Dri = true;
+            continue;
+        } else if (arg == "--jobs" || arg == "-j") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value after %s\n",
                              arg.c_str());
@@ -147,7 +191,8 @@ main(int argc, char **argv)
     Executor exec(jobs);
     exec.forEachIndex("phase_explorer", benches.size(),
                       [&](std::size_t i, const JobContext &) {
-                          charts[i] = exploreOne(*benches[i], instrs);
+                          charts[i] = exploreOne(*benches[i], instrs,
+                                                 l2Dri);
                       });
 
     for (std::size_t i = 0; i < charts.size(); ++i) {

@@ -3,14 +3,23 @@
  * Quickstart: simulate one benchmark with a conventional 64K L1
  * i-cache and with a DRI i-cache, and print the energy story.
  *
- *   ./quickstart [benchmark] [instructions]
+ *   ./quickstart [benchmark] [instructions] [key=value ...]
+ *
+ * Positionals keep the one-liner friendly; any further key=value
+ * token goes through config/options (geometry, every DRI knob, the
+ * l2.* multi-level keys — `optionsUsage()` lists them). With
+ * `l2.dri=1` the DRI leg resizes the L2 as well and the report
+ * switches to the per-level hierarchy accounting.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "config/options.hh"
 #include "energy/accounting.hh"
+#include "harness/multilevel.hh"
 #include "harness/runner.hh"
 
 using namespace drisim;
@@ -18,28 +27,57 @@ using namespace drisim;
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "compress";
-    const InstCount instrs =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000000;
+    // Leading positionals ([benchmark] [instructions]), then
+    // key=value overrides on top of the quickstart defaults below.
+    Options opts;
+    opts.run.maxInstrs = 2000000;
+    opts.dri.sizeBoundBytes = 2048;
+    opts.dri.senseInterval = 100000;
+    opts.dri.missBound = 200;
+    int first_kv = 1;
+    if (argc > 1 && std::string(argv[1]).find('=') ==
+                        std::string::npos) {
+        opts.benchmark = argv[1];
+        first_kv = 2;
+        if (argc > 2 && std::string(argv[2]).find('=') ==
+                            std::string::npos) {
+            opts.run.maxInstrs =
+                std::strtoull(argv[2], nullptr, 10);
+            first_kv = 3;
+        }
+    }
+    std::vector<const char *> kv{argv[0]};
+    for (int i = first_kv; i < argc; ++i)
+        kv.push_back(argv[i]);
+    std::string err;
+    if (!parseOptions(static_cast<int>(kv.size()), kv.data(), opts,
+                      err)) {
+        std::fprintf(stderr, "%s\n%s\n", err.c_str(),
+                     optionsUsage().c_str());
+        return 2;
+    }
+    for (const std::string &key : opts.unknown)
+        std::fprintf(stderr, "warning: unknown option '%s'\n",
+                     key.c_str());
 
-    const BenchmarkInfo &bench = findBenchmark(name);
+    const BenchmarkInfo &bench = findBenchmark(opts.benchmark);
 
-    // 1. The Table 1 system with a conventional i-cache.
-    RunConfig cfg;
-    cfg.maxInstrs = instrs;
+    // 1. The Table 1 system with conventional caches throughout.
+    RunConfig cfg = opts.run;
+    const bool l2Dri = cfg.hier.l2Dri;
+    cfg.hier.l2Dri = false;
     std::printf("running %s (class %d) for %llu instructions...\n",
                 bench.name.c_str(), bench.benchClass,
-                static_cast<unsigned long long>(instrs));
+                static_cast<unsigned long long>(cfg.maxInstrs));
     const RunOutput conv = runConventional(bench, cfg);
 
-    // 2. The same system with a DRI i-cache: downsize whenever an
-    //    interval sees fewer than missBound misses; never shrink
-    //    below 2 KB.
-    DriParams dri;
-    dri.sizeBoundBytes = 2048;
-    dri.senseInterval = 100000;
-    dri.missBound = 200;
-    const RunOutput adaptive = runDri(bench, cfg, dri);
+    // 2. The same system with a DRI i-cache (and, with l2.dri=1, a
+    //    DRI L2): downsize whenever an interval sees fewer than
+    //    missBound misses; never shrink below the size-bound.
+    const DriParams &dri = opts.dri;
+    RunConfig driCfg = cfg;
+    driCfg.hier.l2Dri = l2Dri;
+    const RunOutput adaptive = runDri(bench, driCfg, dri);
 
     // 3. Compare using the paper's energy model (Section 5.2).
     const ComparisonResult cmp = compareRuns(
@@ -66,6 +104,14 @@ main(int argc, char **argv)
     std::printf("  avg active size   %.1f%% of 64K (%llu resizes)\n",
                 100.0 * cmp.averageSizeFraction(),
                 static_cast<unsigned long long>(adaptive.resizes));
+    if (l2Dri)
+        std::printf("  L2 avg active     %.1f%% of %lluK "
+                    "(%llu resizes)\n",
+                    100.0 * adaptive.l2AvgActiveFraction,
+                    static_cast<unsigned long long>(
+                        adaptive.l2SizeBytes / 1024),
+                    static_cast<unsigned long long>(
+                        adaptive.l2Resizes));
 
     std::printf("\nenergy (normalized to the conventional cache):\n");
     std::printf("  relative energy-delay   %.3f\n",
@@ -76,5 +122,25 @@ main(int argc, char **argv)
                 cmp.relativeEdDynamic());
     std::printf("  => leakage energy-delay reduced by %.1f%%\n",
                 100.0 * (1.0 - cmp.relativeEnergyDelay()));
+
+    if (l2Dri) {
+        // Per-level hierarchy accounting (the multi-level study).
+        const MultiLevelComparison ml = compareMultiLevel(
+            MultiLevelConstants::paper(),
+            toMultiLevelMeasurement(conv),
+            toMultiLevelMeasurement(adaptive));
+        std::printf("\nhierarchy energy (per level, nJ; rows sum to "
+                    "the total):\n");
+        for (const LevelEnergy &l : ml.dri.levels)
+            std::printf("  %-9s leakage %12.1f  dynamic %10.1f\n",
+                        l.level.c_str(), l.leakageNJ, l.dynamicNJ);
+        std::printf("  %-9s leakage %12.1f  dynamic %10.1f\n",
+                    "hierarchy", ml.dri.totalLeakageNJ(),
+                    ml.dri.totalDynamicNJ());
+        std::printf("  relative hierarchy energy-delay %.3f "
+                    "(%.1f%% reduction)\n",
+                    ml.relativeEnergyDelay(),
+                    100.0 * (1.0 - ml.relativeEnergyDelay()));
+    }
     return 0;
 }

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-level circuit points reduced to the constants the multi-level
+ * energy accounting consumes.
+ */
+
+#include "circuit/hierarchy_energy.hh"
+
+namespace drisim::circuit
+{
+
+LevelEnergyFigures
+levelFigures(const LevelCircuit &level)
+{
+    const CacheEnergyModel model(level.tech, level.geom);
+    LevelEnergyFigures f;
+    f.leakPerCycleNJ =
+        model.leakagePerCycleNJ(level.geom.sizeBytes,
+                                level.dataCellVt);
+    f.accessEnergyNJ = model.accessEnergyNJ();
+    f.bitlineEnergyNJ = model.bitlineEnergyNJ();
+    return f;
+}
+
+std::vector<LevelCircuit>
+defaultHierarchyCircuit()
+{
+    LevelCircuit l1;
+    l1.name = "l1i";
+    l1.geom = l1Geometry();
+    l1.dataCellVt = l1.tech.vtLow;
+
+    LevelCircuit l2;
+    l2.name = "l2";
+    l2.geom = l2Geometry();
+    l2.dataCellVt = l2.tech.vtLow;
+
+    return {l1, l2};
+}
+
+} // namespace drisim::circuit

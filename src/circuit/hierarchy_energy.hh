@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-level circuit/technology points for the multi-level DRI study.
+ *
+ * The paper evaluates one technology corner and one SRAM array (the
+ * 64 KB L1 i-cache). Extending gated-Vdd resizing to the L2 (after
+ * Bai et al., "Power-Performance Trade-Offs in Nanometer-Scale
+ * Multi-Level Caches Considering Total Leakage") needs each level to
+ * carry its *own* circuit point: large L2 arrays are typically built
+ * from higher-Vt, denser cells at a different subarray split than
+ * the latency-critical L1, and leakage figures scale with each
+ * level's geometry, not the L1's.
+ *
+ * A LevelCircuit bundles a technology corner with a cache geometry;
+ * levelFigures() reduces it to the three per-level constants the
+ * energy accounting consumes (full-array leakage per cycle, dynamic
+ * energy per access, resizing-tag bitline energy per access).
+ */
+
+#ifndef DRISIM_CIRCUIT_HIERARCHY_ENERGY_HH
+#define DRISIM_CIRCUIT_HIERARCHY_ENERGY_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/cache_energy.hh"
+#include "circuit/technology.hh"
+
+namespace drisim::circuit
+{
+
+/** One cache level's circuit point: its own corner and geometry. */
+struct LevelCircuit
+{
+    std::string name = "level";
+    Technology tech = Technology::scaled018();
+    CacheGeometry geom{};
+    /**
+     * Data-cell threshold voltage for the leakage figure. The L1
+     * uses the fast low-Vt cell (tech.vtLow); a leakage-conscious
+     * L2 may use a higher-Vt cell (Dizabadi & Kaya-style 6T
+     * low-power arrays) at the cost of read time.
+     */
+    double dataCellVt = 0.20;
+};
+
+/** The three constants the per-level energy accounting consumes. */
+struct LevelEnergyFigures
+{
+    /** Full-array leakage per cycle, nJ (scales with active bytes). */
+    double leakPerCycleNJ = 0.0;
+    /** Dynamic energy of one access, nJ. */
+    double accessEnergyNJ = 0.0;
+    /** Dynamic energy of one resizing-tag bitline per access, nJ. */
+    double bitlineEnergyNJ = 0.0;
+};
+
+/** Derive the energy figures for one level from its circuit point. */
+LevelEnergyFigures levelFigures(const LevelCircuit &level);
+
+/**
+ * The default two-level hierarchy circuit: the paper's L1 i-cache
+ * point plus a same-corner L2 point with the Table 1 L2 geometry
+ * (1 MB, 4-way, 64 B, split into 1024-row subarrays).
+ */
+std::vector<LevelCircuit> defaultHierarchyCircuit();
+
+} // namespace drisim::circuit
+
+#endif // DRISIM_CIRCUIT_HIERARCHY_ENERGY_HH

@@ -118,6 +118,35 @@ parseOptions(int argc, const char *const *argv, Options &out,
             if (!parseBool(value, b))
                 return bad_value();
             out.dri.adaptive = b;
+        } else if (key == "l2.size") {
+            if (!parseBytes(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l2.sizeBytes = u;
+        } else if (key == "l2.assoc") {
+            if (!parseU64(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l2.assoc = static_cast<unsigned>(u);
+        } else if (key == "l2.block") {
+            if (!parseBytes(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l2.blockBytes = static_cast<unsigned>(u);
+        } else if (key == "l2.dri") {
+            bool b = false;
+            if (!parseBool(value, b))
+                return bad_value();
+            out.run.hier.l2Dri = b;
+        } else if (key == "l2.size_bound") {
+            if (!parseBytes(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l2DriParams.sizeBoundBytes = u;
+        } else if (key == "l2.miss_bound") {
+            if (!parseU64(value, u))
+                return bad_value();
+            out.run.hier.l2DriParams.missBound = u;
+        } else if (key == "l2.interval") {
+            if (!parseU64(value, u) || u == 0)
+                return bad_value();
+            out.run.hier.l2DriParams.senseInterval = u;
         } else {
             out.unknown.push_back(key);
         }
@@ -132,7 +161,9 @@ optionsUsage()
     return "options: instrs=N jobs=N benchmark=NAME l1i.size=64K "
            "l1i.assoc=N l1i.block=32 dri.size_bound=1K "
            "dri.miss_bound=N dri.interval=N dri.divisibility=2 "
-           "dri.throttle_hold=N dri.adaptive=0|1";
+           "dri.throttle_hold=N dri.adaptive=0|1 l2.size=1M "
+           "l2.assoc=N l2.block=64 l2.dri=0|1 l2.size_bound=64K "
+           "l2.miss_bound=N l2.interval=N";
 }
 
 } // namespace drisim

@@ -8,10 +8,16 @@
  *   instrs, jobs, benchmark,
  *   l1i.size, l1i.assoc, l1i.block,
  *   dri.size_bound, dri.miss_bound, dri.interval,
- *   dri.divisibility, dri.throttle_hold, dri.adaptive
+ *   dri.divisibility, dri.throttle_hold, dri.adaptive,
+ *   l2.size, l2.assoc, l2.block,
+ *   l2.dri, l2.size_bound, l2.miss_bound, l2.interval
  *
  * `jobs` is the sweep worker count (0 = DRISIM_JOBS env, else
- * serial); see harness/executor.hh.
+ * serial); see harness/executor.hh. The `l2.*` resize keys
+ * configure the multi-level scenario (DRI-enabled L2,
+ * mem/hierarchy.hh): `l2.dri=1` builds the L2 resizable, and the
+ * bound/interval keys set its controller knobs (geometry always
+ * follows l2.size/l2.assoc/l2.block).
  */
 
 #ifndef DRISIM_CONFIG_OPTIONS_HH

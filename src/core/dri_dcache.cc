@@ -1,12 +1,11 @@
 /**
  * @file
- * DRI d-cache: adds writeback-before-gating and dirty-alias
- * handling on top of the i-cache resize machinery.
+ * DRI d-cache: load/store access over the shared resize machinery
+ * with writeback-before-gating and remap-on-upsize enabled.
  */
 
 #include "core/dri_dcache.hh"
 
-#include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace drisim
@@ -14,32 +13,9 @@ namespace drisim
 
 DriDCache::DriDCache(const DriParams &params, MemoryLevel *below,
                      stats::StatGroup *parent)
-    : params_(params),
-      below_(below),
-      mask_(makeSizeMask(params)),
-      controller_(params),
-      store_(mask_.maxSets(), params.assoc, params.repl),
-      group_(parent, "dri_dcache"),
-      accesses_(&group_, "accesses", "data accesses"),
-      misses_(&group_, "misses", "data misses"),
-      upsizes_(&group_, "upsizes", "interval decisions: upsize"),
-      downsizes_(&group_, "downsizes", "interval decisions: downsize"),
-      resizeWritebacks_(&group_, "resize_writebacks",
-                        "dirty blocks written back by resizing"),
-      evictionWritebacks_(&group_, "eviction_writebacks",
-                          "dirty blocks written back by eviction"),
-      remapInvalidations_(&group_, "remap_invalidations",
-                          "blocks invalidated because upsizing "
-                          "changed their set index")
+    : ResizableCache(params, ResizePolicy::writeback(), below, parent,
+                     "dri_dcache")
 {
-}
-
-void
-DriDCache::writebackBlock(const CacheBlk &blk)
-{
-    if (below_)
-        below_->access(blk.blockAddr << mask_.offsetBits(),
-                       AccessType::Store);
 }
 
 AccessResult
@@ -47,205 +23,7 @@ DriDCache::access(Addr addr, AccessType type)
 {
     drisim_assert(type != AccessType::InstFetch,
                   "DRI d-cache serves loads and stores only");
-    ++accesses_;
-
-    const Addr ba = addr >> mask_.offsetBits();
-    const std::uint64_t set = ba & mask_.mask();
-
-    int way = store_.findWay(set, ba);
-    if (way != TagStore::kNoWay) {
-        store_.touch(set, static_cast<unsigned>(way));
-        if (type == AccessType::Store)
-            store_.markDirty(set, static_cast<unsigned>(way));
-        return {true, params_.hitLatency};
-    }
-
-    ++misses_;
-    controller_.recordMiss();
-    Cycles latency = params_.hitLatency;
-    if (below_)
-        latency +=
-            below_->access(ba << mask_.offsetBits(), AccessType::Load)
-                .latency;
-
-    const CacheBlk evicted = store_.insert(set, ba);
-    if (evicted.valid && evicted.dirty) {
-        ++evictionWritebacks_;
-        writebackBlock(evicted);
-    }
-    if (type == AccessType::Store) {
-        int w = store_.findWay(set, ba);
-        drisim_assert(w != TagStore::kNoWay, "fill lost its block");
-        store_.markDirty(set, static_cast<unsigned>(w));
-    }
-    return {false, latency};
-}
-
-bool
-DriDCache::retireInstructions(InstCount n)
-{
-    bool resized = false;
-    while (controller_.recordInstructions(n)) {
-        n = 0;
-        ResizeDecision d = controller_.endInterval(mask_.atMinimum(),
-                                                   mask_.atMaximum());
-        std::uint64_t before = mask_.numSets();
-        applyDecision(d);
-        resized |= mask_.numSets() != before;
-    }
-    return resized;
-}
-
-void
-DriDCache::applyDecision(ResizeDecision decision)
-{
-    const std::uint64_t sets = mask_.numSets();
-    switch (decision) {
-      case ResizeDecision::Hold:
-        controller_.noteApplied(ResizeDecision::Hold);
-        return;
-      case ResizeDecision::Downsize: {
-        std::uint64_t target = sets / params_.divisibility;
-        if (target < mask_.minSets())
-            target = mask_.minSets();
-        if (target == sets) {
-            controller_.noteApplied(ResizeDecision::Hold);
-            return;
-        }
-        ++downsizes_;
-        resizeTo(target);
-        controller_.noteApplied(ResizeDecision::Downsize);
-        return;
-      }
-      case ResizeDecision::Upsize: {
-        std::uint64_t target = sets * params_.divisibility;
-        if (target > mask_.maxSets())
-            target = mask_.maxSets();
-        if (target == sets) {
-            controller_.noteApplied(ResizeDecision::Hold);
-            return;
-        }
-        ++upsizes_;
-        resizeTo(target);
-        controller_.noteApplied(ResizeDecision::Upsize);
-        return;
-      }
-    }
-}
-
-void
-DriDCache::resizeTo(std::uint64_t newSets)
-{
-    const std::uint64_t old_sets = mask_.numSets();
-
-    if (newSets < old_sets) {
-        // Gating destroys state: every dirty block in the doomed
-        // sets must reach the lower level first.
-        for (std::uint64_t s = newSets; s < old_sets; ++s) {
-            for (unsigned w = 0; w < store_.assoc(); ++w) {
-                const CacheBlk &blk = store_.set(s)[w];
-                if (blk.valid && blk.dirty) {
-                    ++resizeWritebacks_;
-                    writebackBlock(blk);
-                }
-            }
-            store_.invalidateSet(s);
-        }
-        mask_.setNumSets(newSets);
-        return;
-    }
-
-    // Upsizing: unlike the i-cache, stale aliases are NOT harmless
-    // for data. Evict every surviving block whose set index changes
-    // under the wider mask.
-    mask_.setNumSets(newSets);
-    const std::uint64_t new_mask = mask_.mask();
-    for (std::uint64_t s = 0; s < old_sets; ++s) {
-        for (unsigned w = 0; w < store_.assoc(); ++w) {
-            const CacheBlk blk = store_.set(s)[w];
-            if (!blk.valid)
-                continue;
-            if ((blk.blockAddr & new_mask) != s) {
-                if (blk.dirty) {
-                    ++resizeWritebacks_;
-                    writebackBlock(blk);
-                }
-                store_.invalidate(s, w);
-                ++remapInvalidations_;
-            }
-        }
-    }
-}
-
-double
-DriDCache::activeFraction() const
-{
-    return static_cast<double>(mask_.numSets()) /
-           static_cast<double>(mask_.maxSets());
-}
-
-std::uint64_t
-DriDCache::currentSizeBytes() const
-{
-    return mask_.numSets() *
-           static_cast<std::uint64_t>(params_.blockBytes) *
-           params_.assoc;
-}
-
-void
-DriDCache::invalidateAll()
-{
-    for (std::uint64_t s = 0; s < mask_.numSets(); ++s) {
-        for (unsigned w = 0; w < store_.assoc(); ++w) {
-            const CacheBlk &blk = store_.set(s)[w];
-            if (blk.valid && blk.dirty) {
-                ++resizeWritebacks_;
-                writebackBlock(blk);
-            }
-        }
-    }
-    store_.invalidateAll();
-}
-
-double
-DriDCache::missRate() const
-{
-    return accesses_.value() == 0
-               ? 0.0
-               : static_cast<double>(misses_.value()) /
-                     static_cast<double>(accesses_.value());
-}
-
-void
-DriDCache::integrateCycles(Cycles delta)
-{
-    activeSetCycles_ += static_cast<double>(mask_.numSets()) *
-                        static_cast<double>(delta);
-    integratedCycles_ += delta;
-}
-
-double
-DriDCache::averageActiveFraction() const
-{
-    if (integratedCycles_ == 0)
-        return activeFraction();
-    return activeSetCycles_ /
-           (static_cast<double>(mask_.maxSets()) *
-            static_cast<double>(integratedCycles_));
-}
-
-bool
-DriDCache::mappingConsistent() const
-{
-    const std::uint64_t m = mask_.mask();
-    for (std::uint64_t s = 0; s < mask_.numSets(); ++s) {
-        for (unsigned w = 0; w < store_.assoc(); ++w) {
-            const CacheBlk &blk = store_.set(s)[w];
-            if (blk.valid && (blk.blockAddr & m) != s)
-                return false;
-        }
-    }
-    return true;
+    return accessImpl(addr, type);
 }
 
 } // namespace drisim

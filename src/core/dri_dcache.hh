@@ -5,7 +5,9 @@
  * cache blocks, studying d-cache designs is beyond the scope of
  * this paper", Section 2).
  *
- * Two complications distinguish the d-cache from the i-cache:
+ * Two complications distinguish the d-cache from the i-cache, both
+ * captured by ResizePolicy::writeback() in the shared
+ * ResizableCache layer (mem/resizable_cache.hh):
  *
  *  1. **Dirty blocks.** Gating a set's supply destroys its state,
  *     so every dirty block in a set being disabled must be written
@@ -25,7 +27,7 @@
  *
  * Everything else (size mask, miss-bound/size-bound controller,
  * throttling, resizing tag bits, gated-Vdd leakage semantics)
- * is shared with the i-cache design.
+ * is the shared machinery.
  */
 
 #ifndef DRISIM_CORE_DRI_DCACHE_HH
@@ -33,18 +35,13 @@
 
 #include <cstdint>
 
-#include "mem/memory.hh"
-#include "mem/tag_store.hh"
-#include "stats/stats.hh"
-#include "core/dri_params.hh"
-#include "core/resize_controller.hh"
-#include "core/size_mask.hh"
+#include "mem/resizable_cache.hh"
 
 namespace drisim
 {
 
 /** A resizable write-back, write-allocate data cache. */
-class DriDCache : public MemoryLevel
+class DriDCache : public ResizableCache
 {
   public:
     DriDCache(const DriParams &params, MemoryLevel *below,
@@ -52,71 +49,6 @@ class DriDCache : public MemoryLevel
 
     /** Load or Store access (instruction fetches are rejected). */
     AccessResult access(Addr addr, AccessType type) override;
-
-    /** Account retired instructions; may trigger a resize. */
-    bool retireInstructions(InstCount n);
-
-    double activeFraction() const override;
-    std::uint64_t currentSets() const { return mask_.numSets(); }
-    std::uint64_t currentSizeBytes() const;
-
-    /** Write back everything dirty, then invalidate. */
-    void invalidateAll() override;
-
-    const DriParams &params() const { return params_; }
-    const ResizeController &controller() const { return controller_; }
-
-    std::uint64_t accesses() const { return accesses_.value(); }
-    std::uint64_t misses() const { return misses_.value(); }
-    double missRate() const;
-    std::uint64_t upsizes() const { return upsizes_.value(); }
-    std::uint64_t downsizes() const { return downsizes_.value(); }
-
-    /** Dirty blocks written back because their set was gated off
-     *  or their index was remapped by a resize. */
-    std::uint64_t resizeWritebacks() const
-    {
-        return resizeWritebacks_.value();
-    }
-
-    /** Ordinary dirty-eviction writebacks. */
-    std::uint64_t evictionWritebacks() const
-    {
-        return evictionWritebacks_.value();
-    }
-
-    void integrateCycles(Cycles delta);
-    double averageActiveFraction() const;
-
-    /**
-     * Verification hook: true iff no reachable frame holds a block
-     * whose current-mask index differs from the set it sits in
-     * (the invariant that makes d-cache resizing safe).
-     */
-    bool mappingConsistent() const;
-
-  private:
-    void applyDecision(ResizeDecision decision);
-    void resizeTo(std::uint64_t newSets);
-    void writebackBlock(const CacheBlk &blk);
-
-    DriParams params_;
-    MemoryLevel *below_;
-    SizeMask mask_;
-    ResizeController controller_;
-    TagStore store_;
-
-    double activeSetCycles_ = 0.0;
-    Cycles integratedCycles_ = 0;
-
-    stats::StatGroup group_;
-    stats::Scalar accesses_;
-    stats::Scalar misses_;
-    stats::Scalar upsizes_;
-    stats::Scalar downsizes_;
-    stats::Scalar resizeWritebacks_;
-    stats::Scalar evictionWritebacks_;
-    stats::Scalar remapInvalidations_;
 };
 
 } // namespace drisim

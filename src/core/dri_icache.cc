@@ -1,55 +1,20 @@
 /**
  * @file
- * DRI i-cache: masked indexing, resizing-tag lookup, sense-interval
- * resize steps, and alias-sweeping invalidation.
+ * DRI i-cache: fetch-only access over the shared resize machinery,
+ * plus alias-sweeping invalidation.
  */
 
 #include "core/dri_icache.hh"
 
-#include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace drisim
 {
 
-unsigned
-DriParams::resizingTagBits() const
-{
-    return exactLog2(sizeBytes / sizeBoundBytes);
-}
-
-void
-DriParams::validate() const
-{
-    if (!isPowerOf2(sizeBytes) || !isPowerOf2(blockBytes) ||
-        !isPowerOf2(sizeBoundBytes))
-        drisim_fatal("DRI sizes must be powers of two");
-    if (sizeBoundBytes > sizeBytes)
-        drisim_fatal("size-bound exceeds the cache size");
-    if (sizeBoundBytes <
-        static_cast<std::uint64_t>(blockBytes) * assoc)
-        drisim_fatal("size-bound smaller than one set");
-    if (!isPowerOf2(divisibility) || divisibility < 2)
-        drisim_fatal("divisibility must be a power of two >= 2");
-    if (senseInterval == 0)
-        drisim_fatal("sense interval must be positive");
-}
-
 DriICache::DriICache(const DriParams &params, MemoryLevel *below,
                      stats::StatGroup *parent)
-    : params_(params),
-      below_(below),
-      mask_(makeSizeMask(params)),
-      controller_(params),
-      store_(mask_.maxSets(), params.assoc, params.repl),
-      group_(parent, "dri_icache"),
-      accesses_(&group_, "accesses", "instruction fetch accesses"),
-      misses_(&group_, "misses", "fetch misses"),
-      upsizes_(&group_, "upsizes", "interval decisions: upsize"),
-      downsizes_(&group_, "downsizes", "interval decisions: downsize"),
-      holds_(&group_, "holds", "interval decisions: hold"),
-      blocksLost_(&group_, "blocks_lost",
-                  "valid blocks destroyed by gating sets off"),
+    : ResizableCache(params, ResizePolicy::icache(), below, parent,
+                     "dri_icache"),
       aliasInvalidations_(&group_, "alias_invalidations",
                           "blocks removed by invalidateBlock sweeps")
 {
@@ -60,115 +25,7 @@ DriICache::access(Addr addr, AccessType type)
 {
     drisim_assert(type == AccessType::InstFetch,
                   "DRI i-cache only serves instruction fetches");
-    ++accesses_;
-
-    const Addr ba = addr >> mask_.offsetBits();
-    const std::uint64_t set = ba & mask_.mask();
-
-    int way = store_.findWay(set, ba);
-    if (way != TagStore::kNoWay) {
-        store_.touch(set, static_cast<unsigned>(way));
-        return {true, params_.hitLatency};
-    }
-
-    ++misses_;
-    controller_.recordMiss();
-    Cycles latency = params_.hitLatency;
-    if (below_)
-        latency += below_->access(ba << mask_.offsetBits(),
-                                  AccessType::InstFetch)
-                       .latency;
-    store_.insert(set, ba);
-    return {false, latency};
-}
-
-bool
-DriICache::retireInstructions(InstCount n)
-{
-    bool resized = false;
-    // A large n can cross several interval boundaries; honour each.
-    while (controller_.recordInstructions(n)) {
-        n = 0;
-        ResizeDecision d = controller_.endInterval(mask_.atMinimum(),
-                                                   mask_.atMaximum());
-        std::uint64_t before = mask_.numSets();
-        applyDecision(d);
-        resized |= mask_.numSets() != before;
-    }
-    return resized;
-}
-
-void
-DriICache::applyDecision(ResizeDecision decision)
-{
-    const std::uint64_t sets = mask_.numSets();
-    switch (decision) {
-      case ResizeDecision::Hold:
-        ++holds_;
-        controller_.noteApplied(ResizeDecision::Hold);
-        return;
-      case ResizeDecision::Downsize: {
-        std::uint64_t target = sets / params_.divisibility;
-        if (target < mask_.minSets())
-            target = mask_.minSets();
-        if (target == sets) {
-            ++holds_;
-            controller_.noteApplied(ResizeDecision::Hold);
-            return;
-        }
-        ++downsizes_;
-        resizeTo(target);
-        controller_.noteApplied(ResizeDecision::Downsize);
-        return;
-      }
-      case ResizeDecision::Upsize: {
-        std::uint64_t target = sets * params_.divisibility;
-        if (target > mask_.maxSets())
-            target = mask_.maxSets();
-        if (target == sets) {
-            ++holds_;
-            controller_.noteApplied(ResizeDecision::Hold);
-            return;
-        }
-        ++upsizes_;
-        resizeTo(target);
-        controller_.noteApplied(ResizeDecision::Upsize);
-        return;
-      }
-    }
-}
-
-void
-DriICache::resizeTo(std::uint64_t newSets)
-{
-    const std::uint64_t old_sets = mask_.numSets();
-    if (newSets < old_sets) {
-        // Gating the supply destroys the state of the disabled sets.
-        for (std::uint64_t s = newSets; s < old_sets; ++s) {
-            for (unsigned w = 0; w < store_.assoc(); ++w) {
-                if (store_.set(s)[w].valid)
-                    ++blocksLost_;
-            }
-            store_.invalidateSet(s);
-        }
-    }
-    // Newly enabled sets were gated and are already invalid.
-    mask_.setNumSets(newSets);
-}
-
-double
-DriICache::activeFraction() const
-{
-    return static_cast<double>(mask_.numSets()) /
-           static_cast<double>(mask_.maxSets());
-}
-
-std::uint64_t
-DriICache::currentSizeBytes() const
-{
-    return mask_.numSets() *
-           static_cast<std::uint64_t>(params_.blockBytes) *
-           params_.assoc;
+    return accessImpl(addr, type);
 }
 
 void
@@ -185,47 +42,6 @@ DriICache::invalidateBlock(Addr addr)
             ++aliasInvalidations_;
         }
     }
-}
-
-void
-DriICache::invalidateAll()
-{
-    store_.invalidateAll();
-}
-
-double
-DriICache::missRate() const
-{
-    return accesses_.value() == 0
-               ? 0.0
-               : static_cast<double>(misses_.value()) /
-                     static_cast<double>(accesses_.value());
-}
-
-void
-DriICache::integrateCycles(Cycles delta)
-{
-    activeSetCycles_ += static_cast<double>(mask_.numSets()) *
-                        static_cast<double>(delta);
-    integratedCycles_ += delta;
-}
-
-double
-DriICache::averageActiveFraction() const
-{
-    if (integratedCycles_ == 0)
-        return activeFraction();
-    return activeSetCycles_ /
-           (static_cast<double>(mask_.maxSets()) *
-            static_cast<double>(integratedCycles_));
-}
-
-void
-DriICache::resetStats()
-{
-    group_.resetAll();
-    activeSetCycles_ = 0.0;
-    integratedCycles_ = 0;
 }
 
 } // namespace drisim

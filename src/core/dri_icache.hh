@@ -8,12 +8,15 @@
  * above the current size are gated off (gated-Vdd): they keep no
  * state and leak (nearly) nothing.
  *
- * Lookup correctness across sizes comes from maintaining the tag
- * bits required by the *smallest* size at all times (resizing tag
- * bits). Upsizing can leave stale aliases of a block in
- * low-numbered sets; because the i-stream is read-only these are
- * harmless (Section 2.2), but invalidateBlock() must sweep all
- * candidate alias sets (page unmap / self-modifying code paths).
+ * All of that machinery lives in the level-agnostic ResizableCache
+ * base (mem/resizable_cache.hh); this class adds the i-cache
+ * specifics. Lookup correctness across sizes comes from maintaining
+ * the tag bits required by the *smallest* size at all times
+ * (resizing tag bits). Upsizing can leave stale aliases of a block
+ * in low-numbered sets; because the i-stream is read-only these are
+ * harmless (Section 2.2, ResizePolicy::icache()), but
+ * invalidateBlock() must sweep all candidate alias sets (page unmap
+ * / self-modifying code paths).
  */
 
 #ifndef DRISIM_CORE_DRI_ICACHE_HH
@@ -21,18 +24,13 @@
 
 #include <cstdint>
 
-#include "mem/memory.hh"
-#include "mem/tag_store.hh"
-#include "stats/stats.hh"
-#include "core/dri_params.hh"
-#include "core/resize_controller.hh"
-#include "core/size_mask.hh"
+#include "mem/resizable_cache.hh"
 
 namespace drisim
 {
 
 /** The DRI i-cache. Drop-in replacement for a conventional L1I. */
-class DriICache : public MemoryLevel
+class DriICache : public ResizableCache
 {
   public:
     DriICache(const DriParams &params, MemoryLevel *below,
@@ -42,88 +40,12 @@ class DriICache : public MemoryLevel
     AccessResult access(Addr addr, AccessType type) override;
 
     /**
-     * Account @p n retired instructions; at sense-interval
-     * boundaries runs the resize decision. Returns true if the
-     * cache resized.
-     */
-    bool retireInstructions(InstCount n);
-
-    /** Fraction of sets currently powered. */
-    double activeFraction() const override;
-
-    /** Current capacity in bytes. */
-    std::uint64_t currentSizeBytes() const;
-
-    std::uint64_t currentSets() const { return mask_.numSets(); }
-
-    /**
      * Invalidate every alias of the block containing @p addr
      * (all active sets congruent to the block's minimum-size index).
      */
     void invalidateBlock(Addr addr);
 
-    /** Full flush (i-cache flush on page unmap etc.). */
-    void invalidateAll() override;
-
-    const DriParams &params() const { return params_; }
-    const SizeMask &sizeMask() const { return mask_; }
-    const ResizeController &controller() const { return controller_; }
-
-    std::uint64_t accesses() const { return accesses_.value(); }
-    std::uint64_t misses() const { return misses_.value(); }
-    double missRate() const;
-
-    std::uint64_t upsizes() const { return upsizes_.value(); }
-    std::uint64_t downsizes() const { return downsizes_.value(); }
-
-    /** Valid blocks destroyed by gating their sets off. */
-    std::uint64_t blocksLost() const { return blocksLost_.value(); }
-
-    /**
-     * Time-integral bookkeeping: the run loop adds the cycles spent
-     * since the last call; the integral of the active fraction over
-     * cycles gives the average active size (paper's "average cache
-     * size ... averaged over the benchmark execution time").
-     */
-    void integrateCycles(Cycles delta);
-
-    /** Integral of activeSets over cycles (set-cycles). */
-    double activeSetCycles() const { return activeSetCycles_; }
-
-    /** Cycles integrated so far. */
-    Cycles integratedCycles() const { return integratedCycles_; }
-
-    /** Average active fraction over the integrated run. */
-    double averageActiveFraction() const;
-
-    /** Number of sets whose supply is currently gated off. */
-    std::uint64_t gatedSets() const
-    {
-        return mask_.maxSets() - mask_.numSets();
-    }
-
-    void resetStats();
-
   private:
-    void applyDecision(ResizeDecision decision);
-    void resizeTo(std::uint64_t newSets);
-
-    DriParams params_;
-    MemoryLevel *below_;
-    SizeMask mask_;
-    ResizeController controller_;
-    TagStore store_;
-
-    double activeSetCycles_ = 0.0;
-    Cycles integratedCycles_ = 0;
-
-    stats::StatGroup group_;
-    stats::Scalar accesses_;
-    stats::Scalar misses_;
-    stats::Scalar upsizes_;
-    stats::Scalar downsizes_;
-    stats::Scalar holds_;
-    stats::Scalar blocksLost_;
     stats::Scalar aliasInvalidations_;
 };
 

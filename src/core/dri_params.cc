@@ -1,0 +1,38 @@
+/**
+ * @file
+ * DRI parameter validation and derived quantities (shared by every
+ * resizable cache level, not just the L1 i-cache).
+ */
+
+#include "core/dri_params.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace drisim
+{
+
+unsigned
+DriParams::resizingTagBits() const
+{
+    return exactLog2(sizeBytes / sizeBoundBytes);
+}
+
+void
+DriParams::validate() const
+{
+    if (!isPowerOf2(sizeBytes) || !isPowerOf2(blockBytes) ||
+        !isPowerOf2(sizeBoundBytes))
+        drisim_fatal("DRI sizes must be powers of two");
+    if (sizeBoundBytes > sizeBytes)
+        drisim_fatal("size-bound exceeds the cache size");
+    if (sizeBoundBytes <
+        static_cast<std::uint64_t>(blockBytes) * assoc)
+        drisim_fatal("size-bound smaller than one set");
+    if (!isPowerOf2(divisibility) || divisibility < 2)
+        drisim_fatal("divisibility must be a power of two >= 2");
+    if (senseInterval == 0)
+        drisim_fatal("sense interval must be positive");
+}
+
+} // namespace drisim

@@ -114,8 +114,8 @@ OooCore::doCommit()
     if (n > 0) {
         committedInstrs_ += n;
         commitBudget_ -= n;
-        if (dri_)
-            dri_->retireInstructions(n);
+        for (ResizableCache *rc : resizables_)
+            rc->retireInstructions(n);
     }
     commitsThisCycle_ = n;
 }
@@ -393,8 +393,8 @@ OooCore::run(InstrStream &stream, InstCount maxInstrs)
                 delta = next - now_;
         }
         now_ += delta;
-        if (dri_)
-            dri_->integrateCycles(delta);
+        for (ResizableCache *rc : resizables_)
+            rc->integrateCycles(delta);
     }
 
     simCycles_.set(now_);

@@ -83,7 +83,18 @@ class OooCore
      * Attach a DRI i-cache for retirement notifications and active-
      * size integration (pass nullptr for conventional runs).
      */
-    void setDri(DriICache *dri) { dri_ = dri; }
+    void setDri(DriICache *dri) { addResizable(dri); }
+
+    /**
+     * Attach any resizable cache level (DRI L1I, L1D or L2) for
+     * retirement notifications and active-size integration; each
+     * level resizes under its own controller. No-op on nullptr.
+     */
+    void addResizable(ResizableCache *cache)
+    {
+        if (cache)
+            resizables_.push_back(cache);
+    }
 
     /**
      * Run until @p stream ends or @p maxInstrs commit.
@@ -147,7 +158,7 @@ class OooCore
     OooParams params_;
     MemoryLevel *icache_;
     MemoryLevel *dcache_;
-    DriICache *dri_ = nullptr;
+    std::vector<ResizableCache *> resizables_;
     BranchPredictor bpred_;
 
     Cycles now_ = 0;

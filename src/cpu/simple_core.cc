@@ -44,20 +44,24 @@ SimpleCore::run(InstrStream &stream, InstCount maxInstrs)
         ++instrs;
         ++retire_batch;
         if (retire_batch == 64) {
-            if (dri_) {
-                dri_->retireInstructions(retire_batch);
+            if (!resizables_.empty()) {
                 // Approximate cycle integration at base CPI.
                 const double step =
                     params_.baseCpi * static_cast<double>(retire_batch);
                 active_cycles += step;
-                dri_->integrateCycles(
-                    static_cast<Cycles>(std::llround(step)));
+                const Cycles step_cycles =
+                    static_cast<Cycles>(std::llround(step));
+                for (ResizableCache *rc : resizables_) {
+                    rc->retireInstructions(retire_batch);
+                    rc->integrateCycles(step_cycles);
+                }
             }
             retire_batch = 0;
         }
     }
-    if (dri_ && retire_batch > 0)
-        dri_->retireInstructions(retire_batch);
+    if (retire_batch > 0)
+        for (ResizableCache *rc : resizables_)
+            rc->retireInstructions(retire_batch);
 
     CoreStats s;
     s.instructions = instrs;

@@ -20,6 +20,8 @@
 #ifndef DRISIM_CPU_SIMPLE_CORE_HH
 #define DRISIM_CPU_SIMPLE_CORE_HH
 
+#include <vector>
+
 #include "core/dri_icache.hh"
 #include "mem/memory.hh"
 #include "cpu/isa.hh"
@@ -46,7 +48,15 @@ class SimpleCore
     SimpleCore(const SimpleCoreParams &params, MemoryLevel *icache);
 
     /** Attach a DRI i-cache for retire/integration callbacks. */
-    void setDri(DriICache *dri) { dri_ = dri; }
+    void setDri(DriICache *dri) { addResizable(dri); }
+
+    /** Attach any resizable level (L1I or L2) for retire/integration
+     *  callbacks. No-op on nullptr. */
+    void addResizable(ResizableCache *cache)
+    {
+        if (cache)
+            resizables_.push_back(cache);
+    }
 
     /** Run the stream; returns estimated cycles and instructions. */
     CoreStats run(InstrStream &stream, InstCount maxInstrs);
@@ -57,7 +67,7 @@ class SimpleCore
   private:
     SimpleCoreParams params_;
     MemoryLevel *icache_;
-    DriICache *dri_ = nullptr;
+    std::vector<ResizableCache *> resizables_;
     Cycles missStall_ = 0;
 };
 

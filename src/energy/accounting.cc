@@ -1,10 +1,13 @@
 /**
  * @file
  * Paired conventional/DRI comparison: normalized energy-delay,
- * slowdown and average active size.
+ * slowdown and average active size — single-level (Figures 3-6) and
+ * multi-level (per-level rows + hierarchy total).
  */
 
 #include "energy/accounting.hh"
+
+#include <algorithm>
 
 namespace drisim
 {
@@ -61,6 +64,165 @@ compareRuns(const EnergyConstants &constants, const RunMeasurement &conv,
     r.driRun = dri;
     r.conventional = conventionalEnergy(constants, conv);
     r.dri = driEnergy(constants, dri, conv);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Multi-level accounting
+// ---------------------------------------------------------------------
+
+MultiLevelConstants
+MultiLevelConstants::paper()
+{
+    return MultiLevelConstants{};
+}
+
+MultiLevelConstants
+MultiLevelConstants::derived(const circuit::LevelCircuit &l1,
+                             const circuit::LevelCircuit &l2)
+{
+    const circuit::LevelEnergyFigures f1 = circuit::levelFigures(l1);
+    const circuit::LevelEnergyFigures f2 = circuit::levelFigures(l2);
+    MultiLevelConstants c;
+    c.l1.l1BaseBytes = l1.geom.sizeBytes;
+    c.l1.l1LeakPerCycleNJ = f1.leakPerCycleNJ;
+    c.l1.bitlinePerAccessNJ = f1.bitlineEnergyNJ;
+    c.l1.l2PerAccessNJ = f2.accessEnergyNJ;
+    c.l2BaseBytes = l2.geom.sizeBytes;
+    c.l2LeakPerCycleNJ = f2.leakPerCycleNJ;
+    c.l2BitlinePerAccessNJ = f2.bitlineEnergyNJ;
+    return c;
+}
+
+double
+HierarchyEnergy::totalLeakageNJ() const
+{
+    double sum = 0.0;
+    for (const LevelEnergy &l : levels)
+        sum += l.leakageNJ;
+    return sum;
+}
+
+double
+HierarchyEnergy::totalDynamicNJ() const
+{
+    double sum = 0.0;
+    for (const LevelEnergy &l : levels)
+        sum += l.dynamicNJ;
+    return sum;
+}
+
+double
+HierarchyEnergy::totalNJ() const
+{
+    double sum = 0.0;
+    for (const LevelEnergy &l : levels)
+        sum += l.totalNJ();
+    return sum;
+}
+
+const LevelEnergy *
+HierarchyEnergy::level(const std::string &name) const
+{
+    for (const LevelEnergy &l : levels)
+        if (l.level == name)
+            return &l;
+    return nullptr;
+}
+
+HierarchyEnergy
+multiLevelEnergy(const MultiLevelConstants &constants,
+                 const MultiLevelMeasurement &run,
+                 const MultiLevelMeasurement &baseline)
+{
+    const double cycles = static_cast<double>(run.cycles);
+
+    LevelEnergy l1{"l1i", 0.0, 0.0};
+    l1.leakageNJ = run.l1AvgActiveFraction *
+                   constants.l1.leakPerCycleNJ(run.l1Bytes) * cycles;
+    l1.dynamicNJ = static_cast<double>(run.l1ResizingTagBits) *
+                   constants.l1.bitlinePerAccessNJ *
+                   static_cast<double>(run.l1Accesses);
+
+    // Extra traffic relative to the paired baseline is charged to
+    // the level that receives it (clamped at zero, as in the
+    // single-level model).
+    const std::uint64_t extra_l2 =
+        run.l2Accesses > baseline.l2Accesses
+            ? run.l2Accesses - baseline.l2Accesses
+            : 0;
+    LevelEnergy l2{"l2", 0.0, 0.0};
+    l2.leakageNJ = run.l2AvgActiveFraction *
+                   constants.l2LeakPerCycleFor(run.l2Bytes) * cycles;
+    l2.dynamicNJ = static_cast<double>(run.l2ResizingTagBits) *
+                       constants.l2BitlinePerAccessNJ *
+                       static_cast<double>(run.l2Accesses) +
+                   constants.l1.l2PerAccessNJ *
+                       static_cast<double>(extra_l2);
+
+    const std::uint64_t extra_mem =
+        run.memAccesses > baseline.memAccesses
+            ? run.memAccesses - baseline.memAccesses
+            : 0;
+    LevelEnergy mem{"mem", 0.0, 0.0};
+    mem.dynamicNJ =
+        constants.memPerAccessNJ * static_cast<double>(extra_mem);
+
+    HierarchyEnergy h;
+    h.levels = {l1, l2, mem};
+    return h;
+}
+
+double
+MultiLevelComparison::relativeEnergyDelay() const
+{
+    const double conv_ed = conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.energyDelay(driRun.cycles) / conv_ed;
+}
+
+double
+MultiLevelComparison::relativeEdLeakage() const
+{
+    const double conv_ed = conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.totalLeakageNJ() *
+           static_cast<double>(driRun.cycles) / conv_ed;
+}
+
+double
+MultiLevelComparison::relativeEdDynamic() const
+{
+    const double conv_ed = conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.totalDynamicNJ() *
+           static_cast<double>(driRun.cycles) / conv_ed;
+}
+
+double
+MultiLevelComparison::slowdownPercent() const
+{
+    if (convRun.cycles == 0)
+        return 0.0;
+    return 100.0 *
+           (static_cast<double>(driRun.cycles) /
+                static_cast<double>(convRun.cycles) -
+            1.0);
+}
+
+MultiLevelComparison
+compareMultiLevel(const MultiLevelConstants &constants,
+                  const MultiLevelMeasurement &conv,
+                  const MultiLevelMeasurement &dri)
+{
+    MultiLevelComparison r;
+    r.convRun = conv;
+    r.driRun = dri;
+    r.conventional = multiLevelEnergy(constants, conv, conv);
+    r.dri = multiLevelEnergy(constants, dri, conv);
     return r;
 }
 

@@ -1,12 +1,19 @@
 /**
  * @file
  * Paired-run comparison: normalized energy-delay, slowdown, average
- * size — the quantities Figures 3-6 plot.
+ * size — the quantities Figures 3-6 plot — plus the multi-level
+ * extension: leakage/dynamic energy split by hierarchy level with a
+ * hierarchy-total figure of merit (after Bai et al., whose point is
+ * that the L2 dominates total leakage at deep-submicron nodes).
  */
 
 #ifndef DRISIM_ENERGY_ACCOUNTING_HH
 #define DRISIM_ENERGY_ACCOUNTING_HH
 
+#include <string>
+#include <vector>
+
+#include "circuit/hierarchy_energy.hh"
 #include "energy/energy_model.hh"
 
 namespace drisim
@@ -49,6 +56,166 @@ struct ComparisonResult
 ComparisonResult compareRuns(const EnergyConstants &constants,
                              const RunMeasurement &conv,
                              const RunMeasurement &dri);
+
+// ---------------------------------------------------------------------
+// Multi-level accounting (DRI L1I + DRI L2 vs conventional hierarchy)
+// ---------------------------------------------------------------------
+
+/** Per-level energy constants for the multi-level accounting. */
+struct MultiLevelConstants
+{
+    /** The paper's L1-centric constants (leakage, tag bitline, and
+     *  the dynamic cost of one L2 access). */
+    EnergyConstants l1 = EnergyConstants::paper();
+
+    /** Full-size L2 leakage per cycle (nJ) at l2BaseBytes. */
+    double l2LeakPerCycleNJ = 14.56;
+    /** Base L2 size the leakage figure refers to (bytes). */
+    std::uint64_t l2BaseBytes = 1024 * 1024;
+    /** Dynamic energy of one L2 resizing-tag bitline per access. */
+    double l2BitlinePerAccessNJ = 0.0018;
+    /**
+     * Dynamic energy per main-memory access (nJ). Not in the paper
+     * (its accounting stops at the L2); see docs/DESIGN.md,
+     * Multi-level substitutions.
+     */
+    double memPerAccessNJ = 32.0;
+
+    /** Leakage per cycle for an L2 of @p bytes (scales linearly). */
+    double l2LeakPerCycleFor(std::uint64_t bytes) const
+    {
+        return l2LeakPerCycleNJ * static_cast<double>(bytes) /
+               static_cast<double>(l2BaseBytes);
+    }
+
+    /**
+     * The paper's L1 constants plus an L2 at the same linear
+     * leakage scaling (16x the 64 KB figure for the 1 MB array) and
+     * a circuit-derived L2 tag bitline.
+     */
+    static MultiLevelConstants paper();
+
+    /** All constants derived from per-level circuit points. */
+    static MultiLevelConstants
+    derived(const circuit::LevelCircuit &l1,
+            const circuit::LevelCircuit &l2);
+};
+
+/** One level's share of the hierarchy energy (a report row). */
+struct LevelEnergy
+{
+    std::string level;
+    double leakageNJ = 0.0;
+    double dynamicNJ = 0.0;
+
+    double totalNJ() const { return leakageNJ + dynamicNJ; }
+};
+
+/**
+ * Per-level decomposition of one run's effective energy. The totals
+ * are defined as the sum over the rows, so "per-level rows sum to
+ * the hierarchy total" holds by construction and is locked by tests.
+ */
+struct HierarchyEnergy
+{
+    std::vector<LevelEnergy> levels;
+
+    double totalLeakageNJ() const;
+    double totalDynamicNJ() const;
+    double totalNJ() const;
+
+    /** Energy-delay product in nJ x cycles. */
+    double energyDelay(Cycles cycles) const
+    {
+        return totalNJ() * static_cast<double>(cycles);
+    }
+
+    /** Find a row by level name (nullptr when absent). */
+    const LevelEnergy *level(const std::string &name) const;
+};
+
+/**
+ * Raw multi-level measurements from one run. The harness fills this
+ * from a RunOutput; conventional levels use avgActiveFraction = 1
+ * and zero resizing-tag bits.
+ */
+struct MultiLevelMeasurement
+{
+    Cycles cycles = 0;
+    InstCount instructions = 0;
+
+    std::uint64_t l1Bytes = 64 * 1024;
+    double l1AvgActiveFraction = 1.0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    unsigned l1ResizingTagBits = 0;
+
+    std::uint64_t l2Bytes = 1024 * 1024;
+    double l2AvgActiveFraction = 1.0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    unsigned l2ResizingTagBits = 0;
+
+    std::uint64_t memAccesses = 0;
+
+    double l1MissRate() const
+    {
+        return l1Accesses == 0
+                   ? 0.0
+                   : static_cast<double>(l1Misses) /
+                         static_cast<double>(l1Accesses);
+    }
+};
+
+/**
+ * Effective energy of a (possibly resizing) hierarchy run paired
+ * against its conventional baseline. Rows: "l1i" and "l2" carry
+ * their leakage plus resizing-tag dynamic overhead; extra traffic
+ * induced by resizing (L1 misses above baseline hitting the L2, L2
+ * misses above baseline hitting memory) is charged as dynamic
+ * energy to the level that *receives* it, so the "mem" row carries
+ * the extra off-chip dynamic energy and no leakage.
+ */
+HierarchyEnergy multiLevelEnergy(const MultiLevelConstants &constants,
+                                 const MultiLevelMeasurement &run,
+                                 const MultiLevelMeasurement &baseline);
+
+/** Everything the multi-level report prints for one config pair. */
+struct MultiLevelComparison
+{
+    HierarchyEnergy dri;
+    HierarchyEnergy conventional;
+    MultiLevelMeasurement driRun;
+    MultiLevelMeasurement convRun;
+
+    /** DRI hierarchy energy-delay / conventional energy-delay. */
+    double relativeEnergyDelay() const;
+
+    /** Leakage-only component of the relative energy-delay. */
+    double relativeEdLeakage() const;
+
+    /** Dynamic (overhead) component of the relative energy-delay. */
+    double relativeEdDynamic() const;
+
+    /** Execution-time increase, percent (positive = slower). */
+    double slowdownPercent() const;
+
+    double l1AverageSizeFraction() const
+    {
+        return driRun.l1AvgActiveFraction;
+    }
+
+    double l2AverageSizeFraction() const
+    {
+        return driRun.l2AvgActiveFraction;
+    }
+};
+
+/** Build the multi-level comparison for a paired run. */
+MultiLevelComparison
+compareMultiLevel(const MultiLevelConstants &constants,
+                  const MultiLevelMeasurement &conv,
+                  const MultiLevelMeasurement &dri);
 
 } // namespace drisim
 

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Multi-level DRI search: the (L1 size-bound x L2 size-bound) grid
+ * for a hierarchy that resizes both the L1 i-cache and the unified
+ * L2 (after Bai et al.'s multi-level leakage trade-off methodology;
+ * see docs/REPRODUCTION.md).
+ *
+ * Mirrors the Section 5.3 single-level search (harness/sweep.hh)
+ * with one deliberate difference: every grid cell runs on the
+ * *detailed* core. The fast fetch-driven model is exact for the L1
+ * i-cache but carries no d-cache traffic, so the L2's miss flow,
+ * resize behaviour and slowdown are all wrong there; the grid is
+ * small and its cells are independent executor jobs, so detailed
+ * evaluation parallelizes instead of approximating. Runs as a
+ * JobGraph with index-addressed slots, so SearchResults are
+ * bit-identical at any --jobs value (locked by golden tests).
+ */
+
+#ifndef DRISIM_HARNESS_MULTILEVEL_HH
+#define DRISIM_HARNESS_MULTILEVEL_HH
+
+#include <string>
+#include <vector>
+
+#include "energy/accounting.hh"
+#include "harness/runner.hh"
+
+namespace drisim
+{
+
+class Executor; // harness/executor.hh
+class Table;    // harness/table.hh
+
+/** Search-space definition for the two-level grid. */
+struct MultiLevelSpace
+{
+    /** Candidate L1 size-bounds (bytes); filtered to the L1 range. */
+    std::vector<std::uint64_t> l1SizeBounds{1024, 4096, 16384,
+                                            65536};
+    /** Candidate L2 size-bounds (bytes); filtered to the L2 range. */
+    std::vector<std::uint64_t> l2SizeBounds{64 * 1024, 256 * 1024,
+                                            1024 * 1024};
+    /**
+     * Miss-bounds as multiples of the conventional hierarchy's
+     * misses per sense interval at each level (the paper's workable
+     * miss-bounds sit one to two orders above the conventional miss
+     * rate; the L2 sees far fewer misses, so its factor is lower).
+     */
+    double l1MissBoundFactor = 32.0;
+    double l2MissBoundFactor = 8.0;
+    /** Absolute floor for both miss-bounds (misses per interval). */
+    std::uint64_t missBoundFloor = 16;
+};
+
+/** One evaluated two-level configuration. */
+struct MultiLevelCandidate
+{
+    DriParams l1;
+    DriParams l2;
+    MultiLevelComparison cmp;
+    bool feasible = true;
+};
+
+/** Outcome of a multi-level best-case search. */
+struct MultiLevelSearchResult
+{
+    /** The winning configuration (lowest feasible energy-delay). */
+    MultiLevelCandidate best;
+    /** All detailed candidates in grid order (reporting/tests). */
+    std::vector<MultiLevelCandidate> evaluated;
+    /** Detailed conventional baseline used throughout. */
+    RunOutput convDetailed;
+};
+
+/** Reduce a RunOutput to the multi-level measurement view. */
+MultiLevelMeasurement toMultiLevelMeasurement(const RunOutput &out);
+
+/**
+ * Search the (L1 bound x L2 bound) grid for the lowest hierarchy
+ * energy-delay.
+ *
+ * @param bench          the benchmark
+ * @param config         run configuration with a *conventional* L2
+ *                       (the search switches l2Dri on per cell)
+ * @param l1Template     L1 DRI knobs not being searched
+ * @param l2Template     L2 DRI knobs not being searched (geometry
+ *                       always follows config.hier.l2)
+ * @param space          the grid
+ * @param constants      per-level energy constants
+ * @param maxSlowdownPct constraint; <= 0 means unconstrained
+ * @param convDetailed   pre-computed detailed conventional run
+ * @param exec           optional executor to reuse; otherwise one is
+ *                       created with config.jobs workers
+ */
+MultiLevelSearchResult searchMultiLevel(
+    const BenchmarkInfo &bench, const RunConfig &config,
+    const DriParams &l1Template, const DriParams &l2Template,
+    const MultiLevelSpace &space, const MultiLevelConstants &constants,
+    double maxSlowdownPct, const RunOutput &convDetailed,
+    Executor *exec = nullptr);
+
+/**
+ * The summary cells bench_multilevel prints for one candidate
+ * (shared with the golden tests so the rendered rows cannot drift):
+ * benchmark, L1 bound, L1 miss-bound, L2 bound, L2 miss-bound,
+ * rel-ED, L1 avg size, L2 avg size, slowdown.
+ */
+std::vector<std::string>
+multiLevelRowCells(const std::string &bench,
+                   const MultiLevelCandidate &cand);
+
+/**
+ * Append the per-level energy rows of @p h to @p t (columns: level,
+ * leakage nJ, dynamic nJ, total nJ) followed by a "hierarchy" total
+ * row that equals the column sums by construction.
+ */
+void addHierarchyEnergyRows(Table &t, const HierarchyEnergy &h);
+
+} // namespace drisim
+
+#endif // DRISIM_HARNESS_MULTILEVEL_HH

@@ -87,6 +87,27 @@ measurementFromCounts(Cycles cycles, InstCount instrs,
     return m;
 }
 
+/**
+ * Copy the L2 view of a finished run into @p out, whatever flavour
+ * of L2 the hierarchy was built with.
+ */
+void
+fillL2Outputs(Hierarchy &hier, RunOutput &out)
+{
+    out.l2MissRate = hier.l2MissRate();
+    out.l2Accesses = hier.l2Accesses();
+    out.l2Misses = hier.l2Misses();
+    out.memAccesses = hier.mem().accesses();
+    if (ResizableCache *l2 = hier.driL2()) {
+        out.l2SizeBytes = l2->params().sizeBytes;
+        out.l2AvgActiveFraction = l2->averageActiveFraction();
+        out.l2ResizingTagBits = l2->params().resizingTagBits();
+        out.l2Resizes = l2->upsizes() + l2->downsizes();
+    } else {
+        out.l2SizeBytes = hier.params().l2.sizeBytes;
+    }
+}
+
 } // namespace
 
 const ProgramImage &
@@ -114,6 +135,7 @@ runConventional(const BenchmarkInfo &bench, const RunConfig &config)
     stats::StatGroup root("sim");
     Hierarchy hier(config.hier, &root, true);
     OooCore core(config.core, hier.l1i(), &hier.l1d(), &root);
+    core.addResizable(hier.driL2());
 
     TraceGenerator gen(imageFor(bench));
     CoreStats cs = core.run(gen, config.maxInstrs);
@@ -125,8 +147,7 @@ runConventional(const BenchmarkInfo &bench, const RunConfig &config)
         1.0, 0, config.hier.l1i.sizeBytes);
     out.ipc = cs.ipc();
     out.l1dMissRate = hier.l1d().missRate();
-    out.l2MissRate = hier.l2().missRate();
-    out.l2Accesses = hier.l2().accesses();
+    fillL2Outputs(hier, out);
     return out;
 }
 
@@ -136,10 +157,11 @@ runDri(const BenchmarkInfo &bench, const RunConfig &config,
 {
     stats::StatGroup root("sim");
     Hierarchy hier(config.hier, &root, false);
-    DriICache icache(dri, &hier.l2(), &root);
+    DriICache icache(dri, hier.l2Level(), &root);
     hier.setL1I(&icache);
     OooCore core(config.core, &icache, &hier.l1d(), &root);
     core.setDri(&icache);
+    core.addResizable(hier.driL2());
 
     TraceGenerator gen(imageFor(bench));
     CoreStats cs = core.run(gen, config.maxInstrs);
@@ -151,8 +173,7 @@ runDri(const BenchmarkInfo &bench, const RunConfig &config,
         dri.sizeBytes);
     out.ipc = cs.ipc();
     out.l1dMissRate = hier.l1d().missRate();
-    out.l2MissRate = hier.l2().missRate();
-    out.l2Accesses = hier.l2().accesses();
+    fillL2Outputs(hier, out);
     out.resizes = icache.upsizes() + icache.downsizes();
     out.throttleEvents = icache.controller().throttleEvents();
     return out;
@@ -200,6 +221,7 @@ runConventionalFast(const BenchmarkInfo &bench, const RunConfig &config,
     scp.missOverlap = cal.missOverlap;
     scp.fetchBlockBytes = config.hier.l1i.blockBytes;
     SimpleCore fast(scp, hier.l1i());
+    fast.addResizable(hier.driL2());
     TraceGenerator gen(imageFor(bench));
     CoreStats cs = fast.run(gen, config.maxInstrs);
 
@@ -209,7 +231,7 @@ runConventionalFast(const BenchmarkInfo &bench, const RunConfig &config,
         cs.cycles, cs.instructions, l1i->accesses(), l1i->misses(),
         1.0, 0, config.hier.l1i.sizeBytes);
     out.ipc = cs.ipc();
-    out.l2Accesses = hier.l2().accesses();
+    fillL2Outputs(hier, out);
     return out;
 }
 
@@ -219,7 +241,7 @@ runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
 {
     stats::StatGroup root("fast");
     Hierarchy hier(config.hier, &root, false);
-    DriICache icache(dri, &hier.l2(), &root);
+    DriICache icache(dri, hier.l2Level(), &root);
     hier.setL1I(&icache);
     SimpleCoreParams scp;
     scp.baseCpi = cal.baseCpi;
@@ -227,6 +249,7 @@ runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
     scp.fetchBlockBytes = dri.blockBytes;
     SimpleCore fast(scp, &icache);
     fast.setDri(&icache);
+    fast.addResizable(hier.driL2());
     TraceGenerator gen(imageFor(bench));
     CoreStats cs = fast.run(gen, config.maxInstrs);
 
@@ -236,7 +259,7 @@ runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
         icache.averageActiveFraction(), dri.resizingTagBits(),
         dri.sizeBytes);
     out.ipc = cs.ipc();
-    out.l2Accesses = hier.l2().accesses();
+    fillL2Outputs(hier, out);
     out.resizes = icache.upsizes() + icache.downsizes();
     out.throttleEvents = icache.controller().throttleEvents();
     return out;

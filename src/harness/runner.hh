@@ -26,7 +26,13 @@ struct ProgramImage; // workload/cfg.hh
 /** Common knobs for one simulation run. */
 struct RunConfig
 {
-    /** Cache geometries (Table 1 defaults). */
+    /**
+     * Cache geometries (Table 1 defaults). Setting `hier.l2Dri`
+     * turns any run — conventional or DRI L1I, fast or detailed —
+     * into a multi-level scenario: the L2 is built resizable and is
+     * driven by the core's retire/integrate callbacks alongside any
+     * DRI L1I.
+     */
     HierarchyParams hier{};
     /** Core shape (Table 1 defaults). */
     OooParams core{};
@@ -49,8 +55,16 @@ struct RunOutput
     double l1dMissRate = 0.0;
     double l2MissRate = 0.0;
     std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t memAccesses = 0;
     std::uint64_t resizes = 0;
     std::uint64_t throttleEvents = 0;
+
+    /** L2 activity (defaults describe a fixed, fully-powered L2). */
+    std::uint64_t l2SizeBytes = 0;
+    double l2AvgActiveFraction = 1.0;
+    unsigned l2ResizingTagBits = 0;
+    std::uint64_t l2Resizes = 0;
 };
 
 /**

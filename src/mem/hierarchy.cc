@@ -1,26 +1,96 @@
 /**
  * @file
  * Assembles the Table 1 memory system: L1I (conventional or DRI),
- * L1D, unified L2, main memory.
+ * L1D, unified L2 (conventional or DRI), main memory.
  */
 
 #include "mem/hierarchy.hh"
 
+#include "util/logging.hh"
+
 namespace drisim
 {
+
+DriParams
+HierarchyParams::defaultL2DriParams()
+{
+    DriParams p;
+    // Geometry comes from the CacheParams at build time; only the
+    // resize knobs below are meaningful defaults. The L2 sees far
+    // fewer references per instruction than the L1, so its default
+    // miss-bound is lower; the size-bound leaves a 16:1 range like
+    // the paper's 64K:4K sweet spot.
+    p.sizeBoundBytes = 64 * 1024;
+    p.missBound = 50;
+    p.senseInterval = 100 * 1000;
+    return p;
+}
+
+DriParams
+driParamsForLevel(const CacheParams &level, const DriParams &dri)
+{
+    DriParams p = dri;
+    p.sizeBytes = level.sizeBytes;
+    p.assoc = level.assoc;
+    p.blockBytes = level.blockBytes;
+    p.hitLatency = level.hitLatency;
+    p.repl = level.repl;
+    if (p.sizeBoundBytes > p.sizeBytes)
+        p.sizeBoundBytes = p.sizeBytes;
+    const std::uint64_t set_bytes =
+        static_cast<std::uint64_t>(p.blockBytes) * p.assoc;
+    if (p.sizeBoundBytes < set_bytes)
+        p.sizeBoundBytes = set_bytes;
+    return p;
+}
 
 Hierarchy::Hierarchy(const HierarchyParams &params,
                      stats::StatGroup *parent, bool buildConvL1i)
     : params_(params)
 {
     mem_ = std::make_unique<MainMemory>(params.l2.blockBytes, parent);
-    l2_ = std::make_unique<Cache>(params.l2, mem_.get(), parent);
-    l1d_ = std::make_unique<Cache>(params.l1d, l2_.get(), parent);
+    if (params.l2Dri) {
+        driL2_ = std::make_unique<ResizableCache>(
+            driParamsForLevel(params.l2, params.l2DriParams),
+            ResizePolicy::writeback(), mem_.get(), parent, "dri_l2");
+        l2Level_ = driL2_.get();
+    } else {
+        l2_ = std::make_unique<Cache>(params.l2, mem_.get(), parent);
+        l2Level_ = l2_.get();
+    }
+    l1d_ = std::make_unique<Cache>(params.l1d, l2Level_, parent);
     if (buildConvL1i) {
-        convL1i_ = std::make_unique<Cache>(params.l1i, l2_.get(),
+        convL1i_ = std::make_unique<Cache>(params.l1i, l2Level_,
                                            parent);
         l1i_ = convL1i_.get();
     }
+}
+
+Cache &
+Hierarchy::l2()
+{
+    drisim_assert(l2_ != nullptr,
+                  "hierarchy was built with a DRI L2; use "
+                  "convL2()/driL2()");
+    return *l2_;
+}
+
+std::uint64_t
+Hierarchy::l2Accesses() const
+{
+    return l2_ ? l2_->accesses() : driL2_->accesses();
+}
+
+std::uint64_t
+Hierarchy::l2Misses() const
+{
+    return l2_ ? l2_->misses() : driL2_->misses();
+}
+
+double
+Hierarchy::l2MissRate() const
+{
+    return l2_ ? l2_->missRate() : driL2_->missRate();
 }
 
 } // namespace drisim

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Shared resize machinery: masked indexing, sense-interval resize
+ * steps, gating/writeback/remap handling and active-size integrals.
+ */
+
+#include "mem/resizable_cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace drisim
+{
+
+ResizableCache::ResizableCache(const DriParams &params,
+                               const ResizePolicy &policy,
+                               MemoryLevel *below,
+                               stats::StatGroup *parent,
+                               const std::string &groupName)
+    : params_(params),
+      policy_(policy),
+      below_(below),
+      mask_(makeSizeMask(params)),
+      controller_(params),
+      store_(mask_.maxSets(), params.assoc, params.repl),
+      group_(parent, groupName),
+      accesses_(&group_, "accesses", "cache accesses"),
+      misses_(&group_, "misses", "cache misses"),
+      upsizes_(&group_, "upsizes", "interval decisions: upsize"),
+      downsizes_(&group_, "downsizes", "interval decisions: downsize"),
+      holds_(&group_, "holds", "interval decisions: hold"),
+      blocksLost_(&group_, "blocks_lost",
+                  "valid blocks destroyed by gating sets off"),
+      resizeWritebacks_(&group_, "resize_writebacks",
+                        "dirty blocks written back by resizing"),
+      evictionWritebacks_(&group_, "eviction_writebacks",
+                          "dirty blocks written back by eviction"),
+      remapInvalidations_(&group_, "remap_invalidations",
+                          "blocks invalidated because upsizing "
+                          "changed their set index")
+{
+}
+
+void
+ResizableCache::writebackBlock(const CacheBlk &blk)
+{
+    if (below_)
+        below_->access(blk.blockAddr << mask_.offsetBits(),
+                       AccessType::Store);
+}
+
+AccessResult
+ResizableCache::access(Addr addr, AccessType type)
+{
+    return accessImpl(addr, type);
+}
+
+AccessResult
+ResizableCache::accessImpl(Addr addr, AccessType type)
+{
+    ++accesses_;
+
+    const Addr ba = addr >> mask_.offsetBits();
+    const std::uint64_t set = ba & mask_.mask();
+
+    int way = store_.findWay(set, ba);
+    if (way != TagStore::kNoWay) {
+        store_.touch(set, static_cast<unsigned>(way));
+        if (type == AccessType::Store)
+            store_.markDirty(set, static_cast<unsigned>(way));
+        return {true, params_.hitLatency};
+    }
+
+    ++misses_;
+    controller_.recordMiss();
+    Cycles latency = params_.hitLatency;
+    // Fills are reads: fetches propagate as fetches, loads and
+    // stores (write-allocate) as loads.
+    const AccessType fill = type == AccessType::InstFetch
+                                ? AccessType::InstFetch
+                                : AccessType::Load;
+    if (below_)
+        latency +=
+            below_->access(ba << mask_.offsetBits(), fill).latency;
+
+    const CacheBlk evicted = store_.insert(set, ba);
+    if (evicted.valid && evicted.dirty) {
+        ++evictionWritebacks_;
+        writebackBlock(evicted);
+    }
+    if (type == AccessType::Store) {
+        int w = store_.findWay(set, ba);
+        drisim_assert(w != TagStore::kNoWay, "fill lost its block");
+        store_.markDirty(set, static_cast<unsigned>(w));
+    }
+    return {false, latency};
+}
+
+bool
+ResizableCache::retireInstructions(InstCount n)
+{
+    bool resized = false;
+    // A large n can cross several interval boundaries; honour each.
+    while (controller_.recordInstructions(n)) {
+        n = 0;
+        ResizeDecision d = controller_.endInterval(mask_.atMinimum(),
+                                                   mask_.atMaximum());
+        std::uint64_t before = mask_.numSets();
+        applyDecision(d);
+        resized |= mask_.numSets() != before;
+    }
+    return resized;
+}
+
+void
+ResizableCache::applyDecision(ResizeDecision decision)
+{
+    const std::uint64_t sets = mask_.numSets();
+    switch (decision) {
+      case ResizeDecision::Hold:
+        ++holds_;
+        controller_.noteApplied(ResizeDecision::Hold);
+        return;
+      case ResizeDecision::Downsize: {
+        std::uint64_t target = sets / params_.divisibility;
+        if (target < mask_.minSets())
+            target = mask_.minSets();
+        if (target == sets) {
+            ++holds_;
+            controller_.noteApplied(ResizeDecision::Hold);
+            return;
+        }
+        ++downsizes_;
+        resizeTo(target);
+        controller_.noteApplied(ResizeDecision::Downsize);
+        return;
+      }
+      case ResizeDecision::Upsize: {
+        std::uint64_t target = sets * params_.divisibility;
+        if (target > mask_.maxSets())
+            target = mask_.maxSets();
+        if (target == sets) {
+            ++holds_;
+            controller_.noteApplied(ResizeDecision::Hold);
+            return;
+        }
+        ++upsizes_;
+        resizeTo(target);
+        controller_.noteApplied(ResizeDecision::Upsize);
+        return;
+      }
+    }
+}
+
+void
+ResizableCache::resizeTo(std::uint64_t newSets)
+{
+    const std::uint64_t old_sets = mask_.numSets();
+
+    if (newSets < old_sets) {
+        // Gating the supply destroys the state of the disabled
+        // sets: dirty blocks must reach the lower level first.
+        for (std::uint64_t s = newSets; s < old_sets; ++s) {
+            for (unsigned w = 0; w < store_.assoc(); ++w) {
+                const CacheBlk &blk = store_.set(s)[w];
+                if (!blk.valid)
+                    continue;
+                ++blocksLost_;
+                if (policy_.writebackDirty && blk.dirty) {
+                    ++resizeWritebacks_;
+                    writebackBlock(blk);
+                }
+            }
+            store_.invalidateSet(s);
+        }
+        mask_.setNumSets(newSets);
+        return;
+    }
+
+    // Upsizing: newly enabled sets were gated and are already
+    // invalid. Where stale aliases are not harmless (any level
+    // holding data), evict every surviving block whose set index
+    // changes under the wider mask; the read-only i-stream skips
+    // this (Section 2.2).
+    mask_.setNumSets(newSets);
+    if (!policy_.remapOnUpsize)
+        return;
+    const std::uint64_t new_mask = mask_.mask();
+    for (std::uint64_t s = 0; s < old_sets; ++s) {
+        for (unsigned w = 0; w < store_.assoc(); ++w) {
+            const CacheBlk blk = store_.set(s)[w];
+            if (!blk.valid)
+                continue;
+            if ((blk.blockAddr & new_mask) != s) {
+                if (policy_.writebackDirty && blk.dirty) {
+                    ++resizeWritebacks_;
+                    writebackBlock(blk);
+                }
+                store_.invalidate(s, w);
+                ++remapInvalidations_;
+            }
+        }
+    }
+}
+
+double
+ResizableCache::activeFraction() const
+{
+    return static_cast<double>(mask_.numSets()) /
+           static_cast<double>(mask_.maxSets());
+}
+
+std::uint64_t
+ResizableCache::currentSizeBytes() const
+{
+    return mask_.numSets() *
+           static_cast<std::uint64_t>(params_.blockBytes) *
+           params_.assoc;
+}
+
+void
+ResizableCache::invalidateAll()
+{
+    if (policy_.writebackDirty) {
+        for (std::uint64_t s = 0; s < mask_.numSets(); ++s) {
+            for (unsigned w = 0; w < store_.assoc(); ++w) {
+                const CacheBlk &blk = store_.set(s)[w];
+                if (blk.valid && blk.dirty) {
+                    ++resizeWritebacks_;
+                    writebackBlock(blk);
+                }
+            }
+        }
+    }
+    store_.invalidateAll();
+}
+
+double
+ResizableCache::missRate() const
+{
+    return accesses_.value() == 0
+               ? 0.0
+               : static_cast<double>(misses_.value()) /
+                     static_cast<double>(accesses_.value());
+}
+
+void
+ResizableCache::integrateCycles(Cycles delta)
+{
+    activeSetCycles_ += static_cast<double>(mask_.numSets()) *
+                        static_cast<double>(delta);
+    integratedCycles_ += delta;
+}
+
+double
+ResizableCache::averageActiveFraction() const
+{
+    if (integratedCycles_ == 0)
+        return activeFraction();
+    return activeSetCycles_ /
+           (static_cast<double>(mask_.maxSets()) *
+            static_cast<double>(integratedCycles_));
+}
+
+bool
+ResizableCache::mappingConsistent() const
+{
+    const std::uint64_t m = mask_.mask();
+    for (std::uint64_t s = 0; s < mask_.numSets(); ++s) {
+        for (unsigned w = 0; w < store_.assoc(); ++w) {
+            const CacheBlk &blk = store_.set(s)[w];
+            if (blk.valid && (blk.blockAddr & m) != s)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+ResizableCache::resetStats()
+{
+    group_.resetAll();
+    activeSetCycles_ = 0.0;
+    integratedCycles_ = 0;
+}
+
+} // namespace drisim

@@ -195,6 +195,131 @@ TEST_P(DriPropertyTest, SurvivorsAreLowSets)
 }
 
 /**
+ * Invariant: at every legal size (every power-of-two set count in
+ * [minSets, maxSets]) the mask and the index arithmetic agree —
+ * mask = numSets-1, every index lands inside the powered region,
+ * and the current-size index is congruent to the minimum-size index
+ * modulo minSets (the property that makes resizing tag bits and the
+ * alias sweep correct).
+ */
+TEST_P(DriPropertyTest, MaskIndexConsistentAtEveryLegalSize)
+{
+    const Geometry g = GetParam();
+    DriParams p = paramsFor(g);
+    SizeMask mask = makeSizeMask(p);
+    Rng rng(g.sizeBytes * 7 + g.blockBytes);
+
+    for (unsigned bits = mask.minIndexBits();
+         bits <= mask.maxIndexBits(); ++bits) {
+        const std::uint64_t sets = std::uint64_t{1} << bits;
+        mask.setNumSets(sets);
+        ASSERT_EQ(mask.numSets(), sets);
+        EXPECT_EQ(mask.mask(), sets - 1);
+        EXPECT_EQ(mask.indexBits(), bits);
+        EXPECT_EQ(mask.atMinimum(), bits == mask.minIndexBits());
+        EXPECT_EQ(mask.atMaximum(), bits == mask.maxIndexBits());
+
+        for (int i = 0; i < 200; ++i) {
+            const Addr addr = rng.range(1u << 26);
+            const std::uint64_t idx = mask.indexFor(addr);
+            EXPECT_LT(idx, sets);
+            EXPECT_EQ(idx, (addr >> mask.offsetBits()) & (sets - 1));
+            // Congruence with the minimum-size index: the low
+            // minIndexBits never change across sizes.
+            EXPECT_EQ(idx & (mask.minSets() - 1),
+                      mask.minIndexFor(addr));
+        }
+    }
+}
+
+/**
+ * Invariant: forced downsizing clamps exactly at the size-bound —
+ * the set count walks down (by the divisibility, clamping a final
+ * partial step) and then stays pinned at minSets forever, however
+ * many further downsize-favouring intervals elapse.
+ */
+TEST_P(DriPropertyTest, DownsizeClampsAtMinimumSize)
+{
+    const Geometry g = GetParam();
+    stats::StatGroup root("t");
+    DriParams p = paramsFor(g);
+    p.missBound = 1000000; // zero misses < bound: always downsize
+    DriICache c(p, nullptr, &root);
+
+    const std::uint64_t min_sets = c.sizeMask().minSets();
+    std::uint64_t prev = c.currentSets();
+    for (int interval = 0; interval < 40; ++interval) {
+        c.retireInstructions(p.senseInterval);
+        const std::uint64_t sets = c.currentSets();
+        if (prev > min_sets) {
+            // Either a full divisibility step or the clamped
+            // remainder of one.
+            EXPECT_TRUE(sets == prev / p.divisibility ||
+                        sets == min_sets)
+                << prev << " -> " << sets;
+        } else {
+            EXPECT_EQ(sets, min_sets) << "left the size-bound";
+        }
+        EXPECT_GE(sets, min_sets);
+        prev = sets;
+    }
+    EXPECT_EQ(c.currentSets(), min_sets);
+}
+
+/**
+ * Invariant: the size changes only at sense-interval boundaries and
+ * at most once per boundary — between boundaries no access pattern
+ * may move it, so an upsize can never chase a downsize (or vice
+ * versa) within one sense interval, whatever the miss mix.
+ */
+TEST_P(DriPropertyTest, NeverResizesWithinASenseInterval)
+{
+    const Geometry g = GetParam();
+    stats::StatGroup root("t");
+    DriParams p = paramsFor(g);
+    DriICache c(p, nullptr, &root);
+    Rng rng(g.sizeBound * 977 + g.assoc);
+
+    std::uint64_t boundaries = 0;
+    for (int step = 0; step < 3000; ++step) {
+        const std::uint64_t before = c.currentSets();
+        const std::uint64_t intervals_before =
+            c.controller().intervals();
+
+        // A burst of accesses (misses included) mid-interval...
+        const int burst = static_cast<int>(rng.range(50));
+        for (int j = 0; j < burst; ++j)
+            c.access(rng.range(1 << 18) * g.blockBytes,
+                     AccessType::InstFetch);
+        // ...and a sub-interval retirement batch.
+        const bool resized = c.retireInstructions(
+            rng.range(static_cast<std::uint64_t>(p.senseInterval)) /
+            4);
+
+        const std::uint64_t crossed =
+            c.controller().intervals() - intervals_before;
+        ASSERT_LE(crossed, 1u) << "sub-interval batch crossed twice";
+        boundaries += crossed;
+        if (crossed == 0) {
+            EXPECT_EQ(c.currentSets(), before)
+                << "resized mid-interval at step " << step;
+            EXPECT_FALSE(resized);
+        } else if (c.currentSets() != before) {
+            // One boundary: at most one divisibility step (or the
+            // clamp at either end of the range).
+            const std::uint64_t after = c.currentSets();
+            const std::uint64_t lo = std::min(before, after);
+            const std::uint64_t hi = std::max(before, after);
+            EXPECT_TRUE(hi == lo * p.divisibility ||
+                        after == c.sizeMask().minSets() ||
+                        after == c.sizeMask().maxSets())
+                << before << " -> " << after;
+        }
+    }
+    EXPECT_GT(boundaries, 0u) << "test never crossed a boundary";
+}
+
+/**
  * Order-independence property behind the parallel sweep engine: the
  * harness aggregates per-cell results into index-addressed slots and
  * reduces them in slot order, so *any* interleaving of job

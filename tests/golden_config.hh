@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The golden-test harness configuration, shared between
+ * tests/golden_test.cc (which asserts against pinned expectations)
+ * and tools/golden_baseline.cc (which regenerates those
+ * expectations via tools/rebaseline.sh). Keeping the run
+ * definitions in one header guarantees the re-baseline tool can
+ * never drift from what the tests actually execute.
+ */
+
+#ifndef DRISIM_TESTS_GOLDEN_CONFIG_HH
+#define DRISIM_TESTS_GOLDEN_CONFIG_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "harness/multilevel.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "util/str.hh"
+
+namespace drisim::golden
+{
+
+/** Pinned expectations for one single-level search benchmark. */
+struct GoldenCase
+{
+    const char *benchmark;
+    // Winner identity.
+    std::uint64_t sizeBoundBytes;
+    std::uint64_t missBound;
+    bool feasible;
+    // Winner detailed comparison.
+    double relativeEnergyDelay;
+    double slowdownPercent;
+    double averageSizeFraction;
+    // Detailed conventional baseline.
+    std::uint64_t convCycles;
+    std::uint64_t convMisses;
+    // Rendered figure-3-style table row.
+    const char *row;
+};
+
+/** Pinned expectations for one multi-level search benchmark. */
+struct MultiLevelGoldenCase
+{
+    const char *benchmark;
+    // Winner identity.
+    std::uint64_t l1SizeBound;
+    std::uint64_t l1MissBound;
+    std::uint64_t l2SizeBound;
+    std::uint64_t l2MissBound;
+    bool feasible;
+    // Winner comparison.
+    double relativeEnergyDelay;
+    double slowdownPercent;
+    double l1AvgSize;
+    double l2AvgSize;
+    // Detailed conventional baseline.
+    std::uint64_t convCycles;
+    std::uint64_t convL2Misses;
+    // Rendered bench_multilevel-style summary row.
+    const char *row;
+};
+
+/** The fixed single-level golden run (Section 5.3 search). */
+inline SearchResult
+runGoldenSearch(const std::string &name)
+{
+    const auto &b = findBenchmark(name);
+    RunConfig cfg;
+    cfg.maxInstrs = 400 * 1000;
+    const RunOutput conv = runConventional(b, cfg);
+
+    SearchSpace space;
+    space.sizeBounds = {1024, 4096, 65536};
+    space.missBoundFactors = {2.0, 32.0};
+    DriParams tmpl;
+    tmpl.senseInterval = 50000;
+    return searchBestEnergyDelay(b, cfg, tmpl, space,
+                                 EnergyConstants::paper(), 4.0, conv);
+}
+
+/** The fixed multi-level golden run ((L1 x L2) bound grid). */
+inline MultiLevelSearchResult
+runGoldenMultiSearch(const std::string &name, unsigned jobs)
+{
+    const auto &b = findBenchmark(name);
+    RunConfig cfg;
+    cfg.maxInstrs = 400 * 1000;
+    cfg.jobs = jobs;
+    const RunOutput conv = runConventional(b, cfg);
+
+    MultiLevelSpace space;
+    space.l1SizeBounds = {1024, 4096, 65536};
+    space.l2SizeBounds = {64 * 1024, 1024 * 1024};
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 50000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 50000;
+    return searchMultiLevel(b, cfg, l1Tmpl, l2Tmpl, space,
+                            MultiLevelConstants::paper(), 4.0, conv);
+}
+
+/** One CSV line from a Table (the row after the header). */
+inline std::string
+csvRow(Table &t)
+{
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    const std::size_t nl = out.find('\n');
+    return out.substr(nl + 1, out.find('\n', nl + 1) - nl - 1);
+}
+
+/** The cells bench_figure3 prints for a winner, as CSV. */
+inline std::string
+renderGoldenRow(const std::string &name, const SearchResult &sr)
+{
+    Table t({"benchmark", "size-bound", "miss-bound", "rel-ED",
+             "avg-size", "slowdown"});
+    const SearchCandidate &c = sr.best;
+    t.addRow({name, bytesToString(c.dri.sizeBoundBytes),
+              std::to_string(c.dri.missBound),
+              fmtDouble(c.cmp.relativeEnergyDelay(), 3),
+              fmtDouble(c.cmp.averageSizeFraction(), 3),
+              fmtDouble(c.cmp.slowdownPercent(), 2) + "%"});
+    return csvRow(t);
+}
+
+/** The cells bench_multilevel prints for a winner, as CSV. */
+inline std::string
+renderMultiLevelGoldenRow(const std::string &name,
+                          const MultiLevelSearchResult &sr)
+{
+    Table t({"benchmark", "L1-bound", "L1-mb", "L2-bound", "L2-mb",
+             "rel-ED", "L1-size", "L2-size", "slowdown"});
+    t.addRow(multiLevelRowCells(name, sr.best));
+    return csvRow(t);
+}
+
+/**
+ * Full-precision serialization of every observable of a multi-level
+ * search result. Two runs at different --jobs values must produce
+ * byte-identical serializations (the determinism contract of the
+ * executor, harness/executor.hh).
+ */
+inline std::string
+serializeMultiLevelResult(const MultiLevelSearchResult &sr)
+{
+    std::ostringstream os;
+    auto cand = [&](const MultiLevelCandidate &c) {
+        os << strFormat(
+            "l1=%llu/%llu l2=%llu/%llu feasible=%d "
+            "ed=%.17g slow=%.17g l1sz=%.17g l2sz=%.17g",
+            static_cast<unsigned long long>(c.l1.sizeBoundBytes),
+            static_cast<unsigned long long>(c.l1.missBound),
+            static_cast<unsigned long long>(c.l2.sizeBoundBytes),
+            static_cast<unsigned long long>(c.l2.missBound),
+            c.feasible ? 1 : 0, c.cmp.relativeEnergyDelay(),
+            c.cmp.slowdownPercent(), c.cmp.l1AverageSizeFraction(),
+            c.cmp.l2AverageSizeFraction());
+        for (const LevelEnergy &l : c.cmp.dri.levels)
+            os << strFormat(" %s=%.17g+%.17g", l.level.c_str(),
+                            l.leakageNJ, l.dynamicNJ);
+        os << "\n";
+    };
+    os << "conv cycles=" << sr.convDetailed.meas.cycles
+       << " l2misses=" << sr.convDetailed.l2Misses
+       << " mem=" << sr.convDetailed.memAccesses << "\n";
+    for (const MultiLevelCandidate &c : sr.evaluated)
+        cand(c);
+    os << "best: ";
+    cand(sr.best);
+    return os.str();
+}
+
+} // namespace drisim::golden
+
+#endif // DRISIM_TESTS_GOLDEN_CONFIG_HH

@@ -1,88 +1,36 @@
 /**
  * @file
- * Golden-value regression tests for the paper-reproduction path.
+ * Golden-value regression tests for the paper-reproduction path and
+ * the multi-level DRI scenario.
  *
- * The executor refactor (and any future PR) must not silently shift
- * reproduced numbers: these tests lock in the searchBestEnergyDelay
- * winner and the rendered table row for two small benchmarks at a
- * fixed run length and grid. Everything in the pipeline is
- * deterministic — the workload generator is seeded from the spec and
- * per-job seeds derive from job keys — so exact integer counts and
- * formatted strings are stable; floating-point golds allow a 1e-9
- * slack only for cross-toolchain drift.
+ * These tests lock in the searchBestEnergyDelay winner, the
+ * searchMultiLevel winner, and the rendered table rows for two
+ * small benchmarks at a fixed run length and grid. Everything in
+ * the pipeline is deterministic — the workload generator is seeded
+ * from the spec and per-job seeds derive from job keys — so exact
+ * integer counts and formatted strings are stable; floating-point
+ * golds allow a 1e-9 slack only for cross-toolchain drift. The
+ * multi-level suite additionally asserts byte-identical results at
+ * --jobs 1 and --jobs 4 and that the per-level energy rows sum to
+ * the reported hierarchy total.
  *
  * If a change legitimately alters these numbers (e.g. a model fix),
- * re-baseline deliberately and say so in the PR.
+ * re-baseline deliberately with tools/rebaseline.sh — which
+ * regenerates the marked expectation block below from the same run
+ * definitions (tests/golden_config.hh) — and say so in the PR.
  */
 
 #include <gtest/gtest.h>
 
-#include <sstream>
-
-#include "harness/runner.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-#include "util/str.hh"
+#include "golden_config.hh"
 
 namespace drisim
 {
 namespace
 {
 
-struct GoldenCase
-{
-    const char *benchmark;
-    // Winner identity.
-    std::uint64_t sizeBoundBytes;
-    std::uint64_t missBound;
-    bool feasible;
-    // Winner detailed comparison.
-    double relativeEnergyDelay;
-    double slowdownPercent;
-    double averageSizeFraction;
-    // Detailed conventional baseline.
-    std::uint64_t convCycles;
-    std::uint64_t convMisses;
-    // Rendered figure-3-style table row.
-    const char *row;
-};
-
-SearchResult
-runSearch(const std::string &name)
-{
-    const auto &b = findBenchmark(name);
-    RunConfig cfg;
-    cfg.maxInstrs = 400 * 1000;
-    const RunOutput conv = runConventional(b, cfg);
-
-    SearchSpace space;
-    space.sizeBounds = {1024, 4096, 65536};
-    space.missBoundFactors = {2.0, 32.0};
-    DriParams tmpl;
-    tmpl.senseInterval = 50000;
-    return searchBestEnergyDelay(b, cfg, tmpl, space,
-                                 EnergyConstants::paper(), 4.0, conv);
-}
-
-/** The cells bench_figure3 prints for a winner. */
-std::string
-renderRow(const std::string &name, const SearchResult &sr)
-{
-    Table t({"benchmark", "size-bound", "miss-bound", "rel-ED",
-             "avg-size", "slowdown"});
-    const SearchCandidate &c = sr.best;
-    t.addRow({name, bytesToString(c.dri.sizeBoundBytes),
-              std::to_string(c.dri.missBound),
-              fmtDouble(c.cmp.relativeEnergyDelay(), 3),
-              fmtDouble(c.cmp.averageSizeFraction(), 3),
-              fmtDouble(c.cmp.slowdownPercent(), 2) + "%"});
-    std::ostringstream os;
-    t.printCsv(os);
-    // Second CSV line is the row itself.
-    const std::string out = os.str();
-    const std::size_t nl = out.find('\n');
-    return out.substr(nl + 1, out.find('\n', nl + 1) - nl - 1);
-}
+using golden::GoldenCase;
+using golden::MultiLevelGoldenCase;
 
 class GoldenSearch : public ::testing::TestWithParam<GoldenCase>
 {
@@ -91,7 +39,7 @@ class GoldenSearch : public ::testing::TestWithParam<GoldenCase>
 TEST_P(GoldenSearch, WinnerAndRowMatchGolden)
 {
     const GoldenCase &gold = GetParam();
-    const SearchResult sr = runSearch(gold.benchmark);
+    const SearchResult sr = golden::runGoldenSearch(gold.benchmark);
 
     ASSERT_EQ(sr.evaluated.size(), 6u);
     EXPECT_EQ(sr.best.dri.sizeBoundBytes, gold.sizeBoundBytes);
@@ -108,23 +56,100 @@ TEST_P(GoldenSearch, WinnerAndRowMatchGolden)
     EXPECT_EQ(sr.convDetailed.meas.cycles, gold.convCycles);
     EXPECT_EQ(sr.convDetailed.meas.l1iMisses, gold.convMisses);
 
-    EXPECT_EQ(renderRow(gold.benchmark, sr), gold.row);
+    EXPECT_EQ(golden::renderGoldenRow(gold.benchmark, sr), gold.row);
 }
 
+class MultiLevelGolden
+    : public ::testing::TestWithParam<MultiLevelGoldenCase>
+{
+};
+
+TEST_P(MultiLevelGolden, WinnerRowAndJobsInvarianceMatchGolden)
+{
+    const MultiLevelGoldenCase &gold = GetParam();
+    const MultiLevelSearchResult sr =
+        golden::runGoldenMultiSearch(gold.benchmark, 1);
+
+    ASSERT_EQ(sr.evaluated.size(), 6u);
+    EXPECT_EQ(sr.best.l1.sizeBoundBytes, gold.l1SizeBound);
+    EXPECT_EQ(sr.best.l1.missBound, gold.l1MissBound);
+    EXPECT_EQ(sr.best.l2.sizeBoundBytes, gold.l2SizeBound);
+    EXPECT_EQ(sr.best.l2.missBound, gold.l2MissBound);
+    EXPECT_EQ(sr.best.feasible, gold.feasible);
+
+    EXPECT_NEAR(sr.best.cmp.relativeEnergyDelay(),
+                gold.relativeEnergyDelay, 1e-9);
+    EXPECT_NEAR(sr.best.cmp.slowdownPercent(), gold.slowdownPercent,
+                1e-9);
+    EXPECT_NEAR(sr.best.cmp.l1AverageSizeFraction(), gold.l1AvgSize,
+                1e-9);
+    EXPECT_NEAR(sr.best.cmp.l2AverageSizeFraction(), gold.l2AvgSize,
+                1e-9);
+
+    EXPECT_EQ(sr.convDetailed.meas.cycles, gold.convCycles);
+    EXPECT_EQ(sr.convDetailed.l2Misses, gold.convL2Misses);
+
+    EXPECT_EQ(golden::renderMultiLevelGoldenRow(gold.benchmark, sr),
+              gold.row);
+
+    // Per-level rows must sum to the reported hierarchy totals —
+    // exactly, since the totals are defined as the row sums.
+    const HierarchyEnergy &h = sr.best.cmp.dri;
+    double leak = 0.0, dyn = 0.0, total = 0.0;
+    for (const LevelEnergy &l : h.levels) {
+        leak += l.leakageNJ;
+        dyn += l.dynamicNJ;
+        total += l.totalNJ();
+    }
+    EXPECT_EQ(leak, h.totalLeakageNJ());
+    EXPECT_EQ(dyn, h.totalDynamicNJ());
+    EXPECT_EQ(total, h.totalNJ());
+    EXPECT_EQ(h.levels.size(), 3u); // l1i, l2, mem
+
+    // The determinism contract: a 4-worker pool must produce a
+    // byte-identical SearchResult (and hence identical rendered
+    // rows) to the serial walk above.
+    const MultiLevelSearchResult sr4 =
+        golden::runGoldenMultiSearch(gold.benchmark, 4);
+    EXPECT_EQ(golden::serializeMultiLevelResult(sr),
+              golden::serializeMultiLevelResult(sr4));
+    EXPECT_EQ(golden::renderMultiLevelGoldenRow(gold.benchmark, sr4),
+              gold.row);
+}
+
+// GOLDEN-BASELINE-BEGIN (tools/rebaseline.sh regenerates this block)
 INSTANTIATE_TEST_SUITE_P(
     PaperPath, GoldenSearch,
     ::testing::Values(
         GoldenCase{"compress", 4096, 2312, true,
-                   0.304218293145288, 0.0, 0.301705092747997,
+                   0.304218293145288, 0, 0.301705092747997,
                    274076, 578,
                    "compress,4K,2312,0.304,0.302,0.00%"},
         GoldenCase{"li", 4096, 2236, true,
-                   0.389214444022277, 0.0, 0.385553343060236,
+                   0.389214444022277, 0, 0.385553343060236,
                    192593, 559,
                    "li,4K,2236,0.389,0.386,0.00%"}),
     [](const ::testing::TestParamInfo<GoldenCase> &info) {
         return std::string(info.param.benchmark);
     });
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiLevelPath, MultiLevelGolden,
+    ::testing::Values(
+        MultiLevelGoldenCase{"compress", 4096, 2312, 1048576, 4902, true,
+                             0.959071664302664, 0,
+                             0.301705092747997, 1,
+                             274076, 4902,
+                             "compress,4K,2312,1M,4902,0.959,0.302,1.000,0.00%"},
+        MultiLevelGoldenCase{"li", 4096, 2236, 65536, 1820, true,
+                             0.394640799074606, 1.12205531872913,
+                             0.381968727214845, 0.381968727214845,
+                             192593, 1820,
+                             "li,4K,2236,64K,1820,0.395,0.382,0.382,1.12%"}),
+    [](const ::testing::TestParamInfo<MultiLevelGoldenCase> &info) {
+        return std::string(info.param.benchmark);
+    });
+// GOLDEN-BASELINE-END
 
 } // namespace
 } // namespace drisim

@@ -102,6 +102,44 @@ TEST(Options, RejectsBadValues)
     EXPECT_FALSE(parse({"dri.adaptive=maybe"}, o, err));
 }
 
+TEST(Options, ParsesL2GeometryAndDriKnobs)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"l2.size=512K", "l2.assoc=8", "l2.block=128",
+                       "l2.dri=1", "l2.size_bound=32K",
+                       "l2.miss_bound=40", "l2.interval=200000"},
+                      o, err));
+    EXPECT_EQ(o.run.hier.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(o.run.hier.l2.assoc, 8u);
+    EXPECT_EQ(o.run.hier.l2.blockBytes, 128u);
+    EXPECT_TRUE(o.run.hier.l2Dri);
+    EXPECT_EQ(o.run.hier.l2DriParams.sizeBoundBytes, 32u * 1024);
+    EXPECT_EQ(o.run.hier.l2DriParams.missBound, 40u);
+    EXPECT_EQ(o.run.hier.l2DriParams.senseInterval, 200000u);
+    EXPECT_TRUE(o.unknown.empty());
+}
+
+TEST(Options, L2DriDefaultsOff)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({}, o, err));
+    EXPECT_FALSE(o.run.hier.l2Dri);
+    ASSERT_TRUE(parse({"l2.dri=0"}, o, err));
+    EXPECT_FALSE(o.run.hier.l2Dri);
+}
+
+TEST(Options, RejectsBadL2Values)
+{
+    Options o;
+    std::string err;
+    EXPECT_FALSE(parse({"l2.size=banana"}, o, err));
+    EXPECT_FALSE(parse({"l2.dri=maybe"}, o, err));
+    EXPECT_FALSE(parse({"l2.interval=0"}, o, err));
+    EXPECT_FALSE(parse({"l2.size_bound=0"}, o, err));
+}
+
 TEST(Options, UsageMentionsEveryKey)
 {
     const std::string u = optionsUsage();
@@ -109,7 +147,9 @@ TEST(Options, UsageMentionsEveryKey)
          {"instrs", "benchmark", "l1i.size", "l1i.assoc",
           "l1i.block", "dri.size_bound", "dri.miss_bound",
           "dri.interval", "dri.divisibility", "dri.throttle_hold",
-          "dri.adaptive"})
+          "dri.adaptive", "l2.size", "l2.assoc", "l2.block",
+          "l2.dri", "l2.size_bound", "l2.miss_bound",
+          "l2.interval"})
         EXPECT_NE(u.find(key), std::string::npos) << key;
 }
 

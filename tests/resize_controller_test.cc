@@ -163,5 +163,76 @@ TEST(ResizeController, IntervalCountAdvances)
     EXPECT_EQ(c.intervals(), 2u);
 }
 
+// --- boundary behaviour around the miss-bound threshold ---------------
+
+TEST(ResizeController, ThresholdOneBelowOneAbove)
+{
+    // The decision flips exactly at the bound: bound-1 misses is
+    // still "fits with slack", bound+1 is "too small", the bound
+    // itself holds (Figure 1's strict comparisons).
+    ResizeController below(params(100));
+    below.recordMiss(99);
+    EXPECT_EQ(below.endInterval(false, false),
+              ResizeDecision::Downsize);
+
+    ResizeController at(params(100));
+    at.recordMiss(100);
+    EXPECT_EQ(at.endInterval(false, false), ResizeDecision::Hold);
+
+    ResizeController above(params(100));
+    above.recordMiss(101);
+    EXPECT_EQ(above.endInterval(false, false),
+              ResizeDecision::Upsize);
+}
+
+TEST(ResizeController, ThresholdAtBoundsStillHolds)
+{
+    // The bound comparison never overrides the size bounds: exactly
+    // at threshold the cache holds whatever its size.
+    ResizeController c(params(100));
+    c.recordMiss(100);
+    EXPECT_EQ(c.endInterval(true, false), ResizeDecision::Hold);
+    c.recordMiss(100);
+    EXPECT_EQ(c.endInterval(false, true), ResizeDecision::Hold);
+}
+
+TEST(ResizeController, ZeroMissBoundNeverDownsizes)
+{
+    // missBound = 0: no miss count can be strictly below it, so the
+    // controller can only hold or upsize.
+    ResizeController c(params(0));
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Hold);
+    c.recordMiss(1);
+    EXPECT_EQ(c.endInterval(false, false), ResizeDecision::Upsize);
+}
+
+// --- at most one decision per sense interval --------------------------
+
+TEST(ResizeController, OneBoundaryPerIntervalOfInstructions)
+{
+    // Sub-interval batches can cross at most one boundary: after a
+    // crossing, another full senseInterval of instructions must
+    // retire before the next one.
+    ResizeController c(params(100, 1000));
+    EXPECT_FALSE(c.recordInstructions(999));
+    EXPECT_TRUE(c.recordInstructions(1));
+    EXPECT_FALSE(c.recordInstructions(0));
+    EXPECT_FALSE(c.recordInstructions(999));
+    EXPECT_TRUE(c.recordInstructions(1));
+    EXPECT_FALSE(c.recordInstructions(0));
+}
+
+TEST(ResizeController, MissesWithinIntervalNeverDecide)
+{
+    // No quantity of misses produces a decision mid-interval; only
+    // the instruction-count boundary does.
+    ResizeController c(params(100, 1000));
+    for (int i = 0; i < 50; ++i) {
+        c.recordMiss(1000);
+        EXPECT_FALSE(c.recordInstructions(10));
+    }
+    EXPECT_EQ(c.intervals(), 0u);
+}
+
 } // namespace
 } // namespace drisim
