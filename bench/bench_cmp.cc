@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Multiprogrammed CMP study — the scale-out scenario the paper's
+ * single-core evaluation leaves open: N cores with private DRI L1
+ * i-caches competing for one shared resizable L2 (after Safayenikoo
+ * et al. on CMP last-level-cache leakage and Bai et al. on
+ * multi-level leakage trade-offs; see docs/REPRODUCTION.md,
+ * Multiprogrammed CMP study).
+ *
+ * For each benchmark mix the (per-core L1 miss-bound x shared L2
+ * size-bound) grid is searched under the paper's 4% slowdown
+ * constraint applied to *system* time, every cell a detailed
+ * CmpSystem run dispatched as an independent executor job
+ * (byte-identical results at any --jobs; locked by golden tests).
+ * The winner's energy is reported split into per-core l1i[k] rows
+ * plus shared l2/mem rows whose sums define the system total.
+ *
+ *   ./bench_cmp [--cores N] [--jobs N] [--list]
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "harness/multilevel.hh"
+#include "util/str.hh"
+
+using namespace drisim;
+using namespace drisim::bench;
+
+namespace
+{
+
+/** Default number of benchmark mixes evaluated per run. */
+constexpr unsigned kDefaultMixes = 2;
+
+/** Mix @p m: @p n consecutive suite benchmarks, rotating. */
+std::vector<std::string>
+mixBenches(unsigned m, unsigned n)
+{
+    const auto &suite = specSuite();
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (unsigned k = 0; k < n; ++k)
+        names.push_back(
+            suite[(static_cast<std::size_t>(m) * n + k) %
+                  suite.size()]
+                .name);
+    return names;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx = defaultContext();
+    std::string err;
+    if (!parseBenchArgs(argc, argv, ctx, err,
+                        /*acceptCores=*/true)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+    if (ctx.listOnly)
+        return listBenchmarks();
+    const unsigned n = ctx.cores > 0 ? ctx.cores : 2;
+
+    printHeader("CMP scale-out: private DRI L1Is over a shared "
+                "resizable L2",
+                "extension of Section 5 after Safayenikoo et al. "
+                "and Bai et al. (PAPERS.md)");
+    std::cout << "grid: (per-core L1 miss-bound x shared L2 "
+                 "size-bound), <=4% system slowdown, system "
+                 "energy-delay objective\n\n";
+    std::cout << "cores: " << n << ", run length: "
+              << ctx.cfg.maxInstrs
+              << " instructions per core, sense interval "
+              << ctx.driTemplate.senseInterval << ", "
+              << workerBanner(ctx) << "\n";
+
+    const MultiLevelConstants constants =
+        MultiLevelConstants::paper();
+    const CmpSpace space;
+    DriParams l2Template = HierarchyParams::defaultL2DriParams();
+    l2Template.senseInterval = ctx.driTemplate.senseInterval;
+
+    Table summary({"mix", "L1-mb", "L2-bound", "L2-mb", "rel-ED",
+                   "L1-sizes", "L2-size", "slowdown"});
+
+    struct PerMix
+    {
+        std::string name;
+        CmpSearchResult sr;
+    };
+    std::vector<PerMix> results;
+
+    double sum_ed = 0.0;
+    for (unsigned m = 0; m < kDefaultMixes; ++m) {
+        const std::vector<std::string> benches = mixBenches(m, n);
+        const std::string mix = cmpMixName(benches);
+
+        CmpConfig cmp;
+        cmp.cores = n;
+        for (const std::string &b : benches) {
+            CmpCoreConfig core;
+            core.bench = b;
+            cmp.coreConfigs.push_back(std::move(core));
+        }
+
+        const CmpRunOutput conv =
+            runCmp(ctx.cfg, cmp, benches[0]);
+        const CmpSearchResult sr = searchCmp(
+            ctx.cfg, cmp, benches[0], ctx.driTemplate, l2Template,
+            space, constants, ctx.maxSlowdownPct, conv,
+            &benchExecutor(ctx));
+
+        summary.addRow(cmpRowCells(mix, sr.best));
+        sum_ed += sr.best.cmp.relativeEnergyDelay();
+        results.push_back({mix, sr});
+        std::cerr << "  [cmp] " << mix << " done\n";
+    }
+
+    std::cout << "\n-- best configurations (<=4% system slowdown) "
+                 "--\n";
+    summary.print(std::cout);
+
+    for (const PerMix &r : results) {
+        std::cout << "\n" << r.name
+                  << ": conventional baseline per core\n";
+        Table t({"core", "benchmark", "IPC", "L1I-miss",
+                 "L2-share", "L2-misses", "contention"});
+        const CmpRunOutput &conv = r.sr.convDetailed;
+        for (std::size_t k = 0; k < conv.cores.size(); ++k) {
+            const CmpCoreOutput &c = conv.cores[k];
+            const double share =
+                conv.l2Accesses == 0
+                    ? 0.0
+                    : static_cast<double>(c.l2Accesses) /
+                          static_cast<double>(conv.l2Accesses);
+            t.addRow({std::to_string(k), c.bench,
+                      fmtDouble(c.ipc, 2),
+                      fmtDouble(100.0 * c.meas.missRate(), 3) + "%",
+                      fmtDouble(100.0 * share, 1) + "%",
+                      std::to_string(c.l2Misses),
+                      std::to_string(c.l2ContentionEvents)});
+        }
+        t.print(std::cout);
+
+        std::cout << "\n" << r.name
+                  << ": winner energy (nJ; per-core l1i[k] rows + "
+                     "shared l2/mem rows sum to the system total)\n";
+        Table e({"level", "leakage", "dynamic", "total"});
+        addHierarchyEnergyRows(e, r.sr.best.cmp.dri);
+        e.print(std::cout);
+    }
+
+    std::cout << "\n== headline ==\n";
+    std::cout << "mean system energy-delay reduction over "
+              << results.size() << " mixes: "
+              << fmtReduction(sum_ed /
+                              static_cast<double>(results.size()))
+              << "\n";
+    return 0;
+}

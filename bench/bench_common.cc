@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/parse.hh"
 #include "util/str.hh"
 
 namespace drisim::bench
@@ -26,15 +27,21 @@ defaultContext()
 
 bool
 parseBenchArgs(int argc, char **argv, BenchContext &ctx,
-               std::string &error)
+               std::string &error, bool acceptCores)
 {
     const std::string usage =
         std::string("usage: ") + (argc > 0 ? argv[0] : "bench") +
-        " [--jobs N]   (N=0 means DRISIM_JOBS env, else serial)";
+        " [--jobs N]" + (acceptCores ? " [--cores N]" : "") +
+        " [--list]   (jobs 0 = DRISIM_JOBS "
+        "env, else serial; --list prints the workload names)";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
-        if (arg == "--jobs" || arg == "-j") {
+        bool is_cores = false;
+        if (arg == "--list") {
+            ctx.listOnly = true;
+            continue;
+        } else if (arg == "--jobs" || arg == "-j") {
             if (i + 1 >= argc) {
                 error = "missing value after " + arg + "\n" + usage;
                 return false;
@@ -44,20 +51,58 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
             value = arg.substr(7);
         } else if (arg.rfind("jobs=", 0) == 0) {
             value = arg.substr(5);
+        } else if (arg == "--cores") {
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            value = argv[++i];
+            is_cores = true;
+        } else if (arg.rfind("--cores=", 0) == 0) {
+            value = arg.substr(8);
+            is_cores = true;
+        } else if (arg.rfind("cores=", 0) == 0) {
+            value = arg.substr(6);
+            is_cores = true;
         } else {
             error = "unknown argument '" + arg + "'\n" + usage;
             return false;
         }
-        unsigned v = 0;
-        if (!parseJobsValue(value, v)) {
-            error = "bad jobs value '" + value + "'\n" + usage;
-            return false;
+        if (is_cores) {
+            if (!acceptCores) {
+                error = "this binary does not take --cores (the "
+                        "CMP study is bench_cmp)\n" +
+                        usage;
+                return false;
+            }
+            std::uint64_t v = 0;
+            if (!parsePositiveValue(value, v, kMaxCmpCores)) {
+                error = "bad cores value '" + value + "'\n" + usage;
+                return false;
+            }
+            ctx.cores = static_cast<unsigned>(v);
+        } else {
+            unsigned v = 0;
+            if (!parseJobsValue(value, v)) {
+                error = "bad jobs value '" + value + "'\n" + usage;
+                return false;
+            }
+            ctx.cfg.jobs = v;
         }
-        ctx.cfg.jobs = v;
     }
     ctx.exec.reset(); // rebuilt lazily with the parsed worker count
     error.clear();
     return true;
+}
+
+int
+listBenchmarks()
+{
+    std::printf("available SPEC workloads (paper Section 5.3):\n");
+    for (const BenchmarkInfo &b : specSuite())
+        std::printf("  %-10s (class %d)\n", b.name.c_str(),
+                    b.benchClass);
+    return 0;
 }
 
 Executor &

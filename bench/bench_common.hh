@@ -37,6 +37,12 @@ struct BenchContext
      *  lazily by benchExecutor() so the worker threads spawn once,
      *  not per benchmark. Copies of the context share it. */
     mutable std::shared_ptr<Executor> exec;
+
+    /** --cores N (bench_cmp's CMP width; 0 = the bench's default). */
+    unsigned cores = 0;
+
+    /** --list: print the SPEC workload names and exit. */
+    bool listOnly = false;
 };
 
 /** The context's pool, created on first use with cfg.jobs workers. */
@@ -47,11 +53,20 @@ BenchContext defaultContext();
 
 /**
  * Parse the flags every bench binary accepts (--jobs N, --jobs=N,
- * jobs=N) into @p ctx. Returns false and fills @p error (usage
- * included) on anything unrecognized.
+ * jobs=N, --list) into @p ctx. Returns false and fills @p error
+ * (usage included) on anything unrecognized. After a successful
+ * parse check ctx.listOnly: --list asks the binary to print the
+ * available SPEC workload names (listBenchmarks()) and exit instead
+ * of failing later on a typo. `--cores N` is accepted only when
+ * @p acceptCores is set (bench_cmp) — every other binary rejects
+ * it instead of silently running single-core.
  */
 bool parseBenchArgs(int argc, char **argv, BenchContext &ctx,
-                    std::string &error);
+                    std::string &error, bool acceptCores = false);
+
+/** Print the SPEC workload names with their paper class; returns 0
+ *  (the --list exit status). */
+int listBenchmarks();
 
 /** "<resolved workers> worker(s)" banner line for run headers. */
 std::string workerBanner(const BenchContext &ctx);

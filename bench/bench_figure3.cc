@@ -46,6 +46,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return listBenchmarks();
 
     printHeader("Figure 3: base energy-delay and average cache size",
                 "Section 5.3, Figure 3 (64K direct-mapped DRI)");

@@ -26,6 +26,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return listBenchmarks();
 
     printHeader("Figure 4: impact of varying the miss-bound",
                 "Section 5.4.1, Figure 4");

@@ -24,6 +24,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return listBenchmarks();
 
     printHeader("Figure 5: impact of varying the size-bound",
                 "Section 5.4.2, Figure 5");

@@ -36,6 +36,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return listBenchmarks();
 
     printHeader("Figure 6: varying conventional cache parameters",
                 "Section 5.5, Figure 6");

@@ -34,6 +34,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return listBenchmarks();
 
     printHeader("Multi-level DRI: per-level leakage accounting",
                 "extension of Section 5 after Bai et al. "

@@ -25,6 +25,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return listBenchmarks();
 
     printHeader("Section 5.6: sense interval, divisibility, throttle",
                 "Section 5.6 (text)");

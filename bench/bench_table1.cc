@@ -45,6 +45,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return bench::listBenchmarks();
 
     bench::printHeader("Table 1: system configuration parameters",
                        "Section 4, Table 1");

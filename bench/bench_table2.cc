@@ -26,6 +26,8 @@ main(int argc, char **argv)
         std::cerr << err << "\n";
         return 2;
     }
+    if (ctx.listOnly)
+        return bench::listBenchmarks();
 
     bench::printHeader(
         "Table 2: threshold voltage and gated-Vdd trade-offs",

@@ -12,7 +12,16 @@
  * resizes too, scored by hierarchy energy-delay with per-level
  * energy rows (harness/multilevel.hh).
  *
- *   ./param_tuner [benchmark] [instructions] [--jobs N] [--l2]
+ * With --cores N the tuner switches to the multiprogrammed CMP
+ * scenario (system/cmp.hh): the (per-core L1 miss-bound x shared
+ * L2 size-bound) grid, scored by *system* energy-delay. The
+ * benchmark positional may be a comma-separated mix assigned to
+ * the cores round-robin:
+ *
+ *   ./param_tuner compress,li --cores 2 --jobs 4
+ *
+ *   ./param_tuner [benchmark[,benchmark...]] [instructions]
+ *                 [--jobs N] [--l2 | --cores N]
  */
 
 #include <cstdio>
@@ -27,6 +36,7 @@
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
+#include "util/parse.hh"
 #include "util/str.hh"
 
 using namespace drisim;
@@ -100,6 +110,89 @@ tuneMultiLevel(const BenchmarkInfo &bench, const RunConfig &cfg)
     return 0;
 }
 
+/** The --cores mode: CMP grid, system energy-delay objective. */
+int
+tuneCmp(const std::vector<std::string> &benches, unsigned cores,
+        const RunConfig &cfg)
+{
+    CmpConfig cmp;
+    cmp.cores = cores;
+    for (unsigned k = 0; k < cores; ++k) {
+        CmpCoreConfig core;
+        core.bench = benches[k % benches.size()];
+        cmp.coreConfigs.push_back(std::move(core));
+    }
+    const std::vector<std::string> names =
+        cmpBenchNames(cmp, benches[0]);
+    const std::string mix = cmpMixName(names);
+
+    std::printf("detailed conventional CMP baseline for %s "
+                "(%u workers)...\n",
+                mix.c_str(), resolveJobCount(cfg.jobs));
+    const CmpRunOutput conv = runCmp(cfg, cmp, benches[0]);
+    for (std::size_t k = 0; k < conv.cores.size(); ++k)
+        std::printf("  core %zu %-9s %llu cycles, L1I miss rate "
+                    "%.3f%%, L2 share %llu accesses\n",
+                    k, conv.cores[k].bench.c_str(),
+                    static_cast<unsigned long long>(
+                        conv.cores[k].meas.cycles),
+                    100.0 * conv.cores[k].meas.missRate(),
+                    static_cast<unsigned long long>(
+                        conv.cores[k].l2Accesses));
+    std::printf("  system: %llu cycles, L2 miss rate %.3f%%, "
+                "%llu contention events\n\n",
+                static_cast<unsigned long long>(conv.systemCycles),
+                100.0 * conv.l2MissRate,
+                static_cast<unsigned long long>(
+                    conv.l2ContentionEvents));
+
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 100000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 100000;
+
+    const MultiLevelConstants constants =
+        MultiLevelConstants::paper();
+    const CmpSpace space;
+    const CmpSearchResult sr =
+        searchCmp(cfg, cmp, benches[0], l1Tmpl, l2Tmpl, space,
+                  constants, 4.0, conv);
+
+    Table t({"L1-mb", "L2-bound", "L2-mb", "rel-ED", "L1-sizes",
+             "L2-size", "slowdown", "<=4%?"});
+    for (const CmpCandidate &cand : sr.evaluated) {
+        std::vector<std::string> cells = cmpRowCells(mix, cand);
+        cells.erase(cells.begin()); // drop the mix column
+        cells.push_back(cand.feasible ? "yes" : "NO");
+        t.addRow(cells);
+    }
+    std::printf("detailed CMP landscape (%zu configurations):\n",
+                sr.evaluated.size());
+    t.print(std::cout);
+
+    const CmpCandidate &best = sr.best;
+    std::printf("\nbest configuration (lowest feasible system "
+                "energy-delay):\n  L1 miss-bounds");
+    for (const DriParams &p : best.l1)
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(p.missBound));
+    std::printf(", L2 bound %s / miss-bound %llu\n",
+                bytesToString(best.l2.sizeBoundBytes).c_str(),
+                static_cast<unsigned long long>(best.l2.missBound));
+    std::printf("  system energy-delay %.3f (%.1f%% reduction), "
+                "slowdown %.2f%%\n\n",
+                best.cmp.relativeEnergyDelay(),
+                100.0 * (1 - best.cmp.relativeEnergyDelay()),
+                best.cmp.slowdownPercent());
+
+    std::printf("per-level energy (nJ; rows sum to the system "
+                "total):\n");
+    Table e({"level", "leakage", "dynamic", "total"});
+    addHierarchyEnergyRows(e, best.cmp.dri);
+    e.print(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -109,12 +202,27 @@ main(int argc, char **argv)
     InstCount instrs = 3000000;
     unsigned jobs = 0;
     bool multilevel = false;
+    unsigned cmpCores = 0;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
         if (arg == "--l2") {
             multilevel = true;
+            continue;
+        } else if (arg == "--cores") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value after %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            std::uint64_t v = 0;
+            if (!parsePositiveValue(argv[++i], v, kMaxCmpCores)) {
+                std::fprintf(stderr, "bad cores value '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            cmpCores = static_cast<unsigned>(v);
             continue;
         } else if (arg == "--jobs" || arg == "-j") {
             if (i + 1 >= argc) {
@@ -140,10 +248,23 @@ main(int argc, char **argv)
     if (positional.size() > 1)
         instrs = std::strtoull(positional[1].c_str(), nullptr, 10);
 
-    const BenchmarkInfo &bench = findBenchmark(name);
     RunConfig cfg;
     cfg.maxInstrs = instrs;
     cfg.jobs = jobs;
+
+    if (cmpCores > 0) {
+        // The positional may be a comma-separated mix; validate
+        // every name up front.
+        std::vector<std::string> benches = strSplit(name, ',');
+        for (const std::string &b : benches)
+            findBenchmark(b);
+        return tuneCmp(benches, cmpCores, cfg);
+    }
+
+    const BenchmarkInfo &bench = findBenchmark(
+        name.find(',') == std::string::npos
+            ? name
+            : strSplit(name, ',')[0]);
 
     if (multilevel)
         return tuneMultiLevel(bench, cfg);

@@ -10,6 +10,14 @@
  * l2.* multi-level keys — `optionsUsage()` lists them). With
  * `l2.dri=1` the DRI leg resizes the L2 as well and the report
  * switches to the per-level hierarchy accounting.
+ *
+ * With `cores=N` (N >= 2) the run becomes a multiprogrammed CMP
+ * (system/cmp.hh): every core runs the positional benchmark unless
+ * `coreK.bench=` says otherwise, the DRI leg gives each core a
+ * private DRI L1I (opt out per core with `coreK.dri=0`), and
+ * `l2.dri=1` additionally makes the shared L2 resizable. Example:
+ *
+ *   ./quickstart compress cores=2 core1.bench=li l2.dri=1
  */
 
 #include <cstdio>
@@ -23,6 +31,92 @@
 #include "harness/runner.hh"
 
 using namespace drisim;
+
+namespace
+{
+
+/** The cores=N mode: conventional vs DRI multiprogrammed CMP. */
+int
+runCmpQuickstart(const Options &opts)
+{
+    const bool l2Dri = opts.run.hier.l2Dri;
+
+    // 1. Conventional CMP baseline: every L1I fixed, fixed L2.
+    RunConfig convCfg = opts.run;
+    convCfg.hier.l2Dri = false;
+    const CmpConfig convCmp = opts.cmpConfig(false);
+    const std::vector<std::string> names =
+        cmpBenchNames(convCmp, opts.benchmark);
+    std::printf("running %u-core mix", convCmp.cores);
+    for (const std::string &n : names)
+        std::printf(" %s", n.c_str());
+    std::printf(" for %llu instructions per core...\n",
+                static_cast<unsigned long long>(
+                    convCfg.maxInstrs));
+    const CmpRunOutput conv =
+        runCmp(convCfg, convCmp, opts.benchmark);
+
+    // 2. The DRI CMP: private DRI L1Is (per-core knobs from
+    //    coreK.dri.*), shared L2 resizable iff l2.dri=1.
+    RunConfig driCfg = opts.run;
+    driCfg.hier.l2Dri = l2Dri;
+    const CmpConfig driCmp = opts.cmpConfig(true);
+    const CmpRunOutput adaptive =
+        runCmp(driCfg, driCmp, opts.benchmark);
+
+    // 3. Compare with the per-level CMP accounting.
+    const CmpComparison cmp = compareCmp(
+        MultiLevelConstants::paper(), toCmpMeasurement(conv),
+        toCmpMeasurement(adaptive));
+
+    std::printf("\nper core (conventional -> DRI):\n");
+    for (std::size_t k = 0; k < adaptive.cores.size(); ++k) {
+        const CmpCoreOutput &cc = conv.cores[k];
+        const CmpCoreOutput &dc = adaptive.cores[k];
+        std::printf("  core %zu %-9s IPC %.2f -> %.2f, L1I miss "
+                    "%.3f%% -> %.3f%%, avg size %.1f%%, "
+                    "%llu resizes\n",
+                    k, dc.bench.c_str(), cc.ipc, dc.ipc,
+                    100.0 * cc.meas.missRate(),
+                    100.0 * dc.meas.missRate(),
+                    100.0 * dc.meas.avgActiveFraction,
+                    static_cast<unsigned long long>(dc.resizes));
+    }
+    std::printf("\nshared L2: miss rate %.3f%% -> %.3f%%, "
+                "contention events %llu -> %llu",
+                100.0 * conv.l2MissRate, 100.0 * adaptive.l2MissRate,
+                static_cast<unsigned long long>(
+                    conv.l2ContentionEvents),
+                static_cast<unsigned long long>(
+                    adaptive.l2ContentionEvents));
+    if (l2Dri)
+        std::printf(", avg active %.1f%% (%llu resizes)",
+                    100.0 * adaptive.l2AvgActiveFraction,
+                    static_cast<unsigned long long>(
+                        adaptive.l2Resizes));
+    std::printf("\nsystem time: %llu -> %llu cycles "
+                "(slowdown %.2f%%)\n",
+                static_cast<unsigned long long>(conv.systemCycles),
+                static_cast<unsigned long long>(
+                    adaptive.systemCycles),
+                cmp.slowdownPercent());
+
+    std::printf("\nsystem energy (per level, nJ; rows sum to the "
+                "total):\n");
+    for (const LevelEnergy &l : cmp.dri.levels)
+        std::printf("  %-9s leakage %12.1f  dynamic %10.1f\n",
+                    l.level.c_str(), l.leakageNJ, l.dynamicNJ);
+    std::printf("  %-9s leakage %12.1f  dynamic %10.1f\n", "system",
+                cmp.dri.totalLeakageNJ(),
+                cmp.dri.totalDynamicNJ());
+    std::printf("  relative system energy-delay %.3f "
+                "(%.1f%% reduction)\n",
+                cmp.relativeEnergyDelay(),
+                100.0 * (1.0 - cmp.relativeEnergyDelay()));
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -59,6 +153,9 @@ main(int argc, char **argv)
     for (const std::string &key : opts.unknown)
         std::fprintf(stderr, "warning: unknown option '%s'\n",
                      key.c_str());
+
+    if (opts.cores > 1)
+        return runCmpQuickstart(opts);
 
     const BenchmarkInfo &bench = findBenchmark(opts.benchmark);
 

@@ -1,13 +1,13 @@
 /**
  * @file
- * Key=value option parsing and application to RunConfig/DriParams.
+ * Key=value option parsing and application to RunConfig/DriParams
+ * and the CMP per-core overrides.
  */
 
 #include "config/options.hh"
 
-#include <cstdlib>
-
 #include "harness/executor.hh"
+#include "util/parse.hh"
 #include "util/str.hh"
 
 namespace drisim
@@ -16,14 +16,14 @@ namespace drisim
 namespace
 {
 
+/**
+ * Strict decimal u64 (util/parse.hh): rejects sign characters and
+ * junk, so "-1" can never wrap to 2^64-1 here.
+ */
 bool
 parseU64(const std::string &v, std::uint64_t &out)
 {
-    if (v.empty())
-        return false;
-    char *end = nullptr;
-    out = std::strtoull(v.c_str(), &end, 10);
-    return end && *end == '\0';
+    return parseUnsignedValue(v, out);
 }
 
 bool
@@ -40,7 +40,93 @@ parseBool(const std::string &v, bool &out)
     return false;
 }
 
+/**
+ * Split a "coreK.<sub>" key: fills @p core and @p sub and returns
+ * true when @p key has that shape (K decimal, in range).
+ */
+bool
+splitCoreKey(const std::string &key, unsigned &core,
+             std::string &sub)
+{
+    if (key.rfind("core", 0) != 0)
+        return false;
+    const std::size_t dot = key.find('.', 4);
+    if (dot == std::string::npos || dot == 4)
+        return false;
+    std::uint64_t k = 0;
+    if (!parseUnsignedValue(key.substr(4, dot - 4), k,
+                            kMaxCmpCores - 1))
+        return false;
+    core = static_cast<unsigned>(k);
+    sub = key.substr(dot + 1);
+    return true;
+}
+
+/** The override record for core @p k, created on first use. */
+CoreOverride &
+coreOverride(Options &out, unsigned k)
+{
+    if (out.coreOverrides.size() <= k)
+        out.coreOverrides.resize(k + 1);
+    return out.coreOverrides[k];
+}
+
+/** The override record for core @p k, with its DRI knobs made
+ *  authoritative: on the first coreK.dri.* key they seed from the
+ *  global dri.* template as parsed so far (put global dri.* keys
+ *  before per-core ones). */
+CoreOverride &
+driOverride(Options &out, unsigned k)
+{
+    CoreOverride &o = coreOverride(out, k);
+    if (!o.driKnobsSet) {
+        o.driParams = out.dri;
+        o.driKnobsSet = true;
+    }
+    return o;
+}
+
 } // namespace
+
+std::vector<CmpCoreConfig>
+Options::cmpCores(bool driByDefault) const
+{
+    std::vector<CmpCoreConfig> cfgs;
+    cfgs.reserve(cores);
+    for (unsigned k = 0; k < cores; ++k) {
+        CmpCoreConfig c;
+        c.bench = benchmark;
+        // The leg's intent gates every core: a conventional
+        // baseline (driByDefault=false) never builds a DRI L1I no
+        // matter which per-core knobs were set, and in the DRI leg
+        // coreK.dri=0 opts a core out.
+        c.dri = driByDefault;
+        c.driParams = dri;
+        if (k < coreOverrides.size()) {
+            const CoreOverride &o = coreOverrides[k];
+            if (!o.bench.empty())
+                c.bench = o.bench;
+            if (o.dri == 0)
+                c.dri = false;
+            // Knob records are authoritative only when a coreK.dri.*
+            // key actually appeared; padding records keep following
+            // the (final) global template.
+            if (o.driKnobsSet)
+                c.driParams = o.driParams;
+        }
+        cfgs.push_back(std::move(c));
+    }
+    return cfgs;
+}
+
+CmpConfig
+Options::cmpConfig(bool driByDefault) const
+{
+    CmpConfig c;
+    c.cores = cores;
+    c.coreConfigs = cmpCores(driByDefault);
+    return c;
+}
 
 bool
 parseOptions(int argc, const char *const *argv, Options &out,
@@ -63,6 +149,8 @@ parseOptions(int argc, const char *const *argv, Options &out,
         };
 
         std::uint64_t u = 0;
+        unsigned core = 0;
+        std::string sub;
         if (key == "instrs") {
             if (!parseU64(value, u) || u == 0)
                 return bad_value();
@@ -72,6 +160,10 @@ parseOptions(int argc, const char *const *argv, Options &out,
             if (!parseJobsValue(value, jobs))
                 return bad_value();
             out.run.jobs = jobs;
+        } else if (key == "cores") {
+            if (!parsePositiveValue(value, u, kMaxCmpCores))
+                return bad_value();
+            out.cores = static_cast<unsigned>(u);
         } else if (key == "benchmark") {
             if (value.empty())
                 return bad_value();
@@ -101,7 +193,7 @@ parseOptions(int argc, const char *const *argv, Options &out,
                 return bad_value();
             out.dri.missBound = u;
         } else if (key == "dri.interval") {
-            if (!parseU64(value, u) || u == 0)
+            if (!parsePositiveValue(value, u))
                 return bad_value();
             out.dri.senseInterval = u;
         } else if (key == "dri.divisibility") {
@@ -144,9 +236,34 @@ parseOptions(int argc, const char *const *argv, Options &out,
                 return bad_value();
             out.run.hier.l2DriParams.missBound = u;
         } else if (key == "l2.interval") {
-            if (!parseU64(value, u) || u == 0)
+            if (!parsePositiveValue(value, u))
                 return bad_value();
             out.run.hier.l2DriParams.senseInterval = u;
+        } else if (splitCoreKey(key, core, sub)) {
+            if (sub == "bench") {
+                if (value.empty())
+                    return bad_value();
+                coreOverride(out, core).bench = value;
+            } else if (sub == "dri") {
+                bool b = false;
+                if (!parseBool(value, b))
+                    return bad_value();
+                coreOverride(out, core).dri = b ? 1 : 0;
+            } else if (sub == "dri.size_bound") {
+                if (!parseBytes(value, u) || u == 0)
+                    return bad_value();
+                driOverride(out, core).driParams.sizeBoundBytes = u;
+            } else if (sub == "dri.miss_bound") {
+                if (!parseU64(value, u))
+                    return bad_value();
+                driOverride(out, core).driParams.missBound = u;
+            } else if (sub == "dri.interval") {
+                if (!parsePositiveValue(value, u))
+                    return bad_value();
+                driOverride(out, core).driParams.senseInterval = u;
+            } else {
+                out.unknown.push_back(key);
+            }
         } else {
             out.unknown.push_back(key);
         }
@@ -163,7 +280,9 @@ optionsUsage()
            "dri.miss_bound=N dri.interval=N dri.divisibility=2 "
            "dri.throttle_hold=N dri.adaptive=0|1 l2.size=1M "
            "l2.assoc=N l2.block=64 l2.dri=0|1 l2.size_bound=64K "
-           "l2.miss_bound=N l2.interval=N";
+           "l2.miss_bound=N l2.interval=N cores=N coreK.bench=NAME "
+           "coreK.dri=0|1 coreK.dri.size_bound=1K "
+           "coreK.dri.miss_bound=N coreK.dri.interval=N";
 }
 
 } // namespace drisim

@@ -10,7 +10,9 @@
  *   dri.size_bound, dri.miss_bound, dri.interval,
  *   dri.divisibility, dri.throttle_hold, dri.adaptive,
  *   l2.size, l2.assoc, l2.block,
- *   l2.dri, l2.size_bound, l2.miss_bound, l2.interval
+ *   l2.dri, l2.size_bound, l2.miss_bound, l2.interval,
+ *   cores, coreK.bench, coreK.dri,
+ *   coreK.dri.size_bound, coreK.dri.miss_bound, coreK.dri.interval
  *
  * `jobs` is the sweep worker count (0 = DRISIM_JOBS env, else
  * serial); see harness/executor.hh. The `l2.*` resize keys
@@ -18,6 +20,15 @@
  * mem/hierarchy.hh): `l2.dri=1` builds the L2 resizable, and the
  * bound/interval keys set its controller knobs (geometry always
  * follows l2.size/l2.assoc/l2.block).
+ *
+ * `cores=N` switches consumers to the CMP scenario (system/cmp.hh):
+ * N cores with private L1s over the shared L2. `coreK.bench=` gives
+ * core K its own workload (default: the `benchmark` key), and the
+ * `coreK.dri.*` keys override that core's L1I resize knobs (they
+ * start from the global `dri.*` template as parsed *so far*, so put
+ * global keys first). Every count key (`jobs`, `cores`, the
+ * intervals, ...) parses through the strict bounded parser
+ * (util/parse.hh): "-1" is rejected everywhere instead of wrapping.
  */
 
 #ifndef DRISIM_CONFIG_OPTIONS_HH
@@ -28,9 +39,27 @@
 
 #include "core/dri_params.hh"
 #include "harness/runner.hh"
+#include "system/cmp.hh"
 
 namespace drisim
 {
+
+/** Raw per-core overrides collected from coreK.* keys. */
+struct CoreOverride
+{
+    /** coreK.bench; empty = use the global `benchmark`. */
+    std::string bench;
+    /** coreK.dri: -1 unset, else 0/1 (a per-core opt-out/in). */
+    int dri = -1;
+    /** Any coreK.dri.* knob appeared: driParams is authoritative
+     *  for this core. Otherwise the core takes the final global
+     *  dri.* template. */
+    bool driKnobsSet = false;
+    /** This core's L1I resize knobs (seeded from the global dri.*
+     *  template at the point the first coreK.dri.* knob appears,
+     *  so put global dri.* keys before per-core ones). */
+    DriParams driParams{};
+};
 
 /** Parsed command-line experiment options. */
 struct Options
@@ -39,8 +68,27 @@ struct Options
     DriParams dri;
     std::string benchmark = "compress";
 
+    /** `cores=`; 1 = the classic single-core scenario. */
+    unsigned cores = 1;
+    /** Sparse coreK.* overrides (index = K). */
+    std::vector<CoreOverride> coreOverrides;
+
     /** Keys that were not recognized (caller decides severity). */
     std::vector<std::string> unknown;
+
+    /**
+     * Resolve the per-core configs for a CMP run: one entry per
+     * core, benchmarks defaulted to `benchmark`, knobs defaulted to
+     * the global dri.* template. @p driByDefault is the leg's
+     * intent — the DRI leg passes true, a conventional baseline
+     * false — and gates every core: with it false all cores come
+     * out conventional (so per-core knob keys can never pollute a
+     * baseline), and with it true `coreK.dri=0` opts a core out.
+     */
+    std::vector<CmpCoreConfig> cmpCores(bool driByDefault) const;
+
+    /** Full CmpConfig for a CMP run (shape + resolved cores). */
+    CmpConfig cmpConfig(bool driByDefault) const;
 };
 
 /**

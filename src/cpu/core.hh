@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Core interface: what the harness and the CMP scheduler need
+ * from a CPU model, independent of how it models time.
+ *
+ * Both CPU models implement it — OooCore (the detailed cycle-stepped
+ * pipeline) and SimpleCore (the fast fetch-driven estimator used by
+ * the parameter search). A Core:
+ *
+ *  - consumes an InstrStream through run(), which is *resumable*:
+ *    each call continues from the previous machine state and retires
+ *    up to maxInstrs further instructions, so a scheduler can
+ *    interleave several cores over a shared memory system in
+ *    round-robin quanta (system/cmp.hh);
+ *  - broadcasts retirement counts and cycle advancement to any
+ *    attached resizable cache levels (the gated-Vdd controllers
+ *    sample at sense-interval boundaries and integrate active size
+ *    over time);
+ *  - exposes cumulative stats() so callers can measure per-quantum
+ *    progress as deltas.
+ */
+
+#ifndef DRISIM_CPU_CORE_HH
+#define DRISIM_CPU_CORE_HH
+
+#include <vector>
+
+#include "cpu/isa.hh"
+#include "mem/resizable_cache.hh"
+#include "util/types.hh"
+
+namespace drisim
+{
+
+/** Results of one simulation run (cumulative across run() calls). */
+struct CoreStats
+{
+    Cycles cycles = 0;
+    InstCount instructions = 0;
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/** Abstract CPU model over an instruction stream. */
+class Core
+{
+  public:
+    virtual ~Core() = default;
+
+    /**
+     * Attach any resizable cache level (DRI L1I, L1D or a private
+     * view of a shared L2) for retirement notifications and
+     * active-size integration; each level resizes under its own
+     * controller. No-op on nullptr.
+     */
+    void addResizable(ResizableCache *cache)
+    {
+        if (cache)
+            resizables_.push_back(cache);
+    }
+
+    /**
+     * Run until @p stream ends or @p maxInstrs further instructions
+     * retire. Resumable: machine state (pipeline occupancy, local
+     * clock, committed count) persists across calls.
+     * @return cumulative cycles and instructions
+     */
+    virtual CoreStats run(InstrStream &stream,
+                          InstCount maxInstrs) = 0;
+
+    /** Cumulative cycles/instructions over every run() call. */
+    virtual CoreStats stats() const = 0;
+
+    /**
+     * True once the stream has ended and no in-flight work remains —
+     * further run() calls cannot make progress.
+     */
+    virtual bool drained() const = 0;
+
+  protected:
+    /** Broadcast @p n retired instructions to attached levels. */
+    void retire(InstCount n)
+    {
+        for (ResizableCache *rc : resizables_)
+            rc->retireInstructions(n);
+    }
+
+    /** Broadcast @p delta elapsed cycles to attached levels. */
+    void integrate(Cycles delta)
+    {
+        for (ResizableCache *rc : resizables_)
+            rc->integrateCycles(delta);
+    }
+
+    bool hasResizables() const { return !resizables_.empty(); }
+
+  private:
+    std::vector<ResizableCache *> resizables_;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_CPU_CORE_HH

@@ -114,8 +114,7 @@ OooCore::doCommit()
     if (n > 0) {
         committedInstrs_ += n;
         commitBudget_ -= n;
-        for (ResizableCache *rc : resizables_)
-            rc->retireInstructions(n);
+        retire(n);
     }
     commitsThisCycle_ = n;
 }
@@ -393,15 +392,11 @@ OooCore::run(InstrStream &stream, InstCount maxInstrs)
                 delta = next - now_;
         }
         now_ += delta;
-        for (ResizableCache *rc : resizables_)
-            rc->integrateCycles(delta);
+        integrate(delta);
     }
 
     simCycles_.set(now_);
-    CoreStats s;
-    s.cycles = now_;
-    s.instructions = committedInstrs_.value();
-    return s;
+    return stats();
 }
 
 } // namespace drisim

@@ -25,6 +25,7 @@
 #include "mem/memory.hh"
 #include "stats/stats.hh"
 #include "cpu/branch_pred.hh"
+#include "cpu/core.hh"
 #include "cpu/isa.hh"
 
 namespace drisim
@@ -53,21 +54,8 @@ struct OooParams
     static Cycles execLatency(OpClass op);
 };
 
-/** Results of one simulation run. */
-struct CoreStats
-{
-    Cycles cycles = 0;
-    InstCount instructions = 0;
-    double ipc() const
-    {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(instructions) /
-                                 static_cast<double>(cycles);
-    }
-};
-
 /** The out-of-order core. */
-class OooCore
+class OooCore : public Core
 {
   public:
     /**
@@ -86,21 +74,27 @@ class OooCore
     void setDri(DriICache *dri) { addResizable(dri); }
 
     /**
-     * Attach any resizable cache level (DRI L1I, L1D or L2) for
-     * retirement notifications and active-size integration; each
-     * level resizes under its own controller. No-op on nullptr.
+     * Run until @p stream ends or @p maxInstrs commit. Resumable
+     * (Core contract): state persists across calls.
+     * @return cumulative cycles and instructions executed
      */
-    void addResizable(ResizableCache *cache)
+    CoreStats run(InstrStream &stream, InstCount maxInstrs) override;
+
+    /** Cumulative cycles/instructions (Core contract). */
+    CoreStats stats() const override
     {
-        if (cache)
-            resizables_.push_back(cache);
+        CoreStats s;
+        s.cycles = now_;
+        s.instructions = committedInstrs_.value();
+        return s;
     }
 
-    /**
-     * Run until @p stream ends or @p maxInstrs commit.
-     * @return cycles and instructions executed
-     */
-    CoreStats run(InstrStream &stream, InstCount maxInstrs);
+    /** Stream ended and pipeline empty (Core contract). */
+    bool drained() const override
+    {
+        return streamDone_ && !instrPending_ &&
+               fetchQueue_.empty() && seqHead_ == seqTail_;
+    }
 
     BranchPredictor &predictor() { return bpred_; }
 
@@ -158,7 +152,6 @@ class OooCore
     OooParams params_;
     MemoryLevel *icache_;
     MemoryLevel *dcache_;
-    std::vector<ResizableCache *> resizables_;
     BranchPredictor bpred_;
 
     Cycles now_ = 0;

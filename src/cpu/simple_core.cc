@@ -5,12 +5,21 @@
 
 #include "cpu/simple_core.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
 
 namespace drisim
 {
+
+namespace
+{
+
+/** Retirements buffered between resize-controller notifications. */
+constexpr InstCount kRetireBatch = 64;
+
+} // namespace
 
 SimpleCore::SimpleCore(const SimpleCoreParams &params,
                        MemoryLevel *icache)
@@ -19,54 +28,66 @@ SimpleCore::SimpleCore(const SimpleCoreParams &params,
     drisim_assert(params.baseCpi > 0.0, "base CPI must be positive");
 }
 
+void
+SimpleCore::flushRetireBatch()
+{
+    if (retireBatch_ > 0)
+        retire(retireBatch_);
+    retireBatch_ = 0;
+}
+
 CoreStats
 SimpleCore::run(InstrStream &stream, InstCount maxInstrs)
 {
-    InstCount instrs = 0;
-    Addr last_block = kInvalidAddr;
     const Cycles hit_latency = 1;
-    InstCount retire_batch = 0;
-    double active_cycles = 0.0; // integrated as estimated cycles
+    InstCount remaining = maxInstrs;
 
     Instr instr;
-    while (instrs < maxInstrs && stream.next(instr)) {
+    while (remaining > 0 && stream.next(instr)) {
         const Addr block = instr.pc / params_.fetchBlockBytes;
-        if (block != last_block) {
+        if (block != lastBlock_) {
             AccessResult r =
                 icache_->access(instr.pc, AccessType::InstFetch);
             if (!r.hit)
                 missStall_ += r.latency - hit_latency;
-            last_block = block;
+            lastBlock_ = block;
         }
         if (isControl(instr.op) && instr.taken)
-            last_block = kInvalidAddr;
+            lastBlock_ = kInvalidAddr;
 
-        ++instrs;
-        ++retire_batch;
-        if (retire_batch == 64) {
-            if (!resizables_.empty()) {
+        ++instrs_;
+        --remaining;
+        ++retireBatch_;
+        if (retireBatch_ == kRetireBatch) {
+            if (hasResizables()) {
                 // Approximate cycle integration at base CPI.
                 const double step =
-                    params_.baseCpi * static_cast<double>(retire_batch);
-                active_cycles += step;
+                    params_.baseCpi *
+                    static_cast<double>(retireBatch_);
                 const Cycles step_cycles =
                     static_cast<Cycles>(std::llround(step));
-                for (ResizableCache *rc : resizables_) {
-                    rc->retireInstructions(retire_batch);
-                    rc->integrateCycles(step_cycles);
-                }
+                retire(retireBatch_);
+                integrate(step_cycles);
             }
-            retire_batch = 0;
+            retireBatch_ = 0;
         }
     }
-    if (retire_batch > 0)
-        for (ResizableCache *rc : resizables_)
-            rc->retireInstructions(retire_batch);
+    if (remaining > 0)
+        streamDone_ = true;
+    // Partial batches reach the controllers at quantum boundaries
+    // (matching the historical end-of-run flush); their cycle share
+    // is folded into the next full batch's integration.
+    flushRetireBatch();
+    return stats();
+}
 
+CoreStats
+SimpleCore::stats() const
+{
     CoreStats s;
-    s.instructions = instrs;
+    s.instructions = instrs_;
     s.cycles = static_cast<Cycles>(std::llround(
-        params_.baseCpi * static_cast<double>(instrs) +
+        params_.baseCpi * static_cast<double>(instrs_) +
         params_.missOverlap * static_cast<double>(missStall_)));
     return s;
 }

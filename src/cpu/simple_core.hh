@@ -20,12 +20,10 @@
 #ifndef DRISIM_CPU_SIMPLE_CORE_HH
 #define DRISIM_CPU_SIMPLE_CORE_HH
 
-#include <vector>
-
 #include "core/dri_icache.hh"
 #include "mem/memory.hh"
+#include "cpu/core.hh"
 #include "cpu/isa.hh"
-#include "cpu/ooo_core.hh"
 
 namespace drisim
 {
@@ -42,7 +40,7 @@ struct SimpleCoreParams
 };
 
 /** Fetch-only fast model. */
-class SimpleCore
+class SimpleCore : public Core
 {
   public:
     SimpleCore(const SimpleCoreParams &params, MemoryLevel *icache);
@@ -50,25 +48,35 @@ class SimpleCore
     /** Attach a DRI i-cache for retire/integration callbacks. */
     void setDri(DriICache *dri) { addResizable(dri); }
 
-    /** Attach any resizable level (L1I or L2) for retire/integration
-     *  callbacks. No-op on nullptr. */
-    void addResizable(ResizableCache *cache)
-    {
-        if (cache)
-            resizables_.push_back(cache);
-    }
+    /**
+     * Run the stream for up to @p maxInstrs further instructions.
+     * Resumable (Core contract): the fetch-block and retirement
+     * bookkeeping persist, so interleaved quanta see the same cache
+     * behaviour as one long run.
+     * @return cumulative estimated cycles and instructions
+     */
+    CoreStats run(InstrStream &stream, InstCount maxInstrs) override;
 
-    /** Run the stream; returns estimated cycles and instructions. */
-    CoreStats run(InstrStream &stream, InstCount maxInstrs);
+    /** Cumulative stats over every run() call (Core contract). */
+    CoreStats stats() const override;
+
+    /** Stream exhausted; nothing in flight (Core contract). */
+    bool drained() const override { return streamDone_; }
 
     /** Total fetch-miss stall cycles observed (pre-overlap). */
     Cycles missStallCycles() const { return missStall_; }
 
   private:
+    /** Flush any buffered retirements to the attached levels. */
+    void flushRetireBatch();
+
     SimpleCoreParams params_;
     MemoryLevel *icache_;
-    std::vector<ResizableCache *> resizables_;
     Cycles missStall_ = 0;
+    InstCount instrs_ = 0;
+    Addr lastBlock_ = kInvalidAddr;
+    InstCount retireBatch_ = 0;
+    bool streamDone_ = false;
 };
 
 } // namespace drisim

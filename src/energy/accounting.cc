@@ -226,4 +226,113 @@ compareMultiLevel(const MultiLevelConstants &constants,
     return r;
 }
 
+// ---------------------------------------------------------------------
+// CMP accounting
+// ---------------------------------------------------------------------
+
+HierarchyEnergy
+cmpEnergy(const MultiLevelConstants &constants,
+          const CmpMeasurement &run, const CmpMeasurement &baseline)
+{
+    const double cycles = static_cast<double>(run.cycles);
+
+    HierarchyEnergy h;
+    h.levels.reserve(run.cores.size() + 2);
+
+    // One private-L1I row per core. Each array leaks for the whole
+    // system time regardless of its own core's progress (an idle
+    // core's cache still burns standby power unless gated).
+    for (std::size_t k = 0; k < run.cores.size(); ++k) {
+        const CmpCoreMeasurement &c = run.cores[k];
+        LevelEnergy l1{"l1i[" + std::to_string(k) + "]", 0.0, 0.0};
+        l1.leakageNJ = c.l1AvgActiveFraction *
+                       constants.l1.leakPerCycleNJ(c.l1Bytes) *
+                       cycles;
+        l1.dynamicNJ = static_cast<double>(c.l1ResizingTagBits) *
+                       constants.l1.bitlinePerAccessNJ *
+                       static_cast<double>(c.l1Accesses);
+        h.levels.push_back(l1);
+    }
+
+    // Shared rows follow the multi-level convention: extra traffic
+    // relative to the paired baseline is charged to the level that
+    // receives it (clamped at zero).
+    const std::uint64_t extra_l2 =
+        run.l2Accesses > baseline.l2Accesses
+            ? run.l2Accesses - baseline.l2Accesses
+            : 0;
+    LevelEnergy l2{"l2", 0.0, 0.0};
+    l2.leakageNJ = run.l2AvgActiveFraction *
+                   constants.l2LeakPerCycleFor(run.l2Bytes) * cycles;
+    l2.dynamicNJ = static_cast<double>(run.l2ResizingTagBits) *
+                       constants.l2BitlinePerAccessNJ *
+                       static_cast<double>(run.l2Accesses) +
+                   constants.l1.l2PerAccessNJ *
+                       static_cast<double>(extra_l2);
+    h.levels.push_back(l2);
+
+    const std::uint64_t extra_mem =
+        run.memAccesses > baseline.memAccesses
+            ? run.memAccesses - baseline.memAccesses
+            : 0;
+    LevelEnergy mem{"mem", 0.0, 0.0};
+    mem.dynamicNJ =
+        constants.memPerAccessNJ * static_cast<double>(extra_mem);
+    h.levels.push_back(mem);
+
+    return h;
+}
+
+double
+CmpComparison::relativeEnergyDelay() const
+{
+    const double conv_ed = conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.energyDelay(driRun.cycles) / conv_ed;
+}
+
+double
+CmpComparison::relativeEdLeakage() const
+{
+    const double conv_ed = conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.totalLeakageNJ() * static_cast<double>(driRun.cycles) /
+           conv_ed;
+}
+
+double
+CmpComparison::relativeEdDynamic() const
+{
+    const double conv_ed = conventional.energyDelay(convRun.cycles);
+    if (conv_ed <= 0.0)
+        return 0.0;
+    return dri.totalDynamicNJ() * static_cast<double>(driRun.cycles) /
+           conv_ed;
+}
+
+double
+CmpComparison::slowdownPercent() const
+{
+    if (convRun.cycles == 0)
+        return 0.0;
+    return 100.0 *
+           (static_cast<double>(driRun.cycles) /
+                static_cast<double>(convRun.cycles) -
+            1.0);
+}
+
+CmpComparison
+compareCmp(const MultiLevelConstants &constants,
+           const CmpMeasurement &conv, const CmpMeasurement &dri)
+{
+    CmpComparison r;
+    r.convRun = conv;
+    r.driRun = dri;
+    r.conventional = cmpEnergy(constants, conv, conv);
+    r.dri = cmpEnergy(constants, dri, conv);
+    return r;
+}
+
 } // namespace drisim

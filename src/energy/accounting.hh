@@ -217,6 +217,90 @@ compareMultiLevel(const MultiLevelConstants &constants,
                   const MultiLevelMeasurement &conv,
                   const MultiLevelMeasurement &dri);
 
+// ---------------------------------------------------------------------
+// CMP accounting (N private L1Is + shared L2 vs conventional CMP)
+// ---------------------------------------------------------------------
+
+/** One core's L1I contribution to the CMP energy picture. */
+struct CmpCoreMeasurement
+{
+    std::uint64_t l1Bytes = 64 * 1024;
+    double l1AvgActiveFraction = 1.0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    unsigned l1ResizingTagBits = 0;
+};
+
+/**
+ * Raw measurements from one CMP run. `cycles` is *system* time (the
+ * slowest core's clock): every level leaks for as long as any core
+ * is still running, so leakage integrals use it uniformly.
+ */
+struct CmpMeasurement
+{
+    Cycles cycles = 0;
+    std::vector<CmpCoreMeasurement> cores;
+
+    std::uint64_t l2Bytes = 1024 * 1024;
+    double l2AvgActiveFraction = 1.0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    unsigned l2ResizingTagBits = 0;
+
+    std::uint64_t memAccesses = 0;
+};
+
+/**
+ * Per-level decomposition of one CMP run's effective energy, paired
+ * against its conventional baseline: one "l1i[k]" row per core
+ * (leakage + resizing-tag dynamic overhead), then shared "l2" and
+ * "mem" rows under the same receives-the-traffic convention as
+ * multiLevelEnergy(). The system totals are the row sums by
+ * construction (HierarchyEnergy), locked by tests.
+ */
+HierarchyEnergy cmpEnergy(const MultiLevelConstants &constants,
+                          const CmpMeasurement &run,
+                          const CmpMeasurement &baseline);
+
+/** Everything the CMP report prints for one config pair. */
+struct CmpComparison
+{
+    HierarchyEnergy dri;
+    HierarchyEnergy conventional;
+    CmpMeasurement driRun;
+    CmpMeasurement convRun;
+
+    /** DRI system energy-delay / conventional energy-delay. */
+    double relativeEnergyDelay() const;
+
+    /** Leakage-only component of the relative energy-delay. */
+    double relativeEdLeakage() const;
+
+    /** Dynamic (overhead) component of the relative energy-delay. */
+    double relativeEdDynamic() const;
+
+    /** System-time increase, percent (positive = slower). */
+    double slowdownPercent() const;
+
+    /** Core @p k's average powered L1I fraction. */
+    double coreAverageSizeFraction(std::size_t k) const
+    {
+        return k < driRun.cores.size()
+                   ? driRun.cores[k].l1AvgActiveFraction
+                   : 1.0;
+    }
+
+    double l2AverageSizeFraction() const
+    {
+        return driRun.l2AvgActiveFraction;
+    }
+};
+
+/** Build the CMP comparison for a paired run. */
+CmpComparison compareCmp(const MultiLevelConstants &constants,
+                         const CmpMeasurement &conv,
+                         const CmpMeasurement &dri);
+
 } // namespace drisim
 
 #endif // DRISIM_ENERGY_ACCOUNTING_HH

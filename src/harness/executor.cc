@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/str.hh"
 
 namespace drisim
@@ -24,17 +25,12 @@ hardwareJobCount()
 bool
 parseJobsValue(std::string_view text, unsigned &out)
 {
-    if (text.empty() || text.size() > 4)
+    // The shared strict parser (util/parse.hh) is what rejects the
+    // "-1" wraparound; this wrapper only adds the worker sanity cap.
+    std::uint64_t v = 0;
+    if (!parseUnsignedValue(text, v, 4096))
         return false;
-    unsigned v = 0;
-    for (const char c : text) {
-        if (c < '0' || c > '9')
-            return false;
-        v = v * 10 + static_cast<unsigned>(c - '0');
-    }
-    if (v > 4096)
-        return false;
-    out = v;
+    out = static_cast<unsigned>(v);
     return true;
 }
 

@@ -116,6 +116,100 @@ multiLevelRowCells(const std::string &bench,
  */
 void addHierarchyEnergyRows(Table &t, const HierarchyEnergy &h);
 
+// ---------------------------------------------------------------------
+// CMP search (multiprogrammed mixes; see system/cmp.hh)
+// ---------------------------------------------------------------------
+
+/** Reduce a CmpRunOutput to the CMP measurement view. */
+CmpMeasurement toCmpMeasurement(const CmpRunOutput &out);
+
+/** "bench0+bench1+..." label for a CMP mix. */
+std::string cmpMixName(const std::vector<std::string> &benches);
+
+/**
+ * Search-space definition for the CMP grid: each core's L1
+ * miss-bound (as a factor over that core's own conventional misses
+ * per sense interval) crossed with the shared L2 size-bound. The L1
+ * size-bound is not searched — it comes from the L1 template — so
+ * the grid stays |factors|^cores x |l2 bounds|. Past a 1024-cell
+ * combination cap the per-core cross product degrades to a single
+ * shared factor index (all cores move together), so wide CMPs sweep
+ * |factors| x |l2 bounds| instead of exploding.
+ */
+struct CmpSpace
+{
+    /** Candidate per-core L1 miss-bound factors. */
+    std::vector<double> l1MissBoundFactors{8.0, 32.0};
+    /** Candidate shared-L2 size-bounds (bytes). */
+    std::vector<std::uint64_t> l2SizeBounds{64 * 1024,
+                                            1024 * 1024};
+    /** L2 miss-bound factor over the conventional system's misses
+     *  per L2 sense interval. */
+    double l2MissBoundFactor = 8.0;
+    /** Absolute floor for every miss-bound (misses per interval). */
+    std::uint64_t missBoundFloor = 16;
+};
+
+/** One evaluated CMP configuration. */
+struct CmpCandidate
+{
+    /** Per-core L1 DRI knobs (one entry per core). */
+    std::vector<DriParams> l1;
+    /** Shared-L2 resize knobs. */
+    DriParams l2;
+    CmpComparison cmp;
+    bool feasible = true;
+};
+
+/** Outcome of a CMP best-case search. */
+struct CmpSearchResult
+{
+    /** The winning configuration (lowest feasible system ED). */
+    CmpCandidate best;
+    /** All detailed candidates in grid order (reporting/tests). */
+    std::vector<CmpCandidate> evaluated;
+    /** Detailed conventional CMP baseline used throughout. */
+    CmpRunOutput convDetailed;
+};
+
+/**
+ * Search the (per-core L1 miss-bound x shared L2 size-bound) grid
+ * for the lowest system energy-delay. Every cell is a detailed
+ * CmpSystem run dispatched as an independent executor job
+ * (index-addressed slots, index-order selection), so results are
+ * byte-identical at any --jobs value (locked by golden tests).
+ *
+ * @param config         run configuration with a *conventional* L2
+ *                       (the search switches l2Dri on per cell)
+ * @param cmp            CMP shape; per-core benchmarks resolve
+ *                       against @p defaultBench
+ * @param defaultBench   benchmark for cores without coreK.bench
+ * @param l1Template     L1 DRI knobs not being searched
+ * @param l2Template     L2 DRI knobs not being searched
+ * @param space          the grid
+ * @param constants      per-level energy constants
+ * @param maxSlowdownPct constraint on *system* time; <= 0 means
+ *                       unconstrained
+ * @param convDetailed   pre-computed conventional CMP baseline
+ * @param exec           optional executor to reuse; otherwise one is
+ *                       created with config.jobs workers
+ */
+CmpSearchResult searchCmp(
+    const RunConfig &config, const CmpConfig &cmp,
+    const std::string &defaultBench, const DriParams &l1Template,
+    const DriParams &l2Template, const CmpSpace &space,
+    const MultiLevelConstants &constants, double maxSlowdownPct,
+    const CmpRunOutput &convDetailed, Executor *exec = nullptr);
+
+/**
+ * The summary cells bench_cmp prints for one candidate (shared with
+ * the golden tests so the rendered rows cannot drift): mix,
+ * per-core L1 miss-bounds, shared L2 bound + miss-bound, rel-ED,
+ * per-core L1 avg sizes, L2 avg size, system slowdown.
+ */
+std::vector<std::string> cmpRowCells(const std::string &mix,
+                                     const CmpCandidate &cand);
+
 } // namespace drisim
 
 #endif // DRISIM_HARNESS_MULTILEVEL_HH

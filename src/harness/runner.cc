@@ -235,6 +235,38 @@ runConventionalFast(const BenchmarkInfo &bench, const RunConfig &config,
     return out;
 }
 
+std::vector<std::string>
+cmpBenchNames(const CmpConfig &cmp, const std::string &defaultBench)
+{
+    std::vector<std::string> names;
+    names.reserve(cmp.cores);
+    for (unsigned k = 0; k < cmp.cores; ++k) {
+        const CmpCoreConfig cfg = cmp.coreConfig(k);
+        names.push_back(cfg.bench.empty() ? defaultBench
+                                          : cfg.bench);
+    }
+    return names;
+}
+
+CmpRunOutput
+runCmp(const RunConfig &config, const CmpConfig &cmp,
+       const std::string &defaultBench)
+{
+    const std::vector<std::string> names =
+        cmpBenchNames(cmp, defaultBench);
+    std::vector<const ProgramImage *> images;
+    images.reserve(names.size());
+    for (const std::string &name : names)
+        images.push_back(&imageFor(findBenchmark(name)));
+
+    stats::StatGroup root("cmp");
+    CmpSystem sys(cmp, config.hier, config.core, images, &root);
+    CmpRunOutput out = sys.run(config.maxInstrs);
+    for (std::size_t k = 0; k < out.cores.size(); ++k)
+        out.cores[k].bench = names[k];
+    return out;
+}
+
 RunOutput
 runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
            const DriParams &dri, const FastCalibration &cal)

@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/dri_params.hh"
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
 #include "mem/hierarchy.hh"
+#include "system/cmp.hh"
 #include "workload/spec_suite.hh"
 
 namespace drisim
@@ -116,6 +118,25 @@ RunOutput runConventionalFast(const BenchmarkInfo &bench,
 /** Fast DRI run (search candidate). */
 RunOutput runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
                      const DriParams &dri, const FastCalibration &cal);
+
+/**
+ * The benchmark each CMP core runs: its coreK.bench override, or
+ * @p defaultBench where none was given. One entry per configured
+ * core.
+ */
+std::vector<std::string> cmpBenchNames(const CmpConfig &cmp,
+                                       const std::string &defaultBench);
+
+/**
+ * Detailed CMP run (system/cmp.hh): N cores, private L1s
+ * (conventional or DRI per cmp.coreConfigs), shared L2 (conventional
+ * or resizable per config.hier.l2Dri), each core running
+ * config.maxInstrs instructions of its own benchmark. With
+ * cmp.cores == 1 this reproduces the single-core entry points
+ * bit-for-bit (locked by tests).
+ */
+CmpRunOutput runCmp(const RunConfig &config, const CmpConfig &cmp,
+                    const std::string &defaultBench);
 
 } // namespace drisim
 

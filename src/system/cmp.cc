@@ -1,0 +1,240 @@
+/**
+ * @file
+ * CmpSystem: N trace-driven cores with private L1s round-robin
+ * interleaved over a shared (optionally resizable) L2.
+ */
+
+#include "system/cmp.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace drisim
+{
+
+SharedL2Bus::SharedL2Bus(MemoryLevel *l2, unsigned blockBytes,
+                         unsigned banks, Cycles penalty,
+                         unsigned cores)
+    : l2_(l2),
+      blockBytes_(blockBytes),
+      penalty_(penalty),
+      lastOwner_(std::max(1u, banks), -1),
+      stats_(cores)
+{
+    drisim_assert(l2 != nullptr, "bus needs a shared level");
+    drisim_assert(blockBytes > 0, "bank granule must be positive");
+}
+
+AccessResult
+SharedL2Bus::access(unsigned core, Addr addr, AccessType type)
+{
+    drisim_assert(core < stats_.size(), "bad bus port %u", core);
+    AccessResult r = l2_->access(addr, type);
+    PortStats &s = stats_[core];
+    ++s.accesses;
+    if (!r.hit)
+        ++s.misses;
+    // Block-interleaved banks: charge the contention adder when the
+    // bank's previous user was another core. With one core the
+    // owner never changes hands and the adder never fires, so the
+    // single-core system is latency-identical to a direct L1->L2
+    // connection.
+    const std::size_t bank = static_cast<std::size_t>(
+        (addr / blockBytes_) % lastOwner_.size());
+    const int self = static_cast<int>(core);
+    if (lastOwner_[bank] != self) {
+        if (lastOwner_[bank] >= 0) {
+            r.latency += penalty_;
+            ++s.contention;
+        }
+        lastOwner_[bank] = self;
+    }
+    return r;
+}
+
+CmpSystem::CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
+                     const OooParams &coreParams,
+                     const std::vector<const ProgramImage *> &images,
+                     stats::StatGroup *parent)
+    : cmp_(cmp), hier_(hier)
+{
+    const unsigned n = cmp.cores;
+    drisim_assert(n >= 1 && n <= kMaxCmpCores,
+                  "cores must be in [1, %u], got %u", kMaxCmpCores,
+                  n);
+    drisim_assert(images.size() == n,
+                  "need one program image per core (%zu != %u)",
+                  images.size(), n);
+
+    mem_ =
+        std::make_unique<MainMemory>(hier.l2.blockBytes, parent);
+    if (hier.l2Dri) {
+        driL2_ = std::make_unique<ResizableCache>(
+            driParamsForLevel(hier.l2, hier.l2DriParams),
+            ResizePolicy::writeback(), mem_.get(), parent, "dri_l2");
+        l2Level_ = driL2_.get();
+    } else {
+        convL2_ =
+            std::make_unique<Cache>(hier.l2, mem_.get(), parent);
+        l2Level_ = convL2_.get();
+    }
+    bus_ = std::make_unique<SharedL2Bus>(
+        l2Level_, hier.l2.blockBytes, cmp.l2Banks,
+        cmp.l2ContentionPenalty, n);
+
+    convL1is_.resize(n);
+    driL1is_.resize(n);
+    for (unsigned k = 0; k < n; ++k) {
+        cpuGroups_.push_back(std::make_unique<stats::StatGroup>(
+            parent, strFormat("cpu%u", k)));
+        stats::StatGroup *grp = cpuGroups_.back().get();
+        ports_.push_back(
+            std::make_unique<SharedL2Port>(bus_.get(), k));
+        SharedL2Port *port = ports_.back().get();
+        l1ds_.push_back(
+            std::make_unique<Cache>(hier.l1d, port, grp));
+
+        const CmpCoreConfig cfg = cmp.coreConfig(k);
+        MemoryLevel *l1i = nullptr;
+        if (cfg.dri) {
+            driL1is_[k] = std::make_unique<DriICache>(
+                driParamsForLevel(hier.l1i, cfg.driParams), port,
+                grp);
+            l1i = driL1is_[k].get();
+        } else {
+            convL1is_[k] =
+                std::make_unique<Cache>(hier.l1i, port, grp);
+            l1i = convL1is_[k].get();
+        }
+        cores_.push_back(std::make_unique<OooCore>(
+            coreParams, l1i, l1ds_.back().get(), grp));
+        if (driL1is_[k])
+            cores_.back()->addResizable(driL1is_[k].get());
+        gens_.push_back(
+            std::make_unique<TraceGenerator>(*images[k]));
+    }
+
+    // A shared resizable L2 senses per-core progress directly when
+    // there is only one core (the exact single-core runner wiring);
+    // with several cores the scheduler drives it from system-wide
+    // progress instead (see run()).
+    if (n == 1 && driL2_)
+        cores_[0]->addResizable(driL2_.get());
+}
+
+CmpRunOutput
+CmpSystem::run(InstCount maxInstrsPerCore)
+{
+    const unsigned n = cores();
+    std::vector<InstCount> remaining(n, maxInstrsPerCore);
+    Cycles sysClock = 0;
+
+    while (true) {
+        bool pending = false;
+        bool progressed = false;
+        InstCount roundRetired = 0;
+
+        for (unsigned k = 0; k < n; ++k) {
+            if (remaining[k] == 0)
+                continue;
+            if (cores_[k]->drained()) {
+                remaining[k] = 0;
+                continue;
+            }
+            const InstCount turn =
+                (n == 1 || cmp_.quantum == 0)
+                    ? remaining[k]
+                    : std::min(cmp_.quantum, remaining[k]);
+            const InstCount before =
+                cores_[k]->stats().instructions;
+            cores_[k]->run(*gens_[k], turn);
+            const InstCount done =
+                cores_[k]->stats().instructions - before;
+            roundRetired += done;
+            if (done > 0)
+                progressed = true;
+            remaining[k] -= std::min(done, remaining[k]);
+            if (cores_[k]->drained())
+                remaining[k] = 0;
+            if (remaining[k] > 0)
+                pending = true;
+        }
+
+        // The shared resizable L2 belongs to no single core: its
+        // sense interval counts instructions retired anywhere in
+        // the system and its active-size integral runs on the
+        // system clock (the slowest core's local time).
+        if (n > 1 && driL2_) {
+            if (roundRetired > 0)
+                driL2_->retireInstructions(roundRetired);
+            Cycles clock = 0;
+            for (unsigned k = 0; k < n; ++k)
+                clock =
+                    std::max(clock, cores_[k]->stats().cycles);
+            if (clock > sysClock) {
+                driL2_->integrateCycles(clock - sysClock);
+                sysClock = clock;
+            }
+        }
+
+        if (!pending)
+            break;
+        drisim_assert(progressed,
+                      "CMP scheduler made no progress");
+    }
+
+    CmpRunOutput out;
+    out.cores.resize(n);
+    for (unsigned k = 0; k < n; ++k) {
+        CmpCoreOutput &c = out.cores[k];
+        const CoreStats cs = cores_[k]->stats();
+        c.meas.cycles = cs.cycles;
+        c.meas.instructions = cs.instructions;
+        if (driL1is_[k]) {
+            const DriICache &ic = *driL1is_[k];
+            c.meas.l1iAccesses = ic.accesses();
+            c.meas.l1iMisses = ic.misses();
+            c.meas.avgActiveFraction = ic.averageActiveFraction();
+            c.meas.resizingTagBits = ic.params().resizingTagBits();
+            c.meas.l1iBytes = ic.params().sizeBytes;
+            c.resizes = ic.upsizes() + ic.downsizes();
+            c.throttleEvents = ic.controller().throttleEvents();
+        } else {
+            const Cache &ic = *convL1is_[k];
+            c.meas.l1iAccesses = ic.accesses();
+            c.meas.l1iMisses = ic.misses();
+            c.meas.avgActiveFraction = 1.0;
+            c.meas.resizingTagBits = 0;
+            c.meas.l1iBytes = hier_.l1i.sizeBytes;
+        }
+        c.ipc = cs.ipc();
+        c.l1dMissRate = l1ds_[k]->missRate();
+        c.l2Accesses = bus_->accesses(k);
+        c.l2Misses = bus_->misses(k);
+        c.l2ContentionEvents = bus_->contentionEvents(k);
+
+        out.systemCycles = std::max(out.systemCycles, cs.cycles);
+        out.l2Accesses += c.l2Accesses;
+        out.l2Misses += c.l2Misses;
+        out.l2ContentionEvents += c.l2ContentionEvents;
+    }
+    out.l2MissRate =
+        out.l2Accesses == 0
+            ? 0.0
+            : static_cast<double>(out.l2Misses) /
+                  static_cast<double>(out.l2Accesses);
+    out.memAccesses = mem_->accesses();
+    if (driL2_) {
+        out.l2SizeBytes = driL2_->params().sizeBytes;
+        out.l2AvgActiveFraction = driL2_->averageActiveFraction();
+        out.l2ResizingTagBits = driL2_->params().resizingTagBits();
+        out.l2Resizes = driL2_->upsizes() + driL2_->downsizes();
+    } else {
+        out.l2SizeBytes = hier_.l2.sizeBytes;
+    }
+    return out;
+}
+
+} // namespace drisim

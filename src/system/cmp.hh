@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The chip-multiprocessor system: N cores, each with a private L1
+ * i-cache (conventional or DRI) and L1 d-cache and its own workload,
+ * sharing one unified L2 (conventional or resizable) and main
+ * memory.
+ *
+ * The paper evaluates gated-Vdd resizing on a single core; leakage
+ * pressure is worst where SRAM is largest and shared — the CMP
+ * last-level cache (Safayenikoo et al.) and multi-level hierarchies
+ * generally (Bai et al.; see docs/REPRODUCTION.md, Multiprogrammed
+ * CMP study). CmpSystem opens that scenario family: multiprogrammed
+ * mixes whose private DRI L1 i-caches compete for one shared
+ * resizable L2.
+ *
+ * Execution model: trace-driven cores are interleaved round-robin in
+ * instruction quanta (each core keeps its own local clock; the
+ * system clock is the max). The shared L2 is reached through
+ * per-core ports on a bus that attributes hits/misses to the
+ * requesting core and charges a simple bank-contention latency adder
+ * when consecutive references to a bank come from different cores —
+ * with one core the adder never fires and the system degenerates
+ * exactly to the single-core wiring (locked by tests).
+ */
+
+#ifndef DRISIM_SYSTEM_CMP_HH
+#define DRISIM_SYSTEM_CMP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "energy/energy_model.hh"
+#include "mem/hierarchy.hh"
+#include "workload/generator.hh"
+
+namespace drisim
+{
+
+/** Sanity cap for `cores=` (queues, not threads — purely a model). */
+constexpr unsigned kMaxCmpCores = 64;
+
+/** Per-core workload and L1I flavour. */
+struct CmpCoreConfig
+{
+    /** Benchmark name; empty means "caller's default". */
+    std::string bench;
+    /** Build this core's L1I as a DRI (resizable) cache. */
+    bool dri = false;
+    /** L1I resize knobs (geometry always follows hier.l1i). */
+    DriParams driParams{};
+};
+
+/** Shape of the CMP: core count, scheduling, L2 sharing model. */
+struct CmpConfig
+{
+    unsigned cores = 1;
+    /**
+     * Round-robin turn length in instructions. With one core the
+     * scheduler runs the whole budget in a single turn (no sharing
+     * to interleave), which keeps cores=1 bit-identical to the
+     * single-core runner path.
+     */
+    InstCount quantum = 20 * 1000;
+    /** Shared-L2 bank count for the contention adder. */
+    unsigned l2Banks = 8;
+    /** Extra latency when a bank's last user was another core. */
+    Cycles l2ContentionPenalty = 4;
+    /** Sparse per-core overrides; missing entries take defaults. */
+    std::vector<CmpCoreConfig> coreConfigs;
+
+    /** Core @p k's config, defaulted when not explicitly given. */
+    CmpCoreConfig coreConfig(unsigned k) const
+    {
+        return k < coreConfigs.size() ? coreConfigs[k]
+                                      : CmpCoreConfig{};
+    }
+};
+
+/** What one core of a finished CMP run produced. */
+struct CmpCoreOutput
+{
+    /** Benchmark this core ran (filled by the harness). */
+    std::string bench;
+    RunMeasurement meas;
+    double ipc = 0.0;
+    double l1dMissRate = 0.0;
+    std::uint64_t resizes = 0;
+    std::uint64_t throttleEvents = 0;
+    /** This core's share of the shared-L2 traffic. */
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    /** Shared-L2 references that paid the bank-contention adder. */
+    std::uint64_t l2ContentionEvents = 0;
+};
+
+/** What one CMP run produced. */
+struct CmpRunOutput
+{
+    std::vector<CmpCoreOutput> cores;
+
+    /** System time: the slowest core's local clock. */
+    Cycles systemCycles = 0;
+
+    /** Shared-L2 view (sums of the per-core attributions). */
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    double l2MissRate = 0.0;
+    std::uint64_t l2ContentionEvents = 0;
+    std::uint64_t memAccesses = 0;
+
+    /** L2 activity (defaults describe a fixed, fully-powered L2). */
+    std::uint64_t l2SizeBytes = 0;
+    double l2AvgActiveFraction = 1.0;
+    unsigned l2ResizingTagBits = 0;
+    std::uint64_t l2Resizes = 0;
+};
+
+/**
+ * The shared-L2 interconnect: per-core ports funnel into one access
+ * path that counts per-core hits/misses and applies the
+ * bank-contention latency adder. Banks are block-interleaved.
+ */
+class SharedL2Bus
+{
+  public:
+    /**
+     * @param l2         the shared level every port forwards to
+     * @param blockBytes L2 block size (bank interleaving granule)
+     * @param banks      bank count (>= 1)
+     * @param penalty    extra cycles when the bank's previous user
+     *                   was a different core
+     */
+    SharedL2Bus(MemoryLevel *l2, unsigned blockBytes, unsigned banks,
+                Cycles penalty, unsigned cores);
+
+    AccessResult access(unsigned core, Addr addr, AccessType type);
+
+    std::uint64_t accesses(unsigned core) const
+    {
+        return stats_[core].accesses;
+    }
+    std::uint64_t misses(unsigned core) const
+    {
+        return stats_[core].misses;
+    }
+    std::uint64_t contentionEvents(unsigned core) const
+    {
+        return stats_[core].contention;
+    }
+
+    MemoryLevel *level() { return l2_; }
+
+  private:
+    struct PortStats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t contention = 0;
+    };
+
+    MemoryLevel *l2_;
+    unsigned blockBytes_;
+    Cycles penalty_;
+    /** Last core to touch each bank (-1 = untouched). */
+    std::vector<int> lastOwner_;
+    std::vector<PortStats> stats_;
+};
+
+/** One core's window onto the shared L2 (a MemoryLevel adapter). */
+class SharedL2Port : public MemoryLevel
+{
+  public:
+    SharedL2Port(SharedL2Bus *bus, unsigned core)
+        : bus_(bus), core_(core)
+    {
+    }
+
+    AccessResult access(Addr addr, AccessType type) override
+    {
+        return bus_->access(core_, addr, type);
+    }
+
+    double activeFraction() const override
+    {
+        return bus_->level()->activeFraction();
+    }
+
+  private:
+    SharedL2Bus *bus_;
+    unsigned core_;
+};
+
+/**
+ * Owns the whole CMP: memory, the shared L2 (conventional or
+ * resizable, per hier.l2Dri), the bus, and per core a port, an L1D,
+ * an L1I (conventional or DRI, per CmpCoreConfig) and an OooCore
+ * fed by its own trace generator.
+ */
+class CmpSystem
+{
+  public:
+    /**
+     * @param cmp        CMP shape + per-core flavours
+     * @param hier       per-core L1 geometry and the shared L2
+     *                   (hier.l2Dri selects the resizable flavour)
+     * @param coreParams pipeline shape shared by all cores
+     * @param images     one program image per core (must outlive
+     *                   this object)
+     * @param parent     stats parent
+     */
+    CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
+              const OooParams &coreParams,
+              const std::vector<const ProgramImage *> &images,
+              stats::StatGroup *parent);
+
+    /**
+     * Round-robin the cores until each has committed
+     * @p maxInstrsPerCore instructions (or drained its stream).
+     * The shared resizable L2 (if any) senses system-wide progress:
+     * retirements summed over cores, time as the system clock.
+     */
+    CmpRunOutput run(InstCount maxInstrsPerCore);
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    OooCore &core(unsigned k) { return *cores_[k]; }
+    const SharedL2Bus &bus() const { return *bus_; }
+    ResizableCache *driL2() { return driL2_.get(); }
+    Cache *convL2() { return convL2_.get(); }
+    MainMemory &mem() { return *mem_; }
+
+  private:
+    CmpConfig cmp_;
+    HierarchyParams hier_;
+
+    std::unique_ptr<MainMemory> mem_;
+    std::unique_ptr<Cache> convL2_;
+    std::unique_ptr<ResizableCache> driL2_;
+    MemoryLevel *l2Level_ = nullptr;
+    std::unique_ptr<SharedL2Bus> bus_;
+
+    std::vector<std::unique_ptr<stats::StatGroup>> cpuGroups_;
+    std::vector<std::unique_ptr<SharedL2Port>> ports_;
+    std::vector<std::unique_ptr<Cache>> l1ds_;
+    std::vector<std::unique_ptr<Cache>> convL1is_;
+    std::vector<std::unique_ptr<DriICache>> driL1is_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+    std::vector<std::unique_ptr<TraceGenerator>> gens_;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_SYSTEM_CMP_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Strict bounded integer parsing for user-facing count knobs.
+ */
+
+#include "util/parse.hh"
+
+namespace drisim
+{
+
+bool
+parseUnsignedValue(std::string_view text, std::uint64_t &out,
+                   std::uint64_t maxValue)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        const std::uint64_t digit =
+            static_cast<std::uint64_t>(c - '0');
+        if (v > maxValue / 10 || v * 10 > maxValue - digit)
+            return false;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parsePositiveValue(std::string_view text, std::uint64_t &out,
+                   std::uint64_t maxValue)
+{
+    std::uint64_t v = 0;
+    if (!parseUnsignedValue(text, v, maxValue) || v == 0)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace drisim

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * CMP system tests: the cores=1 degeneration contract (CmpSystem
+ * reproduces the single-core runner bit-for-bit), shared-L2
+ * attribution and bank contention, the per-level CMP energy
+ * accounting invariants, and a TSan-targeted hammer that drives the
+ * shared programImageFor() image cache from concurrent searchCmp
+ * cells (this file is labelled `concurrency`; see CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/multilevel.hh"
+#include "harness/runner.hh"
+#include "system/cmp.hh"
+
+namespace drisim
+{
+namespace
+{
+
+TEST(CmpSystem, SingleCoreConventionalMatchesRunnerBitForBit)
+{
+    const BenchmarkInfo &b = findBenchmark("compress");
+    RunConfig cfg;
+    cfg.maxInstrs = 400 * 1000;
+    const RunOutput single = runConventional(b, cfg);
+
+    CmpConfig cmp;
+    cmp.cores = 1; // default core config: conventional L1I
+    const CmpRunOutput out = runCmp(cfg, cmp, "compress");
+
+    ASSERT_EQ(out.cores.size(), 1u);
+    const CmpCoreOutput &c = out.cores[0];
+    EXPECT_EQ(c.bench, "compress");
+    EXPECT_EQ(c.meas.cycles, single.meas.cycles);
+    EXPECT_EQ(c.meas.instructions, single.meas.instructions);
+    EXPECT_EQ(c.meas.l1iAccesses, single.meas.l1iAccesses);
+    EXPECT_EQ(c.meas.l1iMisses, single.meas.l1iMisses);
+    EXPECT_EQ(c.ipc, single.ipc);
+    EXPECT_EQ(c.l1dMissRate, single.l1dMissRate);
+    EXPECT_EQ(out.systemCycles, single.meas.cycles);
+    EXPECT_EQ(out.l2Accesses, single.l2Accesses);
+    EXPECT_EQ(out.l2Misses, single.l2Misses);
+    EXPECT_EQ(out.l2MissRate, single.l2MissRate);
+    EXPECT_EQ(out.memAccesses, single.memAccesses);
+    EXPECT_EQ(out.l2ContentionEvents, 0u);
+}
+
+TEST(CmpSystem, SingleCoreDriWithDriL2MatchesRunnerBitForBit)
+{
+    // The full multi-level wiring: DRI L1I over a resizable L2.
+    RunConfig cfg;
+    cfg.maxInstrs = 400 * 1000;
+    cfg.hier.l2Dri = true;
+    DriParams l2p = HierarchyParams::defaultL2DriParams();
+    l2p.senseInterval = 50000;
+    cfg.hier.l2DriParams = l2p;
+
+    DriParams dri;
+    dri.senseInterval = 50000;
+    dri.sizeBoundBytes = 4096;
+    dri.missBound = 300;
+    const DriParams resolved =
+        driParamsForLevel(cfg.hier.l1i, dri);
+
+    const BenchmarkInfo &b = findBenchmark("li");
+    const RunOutput single = runDri(b, cfg, resolved);
+
+    CmpConfig cmp;
+    cmp.cores = 1;
+    CmpCoreConfig core;
+    core.bench = "li";
+    core.dri = true;
+    core.driParams = dri;
+    cmp.coreConfigs.push_back(core);
+    const CmpRunOutput out = runCmp(cfg, cmp, "li");
+
+    ASSERT_EQ(out.cores.size(), 1u);
+    const CmpCoreOutput &c = out.cores[0];
+    EXPECT_EQ(c.meas.cycles, single.meas.cycles);
+    EXPECT_EQ(c.meas.instructions, single.meas.instructions);
+    EXPECT_EQ(c.meas.l1iAccesses, single.meas.l1iAccesses);
+    EXPECT_EQ(c.meas.l1iMisses, single.meas.l1iMisses);
+    EXPECT_EQ(c.meas.avgActiveFraction,
+              single.meas.avgActiveFraction);
+    EXPECT_EQ(c.meas.resizingTagBits, single.meas.resizingTagBits);
+    EXPECT_EQ(c.resizes, single.resizes);
+    EXPECT_EQ(c.throttleEvents, single.throttleEvents);
+    EXPECT_EQ(out.l2Accesses, single.l2Accesses);
+    EXPECT_EQ(out.l2Misses, single.l2Misses);
+    EXPECT_EQ(out.memAccesses, single.memAccesses);
+    EXPECT_EQ(out.l2SizeBytes, single.l2SizeBytes);
+    EXPECT_EQ(out.l2AvgActiveFraction, single.l2AvgActiveFraction);
+    EXPECT_EQ(out.l2ResizingTagBits, single.l2ResizingTagBits);
+    EXPECT_EQ(out.l2Resizes, single.l2Resizes);
+}
+
+TEST(CmpSystem, AttributionSumsAndContentionFiresWithSharers)
+{
+    RunConfig cfg;
+    cfg.maxInstrs = 200 * 1000;
+    CmpConfig cmp;
+    cmp.cores = 2;
+    CmpCoreConfig c0, c1;
+    c0.bench = "compress";
+    c1.bench = "li";
+    cmp.coreConfigs = {c0, c1};
+
+    const CmpRunOutput out = runCmp(cfg, cmp, "compress");
+    ASSERT_EQ(out.cores.size(), 2u);
+    EXPECT_EQ(out.cores[0].bench, "compress");
+    EXPECT_EQ(out.cores[1].bench, "li");
+
+    // Attribution partitions the shared traffic.
+    EXPECT_EQ(out.cores[0].l2Accesses + out.cores[1].l2Accesses,
+              out.l2Accesses);
+    EXPECT_EQ(out.cores[0].l2Misses + out.cores[1].l2Misses,
+              out.l2Misses);
+    EXPECT_GT(out.cores[0].l2Accesses, 0u);
+    EXPECT_GT(out.cores[1].l2Accesses, 0u);
+
+    // Two cores interleaving over the same banks must collide.
+    EXPECT_GT(out.l2ContentionEvents, 0u);
+
+    // System time is the slowest core.
+    EXPECT_EQ(out.systemCycles,
+              std::max(out.cores[0].meas.cycles,
+                       out.cores[1].meas.cycles));
+    // Both cores ran their full budget.
+    EXPECT_EQ(out.cores[0].meas.instructions, cfg.maxInstrs);
+    EXPECT_EQ(out.cores[1].meas.instructions, cfg.maxInstrs);
+}
+
+TEST(CmpSystem, ContentionPenaltyCostsCycles)
+{
+    RunConfig cfg;
+    cfg.maxInstrs = 150 * 1000;
+    CmpConfig cmp;
+    cmp.cores = 2;
+    CmpCoreConfig c0, c1;
+    c0.bench = "compress";
+    c1.bench = "mgrid";
+    cmp.coreConfigs = {c0, c1};
+
+    CmpConfig free = cmp;
+    free.l2ContentionPenalty = 0;
+    const CmpRunOutput base = runCmp(cfg, free, "compress");
+
+    CmpConfig costly = cmp;
+    costly.l2ContentionPenalty = 50;
+    const CmpRunOutput slow = runCmp(cfg, costly, "compress");
+
+    // The round-robin quanta are instruction-based, so the L2
+    // access interleaving — and hence the contention count — is
+    // identical; only the charged latency differs.
+    EXPECT_EQ(base.l2ContentionEvents, slow.l2ContentionEvents);
+    EXPECT_GT(base.l2ContentionEvents, 0u);
+    EXPECT_GT(slow.systemCycles, base.systemCycles);
+}
+
+TEST(CmpAccounting, PerCoreRowsPlusSharedRowsSumToSystemTotal)
+{
+    CmpMeasurement conv;
+    conv.cycles = 1000000;
+    conv.cores.resize(2);
+    conv.cores[0].l1Accesses = 500000;
+    conv.cores[1].l1Accesses = 400000;
+    conv.l2Accesses = 20000;
+    conv.l2Misses = 2000;
+    conv.memAccesses = 2000;
+
+    CmpMeasurement dri = conv;
+    dri.cycles = 1010000;
+    dri.cores[0].l1AvgActiveFraction = 0.4;
+    dri.cores[0].l1ResizingTagBits = 4;
+    dri.cores[1].l1AvgActiveFraction = 0.7;
+    dri.cores[1].l1ResizingTagBits = 2;
+    dri.l2AvgActiveFraction = 0.5;
+    dri.l2ResizingTagBits = 4;
+    dri.l2Accesses = 25000; // extra traffic charged to the L2 row
+    dri.memAccesses = 2600; // extra traffic charged to the mem row
+
+    const CmpComparison cmp =
+        compareCmp(MultiLevelConstants::paper(), conv, dri);
+
+    // Row identities: one l1i[k] per core, then shared l2 and mem.
+    ASSERT_EQ(cmp.dri.levels.size(), 4u);
+    EXPECT_EQ(cmp.dri.levels[0].level, "l1i[0]");
+    EXPECT_EQ(cmp.dri.levels[1].level, "l1i[1]");
+    EXPECT_EQ(cmp.dri.levels[2].level, "l2");
+    EXPECT_EQ(cmp.dri.levels[3].level, "mem");
+
+    // Totals are the row sums by construction — exactly.
+    double leak = 0.0, dyn = 0.0;
+    for (const LevelEnergy &l : cmp.dri.levels) {
+        leak += l.leakageNJ;
+        dyn += l.dynamicNJ;
+    }
+    EXPECT_EQ(leak, cmp.dri.totalLeakageNJ());
+    EXPECT_EQ(dyn, cmp.dri.totalDynamicNJ());
+
+    // The conventional baseline pairs against itself: no extra
+    // traffic, no resizing overhead, relative ED of exactly 1.
+    EXPECT_DOUBLE_EQ(cmp.conventional.level("mem")->dynamicNJ, 0.0);
+    const double conv_ed =
+        cmp.conventional.energyDelay(conv.cycles);
+    EXPECT_GT(conv_ed, 0.0);
+    EXPECT_DOUBLE_EQ(
+        compareCmp(MultiLevelConstants::paper(), conv, conv)
+            .relativeEnergyDelay(),
+        1.0);
+
+    // Gating the arrays must have cut the DRI leakage below the
+    // conventional leakage despite the longer run.
+    EXPECT_LT(cmp.dri.totalLeakageNJ(),
+              cmp.conventional.totalLeakageNJ() * 1.02);
+
+    // The slowdown is computed on system time.
+    EXPECT_NEAR(cmp.slowdownPercent(), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(cmp.coreAverageSizeFraction(0), 0.4);
+    EXPECT_DOUBLE_EQ(cmp.coreAverageSizeFraction(1), 0.7);
+    EXPECT_DOUBLE_EQ(cmp.l2AverageSizeFraction(), 0.5);
+}
+
+TEST(CmpSearch, WinnerAndGridShapeAreSane)
+{
+    RunConfig cfg;
+    cfg.maxInstrs = 120 * 1000;
+    CmpConfig cmp;
+    cmp.cores = 2;
+    CmpCoreConfig c0, c1;
+    c0.bench = "compress";
+    c1.bench = "li";
+    cmp.coreConfigs = {c0, c1};
+
+    const CmpRunOutput conv = runCmp(cfg, cmp, "compress");
+
+    CmpSpace space;
+    space.l1MissBoundFactors = {32.0};
+    space.l2SizeBounds = {64 * 1024, 1024 * 1024};
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 50000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 50000;
+
+    const CmpSearchResult sr = searchCmp(
+        cfg, cmp, "compress", l1Tmpl, l2Tmpl, space,
+        MultiLevelConstants::paper(), 4.0, conv);
+
+    // |factors|^2 x |l2 bounds| = 1 x 2 cells, grid order.
+    ASSERT_EQ(sr.evaluated.size(), 2u);
+    EXPECT_EQ(sr.evaluated[0].l2.sizeBoundBytes, 64u * 1024);
+    EXPECT_EQ(sr.evaluated[1].l2.sizeBoundBytes, 1024u * 1024);
+    for (const CmpCandidate &cand : sr.evaluated) {
+        ASSERT_EQ(cand.l1.size(), 2u);
+        EXPECT_GE(cand.l1[0].missBound, space.missBoundFloor);
+        // Per-level rows: l1i[0], l1i[1], l2, mem.
+        ASSERT_EQ(cand.cmp.dri.levels.size(), 4u);
+    }
+    ASSERT_EQ(sr.best.l1.size(), 2u);
+    EXPECT_GT(sr.best.cmp.relativeEnergyDelay(), 0.0);
+
+    // The rendered row carries one miss-bound and one size per core.
+    const std::vector<std::string> row =
+        cmpRowCells("compress+li", sr.best);
+    ASSERT_EQ(row.size(), 8u);
+    EXPECT_EQ(row[0], "compress+li");
+    EXPECT_NE(row[1].find('/'), std::string::npos);
+    EXPECT_NE(row[5].find('/'), std::string::npos);
+}
+
+TEST(CmpSearch, WideCmpDegradesToSharedFactorSweep)
+{
+    // 2^12 per-core factor combinations blow the 1024-cell cap, so
+    // the sweep must fall back to one shared factor index (cells =
+    // |factors| x |l2 bounds|) instead of exploding or overflowing.
+    RunConfig cfg;
+    cfg.maxInstrs = 15 * 1000;
+    CmpConfig cmp;
+    cmp.cores = 12;
+    const CmpRunOutput conv = runCmp(cfg, cmp, "compress");
+
+    CmpSpace space;
+    space.l1MissBoundFactors = {2.0, 32.0};
+    space.l2SizeBounds = {64 * 1024};
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 5000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 5000;
+
+    const CmpSearchResult sr = searchCmp(
+        cfg, cmp, "compress", l1Tmpl, l2Tmpl, space,
+        MultiLevelConstants::paper(), -1.0, conv);
+
+    ASSERT_EQ(sr.evaluated.size(), 2u);
+    for (std::size_t i = 0; i < sr.evaluated.size(); ++i) {
+        const CmpCandidate &cand = sr.evaluated[i];
+        ASSERT_EQ(cand.l1.size(), 12u);
+        // Shared index: every core uses the same factor per cell.
+        for (const DriParams &p : cand.l1)
+            EXPECT_EQ(p.missBound, cand.l1[0].missBound);
+        // Per-level rows: 12 l1i[k] + l2 + mem.
+        EXPECT_EQ(cand.cmp.dri.levels.size(), 14u);
+    }
+    // The two cells differ (factor 2 vs factor 32).
+    EXPECT_NE(sr.evaluated[0].l1[0].missBound,
+              sr.evaluated[1].l1[0].missBound);
+}
+
+/**
+ * The image-cache hammer: three cores running three benchmarks no
+ * other test in this binary touches, searched with a 4-worker pool
+ * and a hand-built baseline so the *cells* are the first users of
+ * the shared programImageFor() cache — several workers race through
+ * the cold-build path and then hit the shared-lock read path on
+ * every subsequent cell. Run under TSan via the `concurrency`
+ * label.
+ */
+TEST(CmpSearchConcurrency, ImageCacheHammeredFromConcurrentCells)
+{
+    RunConfig cfg;
+    cfg.maxInstrs = 30 * 1000;
+    cfg.jobs = 4;
+    CmpConfig cmp;
+    cmp.cores = 3;
+    CmpCoreConfig c0, c1, c2;
+    c0.bench = "gcc";
+    c1.bench = "hydro2d";
+    c2.bench = "su2cor";
+    cmp.coreConfigs = {c0, c1, c2};
+
+    // Plausible hand-built baseline (the real one would warm the
+    // image cache serially and defeat the point of the test).
+    CmpRunOutput conv;
+    conv.cores.resize(3);
+    for (CmpCoreOutput &c : conv.cores) {
+        c.meas.instructions = cfg.maxInstrs;
+        c.meas.cycles = cfg.maxInstrs;
+        c.meas.l1iAccesses = cfg.maxInstrs / 4;
+        c.meas.l1iMisses = 200;
+        c.l2Accesses = 500;
+        c.l2Misses = 100;
+    }
+    conv.systemCycles = cfg.maxInstrs;
+    conv.l2Accesses = 1500;
+    conv.l2Misses = 300;
+    conv.memAccesses = 300;
+    conv.l2SizeBytes = 1024 * 1024;
+
+    CmpSpace space;
+    space.l1MissBoundFactors = {2.0, 32.0};
+    space.l2SizeBounds = {64 * 1024};
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 10000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 10000;
+
+    const CmpSearchResult sr = searchCmp(
+        cfg, cmp, "gcc", l1Tmpl, l2Tmpl, space,
+        MultiLevelConstants::paper(), -1.0, conv);
+
+    // 2^3 factor combinations x 1 bound.
+    ASSERT_EQ(sr.evaluated.size(), 8u);
+    for (const CmpCandidate &cand : sr.evaluated)
+        EXPECT_EQ(cand.cmp.driRun.cores.size(), 3u);
+}
+
+} // namespace
+} // namespace drisim

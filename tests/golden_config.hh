@@ -65,6 +65,30 @@ struct MultiLevelGoldenCase
     const char *row;
 };
 
+/** Pinned expectations for the cores=2 (compress+li) CMP search. */
+struct CmpGoldenCase
+{
+    const char *mix;
+    // Winner identity (per-core L1 miss-bounds + shared L2 bound).
+    std::uint64_t l1MissBound0;
+    std::uint64_t l1MissBound1;
+    std::uint64_t l2SizeBound;
+    std::uint64_t l2MissBound;
+    bool feasible;
+    // Winner comparison.
+    double relativeEnergyDelay;
+    double slowdownPercent;
+    double l1AvgSize0;
+    double l1AvgSize1;
+    double l2AvgSize;
+    // Detailed conventional CMP baseline.
+    std::uint64_t convSystemCycles;
+    std::uint64_t convL2Misses;
+    std::uint64_t convContentionEvents;
+    // Rendered bench_cmp-style summary row.
+    const char *row;
+};
+
 /** The fixed single-level golden run (Section 5.3 search). */
 inline SearchResult
 runGoldenSearch(const std::string &name)
@@ -104,6 +128,44 @@ runGoldenMultiSearch(const std::string &name, unsigned jobs)
                             MultiLevelConstants::paper(), 4.0, conv);
 }
 
+/** The benchmark mix every CMP golden runs. */
+inline const std::vector<std::string> &
+goldenCmpBenches()
+{
+    static const std::vector<std::string> benches{"compress", "li"};
+    return benches;
+}
+
+/** The fixed CMP golden run (per-core L1 mb x shared L2 bound). */
+inline CmpSearchResult
+runGoldenCmpSearch(unsigned jobs)
+{
+    RunConfig cfg;
+    cfg.maxInstrs = 300 * 1000;
+    cfg.jobs = jobs;
+
+    CmpConfig cmp;
+    cmp.cores = 2;
+    for (const std::string &b : goldenCmpBenches()) {
+        CmpCoreConfig core;
+        core.bench = b;
+        cmp.coreConfigs.push_back(std::move(core));
+    }
+    const CmpRunOutput conv =
+        runCmp(cfg, cmp, goldenCmpBenches()[0]);
+
+    CmpSpace space;
+    space.l1MissBoundFactors = {2.0, 32.0};
+    space.l2SizeBounds = {64 * 1024, 1024 * 1024};
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 50000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 50000;
+    return searchCmp(cfg, cmp, goldenCmpBenches()[0], l1Tmpl,
+                     l2Tmpl, space, MultiLevelConstants::paper(),
+                     4.0, conv);
+}
+
 /** One CSV line from a Table (the row after the header). */
 inline std::string
 csvRow(Table &t)
@@ -139,6 +201,56 @@ renderMultiLevelGoldenRow(const std::string &name,
              "rel-ED", "L1-size", "L2-size", "slowdown"});
     t.addRow(multiLevelRowCells(name, sr.best));
     return csvRow(t);
+}
+
+/** The cells bench_cmp prints for a winner, as CSV. */
+inline std::string
+renderCmpGoldenRow(const CmpSearchResult &sr)
+{
+    Table t({"mix", "L1-mb", "L2-bound", "L2-mb", "rel-ED",
+             "L1-sizes", "L2-size", "slowdown"});
+    t.addRow(cmpRowCells(cmpMixName(goldenCmpBenches()), sr.best));
+    return csvRow(t);
+}
+
+/**
+ * Full-precision serialization of every observable of a CMP search
+ * result — the --jobs determinism contract for searchCmp (two runs
+ * at different --jobs values must be byte-identical).
+ */
+inline std::string
+serializeCmpResult(const CmpSearchResult &sr)
+{
+    std::ostringstream os;
+    auto cand = [&](const CmpCandidate &c) {
+        for (const DriParams &p : c.l1)
+            os << strFormat(
+                "l1=%llu/%llu ",
+                static_cast<unsigned long long>(p.sizeBoundBytes),
+                static_cast<unsigned long long>(p.missBound));
+        os << strFormat(
+            "l2=%llu/%llu feasible=%d ed=%.17g slow=%.17g",
+            static_cast<unsigned long long>(c.l2.sizeBoundBytes),
+            static_cast<unsigned long long>(c.l2.missBound),
+            c.feasible ? 1 : 0, c.cmp.relativeEnergyDelay(),
+            c.cmp.slowdownPercent());
+        for (std::size_t k = 0; k < c.l1.size(); ++k)
+            os << strFormat(" sz%zu=%.17g", k,
+                            c.cmp.coreAverageSizeFraction(k));
+        for (const LevelEnergy &l : c.cmp.dri.levels)
+            os << strFormat(" %s=%.17g+%.17g", l.level.c_str(),
+                            l.leakageNJ, l.dynamicNJ);
+        os << "\n";
+    };
+    os << "conv cycles=" << sr.convDetailed.systemCycles
+       << " l2misses=" << sr.convDetailed.l2Misses
+       << " contention=" << sr.convDetailed.l2ContentionEvents
+       << " mem=" << sr.convDetailed.memAccesses << "\n";
+    for (const CmpCandidate &c : sr.evaluated)
+        cand(c);
+    os << "best: ";
+    cand(sr.best);
+    return os.str();
 }
 
 /**

@@ -29,6 +29,7 @@ namespace drisim
 namespace
 {
 
+using golden::CmpGoldenCase;
 using golden::GoldenCase;
 using golden::MultiLevelGoldenCase;
 
@@ -117,6 +118,69 @@ TEST_P(MultiLevelGolden, WinnerRowAndJobsInvarianceMatchGolden)
               gold.row);
 }
 
+class CmpGolden : public ::testing::TestWithParam<CmpGoldenCase>
+{
+};
+
+TEST_P(CmpGolden, WinnerRowAndJobsInvarianceMatchGolden)
+{
+    const CmpGoldenCase &gold = GetParam();
+    const CmpSearchResult sr = golden::runGoldenCmpSearch(1);
+
+    // 2 L2 bounds x 2^2 per-core factor combinations.
+    ASSERT_EQ(sr.evaluated.size(), 8u);
+    ASSERT_EQ(sr.best.l1.size(), 2u);
+    EXPECT_EQ(sr.best.l1[0].missBound, gold.l1MissBound0);
+    EXPECT_EQ(sr.best.l1[1].missBound, gold.l1MissBound1);
+    EXPECT_EQ(sr.best.l2.sizeBoundBytes, gold.l2SizeBound);
+    EXPECT_EQ(sr.best.l2.missBound, gold.l2MissBound);
+    EXPECT_EQ(sr.best.feasible, gold.feasible);
+
+    EXPECT_NEAR(sr.best.cmp.relativeEnergyDelay(),
+                gold.relativeEnergyDelay, 1e-9);
+    EXPECT_NEAR(sr.best.cmp.slowdownPercent(), gold.slowdownPercent,
+                1e-9);
+    EXPECT_NEAR(sr.best.cmp.coreAverageSizeFraction(0),
+                gold.l1AvgSize0, 1e-9);
+    EXPECT_NEAR(sr.best.cmp.coreAverageSizeFraction(1),
+                gold.l1AvgSize1, 1e-9);
+    EXPECT_NEAR(sr.best.cmp.l2AverageSizeFraction(), gold.l2AvgSize,
+                1e-9);
+
+    EXPECT_EQ(sr.convDetailed.systemCycles, gold.convSystemCycles);
+    EXPECT_EQ(sr.convDetailed.l2Misses, gold.convL2Misses);
+    EXPECT_EQ(sr.convDetailed.l2ContentionEvents,
+              gold.convContentionEvents);
+
+    EXPECT_EQ(golden::renderCmpGoldenRow(sr), gold.row);
+
+    // Per-level rows — one l1i[k] per core plus shared l2/mem —
+    // must sum to the reported system totals exactly.
+    const HierarchyEnergy &h = sr.best.cmp.dri;
+    double leak = 0.0, dyn = 0.0, total = 0.0;
+    for (const LevelEnergy &l : h.levels) {
+        leak += l.leakageNJ;
+        dyn += l.dynamicNJ;
+        total += l.totalNJ();
+    }
+    EXPECT_EQ(leak, h.totalLeakageNJ());
+    EXPECT_EQ(dyn, h.totalDynamicNJ());
+    EXPECT_EQ(total, h.totalNJ());
+    ASSERT_EQ(h.levels.size(), 4u); // l1i[0], l1i[1], l2, mem
+    EXPECT_EQ(h.levels[0].level, "l1i[0]");
+    EXPECT_EQ(h.levels[1].level, "l1i[1]");
+    EXPECT_EQ(h.levels[2].level, "l2");
+    EXPECT_EQ(h.levels[3].level, "mem");
+
+    // The determinism contract: a 4-worker pool must produce a
+    // byte-identical CmpSearchResult (and hence identical rendered
+    // rows) to the serial walk above.
+    const CmpSearchResult sr4 = golden::runGoldenCmpSearch(4);
+    EXPECT_EQ(golden::serializeCmpResult(sr),
+              golden::serializeCmpResult(sr4));
+    EXPECT_EQ(golden::renderCmpGoldenRow(sr4), gold.row);
+}
+
 // GOLDEN-BASELINE-BEGIN (tools/rebaseline.sh regenerates this block)
 INSTANTIATE_TEST_SUITE_P(
     PaperPath, GoldenSearch,
@@ -148,6 +212,18 @@ INSTANTIATE_TEST_SUITE_P(
                              "li,4K,2236,64K,1820,0.395,0.382,0.382,1.12%"}),
     [](const ::testing::TestParamInfo<MultiLevelGoldenCase> &info) {
         return std::string(info.param.benchmark);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    CmpPath, CmpGolden,
+    ::testing::Values(
+        CmpGoldenCase{"compress+li", 192, 2981, 1048576, 3220, true,
+                      0.933663763499536, 0.00347335287094186,
+                      0.463711506818389, 0.332395991260144, 1,
+                      230325, 4831, 126,
+                      "compress+li,192/2981,1M,3220,0.934,0.464/0.332,1.000,0.00%"}),
+    [](const ::testing::TestParamInfo<CmpGoldenCase> &) {
+        return std::string("compress_li");
     });
 // GOLDEN-BASELINE-END
 

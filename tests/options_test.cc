@@ -149,8 +149,119 @@ TEST(Options, UsageMentionsEveryKey)
           "dri.interval", "dri.divisibility", "dri.throttle_hold",
           "dri.adaptive", "l2.size", "l2.assoc", "l2.block",
           "l2.dri", "l2.size_bound", "l2.miss_bound",
-          "l2.interval"})
+          "l2.interval", "cores", "coreK.bench", "coreK.dri"})
         EXPECT_NE(u.find(key), std::string::npos) << key;
+}
+
+TEST(Options, ParsesCoresAndPerCoreKeys)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"cores=2", "benchmark=compress",
+                       "core1.bench=li", "core1.dri.miss_bound=77",
+                       "core1.dri.size_bound=2K",
+                       "core1.dri.interval=50000"},
+                      o, err));
+    EXPECT_EQ(o.cores, 2u);
+    EXPECT_TRUE(o.unknown.empty());
+
+    const std::vector<CmpCoreConfig> cfgs = o.cmpCores(true);
+    ASSERT_EQ(cfgs.size(), 2u);
+    EXPECT_EQ(cfgs[0].bench, "compress");
+    EXPECT_TRUE(cfgs[0].dri);
+    EXPECT_EQ(cfgs[1].bench, "li");
+    EXPECT_TRUE(cfgs[1].dri);
+    EXPECT_EQ(cfgs[1].driParams.missBound, 77u);
+    EXPECT_EQ(cfgs[1].driParams.sizeBoundBytes, 2048u);
+    EXPECT_EQ(cfgs[1].driParams.senseInterval, 50000u);
+
+    // A conventional baseline resolution is conventional on every
+    // core — tuning a core's DRI knobs must never pollute the
+    // baseline leg it is compared against.
+    const std::vector<CmpCoreConfig> conv = o.cmpCores(false);
+    EXPECT_FALSE(conv[0].dri);
+    EXPECT_FALSE(conv[1].dri);
+}
+
+TEST(Options, GlobalDriKeysReachUnconfiguredCoresRegardlessOfOrder)
+{
+    Options o;
+    std::string err;
+    // core1.bench creates override records; a *later* global dri.*
+    // key must still reach both cores (only explicit coreK.dri.*
+    // knobs freeze a core's template).
+    ASSERT_TRUE(parse({"cores=2", "core1.bench=li",
+                       "dri.miss_bound=999"},
+                      o, err));
+    const std::vector<CmpCoreConfig> cfgs = o.cmpCores(true);
+    ASSERT_EQ(cfgs.size(), 2u);
+    EXPECT_EQ(cfgs[0].driParams.missBound, 999u);
+    EXPECT_EQ(cfgs[1].driParams.missBound, 999u);
+}
+
+TEST(Options, PerCoreKnobsSeedFromGlobalTemplate)
+{
+    Options o;
+    std::string err;
+    // Global dri.* keys first, then the per-core override: the
+    // override inherits the template and changes only its own key.
+    ASSERT_TRUE(parse({"cores=2", "dri.miss_bound=123",
+                       "core0.dri.size_bound=4K"},
+                      o, err));
+    const std::vector<CmpCoreConfig> cfgs = o.cmpCores(true);
+    ASSERT_EQ(cfgs.size(), 2u);
+    EXPECT_EQ(cfgs[0].driParams.missBound, 123u);
+    EXPECT_EQ(cfgs[0].driParams.sizeBoundBytes, 4096u);
+    // Core 1 has no override record: it takes the global template.
+    EXPECT_EQ(cfgs[1].driParams.missBound, 123u);
+}
+
+TEST(Options, CoreDriFlagDisablesPerCore)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"cores=2", "core0.dri=0"}, o, err));
+    const std::vector<CmpCoreConfig> cfgs = o.cmpCores(true);
+    EXPECT_FALSE(cfgs[0].dri); // explicit opt-out wins
+    EXPECT_TRUE(cfgs[1].dri);
+
+    CmpConfig cmp = o.cmpConfig(true);
+    EXPECT_EQ(cmp.cores, 2u);
+    ASSERT_EQ(cmp.coreConfigs.size(), 2u);
+    EXPECT_FALSE(cmp.coreConfigs[0].dri);
+}
+
+TEST(Options, RejectsBadCoresValues)
+{
+    Options o;
+    std::string err;
+    // cores=0 and the "-1" wraparound are rejected by the shared
+    // strict parser (util/parse.hh) — everywhere, not just here.
+    EXPECT_FALSE(parse({"cores=0"}, o, err));
+    EXPECT_FALSE(parse({"cores=-1"}, o, err));
+    EXPECT_FALSE(parse({"cores=65"}, o, err)); // kMaxCmpCores = 64
+    EXPECT_FALSE(parse({"jobs=-1"}, o, err));
+    EXPECT_FALSE(parse({"dri.interval=-1"}, o, err));
+    EXPECT_FALSE(parse({"l2.interval=-1"}, o, err));
+    EXPECT_FALSE(parse({"core0.dri.interval=-1"}, o, err));
+    EXPECT_FALSE(parse({"core0.dri.interval=0"}, o, err));
+    EXPECT_FALSE(parse({"instrs=-1"}, o, err));
+}
+
+TEST(Options, UnknownCoreSubkeysCollected)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"core0.banana=1", "core999.bench=li",
+                       "corex.bench=li"},
+                      o, err));
+    // core0.banana: valid core prefix, unknown subkey.
+    // core999: index past kMaxCmpCores does not match the coreK
+    // shape. corex: not a decimal index.
+    ASSERT_EQ(o.unknown.size(), 3u);
+    EXPECT_EQ(o.unknown[0], "core0.banana");
+    EXPECT_EQ(o.unknown[1], "core999.bench");
+    EXPECT_EQ(o.unknown[2], "corex.bench");
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "util/bitops.hh"
+#include "util/parse.hh"
 #include "util/random.hh"
 #include "util/str.hh"
 
@@ -149,6 +150,59 @@ TEST(Str, BytesRoundTrip)
     EXPECT_EQ(v, 512u);
     EXPECT_FALSE(parseBytes("abc", v));
     EXPECT_FALSE(parseBytes("", v));
+}
+
+TEST(Parse, UnsignedAcceptsPlainDecimal)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseUnsignedValue("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseUnsignedValue("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseUnsignedValue("007", v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_TRUE(parseUnsignedValue("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(Parse, UnsignedRejectsSignWhitespaceAndJunk)
+{
+    std::uint64_t v = 99;
+    // The wraparound bug the shared parser exists to kill: strtoull
+    // would happily turn "-1" into 2^64-1.
+    EXPECT_FALSE(parseUnsignedValue("-1", v));
+    EXPECT_FALSE(parseUnsignedValue("+1", v));
+    EXPECT_FALSE(parseUnsignedValue("", v));
+    EXPECT_FALSE(parseUnsignedValue(" 1", v));
+    EXPECT_FALSE(parseUnsignedValue("1 ", v));
+    EXPECT_FALSE(parseUnsignedValue("1x", v));
+    EXPECT_FALSE(parseUnsignedValue("0x10", v));
+    EXPECT_FALSE(parseUnsignedValue("1e3", v));
+    EXPECT_EQ(v, 99u); // untouched on failure
+}
+
+TEST(Parse, UnsignedEnforcesCapWithoutWrapping)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseUnsignedValue("4096", v, 4096));
+    EXPECT_EQ(v, 4096u);
+    EXPECT_FALSE(parseUnsignedValue("4097", v, 4096));
+    // Values overflowing u64 must fail, not wrap.
+    EXPECT_FALSE(parseUnsignedValue("18446744073709551616", v));
+    EXPECT_FALSE(
+        parseUnsignedValue("99999999999999999999999999", v));
+}
+
+TEST(Parse, PositiveRejectsZero)
+{
+    std::uint64_t v = 7;
+    EXPECT_FALSE(parsePositiveValue("0", v));
+    EXPECT_FALSE(parsePositiveValue("-1", v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_TRUE(parsePositiveValue("1", v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(parsePositiveValue("64", v, 64));
+    EXPECT_FALSE(parsePositiveValue("65", v, 64));
 }
 
 } // namespace

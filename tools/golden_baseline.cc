@@ -106,6 +106,44 @@ printMultiLevel(const std::vector<std::string> &benches)
                 "    });\n");
 }
 
+void
+printCmp()
+{
+    const CmpSearchResult sr = golden::runGoldenCmpSearch(1);
+    const CmpCandidate &best = sr.best;
+    std::printf("\nINSTANTIATE_TEST_SUITE_P(\n"
+                "    CmpPath, CmpGolden,\n"
+                "    ::testing::Values(\n");
+    std::printf(
+        "        CmpGoldenCase{\"%s\", %llu, %llu, %llu, %llu, "
+        "%s,\n"
+        "                      %s, %s,\n"
+        "                      %s, %s, %s,\n"
+        "                      %llu, %llu, %llu,\n"
+        "                      \"%s\"}),\n",
+        cmpMixName(golden::goldenCmpBenches()).c_str(),
+        static_cast<unsigned long long>(best.l1[0].missBound),
+        static_cast<unsigned long long>(best.l1[1].missBound),
+        static_cast<unsigned long long>(best.l2.sizeBoundBytes),
+        static_cast<unsigned long long>(best.l2.missBound),
+        best.feasible ? "true" : "false",
+        g(best.cmp.relativeEnergyDelay()).c_str(),
+        g(best.cmp.slowdownPercent()).c_str(),
+        g(best.cmp.coreAverageSizeFraction(0)).c_str(),
+        g(best.cmp.coreAverageSizeFraction(1)).c_str(),
+        g(best.cmp.l2AverageSizeFraction()).c_str(),
+        static_cast<unsigned long long>(
+            sr.convDetailed.systemCycles),
+        static_cast<unsigned long long>(sr.convDetailed.l2Misses),
+        static_cast<unsigned long long>(
+            sr.convDetailed.l2ContentionEvents),
+        golden::renderCmpGoldenRow(sr).c_str());
+    std::printf("    [](const ::testing::TestParamInfo"
+                "<CmpGoldenCase> &) {\n"
+                "        return std::string(\"compress_li\");\n"
+                "    });\n");
+}
+
 } // namespace
 
 int
@@ -113,8 +151,10 @@ main()
 {
     const std::vector<std::string> benches{"compress", "li"};
     std::fprintf(stderr, "regenerating golden expectations for "
-                         "compress and li...\n");
+                         "compress and li (single-level, "
+                         "multi-level, cmp)...\n");
     printSingleLevel(benches);
     printMultiLevel(benches);
+    printCmp();
     return 0;
 }
