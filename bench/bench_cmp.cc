@@ -15,7 +15,7 @@
  * The winner's energy is reported split into per-core l1i[k] rows
  * plus shared l2/mem rows whose sums define the system total.
  *
- *   ./bench_cmp [--cores N] [--jobs N] [--list]
+ *   ./bench_cmp [--cores N] [--jobs N] [--json PATH] [--list]
  */
 
 #include <iostream>
@@ -83,8 +83,11 @@ main(int argc, char **argv)
     DriParams l2Template = HierarchyParams::defaultL2DriParams();
     l2Template.senseInterval = ctx.driTemplate.senseInterval;
 
-    Table summary({"mix", "L1-mb", "L2-bound", "L2-mb", "rel-ED",
-                   "L1-sizes", "L2-size", "slowdown"});
+    const std::vector<std::string> cols{
+        "mix",    "L1-mb",    "L2-bound", "L2-mb",
+        "rel-ED", "L1-sizes", "L2-size",  "slowdown"};
+    Table summary(cols);
+    std::vector<std::vector<std::string>> winnerRows;
 
     struct PerMix
     {
@@ -113,7 +116,14 @@ main(int argc, char **argv)
             space, constants, ctx.maxSlowdownPct, conv,
             &benchExecutor(ctx));
 
-        summary.addRow(cmpRowCells(mix, sr.best));
+        if (sr.sharedFactorSweep)
+            std::cout << "note: " << mix
+                      << " swept one shared miss-bound factor "
+                         "(per-core cross product over the cell "
+                         "cap)\n";
+        std::vector<std::string> row = cmpRowCells(mix, sr.best);
+        summary.addRow(row);
+        winnerRows.push_back(std::move(row));
         sum_ed += sr.best.cmp.relativeEnergyDelay();
         results.push_back({mix, sr});
         std::cerr << "  [cmp] " << mix << " done\n";
@@ -159,5 +169,6 @@ main(int argc, char **argv)
               << fmtReduction(sum_ed /
                               static_cast<double>(results.size()))
               << "\n";
+    writeJsonReport(ctx, "bench_cmp", cols, winnerRows);
     return 0;
 }

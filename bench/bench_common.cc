@@ -27,12 +27,14 @@ defaultContext()
 
 bool
 parseBenchArgs(int argc, char **argv, BenchContext &ctx,
-               std::string &error, bool acceptCores)
+               std::string &error, bool acceptCores,
+               bool acceptShort)
 {
     const std::string usage =
         std::string("usage: ") + (argc > 0 ? argv[0] : "bench") +
         " [--jobs N]" + (acceptCores ? " [--cores N]" : "") +
-        " [--list]   (jobs 0 = DRISIM_JOBS "
+        (acceptShort ? " [--short]" : "") +
+        " [--json PATH] [--list]   (jobs 0 = DRISIM_JOBS "
         "env, else serial; --list prints the workload names)";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -40,6 +42,24 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
         bool is_cores = false;
         if (arg == "--list") {
             ctx.listOnly = true;
+            continue;
+        } else if (arg == "--short") {
+            if (!acceptShort) {
+                error = "this binary does not take --short\n" +
+                        usage;
+                return false;
+            }
+            ctx.shortRun = true;
+            continue;
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            ctx.jsonPath = argv[++i];
+            continue;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            ctx.jsonPath = arg.substr(7);
             continue;
         } else if (arg == "--jobs" || arg == "-j") {
             if (i + 1 >= argc) {
@@ -92,6 +112,78 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
     }
     ctx.exec.reset(); // rebuilt lazily with the parsed worker count
     error.clear();
+    return true;
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslash, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+writeJsonReport(const BenchContext &ctx,
+                const std::string &benchName,
+                const std::vector<std::string> &columns,
+                const std::vector<std::vector<std::string>> &rows)
+{
+    if (ctx.jsonPath.empty())
+        return true;
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - ctx.startTime)
+            .count();
+    std::FILE *f = std::fopen(ctx.jsonPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "warning: cannot write JSON report '%s'\n",
+                     ctx.jsonPath.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
+                 jsonEscape(benchName).c_str());
+    std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
+    std::fprintf(f, "  \"workers\": %u,\n",
+                 resolveJobCount(ctx.cfg.jobs));
+    std::fprintf(f, "  \"columns\": [");
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        std::fprintf(f, "%s\"%s\"", i ? ", " : "",
+                     jsonEscape(columns[i]).c_str());
+    std::fprintf(f, "],\n  \"winners\": [\n");
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::fprintf(f, "    {");
+        const std::size_t n =
+            std::min(columns.size(), rows[r].size());
+        for (std::size_t i = 0; i < n; ++i)
+            std::fprintf(f, "%s\"%s\": \"%s\"", i ? ", " : "",
+                         jsonEscape(columns[i]).c_str(),
+                         jsonEscape(rows[r][i]).c_str());
+        std::fprintf(f, "}%s\n",
+                     r + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
     return true;
 }
 

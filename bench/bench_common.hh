@@ -11,8 +11,10 @@
 #ifndef DRISIM_BENCH_BENCH_COMMON_HH
 #define DRISIM_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "harness/executor.hh"
 #include "harness/runner.hh"
@@ -43,6 +45,20 @@ struct BenchContext
 
     /** --list: print the SPEC workload names and exit. */
     bool listOnly = false;
+
+    /**
+     * --json PATH: write the bench's winner rows + wall-clock as a
+     * machine-readable report (writeJsonReport()). Empty = off.
+     */
+    std::string jsonPath;
+
+    /** --short: restrict to a quick workload subset (binaries that
+     *  accept it; the CI smoke uses it). */
+    bool shortRun = false;
+
+    /** Wall-clock anchor for the JSON report (context creation). */
+    std::chrono::steady_clock::time_point startTime =
+        std::chrono::steady_clock::now();
 };
 
 /** The context's pool, created on first use with cfg.jobs workers. */
@@ -53,16 +69,29 @@ BenchContext defaultContext();
 
 /**
  * Parse the flags every bench binary accepts (--jobs N, --jobs=N,
- * jobs=N, --list) into @p ctx. Returns false and fills @p error
- * (usage included) on anything unrecognized. After a successful
- * parse check ctx.listOnly: --list asks the binary to print the
- * available SPEC workload names (listBenchmarks()) and exit instead
- * of failing later on a typo. `--cores N` is accepted only when
- * @p acceptCores is set (bench_cmp) — every other binary rejects
- * it instead of silently running single-core.
+ * jobs=N, --list, --json PATH) into @p ctx. Returns false and fills
+ * @p error (usage included) on anything unrecognized. After a
+ * successful parse check ctx.listOnly: --list asks the binary to
+ * print the available SPEC workload names (listBenchmarks()) and
+ * exit instead of failing later on a typo. `--cores N` is accepted
+ * only when @p acceptCores is set (bench_cmp) — every other binary
+ * rejects it instead of silently running single-core — and
+ * `--short` only when @p acceptShort is set (bench_policies).
  */
 bool parseBenchArgs(int argc, char **argv, BenchContext &ctx,
-                    std::string &error, bool acceptCores = false);
+                    std::string &error, bool acceptCores = false,
+                    bool acceptShort = false);
+
+/**
+ * Write the bench's winner rows + wall-clock since context creation
+ * to ctx.jsonPath ({"bench", "wall_seconds", "columns", "winners"}
+ * — one object per row, keyed by column). No-op when --json was not
+ * given; warns and returns false when the file cannot be written.
+ */
+bool writeJsonReport(const BenchContext &ctx,
+                     const std::string &benchName,
+                     const std::vector<std::string> &columns,
+                     const std::vector<std::vector<std::string>> &rows);
 
 /** Print the SPEC workload names with their paper class; returns 0
  *  (the --list exit status). */

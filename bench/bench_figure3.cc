@@ -19,20 +19,20 @@ using namespace drisim::bench;
 namespace
 {
 
-void
-row(Table &t, const std::string &name, int cls,
-    const SearchCandidate &cand)
+std::vector<std::string>
+rowCells(const std::string &name, int cls,
+         const SearchCandidate &cand)
 {
     const ComparisonResult &c = cand.cmp;
-    t.addRow({name, std::to_string(cls),
-              bytesToString(cand.dri.sizeBoundBytes),
-              std::to_string(cand.dri.missBound),
-              fmtDouble(c.relativeEnergyDelay(), 3),
-              fmtDouble(c.relativeEdLeakage(), 3),
-              fmtDouble(c.relativeEdDynamic(), 3),
-              fmtDouble(c.averageSizeFraction(), 3),
-              fmtDouble(c.slowdownPercent(), 2) + "%",
-              fmtPercent(c.driRun.missRate(), 2)});
+    return {name, std::to_string(cls),
+            bytesToString(cand.dri.sizeBoundBytes),
+            std::to_string(cand.dri.missBound),
+            fmtDouble(c.relativeEnergyDelay(), 3),
+            fmtDouble(c.relativeEdLeakage(), 3),
+            fmtDouble(c.relativeEdDynamic(), 3),
+            fmtDouble(c.averageSizeFraction(), 3),
+            fmtDouble(c.slowdownPercent(), 2) + "%",
+            fmtPercent(c.driRun.missRate(), 2)};
 }
 
 } // namespace
@@ -59,10 +59,13 @@ main(int argc, char **argv)
               << ctx.driTemplate.senseInterval << ", "
               << workerBanner(ctx) << "\n";
 
-    Table tc({"benchmark", "class", "size-bound", "miss-bound",
-              "rel-ED", "ED-leak", "ED-dyn", "avg-size", "slowdown",
-              "miss-rate"});
+    const std::vector<std::string> cols{
+        "benchmark", "class",  "size-bound", "miss-bound",
+        "rel-ED",    "ED-leak", "ED-dyn",    "avg-size",
+        "slowdown",  "miss-rate"};
+    Table tc(cols);
     Table tu = tc;
+    std::vector<std::vector<std::string>> winnerRows;
 
     double sum_ed_c = 0.0;
     double sum_ed_u = 0.0;
@@ -72,8 +75,12 @@ main(int argc, char **argv)
 
     for (const auto &b : specSuite()) {
         const BaseResult base = computeBase(b, ctx);
-        row(tc, b.name, b.benchClass, base.constrained);
-        row(tu, b.name, b.benchClass, base.unconstrained);
+        std::vector<std::string> rc =
+            rowCells(b.name, b.benchClass, base.constrained);
+        tc.addRow(rc);
+        winnerRows.push_back(std::move(rc));
+        tu.addRow(rowCells(b.name, b.benchClass,
+                           base.unconstrained));
         sum_ed_c += base.constrained.cmp.relativeEnergyDelay();
         sum_ed_u += base.unconstrained.cmp.relativeEnergyDelay();
         sum_size_c += base.constrained.cmp.averageSizeFraction();
@@ -108,5 +115,6 @@ main(int argc, char **argv)
               << fmtReduction(sum_ed_u / n) << "  (paper: ~67%)\n";
     std::cout << "mean cache size reduction, constrained:     "
               << fmtReduction(sum_size_c / n) << "  (paper: ~62%)\n";
+    writeJsonReport(ctx, "bench_figure3", cols, winnerRows);
     return 0;
 }

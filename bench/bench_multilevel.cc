@@ -52,9 +52,11 @@ main(int argc, char **argv)
     DriParams l2Template = HierarchyParams::defaultL2DriParams();
     l2Template.senseInterval = ctx.driTemplate.senseInterval;
 
-    Table summary({"benchmark", "L1-bound", "L1-mb", "L2-bound",
-                   "L2-mb", "rel-ED", "L1-size", "L2-size",
-                   "slowdown"});
+    const std::vector<std::string> cols{
+        "benchmark", "L1-bound", "L1-mb",   "L2-bound", "L2-mb",
+        "rel-ED",    "L1-size",  "L2-size", "slowdown"};
+    Table summary(cols);
+    std::vector<std::vector<std::string>> winnerRows;
 
     struct PerBench
     {
@@ -71,7 +73,10 @@ main(int argc, char **argv)
         const MultiLevelSearchResult sr = searchMultiLevel(
             b, ctx.cfg, ctx.driTemplate, l2Template, space, constants,
             ctx.maxSlowdownPct, conv, &benchExecutor(ctx));
-        summary.addRow(multiLevelRowCells(b.name, sr.best));
+        std::vector<std::string> row =
+            multiLevelRowCells(b.name, sr.best);
+        summary.addRow(row);
+        winnerRows.push_back(std::move(row));
         winners.push_back({b.name, sr.best});
         sum_ed += sr.best.cmp.relativeEnergyDelay();
         sum_l1_size += sr.best.cmp.l1AverageSizeFraction();
@@ -99,5 +104,6 @@ main(int argc, char **argv)
               << fmtDouble(sum_l1_size / n, 3)
               << ", mean L2 active size: "
               << fmtDouble(sum_l2_size / n, 3) << "\n";
+    writeJsonReport(ctx, "bench_multilevel", cols, winnerRows);
     return 0;
 }

@@ -20,8 +20,14 @@
  *
  *   ./param_tuner compress,li --cores 2 --jobs 4
  *
+ * With --policy the tuner switches to the leakage-policy
+ * head-to-head (harness/policies.hh): the (policy x parameter)
+ * grid — DRI vs Decay vs Drowsy vs StaticWays on a 64K 4-way L1I —
+ * with per-policy winners and the state-preserving vs
+ * state-destroying energy split.
+ *
  *   ./param_tuner [benchmark[,benchmark...]] [instructions]
- *                 [--jobs N] [--l2 | --cores N]
+ *                 [--jobs N] [--l2 | --cores N | --policy]
  */
 
 #include <cstdio>
@@ -33,6 +39,7 @@
 
 #include "harness/executor.hh"
 #include "harness/multilevel.hh"
+#include "harness/policies.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -110,6 +117,63 @@ tuneMultiLevel(const BenchmarkInfo &bench, const RunConfig &cfg)
     return 0;
 }
 
+/** The --policy mode: policy x parameter head-to-head grid. */
+int
+tunePolicies(const BenchmarkInfo &bench, RunConfig cfg)
+{
+    // Selective-ways needs associativity to gate; give every
+    // policy the same 64K 4-way geometry (head-to-head fairness).
+    cfg.hier.l1i.assoc = 4;
+
+    std::printf("detailed conventional baseline for %s "
+                "(64K 4-way L1I, %u workers)...\n",
+                bench.name.c_str(), resolveJobCount(cfg.jobs));
+    const RunOutput conv = runConventional(bench, cfg);
+    std::printf("  %llu cycles, L1I miss rate %.3f%%\n\n",
+                static_cast<unsigned long long>(conv.meas.cycles),
+                100.0 * conv.meas.missRate());
+
+    PolicyConfig tmpl;
+    tmpl.dri.senseInterval = 100000;
+    const PolicySpace space;
+    const PolicySearchResult sr = searchPolicies(
+        bench, cfg, tmpl, space, PolicyEnergyConstants::paper(),
+        4.0, conv);
+
+    Table t({"policy", "params", "rel-ED", "active", "drowsy",
+             "wakes", "slowdown", "<=4%?"});
+    for (const PolicyCandidate &cand : sr.evaluated) {
+        std::vector<std::string> cells =
+            policyRowCells(bench.name, cand);
+        cells.erase(cells.begin()); // drop the benchmark column
+        cells.push_back(cand.feasible ? "yes" : "NO");
+        t.addRow(cells);
+    }
+    std::printf("detailed landscape (%zu configurations):\n",
+                sr.evaluated.size());
+    t.print(std::cout);
+
+    std::printf("\nper-policy winners (lowest feasible "
+                "energy-delay):\n");
+    for (const PolicyCandidate &best : sr.bestPerKind) {
+        if (best.cmp.run.meas.cycles == 0)
+            continue; // kind had no cells in this grid
+        std::printf("  %-6s %-24s rel-ED %.3f (%.1f%% reduction), "
+                    "slowdown %.2f%%%s\n",
+                    policyKindName(best.config.kind),
+                    best.config.paramSummary().c_str(),
+                    best.cmp.relativeEnergyDelay(),
+                    100.0 * (1 - best.cmp.relativeEnergyDelay()),
+                    best.cmp.slowdownPercent(),
+                    best.feasible ? "" : " (infeasible)");
+        std::printf("        energy rows (nJ):");
+        for (const auto &[label, nj] : best.cmp.policy.rows())
+            std::printf(" %s=%.1f", label.c_str(), nj);
+        std::printf("\n");
+    }
+    return 0;
+}
+
 /** The --cores mode: CMP grid, system energy-delay objective. */
 int
 tuneCmp(const std::vector<std::string> &benches, unsigned cores,
@@ -157,6 +221,10 @@ tuneCmp(const std::vector<std::string> &benches, unsigned cores,
     const CmpSearchResult sr =
         searchCmp(cfg, cmp, benches[0], l1Tmpl, l2Tmpl, space,
                   constants, 4.0, conv);
+    if (sr.sharedFactorSweep)
+        std::printf("note: per-core factor cross product exceeded "
+                    "the cell cap; all cores swept one shared "
+                    "miss-bound factor\n");
 
     Table t({"L1-mb", "L2-bound", "L2-mb", "rel-ED", "L1-sizes",
              "L2-size", "slowdown", "<=4%?"});
@@ -202,6 +270,7 @@ main(int argc, char **argv)
     InstCount instrs = 3000000;
     unsigned jobs = 0;
     bool multilevel = false;
+    bool policies = false;
     unsigned cmpCores = 0;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -209,6 +278,9 @@ main(int argc, char **argv)
         std::string value;
         if (arg == "--l2") {
             multilevel = true;
+            continue;
+        } else if (arg == "--policy") {
+            policies = true;
             continue;
         } else if (arg == "--cores") {
             if (i + 1 >= argc) {
@@ -268,6 +340,9 @@ main(int argc, char **argv)
 
     if (multilevel)
         return tuneMultiLevel(bench, cfg);
+
+    if (policies)
+        return tunePolicies(bench, cfg);
 
     std::printf("detailed conventional baseline for %s "
                 "(%u workers)...\n",

@@ -11,15 +11,24 @@
  * `l2.dri=1` the DRI leg resizes the L2 as well and the report
  * switches to the per-level hierarchy accounting.
  *
+ * With `policy=decay|drowsy|ways` the adaptive leg swaps the DRI
+ * i-cache for the chosen leakage policy (policy/leakage_policy.hh)
+ * and the report switches to the policy accounting with its
+ * state-preserving/state-destroying leakage split:
+ *
+ *   ./quickstart compress policy=drowsy policy.drowsy.interval=50000
+ *
  * With `cores=N` (N >= 2) the run becomes a multiprogrammed CMP
  * (system/cmp.hh): every core runs the positional benchmark unless
  * `coreK.bench=` says otherwise, the DRI leg gives each core a
- * private DRI L1I (opt out per core with `coreK.dri=0`), and
- * `l2.dri=1` additionally makes the shared L2 resizable. Example:
+ * private DRI L1I (opt out per core with `coreK.dri=0`, or swap
+ * techniques per core with `coreK.policy=`), and `l2.dri=1`
+ * additionally makes the shared L2 resizable. Example:
  *
  *   ./quickstart compress cores=2 core1.bench=li l2.dri=1
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,12 +37,90 @@
 #include "config/options.hh"
 #include "energy/accounting.hh"
 #include "harness/multilevel.hh"
+#include "harness/policies.hh"
 #include "harness/runner.hh"
 
 using namespace drisim;
 
 namespace
 {
+
+/** The policy=decay|drowsy|ways mode: conventional vs policy L1I. */
+int
+runPolicyQuickstart(const Options &opts, const BenchmarkInfo &bench)
+{
+    // The conventional baseline always runs a fixed L2; the managed
+    // leg keeps the user's l2.dri choice (runPolicy wires a
+    // resizable L2 into the core's broadcast alongside the policy).
+    RunConfig convCfg = opts.run;
+    const bool l2Dri = convCfg.hier.l2Dri;
+    convCfg.hier.l2Dri = false;
+    RunConfig policyCfg = opts.run;
+    PolicyConfig pc = opts.policyConfig();
+    pc.dri = driParamsForLevel(convCfg.hier.l1i, pc.dri);
+
+    std::printf("running %s (class %d) for %llu instructions...\n",
+                bench.name.c_str(), bench.benchClass,
+                static_cast<unsigned long long>(
+                    convCfg.maxInstrs));
+    const RunOutput conv = runConventional(bench, convCfg);
+    const RunOutput managed = runPolicy(bench, policyCfg, pc);
+
+    const PolicyComparison cmp = comparePolicyRuns(
+        PolicyEnergyConstants::paper(), conv.meas,
+        toPolicyMeasurement(managed));
+
+    std::printf("\nconventional L1 i-cache:\n");
+    std::printf("  cycles            %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(conv.meas.cycles),
+                conv.ipc);
+    std::printf("  L1I miss rate     %.3f%%\n",
+                100.0 * conv.meas.missRate());
+
+    std::printf("\n%s policy (%s):\n", policyKindName(pc.kind),
+                pc.paramSummary().c_str());
+    std::printf("  cycles            %llu (slowdown %.2f%%)\n",
+                static_cast<unsigned long long>(
+                    managed.meas.cycles),
+                cmp.slowdownPercent());
+    std::printf("  L1I miss rate     %.3f%%\n",
+                100.0 * managed.meas.missRate());
+    std::printf("  avg full-power    %.1f%%, drowsy %.1f%%, gated "
+                "%.1f%%\n",
+                100.0 * cmp.averageActiveFraction(),
+                100.0 * cmp.averageDrowsyFraction(),
+                100.0 * std::max(0.0,
+                                 1.0 - cmp.averageActiveFraction() -
+                                     cmp.averageDrowsyFraction()));
+    std::printf("  wake transitions  %llu (%llu stall cycles)\n",
+                static_cast<unsigned long long>(
+                    managed.wakeTransitions),
+                static_cast<unsigned long long>(
+                    managed.wakeStallCycles));
+    if (l2Dri)
+        std::printf("  L2 avg active     %.1f%% of %lluK "
+                    "(%llu resizes; policy accounting below "
+                    "covers the L1I)\n",
+                    100.0 * managed.l2AvgActiveFraction,
+                    static_cast<unsigned long long>(
+                        managed.l2SizeBytes / 1024),
+                    static_cast<unsigned long long>(
+                        managed.l2Resizes));
+    if (managed.policyBlocksLost > 0)
+        std::printf("  blocks destroyed  %llu (state-destroying "
+                    "gating)\n",
+                    static_cast<unsigned long long>(
+                        managed.policyBlocksLost));
+
+    std::printf("\nenergy (nJ; state-preserving vs "
+                "state-destroying split):\n");
+    for (const auto &[label, nj] : cmp.policy.rows())
+        std::printf("  %-11s %14.1f\n", label.c_str(), nj);
+    std::printf("  relative energy-delay %.3f (%.1f%% reduction)\n",
+                cmp.relativeEnergyDelay(),
+                100.0 * (1.0 - cmp.relativeEnergyDelay()));
+    return 0;
+}
 
 /** The cores=N mode: conventional vs DRI multiprogrammed CMP. */
 int
@@ -75,12 +162,18 @@ runCmpQuickstart(const Options &opts)
         const CmpCoreOutput &dc = adaptive.cores[k];
         std::printf("  core %zu %-9s IPC %.2f -> %.2f, L1I miss "
                     "%.3f%% -> %.3f%%, avg size %.1f%%, "
-                    "%llu resizes\n",
+                    "%llu resizes",
                     k, dc.bench.c_str(), cc.ipc, dc.ipc,
                     100.0 * cc.meas.missRate(),
                     100.0 * dc.meas.missRate(),
                     100.0 * dc.meas.avgActiveFraction,
                     static_cast<unsigned long long>(dc.resizes));
+        if (dc.wakeTransitions > 0)
+            std::printf(", drowsy %.1f%%, %llu wakes",
+                        100.0 * dc.l1DrowsyFraction,
+                        static_cast<unsigned long long>(
+                            dc.wakeTransitions));
+        std::printf("\n");
     }
     std::printf("\nshared L2: miss rate %.3f%% -> %.3f%%, "
                 "contention events %llu -> %llu",
@@ -158,6 +251,9 @@ main(int argc, char **argv)
         return runCmpQuickstart(opts);
 
     const BenchmarkInfo &bench = findBenchmark(opts.benchmark);
+
+    if (opts.policy.kind != PolicyKind::Dri)
+        return runPolicyQuickstart(opts, bench);
 
     // 1. The Table 1 system with conventional caches throughout.
     RunConfig cfg = opts.run;

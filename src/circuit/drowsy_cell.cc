@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Drowsy-cell evaluation: state-preserving standby leakage and the
+ * wake-transition cost of restoring the supply rail.
+ */
+
+#include "circuit/drowsy_cell.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace drisim::circuit
+{
+
+DrowsyCell::DrowsyCell(const Technology &tech, const SramCell &cell,
+                       const DrowsyCellConfig &config)
+    : tech_(tech), cell_(cell), config_(config)
+{
+    drisim_assert(config.standbyVddV > 0.0 &&
+                  config.standbyVddV < tech.vdd,
+                  "drowsy standby rail must sit in (0, Vdd)");
+}
+
+double
+DrowsyCell::standbyLeakageFraction() const
+{
+    // The cell's leakage paths keep their Vgs = 0 bias in drowsy
+    // mode; only Vds drops from Vdd to the retention rail. Two
+    // factors of the subthreshold model change with it:
+    //
+    //   exp(eta * (Vs - Vdd) / (n vT))   — DIBL: the lower drain
+    //                                      raises the effective Vt
+    //   (1 - e^{-Vs/vT}) / (1 - e^{-Vdd/vT}) — drain saturation
+    //
+    // evaluated with the config's own calibrated eta (the default
+    // technology corner pins eta = 0 at its Vds = Vdd anchors; see
+    // technology.hh).
+    const double vt = tech_.thermalVoltage();
+    const double n_vt = tech_.subthresholdN * vt;
+    const double vs = config_.standbyVddV;
+    const double vdd = tech_.vdd;
+    const double dibl = std::exp(config_.diblEta * (vs - vdd) / n_vt);
+    const double drain = (1.0 - std::exp(-vs / vt)) /
+                         (1.0 - std::exp(-vdd / vt));
+    return dibl * drain;
+}
+
+double
+DrowsyCell::standbyLeakageCurrentPerCell() const
+{
+    return cell_.activeLeakageCurrent() * standbyLeakageFraction();
+}
+
+double
+DrowsyCell::standbyLeakagePerCycle(double cycleNs) const
+{
+    // Standby power is drawn from the retention rail, not Vdd.
+    return standbyLeakageCurrentPerCell() * config_.standbyVddV *
+           cycleNs;
+}
+
+double
+DrowsyCell::wakeEnergyPerLineNJ(unsigned cellsPerLine) const
+{
+    // Recharge the virtual rail of every cell in the line through
+    // the full swing: E = C * Vdd * (Vdd - Vs).
+    // fF * V^2 = 1e-15 J = 1e-6 nJ.
+    return static_cast<double>(cellsPerLine) *
+           config_.railCapPerCellFf * tech_.vdd *
+           (tech_.vdd - config_.standbyVddV) * 1e-6;
+}
+
+} // namespace drisim::circuit

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Drowsy (state-preserving low-Vdd standby) SRAM cell figures — the
+ * circuit substrate for the Drowsy leakage policy, sitting next to
+ * the gated-Vdd model the way the two techniques sit next to each
+ * other in the design space (Flautner et al., "Drowsy Caches", ISCA
+ * 2002; Bai et al.'s state-preserving vs state-destroying trade-off,
+ * PAPERS.md).
+ *
+ * Where gated-Vdd cuts the supply entirely — destroying the bit and
+ * collapsing leakage by ~97% — a drowsy cell drops its supply rail
+ * to a retention voltage just above the data-hold minimum. Leakage
+ * falls super-linearly with the rail (the DIBL contribution to the
+ * subthreshold exponent scales with Vds), the bit survives, and the
+ * price is a short wake transition (recharging the rail) before the
+ * line can be read again.
+ *
+ * The analytical model reuses the transistor substrate: standby
+ * leakage is the cell's composite off-path evaluated at the
+ * retention Vds with an explicit DIBL coefficient (the default
+ * technology corner keeps eta = 0 because its Table 2 anchors are
+ * all measured at Vds = Vdd; the drowsy figures are exactly the
+ * low-Vds regime that coefficient exists for, so this model carries
+ * its own calibrated eta). The default configuration reproduces the
+ * drowsy paper's headline: ~6x leakage reduction at a 1-cycle wake.
+ */
+
+#ifndef DRISIM_CIRCUIT_DROWSY_CELL_HH
+#define DRISIM_CIRCUIT_DROWSY_CELL_HH
+
+#include "circuit/sram_cell.hh"
+#include "circuit/technology.hh"
+#include "util/types.hh"
+
+namespace drisim::circuit
+{
+
+/** Standby-rail and wake options for a drowsy cell. */
+struct DrowsyCellConfig
+{
+    /**
+     * Retention supply voltage (V). Flautner et al. hold data at
+     * ~1.5x the cell's worst-case retention minimum; 0.3 V at the
+     * 1.0 V corner.
+     */
+    double standbyVddV = 0.3;
+
+    /**
+     * DIBL coefficient (V/V) used for the standby evaluation.
+     * Calibrated so the default cell's standby leakage lands at the
+     * drowsy paper's ~6x reduction; see the file comment.
+     */
+    double diblEta = 0.15;
+
+    /**
+     * Effective supply-rail capacitance per cell (fF): the charge
+     * that must be restored on wake (cell internals plus the cell's
+     * share of the virtual-rail wiring).
+     */
+    double railCapPerCellFf = 2.5;
+
+    /** Cycles to restore the rail before the line is readable. */
+    Cycles wakeLatency = 1;
+};
+
+/**
+ * Evaluates one drowsy configuration applied to an SRAM cell:
+ * standby leakage, wake-transition energy and wake latency — the
+ * state-preserving counterpart of the GatedVdd figures.
+ */
+class DrowsyCell
+{
+  public:
+    DrowsyCell(const Technology &tech, const SramCell &cell,
+               const DrowsyCellConfig &config);
+
+    const DrowsyCellConfig &config() const { return config_; }
+
+    /** Standby (drowsy-mode) leakage current per cell, A. */
+    double standbyLeakageCurrentPerCell() const;
+
+    /** Standby leakage energy per cycle per cell, nJ. */
+    double standbyLeakagePerCycle(double cycleNs = 1.0) const;
+
+    /**
+     * Standby leakage as a fraction of the cell's active leakage —
+     * the number the energy accounting consumes (~0.16 by default,
+     * i.e. a ~6x reduction).
+     */
+    double standbyLeakageFraction() const;
+
+    /** Leakage savings versus active mode, as a fraction. */
+    double leakageSavingsFraction() const
+    {
+        return 1.0 - standbyLeakageFraction();
+    }
+
+    /**
+     * Energy to recharge one line's supply rail from the retention
+     * voltage back to Vdd, nJ, for @p cellsPerLine cells.
+     */
+    double wakeEnergyPerLineNJ(unsigned cellsPerLine) const;
+
+    /** Cycles before a woken line is readable. */
+    Cycles wakeLatency() const { return config_.wakeLatency; }
+
+  private:
+    Technology tech_;
+    SramCell cell_;
+    DrowsyCellConfig config_;
+};
+
+} // namespace drisim::circuit
+
+#endif // DRISIM_CIRCUIT_DROWSY_CELL_HH

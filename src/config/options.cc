@@ -7,6 +7,7 @@
 #include "config/options.hh"
 
 #include "harness/executor.hh"
+#include "util/logging.hh"
 #include "util/parse.hh"
 #include "util/str.hh"
 
@@ -86,6 +87,78 @@ driOverride(Options &out, unsigned k)
     return o;
 }
 
+/** The override record for core @p k, with its policy made
+ *  authoritative: on the first coreK.policy* key it seeds from the
+ *  global policy template as parsed so far (same ordering rule as
+ *  driOverride). */
+CoreOverride &
+policyOverride(Options &out, unsigned k)
+{
+    CoreOverride &o = coreOverride(out, k);
+    if (!o.policySet) {
+        o.policy = out.policy;
+        o.policySet = true;
+    }
+    return o;
+}
+
+/**
+ * Parse one `policy*` sub-key ("", ".decay.interval", ...) into
+ * @p policy. Every count goes through the strict bounded parser
+ * (util/parse.hh), so "-1" is rejected instead of wrapping.
+ * Returns false on a bad value; sets @p known false when the
+ * sub-key is not a policy key at all.
+ */
+bool
+applyPolicyKey(const std::string &sub, const std::string &value,
+               PolicyConfig &policy, bool &known)
+{
+    known = true;
+    std::uint64_t u = 0;
+    if (sub.empty()) {
+        PolicyKind kind;
+        if (!parsePolicyKind(value, kind))
+            return false;
+        policy.kind = kind;
+        return true;
+    }
+    if (sub == ".decay.interval") {
+        if (!parsePositiveValue(value, u))
+            return false;
+        policy.decay.decayInterval = u;
+        return true;
+    }
+    if (sub == ".decay.limit") {
+        if (!parsePositiveValue(value, u, 64))
+            return false;
+        policy.decay.counterLimit = static_cast<unsigned>(u);
+        return true;
+    }
+    if (sub == ".drowsy.interval") {
+        if (!parsePositiveValue(value, u))
+            return false;
+        policy.drowsy.drowsyInterval = u;
+        return true;
+    }
+    if (sub == ".drowsy.wake") {
+        // 0 is legal (an idealized instant wake); the cap keeps a
+        // typo from stalling every access for an epoch.
+        if (!parseUnsignedValue(value, u, 1000))
+            return false;
+        policy.drowsy.wakeLatency = u;
+        return true;
+    }
+    if (sub == ".ways.active") {
+        // Strictly positive: way 0 is never gated.
+        if (!parsePositiveValue(value, u, 256))
+            return false;
+        policy.ways.activeWays = static_cast<unsigned>(u);
+        return true;
+    }
+    known = false;
+    return false;
+}
+
 } // namespace
 
 std::vector<CmpCoreConfig>
@@ -97,11 +170,15 @@ Options::cmpCores(bool driByDefault) const
         CmpCoreConfig c;
         c.bench = benchmark;
         // The leg's intent gates every core: a conventional
-        // baseline (driByDefault=false) never builds a DRI L1I no
-        // matter which per-core knobs were set, and in the DRI leg
-        // coreK.dri=0 opts a core out.
+        // baseline (driByDefault=false) never builds a leakage-
+        // managed L1I no matter which per-core knobs were set, and
+        // in the managed leg coreK.dri=0 opts a core out.
         c.dri = driByDefault;
         c.driParams = dri;
+        c.policyKind = policy.kind;
+        c.decay = policy.decay;
+        c.drowsy = policy.drowsy;
+        c.ways = policy.ways;
         if (k < coreOverrides.size()) {
             const CoreOverride &o = coreOverrides[k];
             if (!o.bench.empty())
@@ -113,6 +190,12 @@ Options::cmpCores(bool driByDefault) const
             // the (final) global template.
             if (o.driKnobsSet)
                 c.driParams = o.driParams;
+            if (o.policySet) {
+                c.policyKind = o.policy.kind;
+                c.decay = o.policy.decay;
+                c.drowsy = o.policy.drowsy;
+                c.ways = o.policy.ways;
+            }
         }
         cfgs.push_back(std::move(c));
     }
@@ -126,6 +209,14 @@ Options::cmpConfig(bool driByDefault) const
     c.cores = cores;
     c.coreConfigs = cmpCores(driByDefault);
     return c;
+}
+
+PolicyConfig
+Options::policyConfig() const
+{
+    PolicyConfig p = policy;
+    p.dri = dri;
+    return p;
 }
 
 bool
@@ -210,6 +301,15 @@ parseOptions(int argc, const char *const *argv, Options &out,
             if (!parseBool(value, b))
                 return bad_value();
             out.dri.adaptive = b;
+        } else if (key == "policy" ||
+                   key.rfind("policy.", 0) == 0) {
+            bool known = true;
+            if (!applyPolicyKey(key.substr(6), value, out.policy,
+                                known)) {
+                if (known)
+                    return bad_value();
+                out.unknown.push_back(key);
+            }
         } else if (key == "l2.size") {
             if (!parseBytes(value, u) || u == 0)
                 return bad_value();
@@ -261,12 +361,41 @@ parseOptions(int argc, const char *const *argv, Options &out,
                 if (!parsePositiveValue(value, u))
                     return bad_value();
                 driOverride(out, core).driParams.senseInterval = u;
+            } else if (sub == "policy" ||
+                       sub.rfind("policy.", 0) == 0) {
+                // Parse into a scratch copy first so an unknown
+                // sub-key cannot mark the core policy-authoritative.
+                bool known = true;
+                const CoreOverride &cur = coreOverride(out, core);
+                PolicyConfig p =
+                    cur.policySet ? cur.policy : out.policy;
+                if (!applyPolicyKey(sub.substr(6), value, p,
+                                    known)) {
+                    if (known)
+                        return bad_value();
+                    out.unknown.push_back(key);
+                } else {
+                    policyOverride(out, core).policy = p;
+                }
             } else {
                 out.unknown.push_back(key);
             }
         } else {
             out.unknown.push_back(key);
         }
+    }
+    // coreK.* keys for cores the final `cores=` count never builds
+    // would vanish silently in cmpCores(); warn once per orphaned
+    // record instead (checked post-loop, so key order is free).
+    for (std::size_t k = out.cores; k < out.coreOverrides.size();
+         ++k) {
+        const CoreOverride &o = out.coreOverrides[k];
+        if (!o.bench.empty() || o.dri != -1 || o.driKnobsSet ||
+            o.policySet)
+            warn("core%zu.* options ignored: only %u core%s "
+                 "configured (cores=%u)",
+                 k, out.cores, out.cores == 1 ? " is" : "s are",
+                 out.cores);
     }
     error.clear();
     return true;
@@ -278,11 +407,18 @@ optionsUsage()
     return "options: instrs=N jobs=N benchmark=NAME l1i.size=64K "
            "l1i.assoc=N l1i.block=32 dri.size_bound=1K "
            "dri.miss_bound=N dri.interval=N dri.divisibility=2 "
-           "dri.throttle_hold=N dri.adaptive=0|1 l2.size=1M "
+           "dri.throttle_hold=N dri.adaptive=0|1 "
+           "policy=dri|decay|drowsy|ways policy.decay.interval=N "
+           "policy.decay.limit=N policy.drowsy.interval=N "
+           "policy.drowsy.wake=N policy.ways.active=N l2.size=1M "
            "l2.assoc=N l2.block=64 l2.dri=0|1 l2.size_bound=64K "
            "l2.miss_bound=N l2.interval=N cores=N coreK.bench=NAME "
            "coreK.dri=0|1 coreK.dri.size_bound=1K "
-           "coreK.dri.miss_bound=N coreK.dri.interval=N";
+           "coreK.dri.miss_bound=N coreK.dri.interval=N "
+           "coreK.policy=NAME coreK.policy.decay.interval=N "
+           "coreK.policy.decay.limit=N "
+           "coreK.policy.drowsy.interval=N "
+           "coreK.policy.drowsy.wake=N coreK.policy.ways.active=N";
 }
 
 } // namespace drisim

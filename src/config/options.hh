@@ -9,10 +9,15 @@
  *   l1i.size, l1i.assoc, l1i.block,
  *   dri.size_bound, dri.miss_bound, dri.interval,
  *   dri.divisibility, dri.throttle_hold, dri.adaptive,
+ *   policy, policy.decay.interval, policy.decay.limit,
+ *   policy.drowsy.interval, policy.drowsy.wake, policy.ways.active,
  *   l2.size, l2.assoc, l2.block,
  *   l2.dri, l2.size_bound, l2.miss_bound, l2.interval,
  *   cores, coreK.bench, coreK.dri,
- *   coreK.dri.size_bound, coreK.dri.miss_bound, coreK.dri.interval
+ *   coreK.dri.size_bound, coreK.dri.miss_bound, coreK.dri.interval,
+ *   coreK.policy, coreK.policy.decay.interval,
+ *   coreK.policy.drowsy.interval, coreK.policy.drowsy.wake,
+ *   coreK.policy.ways.active
  *
  * `jobs` is the sweep worker count (0 = DRISIM_JOBS env, else
  * serial); see harness/executor.hh. The `l2.*` resize keys
@@ -21,14 +26,21 @@
  * bound/interval keys set its controller knobs (geometry always
  * follows l2.size/l2.assoc/l2.block).
  *
+ * `policy=dri|decay|drowsy|ways` selects the leakage technique
+ * managing the L1 i-cache (policy/leakage_policy.hh); the
+ * `policy.*` keys set the per-technique knobs (`dri` remains the
+ * default and keeps its classic `dri.*` keys).
+ *
  * `cores=N` switches consumers to the CMP scenario (system/cmp.hh):
  * N cores with private L1s over the shared L2. `coreK.bench=` gives
- * core K its own workload (default: the `benchmark` key), and the
+ * core K its own workload (default: the `benchmark` key), the
  * `coreK.dri.*` keys override that core's L1I resize knobs (they
  * start from the global `dri.*` template as parsed *so far*, so put
- * global keys first). Every count key (`jobs`, `cores`, the
- * intervals, ...) parses through the strict bounded parser
- * (util/parse.hh): "-1" is rejected everywhere instead of wrapping.
+ * global keys first) and `coreK.policy*` picks and tunes that
+ * core's leakage technique the same way. Every count key (`jobs`,
+ * `cores`, the intervals, the wake latency, the active-way count,
+ * ...) parses through the strict bounded parser (util/parse.hh):
+ * "-1" is rejected everywhere instead of wrapping.
  */
 
 #ifndef DRISIM_CONFIG_OPTIONS_HH
@@ -39,6 +51,7 @@
 
 #include "core/dri_params.hh"
 #include "harness/runner.hh"
+#include "policy/leakage_policy.hh"
 #include "system/cmp.hh"
 
 namespace drisim
@@ -59,6 +72,11 @@ struct CoreOverride
      *  template at the point the first coreK.dri.* knob appears,
      *  so put global dri.* keys before per-core ones). */
     DriParams driParams{};
+    /** Any coreK.policy* key appeared: policy is authoritative for
+     *  this core (same seeding rule as driKnobsSet). */
+    bool policySet = false;
+    /** This core's leakage technique + knobs. */
+    PolicyConfig policy{};
 };
 
 /** Parsed command-line experiment options. */
@@ -67,6 +85,11 @@ struct Options
     RunConfig run;
     DriParams dri;
     std::string benchmark = "compress";
+
+    /** `policy=` + `policy.*`: the L1I leakage technique. The
+     *  embedded DriParams is kept in sync with `dri` by
+     *  policyConfig(). */
+    PolicyConfig policy;
 
     /** `cores=`; 1 = the classic single-core scenario. */
     unsigned cores = 1;
@@ -89,6 +112,14 @@ struct Options
 
     /** Full CmpConfig for a CMP run (shape + resolved cores). */
     CmpConfig cmpConfig(bool driByDefault) const;
+
+    /**
+     * The resolved global policy configuration: the `policy`
+     * selection with its DriParams synchronized to the final `dri`
+     * template (so `dri.*` keys keep working under `policy=dri`
+     * and supply the shared geometry for every technique).
+     */
+    PolicyConfig policyConfig() const;
 };
 
 /**

@@ -13,9 +13,10 @@
  *    interleave several cores over a shared memory system in
  *    round-robin quanta (system/cmp.hh);
  *  - broadcasts retirement counts and cycle advancement to any
- *    attached resizable cache levels (the gated-Vdd controllers
- *    sample at sense-interval boundaries and integrate active size
- *    over time);
+ *    attached RetireSinks — resizable cache levels (the gated-Vdd
+ *    controllers sample at sense-interval boundaries and integrate
+ *    active size over time) and leakage-policy caches
+ *    (policy/leakage_policy.hh);
  *  - exposes cumulative stats() so callers can measure per-quantum
  *    progress as deltas.
  */
@@ -60,7 +61,18 @@ class Core
     void addResizable(ResizableCache *cache)
     {
         if (cache)
-            resizables_.push_back(cache);
+            sinks_.push_back(cache);
+    }
+
+    /**
+     * Attach any other retirement/time consumer (a leakage-policy
+     * cache, policy/leakage_policy.hh). Broadcast order follows
+     * attachment order. No-op on nullptr.
+     */
+    void addRetireSink(RetireSink *sink)
+    {
+        if (sink)
+            sinks_.push_back(sink);
     }
 
     /**
@@ -82,24 +94,24 @@ class Core
     virtual bool drained() const = 0;
 
   protected:
-    /** Broadcast @p n retired instructions to attached levels. */
+    /** Broadcast @p n retired instructions to attached sinks. */
     void retire(InstCount n)
     {
-        for (ResizableCache *rc : resizables_)
-            rc->retireInstructions(n);
+        for (RetireSink *sink : sinks_)
+            sink->onRetire(n);
     }
 
-    /** Broadcast @p delta elapsed cycles to attached levels. */
+    /** Broadcast @p delta elapsed cycles to attached sinks. */
     void integrate(Cycles delta)
     {
-        for (ResizableCache *rc : resizables_)
-            rc->integrateCycles(delta);
+        for (RetireSink *sink : sinks_)
+            sink->onCycles(delta);
     }
 
-    bool hasResizables() const { return !resizables_.empty(); }
+    bool hasResizables() const { return !sinks_.empty(); }
 
   private:
-    std::vector<ResizableCache *> resizables_;
+    std::vector<RetireSink *> sinks_;
 };
 
 } // namespace drisim

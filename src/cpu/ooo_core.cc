@@ -307,6 +307,19 @@ OooCore::doFetch(InstrStream &stream)
                 icacheStallCycles_ += r.latency - 1;
                 break;
             }
+            if (r.latency > 1) {
+                // Slow hit: the line is present but not readable
+                // yet (a drowsy line's rail recharging). Stall the
+                // extra cycles; the kept instruction re-enters
+                // without re-accessing the cache, so the wake is
+                // charged exactly once.
+                pendingInstr_ = instr;
+                instrPending_ = true;
+                fetchResumeAt_ = now_ + (r.latency - 1);
+                fetchStallIsIcache_ = true;
+                icacheStallCycles_ += r.latency - 1;
+                break;
+            }
         }
 
         FetchedInstr f;

@@ -48,7 +48,9 @@ SimpleCore::run(InstrStream &stream, InstCount maxInstrs)
         if (block != lastBlock_) {
             AccessResult r =
                 icache_->access(instr.pc, AccessType::InstFetch);
-            if (!r.hit)
+            // Anything beyond the single-cycle hit is fetch stall:
+            // a fill, or a slow hit (a drowsy line's wake-up).
+            if (r.latency > hit_latency)
                 missStall_ += r.latency - hit_latency;
             lastBlock_ = block;
         }
@@ -75,8 +77,12 @@ SimpleCore::run(InstrStream &stream, InstCount maxInstrs)
     if (remaining > 0)
         streamDone_ = true;
     // Partial batches reach the controllers at quantum boundaries
-    // (matching the historical end-of-run flush); their cycle share
-    // is folded into the next full batch's integration.
+    // (matching the historical end-of-run flush). Their cycle share
+    // is deliberately NOT integrated: the fast model's time is an
+    // estimate and the tail is < 64 * baseCpi cycles per run()
+    // call, while the retirement count must be exact for the
+    // sense-interval arithmetic. The detailed model integrates
+    // exactly; golden numbers pin this behaviour.
     flushRetireBatch();
     return stats();
 }

@@ -9,50 +9,62 @@
 
 #include <algorithm>
 
+#include "circuit/gated_vdd.hh"
+
 namespace drisim
 {
+
+namespace
+{
+
+/** num / denom with the shared conv-ED guard (<= 0 → 0). Every
+ *  comparison flavour's relative-ED methods reduce to this. */
+double
+ratioOrZero(double num, double denom)
+{
+    return denom <= 0.0 ? 0.0 : num / denom;
+}
+
+/** Execution-time increase in percent (positive = slower). */
+double
+slowdownPct(Cycles run, Cycles conv)
+{
+    if (conv == 0)
+        return 0.0;
+    return 100.0 * (static_cast<double>(run) /
+                        static_cast<double>(conv) -
+                    1.0);
+}
+
+} // namespace
 
 double
 ComparisonResult::relativeEnergyDelay() const
 {
-    const double conv_ed =
-        conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.energyDelay(driRun.cycles) / conv_ed;
+    return ratioOrZero(dri.energyDelay(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 ComparisonResult::relativeEdLeakage() const
 {
-    const double conv_ed =
-        conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.l1LeakageNJ * static_cast<double>(driRun.cycles) /
-           conv_ed;
+    return ratioOrZero(dri.l1LeakageNJ *
+                           static_cast<double>(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 ComparisonResult::relativeEdDynamic() const
 {
-    const double conv_ed =
-        conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return (dri.extraL1DynamicNJ + dri.extraL2DynamicNJ) *
-           static_cast<double>(driRun.cycles) / conv_ed;
+    return ratioOrZero((dri.extraL1DynamicNJ + dri.extraL2DynamicNJ) *
+                           static_cast<double>(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 ComparisonResult::slowdownPercent() const
 {
-    if (convRun.cycles == 0)
-        return 0.0;
-    return 100.0 *
-           (static_cast<double>(driRun.cycles) /
-                static_cast<double>(convRun.cycles) -
-            1.0);
+    return slowdownPct(driRun.cycles, convRun.cycles);
 }
 
 ComparisonResult
@@ -64,6 +76,136 @@ compareRuns(const EnergyConstants &constants, const RunMeasurement &conv,
     r.driRun = dri;
     r.conventional = conventionalEnergy(constants, conv);
     r.dri = driEnergy(constants, dri, conv);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Leakage-policy accounting
+// ---------------------------------------------------------------------
+
+PolicyEnergyConstants
+PolicyEnergyConstants::paper()
+{
+    return PolicyEnergyConstants{};
+}
+
+PolicyEnergyConstants
+PolicyEnergyConstants::derived(const circuit::Technology &tech,
+                               const circuit::CacheGeometry &l1,
+                               const circuit::CacheGeometry &l2,
+                               unsigned l1BlockBytes)
+{
+    PolicyEnergyConstants c;
+    c.base = EnergyConstants::derived(tech, l1, l2);
+
+    const circuit::SramCell cell(tech, tech.vtLow);
+    const circuit::GatedVdd gated(tech, cell,
+                                  circuit::GatedVddConfig{});
+    c.gatedLeakFraction = 1.0 - gated.leakageSavingsFraction();
+
+    const circuit::DrowsyCell drowsy(tech, cell,
+                                     circuit::DrowsyCellConfig{});
+    c.drowsyLeakFraction = drowsy.standbyLeakageFraction();
+    c.wakePerTransitionNJ =
+        drowsy.wakeEnergyPerLineNJ(l1BlockBytes * 8);
+    return c;
+}
+
+std::vector<std::pair<std::string, double>>
+PolicyEnergy::rows() const
+{
+    return {{"leak-active", activeLeakageNJ},
+            {"leak-gated", gatedLeakageNJ},
+            {"leak-drowsy", drowsyLeakageNJ},
+            {"wake", wakeTransitionNJ},
+            {"l1-dynamic", extraL1DynamicNJ},
+            {"l2-dynamic", extraL2DynamicNJ}};
+}
+
+PolicyEnergy
+policyEnergy(const PolicyEnergyConstants &constants,
+             const PolicyMeasurement &run,
+             const RunMeasurement &conventional)
+{
+    const double leak_per_cycle =
+        constants.base.leakPerCycleNJ(run.meas.l1iBytes);
+    const double cycles = static_cast<double>(run.meas.cycles);
+
+    PolicyEnergy e;
+    const double active = run.meas.avgActiveFraction;
+    const double drowsy = run.avgDrowsyFraction;
+    const double gated =
+        std::max(0.0, 1.0 - active - drowsy);
+    e.activeLeakageNJ = active * leak_per_cycle * cycles;
+    e.gatedLeakageNJ =
+        gated * constants.gatedLeakFraction * leak_per_cycle * cycles;
+    e.drowsyLeakageNJ = drowsy * constants.drowsyLeakFraction *
+                        leak_per_cycle * cycles;
+    e.wakeTransitionNJ = constants.wakePerTransitionNJ *
+                         static_cast<double>(run.wakeTransitions);
+    e.extraL1DynamicNJ =
+        static_cast<double>(run.meas.resizingTagBits) *
+        constants.base.bitlinePerAccessNJ *
+        static_cast<double>(run.meas.l1iAccesses);
+    const std::uint64_t extra_l2 =
+        run.meas.l1iMisses > conventional.l1iMisses
+            ? run.meas.l1iMisses - conventional.l1iMisses
+            : 0;
+    e.extraL2DynamicNJ =
+        constants.base.l2PerAccessNJ * static_cast<double>(extra_l2);
+    return e;
+}
+
+PolicyEnergy
+conventionalPolicyEnergy(const PolicyEnergyConstants &constants,
+                         const RunMeasurement &conventional)
+{
+    PolicyEnergy e;
+    e.activeLeakageNJ =
+        constants.base.leakPerCycleNJ(conventional.l1iBytes) *
+        static_cast<double>(conventional.cycles);
+    return e;
+}
+
+double
+PolicyComparison::relativeEnergyDelay() const
+{
+    return ratioOrZero(policy.energyDelay(run.meas.cycles),
+                       conventional.energyDelay(convRun.cycles));
+}
+
+double
+PolicyComparison::relativeEdLeakage() const
+{
+    return ratioOrZero(policy.leakageNJ() *
+                           static_cast<double>(run.meas.cycles),
+                       conventional.energyDelay(convRun.cycles));
+}
+
+double
+PolicyComparison::relativeEdDynamic() const
+{
+    return ratioOrZero(policy.dynamicNJ() *
+                           static_cast<double>(run.meas.cycles),
+                       conventional.energyDelay(convRun.cycles));
+}
+
+double
+PolicyComparison::slowdownPercent() const
+{
+    return slowdownPct(run.meas.cycles, convRun.cycles);
+}
+
+PolicyComparison
+comparePolicyRuns(const PolicyEnergyConstants &constants,
+                  const RunMeasurement &conv,
+                  const PolicyMeasurement &run)
+{
+    PolicyComparison r;
+    r.convRun = conv;
+    r.run = run;
+    r.conventional = conventionalPolicyEnergy(constants, conv);
+    r.policy = policyEnergy(constants, run, conv);
     return r;
 }
 
@@ -176,41 +318,30 @@ multiLevelEnergy(const MultiLevelConstants &constants,
 double
 MultiLevelComparison::relativeEnergyDelay() const
 {
-    const double conv_ed = conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.energyDelay(driRun.cycles) / conv_ed;
+    return ratioOrZero(dri.energyDelay(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 MultiLevelComparison::relativeEdLeakage() const
 {
-    const double conv_ed = conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.totalLeakageNJ() *
-           static_cast<double>(driRun.cycles) / conv_ed;
+    return ratioOrZero(dri.totalLeakageNJ() *
+                           static_cast<double>(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 MultiLevelComparison::relativeEdDynamic() const
 {
-    const double conv_ed = conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.totalDynamicNJ() *
-           static_cast<double>(driRun.cycles) / conv_ed;
+    return ratioOrZero(dri.totalDynamicNJ() *
+                           static_cast<double>(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 MultiLevelComparison::slowdownPercent() const
 {
-    if (convRun.cycles == 0)
-        return 0.0;
-    return 100.0 *
-           (static_cast<double>(driRun.cycles) /
-                static_cast<double>(convRun.cycles) -
-            1.0);
+    return slowdownPct(driRun.cycles, convRun.cycles);
 }
 
 MultiLevelComparison
@@ -244,13 +375,27 @@ cmpEnergy(const MultiLevelConstants &constants,
     // core's cache still burns standby power unless gated).
     for (std::size_t k = 0; k < run.cores.size(); ++k) {
         const CmpCoreMeasurement &c = run.cores[k];
+        const double leak_per_cycle =
+            constants.l1.leakPerCycleNJ(c.l1Bytes);
         LevelEnergy l1{"l1i[" + std::to_string(k) + "]", 0.0, 0.0};
-        l1.leakageNJ = c.l1AvgActiveFraction *
-                       constants.l1.leakPerCycleNJ(c.l1Bytes) *
-                       cycles;
+        // Full-Vdd lines leak at the active rate; a drowsy (state-
+        // preserving) fraction leaks at its residual rate; a
+        // gated policy fraction carries the Table 2 residual — the
+        // same split as policyEnergy(), so single-core and CMP
+        // numbers agree. All three extra fractions are zero for
+        // conventional and classic DRI cores, so the classic
+        // numbers are untouched.
+        l1.leakageNJ = (c.l1AvgActiveFraction +
+                        c.l1DrowsyFraction *
+                            constants.drowsyLeakFraction +
+                        c.l1GatedFraction *
+                            constants.gatedLeakFraction) *
+                       leak_per_cycle * cycles;
         l1.dynamicNJ = static_cast<double>(c.l1ResizingTagBits) *
-                       constants.l1.bitlinePerAccessNJ *
-                       static_cast<double>(c.l1Accesses);
+                           constants.l1.bitlinePerAccessNJ *
+                           static_cast<double>(c.l1Accesses) +
+                       constants.wakePerTransitionNJ *
+                           static_cast<double>(c.wakeTransitions);
         h.levels.push_back(l1);
     }
 
@@ -286,41 +431,30 @@ cmpEnergy(const MultiLevelConstants &constants,
 double
 CmpComparison::relativeEnergyDelay() const
 {
-    const double conv_ed = conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.energyDelay(driRun.cycles) / conv_ed;
+    return ratioOrZero(dri.energyDelay(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 CmpComparison::relativeEdLeakage() const
 {
-    const double conv_ed = conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.totalLeakageNJ() * static_cast<double>(driRun.cycles) /
-           conv_ed;
+    return ratioOrZero(dri.totalLeakageNJ() *
+                           static_cast<double>(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 CmpComparison::relativeEdDynamic() const
 {
-    const double conv_ed = conventional.energyDelay(convRun.cycles);
-    if (conv_ed <= 0.0)
-        return 0.0;
-    return dri.totalDynamicNJ() * static_cast<double>(driRun.cycles) /
-           conv_ed;
+    return ratioOrZero(dri.totalDynamicNJ() *
+                           static_cast<double>(driRun.cycles),
+                       conventional.energyDelay(convRun.cycles));
 }
 
 double
 CmpComparison::slowdownPercent() const
 {
-    if (convRun.cycles == 0)
-        return 0.0;
-    return 100.0 *
-           (static_cast<double>(driRun.cycles) /
-                static_cast<double>(convRun.cycles) -
-            1.0);
+    return slowdownPct(driRun.cycles, convRun.cycles);
 }
 
 CmpComparison

@@ -11,8 +11,10 @@
 #define DRISIM_ENERGY_ACCOUNTING_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "circuit/drowsy_cell.hh"
 #include "circuit/hierarchy_energy.hh"
 #include "energy/energy_model.hh"
 
@@ -58,6 +60,173 @@ ComparisonResult compareRuns(const EnergyConstants &constants,
                              const RunMeasurement &dri);
 
 // ---------------------------------------------------------------------
+// Leakage-policy accounting (Dri / Decay / Drowsy / StaticWays L1I)
+// ---------------------------------------------------------------------
+
+/**
+ * The Section 5.2 constants extended for the policy subsystem:
+ * state-destroying (gated-Vdd) standby carries the Table 2 residual
+ * instead of the architectural ~0, and state-preserving (drowsy)
+ * standby carries the drowsy cell's residual plus a per-wake rail
+ * recharge energy (circuit/drowsy_cell.hh).
+ */
+struct PolicyEnergyConstants
+{
+    /**
+     * Default standby-state constants, shared with
+     * MultiLevelConstants so the single-core and CMP accountings
+     * can never drift apart: the Table 2 gated-Vdd residual, the
+     * default drowsy cell's ~6.4x reduction and its per-line wake
+     * energy (circuit/drowsy_cell.hh).
+     */
+    static constexpr double kDefaultGatedLeakFraction = 0.03;
+    static constexpr double kDefaultDrowsyLeakFraction = 0.155;
+    static constexpr double kDefaultWakePerTransitionNJ = 0.00045;
+
+    EnergyConstants base = EnergyConstants::paper();
+
+    /**
+     * Gated (state-destroying) standby leakage as a fraction of
+     * active leakage. Table 2's preferred gated-Vdd scheme saves
+     * 97%; the paper's architectural accounting rounds the residual
+     * to zero, the policy subsystem keeps it.
+     */
+    double gatedLeakFraction = kDefaultGatedLeakFraction;
+
+    /**
+     * Drowsy (state-preserving) standby leakage as a fraction of
+     * active leakage — the default drowsy cell's ~6.4x reduction
+     * (circuit/drowsy_cell.hh).
+     */
+    double drowsyLeakFraction = kDefaultDrowsyLeakFraction;
+
+    /** Energy to wake one line's rail from drowsy to active, nJ. */
+    double wakePerTransitionNJ = kDefaultWakePerTransitionNJ;
+
+    /** The published L1 constants plus the defaults above. */
+    static PolicyEnergyConstants paper();
+
+    /**
+     * Everything derived from the circuit substrate: the Section
+     * 5.2 constants from the cache geometry, the gated residual
+     * from the preferred gated-Vdd scheme, the drowsy pair from the
+     * drowsy cell at @p l1BlockBytes-byte lines.
+     */
+    static PolicyEnergyConstants
+    derived(const circuit::Technology &tech,
+            const circuit::CacheGeometry &l1,
+            const circuit::CacheGeometry &l2,
+            unsigned l1BlockBytes = 32);
+};
+
+/** Raw measurements of one policy-managed run. */
+struct PolicyMeasurement
+{
+    /** The classic view; avgActiveFraction counts full-Vdd lines
+     *  only. */
+    RunMeasurement meas;
+
+    /** Time-averaged state-preserving (drowsy) fraction. The gated
+     *  state-destroying fraction is 1 - active - drowsy. */
+    double avgDrowsyFraction = 0.0;
+
+    /** Drowsy->active (or gated->powered) wake transitions. */
+    std::uint64_t wakeTransitions = 0;
+};
+
+/**
+ * Energy decomposition of a policy-managed (or conventional) run:
+ * the three leakage rows split by supply state, plus the dynamic
+ * overheads. Conventional baselines put everything in the active
+ * row.
+ */
+struct PolicyEnergy
+{
+    double activeLeakageNJ = 0.0;  ///< full-Vdd lines
+    double gatedLeakageNJ = 0.0;   ///< state-destroying standby
+    double drowsyLeakageNJ = 0.0;  ///< state-preserving standby
+    double wakeTransitionNJ = 0.0; ///< rail recharges
+    double extraL1DynamicNJ = 0.0; ///< resizing tag bitlines (Dri)
+    double extraL2DynamicNJ = 0.0; ///< extra misses into the L2
+
+    double leakageNJ() const
+    {
+        return activeLeakageNJ + gatedLeakageNJ + drowsyLeakageNJ;
+    }
+    double dynamicNJ() const
+    {
+        return wakeTransitionNJ + extraL1DynamicNJ +
+               extraL2DynamicNJ;
+    }
+    double effectiveNJ() const { return leakageNJ() + dynamicNJ(); }
+
+    /** Energy-delay product in nJ x cycles. */
+    double energyDelay(Cycles cycles) const
+    {
+        return effectiveNJ() * static_cast<double>(cycles);
+    }
+
+    /** Labelled report rows in a fixed order (benches/tests). */
+    std::vector<std::pair<std::string, double>> rows() const;
+};
+
+/**
+ * Effective energy of a policy run paired against its conventional
+ * baseline (extra L2 accesses = policy misses above the baseline's,
+ * clamped at zero — the Section 5.2 convention).
+ */
+PolicyEnergy policyEnergy(const PolicyEnergyConstants &constants,
+                          const PolicyMeasurement &run,
+                          const RunMeasurement &conventional);
+
+/** Baseline energy: the whole array active for the whole run. */
+PolicyEnergy
+conventionalPolicyEnergy(const PolicyEnergyConstants &constants,
+                         const RunMeasurement &conventional);
+
+/** Everything the policy comparison reports for one paired run. */
+struct PolicyComparison
+{
+    PolicyEnergy policy;
+    PolicyEnergy conventional;
+    PolicyMeasurement run;
+    RunMeasurement convRun;
+
+    /** Policy energy-delay / conventional energy-delay. */
+    double relativeEnergyDelay() const;
+
+    /** Leakage-only component of the relative energy-delay. */
+    double relativeEdLeakage() const;
+
+    /** Dynamic (overhead) component of the relative energy-delay. */
+    double relativeEdDynamic() const;
+
+    /** Execution-time increase, percent (positive = slower). */
+    double slowdownPercent() const;
+
+    double averageActiveFraction() const
+    {
+        return run.meas.avgActiveFraction;
+    }
+    double averageDrowsyFraction() const
+    {
+        return run.avgDrowsyFraction;
+    }
+
+    /** Absolute L1I miss-rate increase (policy - conventional). */
+    double extraMissRate() const
+    {
+        return run.meas.missRate() - convRun.missRate();
+    }
+};
+
+/** Build the comparison for a paired (conventional, policy) run. */
+PolicyComparison
+comparePolicyRuns(const PolicyEnergyConstants &constants,
+                  const RunMeasurement &conv,
+                  const PolicyMeasurement &run);
+
+// ---------------------------------------------------------------------
 // Multi-level accounting (DRI L1I + DRI L2 vs conventional hierarchy)
 // ---------------------------------------------------------------------
 
@@ -80,6 +249,21 @@ struct MultiLevelConstants
      * Multi-level substitutions.
      */
     double memPerAccessNJ = 32.0;
+
+    /**
+     * Standby-state constants for policy-managed CMP L1Is, shared
+     * with PolicyEnergyConstants (one definition point — the two
+     * accountings cannot drift). Classic conventional/DRI cores
+     * report zero drowsy/gated-policy fractions and wakes, so all
+     * three terms vanish and the classic numbers are untouched
+     * (DRI rows keep the paper's zero-residual convention).
+     */
+    double gatedLeakFraction =
+        PolicyEnergyConstants::kDefaultGatedLeakFraction;
+    double drowsyLeakFraction =
+        PolicyEnergyConstants::kDefaultDrowsyLeakFraction;
+    double wakePerTransitionNJ =
+        PolicyEnergyConstants::kDefaultWakePerTransitionNJ;
 
     /** Leakage per cycle for an L2 of @p bytes (scales linearly). */
     double l2LeakPerCycleFor(std::uint64_t bytes) const
@@ -229,6 +413,15 @@ struct CmpCoreMeasurement
     std::uint64_t l1Accesses = 0;
     std::uint64_t l1Misses = 0;
     unsigned l1ResizingTagBits = 0;
+
+    /** Policy-managed cores only (coreK.policy=…): the
+     *  state-preserving fraction, the state-destroying gated
+     *  fraction carrying the Table 2 residual, and the wake count;
+     *  all zero otherwise (classic DRI rows keep the paper's
+     *  zero-residual convention). */
+    double l1DrowsyFraction = 0.0;
+    double l1GatedFraction = 0.0;
+    std::uint64_t wakeTransitions = 0;
 };
 
 /**

@@ -245,6 +245,9 @@ toCmpMeasurement(const CmpRunOutput &out)
         cm.l1Accesses = c.meas.l1iAccesses;
         cm.l1Misses = c.meas.l1iMisses;
         cm.l1ResizingTagBits = c.meas.resizingTagBits;
+        cm.l1DrowsyFraction = c.l1DrowsyFraction;
+        cm.l1GatedFraction = c.l1GatedFraction;
+        cm.wakeTransitions = c.wakeTransitions;
         m.cores.push_back(cm);
     }
     m.l2Bytes = out.l2SizeBytes;
@@ -297,6 +300,10 @@ searchCmp(const RunConfig &config, const CmpConfig &cmp,
     result.convDetailed = convDetailed;
 
     const unsigned n = cmp.cores;
+    drisim_assert(convDetailed.cores.size() == n,
+                  "searchCmp: conventional baseline has %zu cores, "
+                  "config asks for %u",
+                  convDetailed.cores.size(), n);
     const std::vector<std::string> names =
         cmpBenchNames(cmp, defaultBench);
     const std::string mix = cmpMixName(names);
@@ -380,6 +387,7 @@ searchCmp(const RunConfig &config, const CmpConfig &cmp,
         for (unsigned k = 0; k < n; ++k) {
             if (combos > kMaxFactorCombos / nfactors) {
                 uniform = true;
+                result.sharedFactorSweep = true;
                 warn("searchCmp: %zu^%u miss-bound combinations "
                      "exceed the %zu-cell cap; sweeping one shared "
                      "factor index across all cores instead",

@@ -170,6 +170,14 @@ struct CmpSearchResult
     std::vector<CmpCandidate> evaluated;
     /** Detailed conventional CMP baseline used throughout. */
     CmpRunOutput convDetailed;
+    /**
+     * The per-core factor cross product tripped the 1024-cell cap
+     * and the sweep degraded to one shared factor index across all
+     * cores. Logged as a warning when it happens; callers should
+     * surface it next to the results (the grid no longer explores
+     * per-core heterogeneity).
+     */
+    bool sharedFactorSweep = false;
 };
 
 /**

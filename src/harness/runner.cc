@@ -267,6 +267,79 @@ runCmp(const RunConfig &config, const CmpConfig &cmp,
     return out;
 }
 
+namespace
+{
+
+/** Copy a finished policy's activity into @p out. */
+void
+fillPolicyOutputs(const LeakagePolicy &policy,
+                  const PolicyConfig &config, CoreStats cs,
+                  RunOutput &out)
+{
+    const PolicyActivity act = policy.activity();
+    out.meas = measurementFromCounts(
+        cs.cycles, cs.instructions, policy.l1Accesses(),
+        policy.l1Misses(), act.avgActiveFraction,
+        act.resizingTagBits, config.dri.sizeBytes);
+    out.ipc = cs.ipc();
+    out.l1DrowsyFraction = act.avgDrowsyFraction;
+    out.wakeTransitions = act.wakeTransitions;
+    out.wakeStallCycles = act.wakeStallCycles;
+    out.policyBlocksLost = act.blocksLost;
+    out.resizes = act.resizes;
+    out.throttleEvents = act.throttleEvents;
+}
+
+} // namespace
+
+RunOutput
+runPolicy(const BenchmarkInfo &bench, const RunConfig &config,
+          const PolicyConfig &policy)
+{
+    stats::StatGroup root("sim");
+    Hierarchy hier(config.hier, &root, false);
+    std::unique_ptr<LeakagePolicy> l1i =
+        makeLeakagePolicy(policy, hier.l2Level(), &root);
+    hier.setL1I(l1i->level());
+    OooCore core(config.core, l1i->level(), &hier.l1d(), &root);
+    core.addRetireSink(l1i.get());
+    core.addResizable(hier.driL2());
+
+    TraceGenerator gen(imageFor(bench));
+    CoreStats cs = core.run(gen, config.maxInstrs);
+
+    RunOutput out;
+    fillPolicyOutputs(*l1i, policy, cs, out);
+    out.l1dMissRate = hier.l1d().missRate();
+    fillL2Outputs(hier, out);
+    return out;
+}
+
+RunOutput
+runPolicyFast(const BenchmarkInfo &bench, const RunConfig &config,
+              const PolicyConfig &policy, const FastCalibration &cal)
+{
+    stats::StatGroup root("fast");
+    Hierarchy hier(config.hier, &root, false);
+    std::unique_ptr<LeakagePolicy> l1i =
+        makeLeakagePolicy(policy, hier.l2Level(), &root);
+    hier.setL1I(l1i->level());
+    SimpleCoreParams scp;
+    scp.baseCpi = cal.baseCpi;
+    scp.missOverlap = cal.missOverlap;
+    scp.fetchBlockBytes = policy.dri.blockBytes;
+    SimpleCore fast(scp, l1i->level());
+    fast.addRetireSink(l1i.get());
+    fast.addResizable(hier.driL2());
+    TraceGenerator gen(imageFor(bench));
+    CoreStats cs = fast.run(gen, config.maxInstrs);
+
+    RunOutput out;
+    fillPolicyOutputs(*l1i, policy, cs, out);
+    fillL2Outputs(hier, out);
+    return out;
+}
+
 RunOutput
 runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
            const DriParams &dri, const FastCalibration &cal)

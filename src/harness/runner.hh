@@ -17,6 +17,7 @@
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
 #include "mem/hierarchy.hh"
+#include "policy/leakage_policy.hh"
 #include "system/cmp.hh"
 #include "workload/spec_suite.hh"
 
@@ -67,6 +68,13 @@ struct RunOutput
     double l2AvgActiveFraction = 1.0;
     unsigned l2ResizingTagBits = 0;
     std::uint64_t l2Resizes = 0;
+
+    /** Leakage-policy activity (runPolicy entry points; defaults
+     *  describe a fixed, fully-powered L1I). */
+    double l1DrowsyFraction = 0.0;
+    std::uint64_t wakeTransitions = 0;
+    std::uint64_t wakeStallCycles = 0;
+    std::uint64_t policyBlocksLost = 0;
 };
 
 /**
@@ -118,6 +126,21 @@ RunOutput runConventionalFast(const BenchmarkInfo &bench,
 /** Fast DRI run (search candidate). */
 RunOutput runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
                      const DriParams &dri, const FastCalibration &cal);
+
+/**
+ * Detailed run with a leakage-policy-managed L1 i-cache
+ * (policy/leakage_policy.hh). With policy.kind == Dri this is the
+ * runDri() path through the adapter and produces bit-identical
+ * results (locked by tests).
+ */
+RunOutput runPolicy(const BenchmarkInfo &bench, const RunConfig &config,
+                    const PolicyConfig &policy);
+
+/** Fast-model policy run (search candidate). */
+RunOutput runPolicyFast(const BenchmarkInfo &bench,
+                        const RunConfig &config,
+                        const PolicyConfig &policy,
+                        const FastCalibration &cal);
 
 /**
  * The benchmark each CMP core runs: its coreK.bench override, or

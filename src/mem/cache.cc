@@ -67,10 +67,12 @@ Cache::access(Addr addr, AccessType type)
 
     int way = store_.findWay(set, ba);
     if (way != TagStore::kNoWay) {
+        const Cycles wake =
+            onLineHit(set, static_cast<unsigned>(way));
         store_.touch(set, static_cast<unsigned>(way));
         if (type == AccessType::Store)
             store_.markDirty(set, static_cast<unsigned>(way));
-        return {true, params_.hitLatency};
+        return {true, params_.hitLatency + wake};
     }
 
     ++misses_;
@@ -82,7 +84,10 @@ Cache::access(Addr addr, AccessType type)
                                       : type)
                        .latency;
 
-    const CacheBlk evicted = store_.insert(set, ba);
+    unsigned filled = 0;
+    const CacheBlk evicted = store_.insert(set, ba, allocWays(),
+                                           &filled);
+    onLineFill(set, filled);
     if (evicted.valid) {
         ++evictions_;
         if (evicted.dirty) {

@@ -6,6 +6,13 @@
  * counted as writeback traffic but are not charged on the access
  * latency path (write-buffer assumption), matching the paper's focus
  * on read/fetch latency.
+ *
+ * The access path exposes three protected hooks for per-line leakage
+ * policies (policy/leakage_policy.hh): a wake-stall charge on hits
+ * (drowsy lines pay a latency penalty on first touch), a fill
+ * notification (per-line counters reset, power state restored) and a
+ * victim-way limit (selective-ways gating allocates only in powered
+ * ways). The defaults are no-ops, so a plain Cache is untouched.
  */
 
 #ifndef DRISIM_MEM_CACHE_HH
@@ -69,7 +76,33 @@ class Cache : public MemoryLevel
 
     stats::StatGroup &statGroup() { return group_; }
 
-  private:
+  protected:
+    // Per-line leakage-policy hooks (no-ops for a plain cache).
+
+    /**
+     * Extra latency charged when (@p set, @p way) hits — a drowsy
+     * line's wake stall. Called before replacement state updates.
+     */
+    virtual Cycles onLineHit(std::uint64_t set, unsigned way)
+    {
+        (void)set;
+        (void)way;
+        return 0;
+    }
+
+    /** A miss filled (@p set, @p way): reset per-line policy state. */
+    virtual void onLineFill(std::uint64_t set, unsigned way)
+    {
+        (void)set;
+        (void)way;
+    }
+
+    /**
+     * Ways eligible for allocation ([0, allocWays()) of each set).
+     * Selective-ways gating narrows this; way 0 is always eligible.
+     */
+    virtual unsigned allocWays() const { return store_.assoc(); }
+
     std::uint64_t indexOf(Addr blockAddr) const;
 
     CacheParams params_;

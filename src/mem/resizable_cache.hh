@@ -33,6 +33,7 @@
 #include "core/resize_controller.hh"
 #include "core/size_mask.hh"
 #include "mem/memory.hh"
+#include "mem/retire_sink.hh"
 #include "mem/tag_store.hh"
 #include "stats/stats.hh"
 
@@ -57,7 +58,7 @@ struct ResizePolicy
  * A dynamically-resizable cache level (gated-Vdd semantics: sets
  * above the current size keep no state and leak nothing).
  */
-class ResizableCache : public MemoryLevel
+class ResizableCache : public MemoryLevel, public RetireSink
 {
   public:
     /**
@@ -80,6 +81,12 @@ class ResizableCache : public MemoryLevel
      * cache resized.
      */
     bool retireInstructions(InstCount n);
+
+    /** RetireSink: retirement broadcast from the core. */
+    void onRetire(InstCount n) override { retireInstructions(n); }
+
+    /** RetireSink: cycle-advance broadcast from the core. */
+    void onCycles(Cycles delta) override { integrateCycles(delta); }
 
     /** Fraction of sets currently powered. */
     double activeFraction() const override;

@@ -57,14 +57,25 @@ TagStore::touch(std::uint64_t set, unsigned way)
 CacheBlk
 TagStore::insert(std::uint64_t set, Addr blockAddr)
 {
+    return insert(set, blockAddr, assoc_, nullptr);
+}
+
+CacheBlk
+TagStore::insert(std::uint64_t set, Addr blockAddr,
+                 unsigned waysLimit, unsigned *wayOut)
+{
+    drisim_assert(waysLimit >= 1 && waysLimit <= assoc_,
+                  "waysLimit %u outside [1, %u]", waysLimit, assoc_);
     auto ways = mutableSet(set);
-    unsigned victim = selectVictim({ways.data(), ways.size()},
+    unsigned victim = selectVictim({ways.data(), waysLimit},
                                    policy_, ++tick_);
     CacheBlk evicted = ways[victim];
     ways[victim].blockAddr = blockAddr;
     ways[victim].valid = true;
     ways[victim].dirty = false;
     ways[victim].lastTouch = tick_;
+    if (wayOut)
+        *wayOut = victim;
     return evicted;
 }
 

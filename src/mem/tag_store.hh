@@ -53,6 +53,17 @@ class TagStore
      */
     CacheBlk insert(std::uint64_t set, Addr blockAddr);
 
+    /**
+     * insert() with the victim choice restricted to ways
+     * [0, waysLimit) — the selective-ways gating support: frames in
+     * gated ways are never allocated, so a way-gated cache behaves
+     * exactly like one of narrower associativity. @p wayOut (if
+     * non-null) receives the filled way for per-line policy
+     * bookkeeping.
+     */
+    CacheBlk insert(std::uint64_t set, Addr blockAddr,
+                    unsigned waysLimit, unsigned *wayOut);
+
     /** Mark @p way of @p set dirty (store hit). */
     void markDirty(std::uint64_t set, unsigned way);
 

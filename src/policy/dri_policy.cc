@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Dri policy adapter: forwards everything to the wrapped DriICache.
+ */
+
+#include "policy/dri_policy.hh"
+
+namespace drisim
+{
+
+DriPolicy::DriPolicy(const PolicyConfig &config, MemoryLevel *below,
+                     stats::StatGroup *parent)
+    : icache_(config.dri, below, parent)
+{
+}
+
+PolicyActivity
+DriPolicy::activity() const
+{
+    PolicyActivity a;
+    a.avgActiveFraction = icache_.averageActiveFraction();
+    a.avgDrowsyFraction = 0.0;
+    a.wakeTransitions = 0;
+    a.wakeStallCycles = 0;
+    a.blocksLost = icache_.blocksLost();
+    a.resizes = icache_.upsizes() + icache_.downsizes();
+    a.throttleEvents = icache_.controller().throttleEvents();
+    a.resizingTagBits = icache_.params().resizingTagBits();
+    return a;
+}
+
+} // namespace drisim

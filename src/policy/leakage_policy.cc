@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Leakage-policy names, validation and the concrete-policy factory.
+ */
+
+#include "policy/leakage_policy.hh"
+
+#include "policy/decay_policy.hh"
+#include "policy/dri_policy.hh"
+#include "policy/drowsy_policy.hh"
+#include "policy/static_ways.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace drisim
+{
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Dri:        return "dri";
+      case PolicyKind::Decay:      return "decay";
+      case PolicyKind::Drowsy:     return "drowsy";
+      case PolicyKind::StaticWays: return "ways";
+    }
+    return "?";
+}
+
+bool
+parsePolicyKind(const std::string &text, PolicyKind &out)
+{
+    if (text == "dri")
+        out = PolicyKind::Dri;
+    else if (text == "decay")
+        out = PolicyKind::Decay;
+    else if (text == "drowsy")
+        out = PolicyKind::Drowsy;
+    else if (text == "ways")
+        out = PolicyKind::StaticWays;
+    else
+        return false;
+    return true;
+}
+
+void
+PolicyConfig::validate() const
+{
+    dri.validate(); // geometry checks apply to every policy
+    switch (kind) {
+      case PolicyKind::Dri:
+        break;
+      case PolicyKind::Decay:
+        if (decay.decayInterval == 0)
+            drisim_fatal("decay interval must be positive");
+        if (decay.counterLimit < 1)
+            drisim_fatal("decay counter limit must be at least 1");
+        break;
+      case PolicyKind::Drowsy:
+        if (drowsy.drowsyInterval == 0)
+            drisim_fatal("drowsy interval must be positive");
+        break;
+      case PolicyKind::StaticWays:
+        if (ways.activeWays < 1)
+            drisim_fatal("static-ways must keep at least one way "
+                         "powered (way 0 is never gated)");
+        break;
+    }
+}
+
+std::string
+PolicyConfig::paramSummary() const
+{
+    switch (kind) {
+      case PolicyKind::Dri:
+        return strFormat(
+            "sb=%s/mb=%llu", bytesToString(dri.sizeBoundBytes).c_str(),
+            static_cast<unsigned long long>(dri.missBound));
+      case PolicyKind::Decay:
+        return strFormat(
+            "interval=%llu/limit=%u",
+            static_cast<unsigned long long>(decay.decayInterval),
+            decay.counterLimit);
+      case PolicyKind::Drowsy:
+        return strFormat(
+            "interval=%llu/wake=%llu",
+            static_cast<unsigned long long>(drowsy.drowsyInterval),
+            static_cast<unsigned long long>(drowsy.wakeLatency));
+      case PolicyKind::StaticWays:
+        return strFormat("active=%u/%u", ways.activeWays, dri.assoc);
+    }
+    return "?";
+}
+
+std::unique_ptr<LeakagePolicy>
+makeLeakagePolicy(const PolicyConfig &config, MemoryLevel *below,
+                  stats::StatGroup *parent)
+{
+    config.validate();
+    switch (config.kind) {
+      case PolicyKind::Dri:
+        return std::make_unique<DriPolicy>(config, below, parent);
+      case PolicyKind::Decay:
+        return std::make_unique<DecayCache>(config, below, parent);
+      case PolicyKind::Drowsy:
+        return std::make_unique<DrowsyCache>(config, below, parent);
+      case PolicyKind::StaticWays:
+        return std::make_unique<StaticWaysCache>(config, below,
+                                                 parent);
+    }
+    drisim_panic("unreachable policy kind");
+}
+
+} // namespace drisim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared base of the line-granularity policy caches (Decay, Drowsy,
+ * StaticWays): a conventional i-cache (mem/cache.hh) plus the
+ * LeakagePolicy reporting plumbing — interval counting in retired
+ * instructions and the time integrals of the powered/drowsy line
+ * populations. The Dri policy does not use this base; it adapts the
+ * set-granularity ResizableCache machinery instead.
+ */
+
+#ifndef DRISIM_POLICY_POLICY_CACHE_HH
+#define DRISIM_POLICY_POLICY_CACHE_HH
+
+#include <string>
+
+#include "mem/cache.hh"
+#include "policy/leakage_policy.hh"
+
+namespace drisim
+{
+
+/** Cache + policy bookkeeping shared by the per-line policies. */
+class PolicyCacheBase : public Cache, public LeakagePolicy
+{
+  public:
+    /**
+     * @param config    full policy configuration (geometry from
+     *                  config.dri)
+     * @param below     next level; may be nullptr (standalone)
+     * @param parent    stats parent
+     * @param groupName stats group name (e.g. "decay_l1i")
+     */
+    PolicyCacheBase(const PolicyConfig &config, MemoryLevel *below,
+                    stats::StatGroup *parent,
+                    const std::string &groupName);
+
+    /** I-cache: only instruction fetches are legal. */
+    AccessResult access(Addr addr, AccessType type) override;
+
+    MemoryLevel *level() override { return this; }
+    std::uint64_t l1Accesses() const override { return accesses(); }
+    std::uint64_t l1Misses() const override { return misses(); }
+
+    /** Count retired instructions; crossing an interval boundary
+     *  (config-specific length) triggers intervalTick() once per
+     *  boundary crossed. */
+    void onRetire(InstCount n) override;
+
+    /** Integrate the powered/drowsy populations over time. */
+    void onCycles(Cycles delta) override;
+
+    std::uint64_t totalLines() const { return totalLines_; }
+    Cycles integratedCycles() const { return integratedCycles_; }
+
+  protected:
+    /** Length of this policy's interval in instructions (0 = no
+     *  periodic behaviour; onRetire then never ticks). */
+    virtual InstCount intervalLength() const = 0;
+
+    /** One interval boundary crossed (decay generation / drowsy
+     *  episode). */
+    virtual void intervalTick() {}
+
+    /** Lines currently at full supply (for the time integral). */
+    virtual std::uint64_t poweredLines() const { return totalLines_; }
+
+    /** Lines currently in drowsy standby (for the time integral). */
+    virtual std::uint64_t drowsyLines() const { return 0; }
+
+    /** Fill the common fields of an activity report. */
+    PolicyActivity baseActivity() const;
+
+    PolicyConfig config_;
+    std::uint64_t totalLines_;
+
+    InstCount instrsIntoInterval_ = 0;
+    Cycles integratedCycles_ = 0;
+    double activeLineCycles_ = 0.0;
+    double drowsyLineCycles_ = 0.0;
+
+    std::uint64_t wakeTransitions_ = 0;
+    Cycles wakeStallCycles_ = 0;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_POLICY_POLICY_CACHE_HH

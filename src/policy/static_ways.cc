@@ -1,0 +1,42 @@
+/**
+ * @file
+ * StaticWays policy: constant way gating, no dynamics.
+ */
+
+#include "policy/static_ways.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace drisim
+{
+
+StaticWaysCache::StaticWaysCache(const PolicyConfig &config,
+                                 MemoryLevel *below,
+                                 stats::StatGroup *parent)
+    : PolicyCacheBase(config, below, parent, "ways_l1i"),
+      activeWays_(std::clamp(config.ways.activeWays, 1u,
+                             config.dri.assoc))
+{
+    if (config.ways.activeWays < 1 ||
+        config.ways.activeWays > config.dri.assoc) {
+        warn("static-ways: active ways %u clamped to %u (assoc %u; "
+             "way 0 is never gated)",
+             config.ways.activeWays, activeWays_, config.dri.assoc);
+    }
+}
+
+PolicyActivity
+StaticWaysCache::activity() const
+{
+    PolicyActivity a = baseActivity();
+    // The gated ways are constant for the whole run; report the
+    // exact ratio rather than the time integral (identical values,
+    // without accumulated floating-point noise).
+    a.avgActiveFraction = activeFraction();
+    a.avgDrowsyFraction = 0.0;
+    return a;
+}
+
+} // namespace drisim

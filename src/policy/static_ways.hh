@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The StaticWays leakage policy (after Albonesi, "Selective Cache
+ * Ways", MICRO 1999, statically configured): a fixed subset of ways
+ * is gated off at configuration time — the simple baseline every
+ * adaptive technique must beat.
+ *
+ * Ways [activeWays, assoc) of every set are supply-gated; their
+ * frames are never allocated (mem/tag_store.hh victim-way limit),
+ * so the cache behaves exactly like one of narrower associativity.
+ * Way 0 is never gated: activeWays is clamped to [1, assoc] (and
+ * the config layer's strict parser already rejects 0). The gated
+ * fraction is state-destroying but constant, so there are no wake
+ * events and no behaviour dynamics at all.
+ */
+
+#ifndef DRISIM_POLICY_STATIC_WAYS_HH
+#define DRISIM_POLICY_STATIC_WAYS_HH
+
+#include "policy/policy_cache.hh"
+
+namespace drisim
+{
+
+/** Statically way-gated i-cache. */
+class StaticWaysCache : public PolicyCacheBase
+{
+  public:
+    StaticWaysCache(const PolicyConfig &config, MemoryLevel *below,
+                    stats::StatGroup *parent);
+
+    PolicyKind kind() const override
+    {
+        return PolicyKind::StaticWays;
+    }
+    PolicyActivity activity() const override;
+
+    /** Ways left powered after clamping (>= 1; way 0 included). */
+    unsigned activeWays() const { return activeWays_; }
+
+    double activeFraction() const override
+    {
+        return static_cast<double>(activeWays_) / params().assoc;
+    }
+
+  protected:
+    InstCount intervalLength() const override { return 0; }
+    std::uint64_t poweredLines() const override
+    {
+        return numSets() * activeWays_;
+    }
+    unsigned allocWays() const override { return activeWays_; }
+
+  private:
+    unsigned activeWays_;
+};
+
+} // namespace drisim
+
+#endif // DRISIM_POLICY_STATIC_WAYS_HH

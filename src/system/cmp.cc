@@ -86,6 +86,7 @@ CmpSystem::CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
 
     convL1is_.resize(n);
     driL1is_.resize(n);
+    policyL1is_.resize(n);
     for (unsigned k = 0; k < n; ++k) {
         cpuGroups_.push_back(std::make_unique<stats::StatGroup>(
             parent, strFormat("cpu%u", k)));
@@ -98,11 +99,22 @@ CmpSystem::CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
 
         const CmpCoreConfig cfg = cmp.coreConfig(k);
         MemoryLevel *l1i = nullptr;
-        if (cfg.dri) {
+        if (cfg.dri && cfg.policyKind == PolicyKind::Dri) {
+            // The classic path, byte-identical to pre-policy
+            // builds (locked by the CMP goldens).
             driL1is_[k] = std::make_unique<DriICache>(
                 driParamsForLevel(hier.l1i, cfg.driParams), port,
                 grp);
             l1i = driL1is_[k].get();
+        } else if (cfg.dri) {
+            PolicyConfig pc;
+            pc.kind = cfg.policyKind;
+            pc.dri = driParamsForLevel(hier.l1i, cfg.driParams);
+            pc.decay = cfg.decay;
+            pc.drowsy = cfg.drowsy;
+            pc.ways = cfg.ways;
+            policyL1is_[k] = makeLeakagePolicy(pc, port, grp);
+            l1i = policyL1is_[k]->level();
         } else {
             convL1is_[k] =
                 std::make_unique<Cache>(hier.l1i, port, grp);
@@ -112,6 +124,8 @@ CmpSystem::CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
             coreParams, l1i, l1ds_.back().get(), grp));
         if (driL1is_[k])
             cores_.back()->addResizable(driL1is_[k].get());
+        if (policyL1is_[k])
+            cores_.back()->addRetireSink(policyL1is_[k].get());
         gens_.push_back(
             std::make_unique<TraceGenerator>(*images[k]));
     }
@@ -201,6 +215,22 @@ CmpSystem::run(InstCount maxInstrsPerCore)
             c.meas.l1iBytes = ic.params().sizeBytes;
             c.resizes = ic.upsizes() + ic.downsizes();
             c.throttleEvents = ic.controller().throttleEvents();
+        } else if (policyL1is_[k]) {
+            const LeakagePolicy &p = *policyL1is_[k];
+            const PolicyActivity act = p.activity();
+            c.meas.l1iAccesses = p.l1Accesses();
+            c.meas.l1iMisses = p.l1Misses();
+            c.meas.avgActiveFraction = act.avgActiveFraction;
+            c.meas.resizingTagBits = act.resizingTagBits;
+            c.meas.l1iBytes = hier_.l1i.sizeBytes;
+            c.resizes = act.resizes;
+            c.throttleEvents = act.throttleEvents;
+            c.l1DrowsyFraction = act.avgDrowsyFraction;
+            c.l1GatedFraction =
+                std::max(0.0, 1.0 - act.avgActiveFraction -
+                                  act.avgDrowsyFraction);
+            c.wakeTransitions = act.wakeTransitions;
+            c.wakeStallCycles = act.wakeStallCycles;
         } else {
             const Cache &ic = *convL1is_[k];
             c.meas.l1iAccesses = ic.accesses();

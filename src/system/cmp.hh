@@ -33,6 +33,7 @@
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
 #include "mem/hierarchy.hh"
+#include "policy/leakage_policy.hh"
 #include "workload/generator.hh"
 
 namespace drisim
@@ -46,10 +47,22 @@ struct CmpCoreConfig
 {
     /** Benchmark name; empty means "caller's default". */
     std::string bench;
-    /** Build this core's L1I as a DRI (resizable) cache. */
+    /** Build this core's L1I leakage-managed (vs conventional). */
     bool dri = false;
     /** L1I resize knobs (geometry always follows hier.l1i). */
     DriParams driParams{};
+
+    /**
+     * Which leakage technique manages the L1I when dri is set.
+     * Dri takes driParams through the classic DriICache path
+     * (byte-identical to pre-policy builds); Decay/Drowsy/
+     * StaticWays take the matching knobs below (geometry still
+     * follows hier.l1i).
+     */
+    PolicyKind policyKind = PolicyKind::Dri;
+    DecayParams decay{};
+    DrowsyParams drowsy{};
+    StaticWaysParams ways{};
 };
 
 /** Shape of the CMP: core count, scheduling, L2 sharing model. */
@@ -93,6 +106,15 @@ struct CmpCoreOutput
     std::uint64_t l2Misses = 0;
     /** Shared-L2 references that paid the bank-contention adder. */
     std::uint64_t l2ContentionEvents = 0;
+
+    /** Leakage-policy activity (policy-managed cores only). The
+     *  gated fraction is the state-destroying remainder that the
+     *  CMP accounting charges at the Table 2 residual; classic DRI
+     *  cores leave it zero (paper convention). */
+    double l1DrowsyFraction = 0.0;
+    double l1GatedFraction = 0.0;
+    std::uint64_t wakeTransitions = 0;
+    std::uint64_t wakeStallCycles = 0;
 };
 
 /** What one CMP run produced. */
@@ -229,6 +251,11 @@ class CmpSystem
     }
     OooCore &core(unsigned k) { return *cores_[k]; }
     const SharedL2Bus &bus() const { return *bus_; }
+    /** Core @p k's policy L1I, or nullptr (conventional/DRI). */
+    LeakagePolicy *policyL1i(unsigned k)
+    {
+        return policyL1is_[k].get();
+    }
     ResizableCache *driL2() { return driL2_.get(); }
     Cache *convL2() { return convL2_.get(); }
     MainMemory &mem() { return *mem_; }
@@ -248,6 +275,7 @@ class CmpSystem
     std::vector<std::unique_ptr<Cache>> l1ds_;
     std::vector<std::unique_ptr<Cache>> convL1is_;
     std::vector<std::unique_ptr<DriICache>> driL1is_;
+    std::vector<std::unique_ptr<LeakagePolicy>> policyL1is_;
     std::vector<std::unique_ptr<OooCore>> cores_;
     std::vector<std::unique_ptr<TraceGenerator>> gens_;
 };

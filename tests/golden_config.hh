@@ -16,6 +16,7 @@
 #include <string>
 
 #include "harness/multilevel.hh"
+#include "harness/policies.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -89,6 +90,29 @@ struct CmpGoldenCase
     const char *row;
 };
 
+/**
+ * Pinned expectations for one benchmark's policy head-to-head: one
+ * entry per policy kind in search order (dri, decay, drowsy, ways).
+ */
+struct PolicyGoldenCase
+{
+    const char *benchmark;
+    /** Per-kind winner relative energy-delay (distinct by design —
+     *  the head-to-head is meaningless otherwise; asserted). */
+    double driEd;
+    double decayEd;
+    double drowsyEd;
+    double waysEd;
+    /** Detailed conventional baseline (64K 4-way L1I). */
+    std::uint64_t convCycles;
+    std::uint64_t convMisses;
+    /** Rendered bench_policies-style winner rows, one per kind. */
+    const char *driRow;
+    const char *decayRow;
+    const char *drowsyRow;
+    const char *waysRow;
+};
+
 /** The fixed single-level golden run (Section 5.3 search). */
 inline SearchResult
 runGoldenSearch(const std::string &name)
@@ -128,7 +152,30 @@ runGoldenMultiSearch(const std::string &name, unsigned jobs)
                             MultiLevelConstants::paper(), 4.0, conv);
 }
 
-/** The benchmark mix every CMP golden runs. */
+/**
+ * The fixed policy head-to-head golden run: one cell per policy
+ * kind over the shared 64K 4-way geometry bench_policies uses.
+ */
+inline PolicySearchResult
+runGoldenPolicySearch(const std::string &name, unsigned jobs)
+{
+    const auto &b = findBenchmark(name);
+    RunConfig cfg;
+    cfg.maxInstrs = 400 * 1000;
+    cfg.jobs = jobs;
+    cfg.hier.l1i.assoc = 4;
+    const RunOutput conv = runConventional(b, cfg);
+
+    PolicyConfig tmpl;
+    tmpl.dri.senseInterval = 50000;
+    PolicySpace space;
+    space.driSizeBounds = {4096};
+    space.decayIntervals = {50000};
+    space.drowsyIntervals = {50000};
+    space.waysActive = {1};
+    return searchPolicies(b, cfg, tmpl, space,
+                          PolicyEnergyConstants::paper(), 4.0, conv);
+}
 inline const std::vector<std::string> &
 goldenCmpBenches()
 {
@@ -201,6 +248,53 @@ renderMultiLevelGoldenRow(const std::string &name,
              "rel-ED", "L1-size", "L2-size", "slowdown"});
     t.addRow(multiLevelRowCells(name, sr.best));
     return csvRow(t);
+}
+
+/** One bench_policies-style winner row for kind index @p k, as
+ *  CSV. */
+inline std::string
+renderPolicyGoldenRow(const std::string &name,
+                      const PolicySearchResult &sr, std::size_t k)
+{
+    Table t({"benchmark", "policy", "params", "rel-ED", "active",
+             "drowsy", "wakes", "slowdown"});
+    t.addRow(policyRowCells(name, sr.bestPerKind.at(k)));
+    return csvRow(t);
+}
+
+/**
+ * Full-precision serialization of every observable of a policy
+ * search result — the --jobs determinism contract for
+ * searchPolicies (two runs at different --jobs values must be
+ * byte-identical).
+ */
+inline std::string
+serializePolicyResult(const PolicySearchResult &sr)
+{
+    std::ostringstream os;
+    auto cand = [&](const PolicyCandidate &c) {
+        os << strFormat(
+            "%s %s feasible=%d ed=%.17g slow=%.17g active=%.17g "
+            "drowsy=%.17g wakes=%llu",
+            policyKindName(c.config.kind),
+            c.config.paramSummary().c_str(), c.feasible ? 1 : 0,
+            c.cmp.relativeEnergyDelay(), c.cmp.slowdownPercent(),
+            c.cmp.averageActiveFraction(),
+            c.cmp.averageDrowsyFraction(),
+            static_cast<unsigned long long>(
+                c.cmp.run.wakeTransitions));
+        for (const auto &[label, nj] : c.cmp.policy.rows())
+            os << strFormat(" %s=%.17g", label.c_str(), nj);
+        os << "\n";
+    };
+    os << "conv cycles=" << sr.convDetailed.meas.cycles
+       << " misses=" << sr.convDetailed.meas.l1iMisses << "\n";
+    for (const PolicyCandidate &c : sr.evaluated)
+        cand(c);
+    os << "best:\n";
+    for (const PolicyCandidate &c : sr.bestPerKind)
+        cand(c);
+    return os.str();
 }
 
 /** The cells bench_cmp prints for a winner, as CSV. */

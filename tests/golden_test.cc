@@ -32,6 +32,7 @@ namespace
 using golden::CmpGoldenCase;
 using golden::GoldenCase;
 using golden::MultiLevelGoldenCase;
+using golden::PolicyGoldenCase;
 
 class GoldenSearch : public ::testing::TestWithParam<GoldenCase>
 {
@@ -181,6 +182,58 @@ TEST_P(CmpGolden, WinnerRowAndJobsInvarianceMatchGolden)
     EXPECT_EQ(golden::renderCmpGoldenRow(sr4), gold.row);
 }
 
+class PolicyGolden
+    : public ::testing::TestWithParam<PolicyGoldenCase>
+{
+};
+
+TEST_P(PolicyGolden, PerPolicyRowsAndJobsInvarianceMatchGolden)
+{
+    const PolicyGoldenCase &gold = GetParam();
+    const PolicySearchResult sr =
+        golden::runGoldenPolicySearch(gold.benchmark, 1);
+
+    // One cell per policy kind in the golden space.
+    ASSERT_EQ(sr.evaluated.size(), 4u);
+    ASSERT_EQ(sr.bestPerKind.size(), 4u);
+
+    EXPECT_NEAR(sr.bestPerKind[0].cmp.relativeEnergyDelay(),
+                gold.driEd, 1e-9);
+    EXPECT_NEAR(sr.bestPerKind[1].cmp.relativeEnergyDelay(),
+                gold.decayEd, 1e-9);
+    EXPECT_NEAR(sr.bestPerKind[2].cmp.relativeEnergyDelay(),
+                gold.drowsyEd, 1e-9);
+    EXPECT_NEAR(sr.bestPerKind[3].cmp.relativeEnergyDelay(),
+                gold.waysEd, 1e-9);
+
+    EXPECT_EQ(sr.convDetailed.meas.cycles, gold.convCycles);
+    EXPECT_EQ(sr.convDetailed.meas.l1iMisses, gold.convMisses);
+
+    EXPECT_EQ(golden::renderPolicyGoldenRow(gold.benchmark, sr, 0),
+              gold.driRow);
+    EXPECT_EQ(golden::renderPolicyGoldenRow(gold.benchmark, sr, 1),
+              gold.decayRow);
+    EXPECT_EQ(golden::renderPolicyGoldenRow(gold.benchmark, sr, 2),
+              gold.drowsyRow);
+    EXPECT_EQ(golden::renderPolicyGoldenRow(gold.benchmark, sr, 3),
+              gold.waysRow);
+
+    // The head-to-head is meaningful: four techniques, four
+    // distinct energy-delay values.
+    const double eds[4] = {gold.driEd, gold.decayEd,
+                           gold.drowsyEd, gold.waysEd};
+    for (int i = 0; i < 4; ++i)
+        for (int j = i + 1; j < 4; ++j)
+            EXPECT_NE(eds[i], eds[j]);
+
+    // The determinism contract: a 4-worker pool must produce a
+    // byte-identical PolicySearchResult to the serial walk.
+    const PolicySearchResult sr4 =
+        golden::runGoldenPolicySearch(gold.benchmark, 4);
+    EXPECT_EQ(golden::serializePolicyResult(sr),
+              golden::serializePolicyResult(sr4));
+}
+
 // GOLDEN-BASELINE-BEGIN (tools/rebaseline.sh regenerates this block)
 INSTANTIATE_TEST_SUITE_P(
     PaperPath, GoldenSearch,
@@ -224,6 +277,29 @@ INSTANTIATE_TEST_SUITE_P(
                       "compress+li,192/2981,1M,3220,0.934,0.464/0.332,1.000,0.00%"}),
     [](const ::testing::TestParamInfo<CmpGoldenCase> &) {
         return std::string("compress_li");
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyPath, PolicyGolden,
+    ::testing::Values(
+        PolicyGoldenCase{"compress",
+                         0.340439575230682, 0.467471394248217,
+                         0.344640583316577, 0.2725,
+                         274076, 578,
+                         "compress,dri,sb=4K/mb=2312,0.340,0.302,0.000,0,1.53%",
+                         "compress,decay,interval=50000/limit=3,0.467,0.451,0.000,92,0.00%",
+                         "compress,drowsy,interval=50000/wake=1,0.345,0.223,0.777,1363,0.22%",
+                         "compress,ways,active=1/4,0.272,0.250,0.000,0,0.00%"},
+        PolicyGoldenCase{"li",
+                         0.422037355938535, 0.572133137007289,
+                         0.390865524325395, 0.2725,
+                         192593, 559,
+                         "li,dri,sb=4K/mb=2236,0.422,0.383,0.000,0,1.45%",
+                         "li,decay,interval=50000/limit=3,0.572,0.559,0.000,69,0.00%",
+                         "li,drowsy,interval=50000/wake=1,0.391,0.277,0.723,1202,0.28%",
+                         "li,ways,active=1/4,0.273,0.250,0.000,0,0.00%"}),
+    [](const ::testing::TestParamInfo<PolicyGoldenCase> &info) {
+        return std::string(info.param.benchmark);
     });
 // GOLDEN-BASELINE-END
 

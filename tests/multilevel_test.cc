@@ -11,6 +11,7 @@
 #include "harness/runner.hh"
 #include "mem/hierarchy.hh"
 #include "stats/stats.hh"
+#include "util/logging.hh"
 
 namespace drisim
 {
@@ -351,6 +352,81 @@ TEST(MultiLevelSearch, UnconstrainedAlwaysSelectsLowestEd)
             std::min(min_ed, cand.cmp.relativeEnergyDelay());
     EXPECT_EQ(sr.best.cmp.relativeEnergyDelay(), min_ed);
     EXPECT_TRUE(sr.best.feasible);
+}
+
+// ---------------------------------------------------------------
+// searchCmp factor-cap degradation
+// ---------------------------------------------------------------
+
+namespace caplog
+{
+std::vector<std::string> warnings; // hook target (single-threaded)
+
+void
+hook(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Warn)
+        warnings.push_back(msg);
+}
+} // namespace caplog
+
+TEST(CmpSearch, FactorCapDegradationIsFlaggedAndWarned)
+{
+    RunConfig cfg;
+    cfg.maxInstrs = 30 * 1000;
+
+    CmpConfig cmp;
+    cmp.cores = 2;
+    for (const char *b : {"compress", "li"}) {
+        CmpCoreConfig core;
+        core.bench = b;
+        cmp.coreConfigs.push_back(std::move(core));
+    }
+    DriParams l1Tmpl;
+    l1Tmpl.senseInterval = 10 * 1000;
+    DriParams l2Tmpl = HierarchyParams::defaultL2DriParams();
+    l2Tmpl.senseInterval = 10 * 1000;
+    const CmpRunOutput conv = runCmp(cfg, cmp, "compress");
+
+    // 33 factors over 2 cores: 33^2 = 1089 > the 1024-cell cap, so
+    // the grid must degrade to one shared factor index — loudly
+    // (a warning) and visibly (the result flag), never silently.
+    CmpSpace wide;
+    wide.l1MissBoundFactors.clear();
+    for (int i = 0; i < 33; ++i)
+        wide.l1MissBoundFactors.push_back(2.0 + i);
+    wide.l2SizeBounds = {1024 * 1024};
+
+    caplog::warnings.clear();
+    setLogHook(&caplog::hook);
+    const CmpSearchResult degraded = searchCmp(
+        cfg, cmp, "compress", l1Tmpl, l2Tmpl, wide,
+        MultiLevelConstants::paper(), -1.0, conv);
+    setLogHook(nullptr);
+
+    EXPECT_TRUE(degraded.sharedFactorSweep);
+    EXPECT_EQ(degraded.evaluated.size(), 33u); // |factors| x 1 bound
+    ASSERT_EQ(caplog::warnings.size(), 1u);
+    EXPECT_NE(caplog::warnings[0].find("shared"),
+              std::string::npos);
+    // Shared index: both cores always share one factor position.
+    for (const CmpCandidate &cand : degraded.evaluated)
+        ASSERT_EQ(cand.l1.size(), 2u);
+
+    // A grid under the cap keeps the full cross product and stays
+    // unflagged.
+    CmpSpace small;
+    small.l1MissBoundFactors = {2.0, 32.0};
+    small.l2SizeBounds = {1024 * 1024};
+    caplog::warnings.clear();
+    setLogHook(&caplog::hook);
+    const CmpSearchResult full = searchCmp(
+        cfg, cmp, "compress", l1Tmpl, l2Tmpl, small,
+        MultiLevelConstants::paper(), -1.0, conv);
+    setLogHook(nullptr);
+    EXPECT_FALSE(full.sharedFactorSweep);
+    EXPECT_EQ(full.evaluated.size(), 4u); // 2^2 x 1 bound
+    EXPECT_TRUE(caplog::warnings.empty());
 }
 
 } // namespace

@@ -248,6 +248,89 @@ TEST(Options, RejectsBadCoresValues)
     EXPECT_FALSE(parse({"instrs=-1"}, o, err));
 }
 
+TEST(Options, ParsesPolicyKeys)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"policy=drowsy", "policy.drowsy.interval=50000",
+                       "policy.drowsy.wake=2",
+                       "policy.decay.interval=25000",
+                       "policy.decay.limit=2",
+                       "policy.ways.active=3", "dri.size_bound=2K"},
+                      o, err));
+    EXPECT_EQ(o.policy.kind, PolicyKind::Drowsy);
+    EXPECT_EQ(o.policy.drowsy.drowsyInterval, 50000u);
+    EXPECT_EQ(o.policy.drowsy.wakeLatency, 2u);
+    EXPECT_EQ(o.policy.decay.decayInterval, 25000u);
+    EXPECT_EQ(o.policy.decay.counterLimit, 2u);
+    EXPECT_EQ(o.policy.ways.activeWays, 3u);
+    // policyConfig() syncs the final dri.* template into the
+    // embedded geometry/knobs.
+    EXPECT_EQ(o.policyConfig().dri.sizeBoundBytes, 2048u);
+    EXPECT_EQ(o.policyConfig().kind, PolicyKind::Drowsy);
+}
+
+TEST(Options, RejectsBadPolicyValues)
+{
+    Options o;
+    std::string err;
+    EXPECT_FALSE(parse({"policy=banana"}, o, err));
+    // Every new interval/wake/ways key rides the strict bounded
+    // parser (util/parse.hh): "-1" cannot wrap, 0 is rejected where
+    // it is meaningless, and way 0 can never be gated away.
+    EXPECT_FALSE(parse({"policy.decay.interval=-1"}, o, err));
+    EXPECT_FALSE(parse({"policy.decay.interval=0"}, o, err));
+    EXPECT_FALSE(parse({"policy.decay.limit=-1"}, o, err));
+    EXPECT_FALSE(parse({"policy.drowsy.interval=-1"}, o, err));
+    EXPECT_FALSE(parse({"policy.drowsy.interval=0"}, o, err));
+    EXPECT_FALSE(parse({"policy.drowsy.wake=-1"}, o, err));
+    EXPECT_FALSE(parse({"policy.ways.active=-1"}, o, err));
+    EXPECT_FALSE(parse({"policy.ways.active=0"}, o, err));
+    EXPECT_FALSE(parse({"core0.policy=banana"}, o, err));
+    EXPECT_FALSE(parse({"core0.policy.drowsy.wake=-1"}, o, err));
+    EXPECT_FALSE(parse({"core0.policy.ways.active=0"}, o, err));
+    // A wake latency of 0 (idealized instant wake) stays legal.
+    EXPECT_TRUE(parse({"policy.drowsy.wake=0"}, o, err));
+}
+
+TEST(Options, PerCorePolicyOverrides)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"cores=2", "policy=decay",
+                       "policy.decay.interval=40000",
+                       "core1.policy=drowsy",
+                       "core1.policy.drowsy.wake=3"},
+                      o, err));
+    const std::vector<CmpCoreConfig> cfgs = o.cmpCores(true);
+    ASSERT_EQ(cfgs.size(), 2u);
+    // Core 0 follows the global template; core 1 overrides, seeded
+    // from the global policy as parsed so far.
+    EXPECT_EQ(cfgs[0].policyKind, PolicyKind::Decay);
+    EXPECT_EQ(cfgs[0].decay.decayInterval, 40000u);
+    EXPECT_EQ(cfgs[1].policyKind, PolicyKind::Drowsy);
+    EXPECT_EQ(cfgs[1].drowsy.wakeLatency, 3u);
+    EXPECT_EQ(cfgs[1].decay.decayInterval, 40000u);
+    // A conventional baseline ignores every per-core policy knob.
+    const std::vector<CmpCoreConfig> conv = o.cmpCores(false);
+    EXPECT_FALSE(conv[1].dri);
+}
+
+TEST(Options, UnknownPolicySubkeysCollected)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"policy.banana=1", "core0.policy.banana=1"},
+                      o, err));
+    ASSERT_EQ(o.unknown.size(), 2u);
+    EXPECT_EQ(o.unknown[0], "policy.banana");
+    EXPECT_EQ(o.unknown[1], "core0.policy.banana");
+    // The unknown coreK.policy.* key must not have made core 0's
+    // policy authoritative.
+    EXPECT_TRUE(o.coreOverrides.empty() ||
+                !o.coreOverrides[0].policySet);
+}
+
 TEST(Options, UnknownCoreSubkeysCollected)
 {
     Options o;

@@ -144,6 +144,46 @@ printCmp()
                 "    });\n");
 }
 
+void
+printPolicy(const std::vector<std::string> &benches)
+{
+    std::printf("\nINSTANTIATE_TEST_SUITE_P(\n"
+                "    PolicyPath, PolicyGolden,\n"
+                "    ::testing::Values(\n");
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const std::string &name = benches[i];
+        const PolicySearchResult sr =
+            golden::runGoldenPolicySearch(name, 1);
+        std::printf(
+            "        PolicyGoldenCase{\"%s\",\n"
+            "                         %s, %s,\n"
+            "                         %s, %s,\n"
+            "                         %llu, %llu,\n"
+            "                         \"%s\",\n"
+            "                         \"%s\",\n"
+            "                         \"%s\",\n"
+            "                         \"%s\"}%s\n",
+            name.c_str(),
+            g(sr.bestPerKind[0].cmp.relativeEnergyDelay()).c_str(),
+            g(sr.bestPerKind[1].cmp.relativeEnergyDelay()).c_str(),
+            g(sr.bestPerKind[2].cmp.relativeEnergyDelay()).c_str(),
+            g(sr.bestPerKind[3].cmp.relativeEnergyDelay()).c_str(),
+            static_cast<unsigned long long>(
+                sr.convDetailed.meas.cycles),
+            static_cast<unsigned long long>(
+                sr.convDetailed.meas.l1iMisses),
+            golden::renderPolicyGoldenRow(name, sr, 0).c_str(),
+            golden::renderPolicyGoldenRow(name, sr, 1).c_str(),
+            golden::renderPolicyGoldenRow(name, sr, 2).c_str(),
+            golden::renderPolicyGoldenRow(name, sr, 3).c_str(),
+            i + 1 < benches.size() ? "," : "),");
+    }
+    std::printf("    [](const ::testing::TestParamInfo"
+                "<PolicyGoldenCase> &info) {\n"
+                "        return std::string(info.param.benchmark);\n"
+                "    });\n");
+}
+
 } // namespace
 
 int
@@ -152,9 +192,10 @@ main()
     const std::vector<std::string> benches{"compress", "li"};
     std::fprintf(stderr, "regenerating golden expectations for "
                          "compress and li (single-level, "
-                         "multi-level, cmp)...\n");
+                         "multi-level, cmp, policies)...\n");
     printSingleLevel(benches);
     printMultiLevel(benches);
     printCmp();
+    printPolicy(benches);
     return 0;
 }
