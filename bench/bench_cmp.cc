@@ -87,6 +87,11 @@ main(int argc, char **argv)
         "mix",    "L1-mb",    "L2-bound", "L2-mb",
         "rel-ED", "L1-sizes", "L2-size",  "slowdown"};
     Table summary(cols);
+    // JSON rows additionally carry a canonical config hash. CMP
+    // runs are not result-cached (multi-stream), so this hash is a
+    // stable row identity rather than a cache join key.
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
     std::vector<std::vector<std::string>> winnerRows;
 
     struct PerMix
@@ -123,6 +128,19 @@ main(int argc, char **argv)
                          "cap)\n";
         std::vector<std::string> row = cmpRowCells(mix, sr.best);
         summary.addRow(row);
+        {
+            sim::ConfigKey k;
+            k.add("mode", "cmp");
+            k.add("mix", mix);
+            k.add("cores", static_cast<std::uint64_t>(n));
+            k.add("instrs", ctx.cfg.maxInstrs);
+            k.add("l2.size_bound", sr.best.l2.sizeBoundBytes);
+            k.add("l2.miss_bound", sr.best.l2.missBound);
+            for (std::size_t c = 0; c < sr.best.l1.size(); ++c)
+                k.add("l1." + std::to_string(c) + ".miss_bound",
+                      sr.best.l1[c].missBound);
+            row.push_back(k.hashHex());
+        }
         winnerRows.push_back(std::move(row));
         sum_ed += sr.best.cmp.relativeEnergyDelay();
         results.push_back({mix, sr});
@@ -169,6 +187,7 @@ main(int argc, char **argv)
               << fmtReduction(sum_ed /
                               static_cast<double>(results.size()))
               << "\n";
-    writeJsonReport(ctx, "bench_cmp", cols, winnerRows);
+    writeJsonReport(ctx, "bench_cmp", jsonCols, winnerRows);
+    reportFastSim(ctx);
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/checkpoint.hh"
 #include "util/parse.hh"
 #include "util/str.hh"
 
@@ -34,7 +35,8 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
         std::string("usage: ") + (argc > 0 ? argv[0] : "bench") +
         " [--jobs N]" + (acceptCores ? " [--cores N]" : "") +
         (acceptShort ? " [--short]" : "") +
-        " [--json PATH] [--list]   (jobs 0 = DRISIM_JOBS "
+        " [--json PATH] [--sample] [--checkpoint-dir DIR]"
+        " [--result-cache FILE] [--list]   (jobs 0 = DRISIM_JOBS "
         "env, else serial; --list prints the workload names)";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -60,6 +62,31 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
             continue;
         } else if (arg.rfind("--json=", 0) == 0) {
             ctx.jsonPath = arg.substr(7);
+            continue;
+        } else if (arg == "--sample") {
+            ctx.cfg.sampling.enabled = true;
+            continue;
+        } else if (arg == "--checkpoint-dir") {
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            ctx.cfg.checkpointDir = argv[++i];
+            continue;
+        } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+            ctx.cfg.checkpointDir = arg.substr(17);
+            continue;
+        } else if (arg == "--result-cache") {
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            ctx.cfg.resultCache =
+                std::make_shared<sim::ResultCache>(argv[++i]);
+            continue;
+        } else if (arg.rfind("--result-cache=", 0) == 0) {
+            ctx.cfg.resultCache =
+                std::make_shared<sim::ResultCache>(arg.substr(15));
             continue;
         } else if (arg == "--jobs" || arg == "-j") {
             if (i + 1 >= argc) {
@@ -212,6 +239,31 @@ workerBanner(const BenchContext &ctx)
     return strFormat("%u worker%s (--jobs)", n, n == 1 ? "" : "s");
 }
 
+void
+reportFastSim(const BenchContext &ctx)
+{
+    if (ctx.cfg.resultCache) {
+        ctx.cfg.resultCache->flush();
+        const sim::ResultCache::Counters c =
+            ctx.cfg.resultCache->counters();
+        std::fprintf(
+            stderr,
+            "result-cache: hits=%llu misses=%llu stores=%llu (%s)\n",
+            static_cast<unsigned long long>(c.hits),
+            static_cast<unsigned long long>(c.misses),
+            static_cast<unsigned long long>(c.stores),
+            ctx.cfg.resultCache->path().c_str());
+    }
+    if (!ctx.cfg.checkpointDir.empty()) {
+        const sim::CheckpointCounters c = sim::checkpointCounters();
+        std::fprintf(
+            stderr, "checkpoints: saves=%llu restores=%llu (%s)\n",
+            static_cast<unsigned long long>(c.saves),
+            static_cast<unsigned long long>(c.restores),
+            ctx.cfg.checkpointDir.c_str());
+    }
+}
+
 BaseResult
 computeBase(const BenchmarkInfo &bench, const BenchContext &ctx)
 {
@@ -233,8 +285,15 @@ computeBase(const BenchmarkInfo &bench, const BenchContext &ctx)
     Executor &exec = benchExecutor(ctx);
     JobGraph graph;
 
+    // Content-addressed job keys: the base-config hash makes every
+    // key unique per configuration, so job-keyed artifacts (seeds,
+    // traces) never collide across differently-configured sweeps.
+    const std::string cfgHash =
+        runKeyConventional(bench, ctx.cfg).hashHex();
+
     const JobId conv = graph.add(
-        bench.name + "/conv-detailed", [&](const JobContext &) {
+        bench.name + "/conv-detailed#" + cfgHash,
+        [&](const JobContext &) {
             out.conv = runConventional(bench, ctx.cfg);
         });
 
@@ -266,10 +325,10 @@ computeBase(const BenchmarkInfo &bench, const BenchContext &ctx)
     grid.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
         grid.push_back(graph.add(
-            strFormat("%s/sb=%llu/mbf=%g", bench.name.c_str(),
+            strFormat("%s/sb=%llu/mbf=%g#%s", bench.name.c_str(),
                       static_cast<unsigned long long>(
                           cells[i].sizeBound),
-                      cells[i].factor),
+                      cells[i].factor, cfgHash.c_str()),
             [&, i](const JobContext &) {
                 DriParams p = ctx.driTemplate;
                 p.sizeBoundBytes = cells[i].sizeBound;

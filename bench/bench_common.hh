@@ -77,10 +77,27 @@ BenchContext defaultContext();
  * only when @p acceptCores is set (bench_cmp) — every other binary
  * rejects it instead of silently running single-core — and
  * `--short` only when @p acceptShort is set (bench_policies).
+ *
+ * Fast-simulation flags (sim/ layer, accepted everywhere):
+ *  - `--sample`             phase sampling (detailed windows +
+ *                           functional fast-forward; approximate)
+ *  - `--checkpoint-dir DIR` midpoint snapshot store (bit-exact)
+ *  - `--result-cache FILE`  content-addressed result memoization
+ *                           (bit-exact; shared across binaries)
  */
 bool parseBenchArgs(int argc, char **argv, BenchContext &ctx,
                     std::string &error, bool acceptCores = false,
                     bool acceptShort = false);
+
+/**
+ * One stderr line per configured fast-simulation mechanism
+ * ("result-cache: hits=... misses=... stores=..." and
+ * "checkpoints: saves=... restores=..."); silent when neither was
+ * configured. Flushes the result cache first, so a bench that was
+ * killed right after its report still leaves a complete sidecar.
+ * stderr keeps stdout byte-comparable across cached/uncached runs.
+ */
+void reportFastSim(const BenchContext &ctx);
 
 /**
  * Write the bench's winner rows + wall-clock since context creation

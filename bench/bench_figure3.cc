@@ -65,6 +65,11 @@ main(int argc, char **argv)
         "slowdown",  "miss-rate"};
     Table tc(cols);
     Table tu = tc;
+    // JSON rows additionally carry the winner's canonical config
+    // hash (harness/runner.hh runKeyDri), joinable with the
+    // --result-cache sidecar and the checkpoint store.
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
     std::vector<std::vector<std::string>> winnerRows;
 
     double sum_ed_c = 0.0;
@@ -78,6 +83,8 @@ main(int argc, char **argv)
         std::vector<std::string> rc =
             rowCells(b.name, b.benchClass, base.constrained);
         tc.addRow(rc);
+        rc.push_back(
+            runKeyDri(b, ctx.cfg, base.constrained.dri).hashHex());
         winnerRows.push_back(std::move(rc));
         tu.addRow(rowCells(b.name, b.benchClass,
                            base.unconstrained));
@@ -115,6 +122,7 @@ main(int argc, char **argv)
               << fmtReduction(sum_ed_u / n) << "  (paper: ~67%)\n";
     std::cout << "mean cache size reduction, constrained:     "
               << fmtReduction(sum_size_c / n) << "  (paper: ~62%)\n";
-    writeJsonReport(ctx, "bench_figure3", cols, winnerRows);
+    writeJsonReport(ctx, "bench_figure3", jsonCols, winnerRows);
+    reportFastSim(ctx);
     return 0;
 }

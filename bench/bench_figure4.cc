@@ -89,5 +89,6 @@ main(int argc, char **argv)
     std::cout << "paper: most benchmarks move little; gcc, go, "
                  "perl, tomcatv downsize more at high miss-bounds "
                  "at 5-8% slowdown\n";
+    reportFastSim(ctx);
     return 0;
 }

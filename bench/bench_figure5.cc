@@ -87,5 +87,6 @@ main(int argc, char **argv)
                  "(leakage) and for a halved one (extra L2 "
                  "traffic); class 2 thrashes when pushed below its "
                  "working set; fpppp's 2x case is not applicable\n";
+    reportFastSim(ctx);
     return 0;
 }

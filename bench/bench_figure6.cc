@@ -112,5 +112,6 @@ main(int argc, char **argv)
            "tomcatv) downsize further at 4 ways; the 128K cache "
            "gives a smaller *fraction* (bigger standby share) where "
            "the working set still fits\n";
+    reportFastSim(ctx);
     return 0;
 }

@@ -56,6 +56,11 @@ main(int argc, char **argv)
         "benchmark", "L1-bound", "L1-mb",   "L2-bound", "L2-mb",
         "rel-ED",    "L1-size",  "L2-size", "slowdown"};
     Table summary(cols);
+    // JSON rows additionally carry the winner's canonical config
+    // hash (harness/runner.hh runKeyDri over the multi-level run
+    // config), joinable with the --result-cache sidecar.
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
     std::vector<std::vector<std::string>> winnerRows;
 
     struct PerBench
@@ -76,6 +81,10 @@ main(int argc, char **argv)
         std::vector<std::string> row =
             multiLevelRowCells(b.name, sr.best);
         summary.addRow(row);
+        RunConfig ml = ctx.cfg;
+        ml.hier.l2Dri = true;
+        ml.hier.l2DriParams = sr.best.l2;
+        row.push_back(runKeyDri(b, ml, sr.best.l1).hashHex());
         winnerRows.push_back(std::move(row));
         winners.push_back({b.name, sr.best});
         sum_ed += sr.best.cmp.relativeEnergyDelay();
@@ -104,6 +113,7 @@ main(int argc, char **argv)
               << fmtDouble(sum_l1_size / n, 3)
               << ", mean L2 active size: "
               << fmtDouble(sum_l2_size / n, 3) << "\n";
-    writeJsonReport(ctx, "bench_multilevel", cols, winnerRows);
+    writeJsonReport(ctx, "bench_multilevel", jsonCols, winnerRows);
+    reportFastSim(ctx);
     return 0;
 }

@@ -68,6 +68,11 @@ main(int argc, char **argv)
         "benchmark", "policy", "params",  "rel-ED",
         "active",    "drowsy", "wakes",   "slowdown"};
     Table summary(cols);
+    // JSON rows additionally carry the winner's canonical config
+    // hash (harness/runner.hh runKeyPolicy), joinable with the
+    // --result-cache sidecar and the checkpoint store.
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
     std::vector<std::vector<std::string>> winnerRows;
     std::map<std::string, unsigned> wins;
     // Means are over *feasible* winners only, matching the <=4%
@@ -100,6 +105,8 @@ main(int argc, char **argv)
             if (!cand.feasible)
                 row.back() += " (infeasible)";
             summary.addRow(row);
+            row.push_back(
+                runKeyPolicy(b, ctx.cfg, cand.config).hashHex());
             winnerRows.push_back(std::move(row));
             const double ed = cand.cmp.relativeEnergyDelay();
             const char *name = policyKindName(cand.config.kind);
@@ -134,6 +141,7 @@ main(int argc, char **argv)
                   << "wins " << wins[policy] << "/"
                   << benches.size() << "\n";
 
-    writeJsonReport(ctx, "bench_policies", cols, winnerRows);
+    writeJsonReport(ctx, "bench_policies", jsonCols, winnerRows);
+    reportFastSim(ctx);
     return 0;
 }

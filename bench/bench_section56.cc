@@ -146,5 +146,6 @@ main(int argc, char **argv)
     std::cout << "\n-- throttle ablation (not plotted in the paper; "
                  "docs/DESIGN.md, Throttling) --\n";
     tt.print(std::cout);
+    reportFastSim(ctx);
     return 0;
 }

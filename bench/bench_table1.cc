@@ -79,5 +79,6 @@ main(int argc, char **argv)
                                   "+ chooser), BTB, RAS",
               "2-level hybrid"});
     t.print(std::cout);
+    reportFastSim(ctx);
     return 0;
 }

@@ -105,5 +105,6 @@ main(int argc, char **argv)
     c.addRow({"L2 access (nJ)", fmtDouble(derived.l2PerAccessNJ, 2),
               "3.6"});
     c.print(std::cout);
+    reportFastSim(ctx);
     return 0;
 }

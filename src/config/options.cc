@@ -6,6 +6,8 @@
 
 #include "config/options.hh"
 
+#include <memory>
+
 #include "harness/executor.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -310,6 +312,28 @@ parseOptions(int argc, const char *const *argv, Options &out,
                     return bad_value();
                 out.unknown.push_back(key);
             }
+        } else if (key == "sample") {
+            bool b = false;
+            if (!parseBool(value, b))
+                return bad_value();
+            out.run.sampling.enabled = b;
+        } else if (key == "sample.window") {
+            if (!parsePositiveValue(value, u))
+                return bad_value();
+            out.run.sampling.detailedWindow = u;
+        } else if (key == "sample.period") {
+            if (!parsePositiveValue(value, u))
+                return bad_value();
+            out.run.sampling.period = u;
+        } else if (key == "checkpoint_dir") {
+            if (value.empty())
+                return bad_value();
+            out.run.checkpointDir = value;
+        } else if (key == "result_cache") {
+            if (value.empty())
+                return bad_value();
+            out.run.resultCache =
+                std::make_shared<sim::ResultCache>(value);
         } else if (key == "l2.size") {
             if (!parseBytes(value, u) || u == 0)
                 return bad_value();
@@ -410,7 +434,9 @@ optionsUsage()
            "dri.throttle_hold=N dri.adaptive=0|1 "
            "policy=dri|decay|drowsy|ways policy.decay.interval=N "
            "policy.decay.limit=N policy.drowsy.interval=N "
-           "policy.drowsy.wake=N policy.ways.active=N l2.size=1M "
+           "policy.drowsy.wake=N policy.ways.active=N sample=0|1 "
+           "sample.window=N sample.period=N checkpoint_dir=DIR "
+           "result_cache=FILE l2.size=1M "
            "l2.assoc=N l2.block=64 l2.dri=0|1 l2.size_bound=64K "
            "l2.miss_bound=N l2.interval=N cores=N coreK.bench=NAME "
            "coreK.dri=0|1 coreK.dri.size_bound=1K "

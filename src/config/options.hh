@@ -11,6 +11,8 @@
  *   dri.divisibility, dri.throttle_hold, dri.adaptive,
  *   policy, policy.decay.interval, policy.decay.limit,
  *   policy.drowsy.interval, policy.drowsy.wake, policy.ways.active,
+ *   sample, sample.window, sample.period,
+ *   checkpoint_dir, result_cache,
  *   l2.size, l2.assoc, l2.block,
  *   l2.dri, l2.size_bound, l2.miss_bound, l2.interval,
  *   cores, coreK.bench, coreK.dri,
@@ -30,6 +32,14 @@
  * managing the L1 i-cache (policy/leakage_policy.hh); the
  * `policy.*` keys set the per-technique knobs (`dri` remains the
  * default and keeps its classic `dri.*` keys).
+ *
+ * `sample=1` switches detailed single-core runs to systematic
+ * sampling (src/sim/sampling.hh) with `sample.window` detailed
+ * instructions at the head of every `sample.period`-instruction
+ * period. `checkpoint_dir=DIR` enables mid-run snapshot/restore
+ * (src/sim/checkpoint.hh) and `result_cache=FILE` memoizes whole
+ * runs into a JSON sidecar keyed by the canonical config hash
+ * (src/sim/result_cache.hh). CMP runs ignore all three.
  *
  * `cores=N` switches consumers to the CMP scenario (system/cmp.hh):
  * N cores with private L1s over the shared L2. `coreK.bench=` gives

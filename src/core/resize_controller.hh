@@ -17,6 +17,12 @@
 #include "util/types.hh"
 #include "core/dri_params.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -60,6 +66,10 @@ class ResizeController
     unsigned throttleCounter() const { return throttleCounter_; }
     bool downsizeFrozen() const { return freezeRemaining_ > 0; }
     std::uint64_t throttleEvents() const { return throttleEvents_; }
+
+    /** Serialize the FSM state (sim/checkpoint.hh). */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   private:
     DriParams params_;

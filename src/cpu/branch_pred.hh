@@ -14,6 +14,12 @@
 #include "util/types.hh"
 #include "cpu/isa.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -80,6 +86,11 @@ class BranchPredictor
     /** Record outcome-vs-prediction stats (called by the core). */
     void noteResolved(const BranchPrediction &pred, bool taken,
                       Addr target);
+
+    /** Serialize tables + history + BTB + RAS + stats
+     *  (sim/checkpoint.hh). Restore requires identical params. */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   private:
     unsigned bimodalIndex(Addr pc) const;

@@ -30,6 +30,12 @@
 #include "mem/resizable_cache.hh"
 #include "util/types.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -92,6 +98,24 @@ class Core
      * further run() calls cannot make progress.
      */
     virtual bool drained() const = 0;
+
+    /**
+     * Serialize the full machine state — pipeline, local clock,
+     * committed counts, predictor — so a later restoreFrom() into an
+     * identically-configured core continues bit-identically
+     * (sim/checkpoint.hh). Attached sinks are serialized separately
+     * by the owner.
+     */
+    virtual void snapshotTo(sim::CheckpointWriter &w) const = 0;
+    virtual void restoreFrom(sim::CheckpointReader &r) = 0;
+
+    /**
+     * Sampler seam (sim/sampling.hh): forward externally-simulated
+     * progress to the attached sinks so resize/policy intervals keep
+     * ticking across fast-forwarded regions.
+     */
+    void broadcastRetire(InstCount n) { retire(n); }
+    void broadcastCycles(Cycles delta) { integrate(delta); }
 
   protected:
     /** Broadcast @p n retired instructions to attached sinks. */

@@ -90,7 +90,15 @@ void
 OooCore::doCommit()
 {
     unsigned n = 0;
-    unsigned width = params_.commitWidth;
+    // Commits already performed at this cycle by a previous run()
+    // call that stopped here on its budget: the boundary cycle's
+    // total must not exceed commitWidth.
+    const unsigned already =
+        lastCommitCycle_ == now_ ? commitsThisCycle_ : 0;
+    lastCommitCycle_ = now_;
+    unsigned width =
+        params_.commitWidth > already ? params_.commitWidth - already
+                                      : 0;
     // Stop at exactly the run's instruction budget so paired runs
     // compare cycle counts at identical instruction counts.
     if (commitBudget_ < width)
@@ -116,7 +124,7 @@ OooCore::doCommit()
         commitBudget_ -= n;
         retire(n);
     }
-    commitsThisCycle_ = n;
+    commitsThisCycle_ = already + n;
 }
 
 void

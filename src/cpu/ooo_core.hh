@@ -98,6 +98,11 @@ class OooCore : public Core
 
     BranchPredictor &predictor() { return bpred_; }
 
+    /** Core contract: serialize/restore the full pipeline state.
+     *  Split-and-continue is bit-identical at any split point. */
+    void snapshotTo(sim::CheckpointWriter &w) const override;
+    void restoreFrom(sim::CheckpointReader &r) override;
+
     Cycles cycles() const { return now_; }
     InstCount committed() const { return committedInstrs_.value(); }
     std::uint64_t icacheStallCycles() const
@@ -187,6 +192,16 @@ class OooCore : public Core
 
     /** Remaining instructions this run may commit (exact stop). */
     InstCount commitBudget_ = 0;
+
+    /**
+     * Cycle of the most recent doCommit(). When a run() call stops
+     * mid-cycle on its commit budget, the next call re-enters
+     * doCommit() at the same local cycle; the pair lets it deduct
+     * the commits already performed so the boundary cycle never
+     * exceeds commitWidth (split runs stay bit-identical to
+     * uninterrupted ones; see tests/checkpoint_test.cc).
+     */
+    Cycles lastCommitCycle_ = ~Cycles{0};
 
     /** Per-cycle work counters (idle-skip detection). */
     unsigned commitsThisCycle_ = 0;

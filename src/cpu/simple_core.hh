@@ -66,6 +66,13 @@ class SimpleCore : public Core
     /** Total fetch-miss stall cycles observed (pre-overlap). */
     Cycles missStallCycles() const { return missStall_; }
 
+    /** Core contract: serialize/restore the estimator state. The
+     *  continued run is bit-identical only when the split point is a
+     *  multiple of the retire batch (64); see run()'s tail-flush
+     *  note. The harness aligns its split accordingly. */
+    void snapshotTo(sim::CheckpointWriter &w) const override;
+    void restoreFrom(sim::CheckpointReader &r) override;
+
   private:
     /** Flush any buffered retirements to the attached levels. */
     void flushRetireBatch();

@@ -148,12 +148,20 @@ searchMultiLevel(const BenchmarkInfo &bench, const RunConfig &config,
     std::vector<JobId> grid;
     grid.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
+        // Content-addressed job key: the cell's full run-key hash,
+        // the same identity its result is memoized under.
+        const auto [kp1, kp2] = cell_params(cells[i]);
+        RunConfig kml = config;
+        kml.hier.l2Dri = true;
+        kml.hier.l2DriParams = kp2;
         grid.push_back(graph.add(
-            strFormat("%s/ml-sb1=%llu/sb2=%llu", bench.name.c_str(),
+            strFormat("%s/ml-sb1=%llu/sb2=%llu#%s",
+                      bench.name.c_str(),
                       static_cast<unsigned long long>(
                           cells[i].l1Bound),
                       static_cast<unsigned long long>(
-                          cells[i].l2Bound)),
+                          cells[i].l2Bound),
+                      runKeyDri(bench, kml, kp1).hashHex().c_str()),
             [&, i](const JobContext &) {
                 const auto [p1, p2] = cell_params(cells[i]);
                 result.evaluated[i] = evaluate(p1, p2);

@@ -153,10 +153,15 @@ searchPolicies(const BenchmarkInfo &bench, const RunConfig &config,
     std::vector<JobId> grid;
     grid.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
+        // Content-addressed job key: the cell's full run-key hash,
+        // the same identity its result is memoized under.
         grid.push_back(graph.add(
-            strFormat("%s/policy=%s/%s", bench.name.c_str(),
+            strFormat("%s/policy=%s/%s#%s", bench.name.c_str(),
                       policyKindName(cells[i].config.kind),
-                      cells[i].config.paramSummary().c_str()),
+                      cells[i].config.paramSummary().c_str(),
+                      runKeyPolicy(bench, config, cells[i].config)
+                          .hashHex()
+                          .c_str()),
             [&, i](const JobContext &) {
                 result.evaluated[i] = evaluate(cells[i].config);
             }));

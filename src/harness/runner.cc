@@ -6,6 +6,8 @@
 
 #include "harness/runner.hh"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -14,6 +16,7 @@
 
 #include "core/dri_icache.hh"
 #include "cpu/simple_core.hh"
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 #include "workload/generator.hh"
 
@@ -108,7 +111,368 @@ fillL2Outputs(Hierarchy &hier, RunOutput &out)
     }
 }
 
+// ------------------------------------------------------------------
+// Canonical run keys (see runner.hh: every result-bearing knob, no
+// execution-strategy knobs)
+// ------------------------------------------------------------------
+
+void
+addCacheKey(sim::ConfigKey &k, const std::string &p,
+            const CacheParams &c)
+{
+    k.add(p + ".size", c.sizeBytes);
+    k.add(p + ".assoc", static_cast<std::uint64_t>(c.assoc));
+    k.add(p + ".block", static_cast<std::uint64_t>(c.blockBytes));
+    k.add(p + ".lat", static_cast<std::uint64_t>(c.hitLatency));
+    k.add(p + ".repl", static_cast<std::uint64_t>(c.repl));
+}
+
+void
+addDriKey(sim::ConfigKey &k, const std::string &p, const DriParams &d)
+{
+    k.add(p + ".size", d.sizeBytes);
+    k.add(p + ".assoc", static_cast<std::uint64_t>(d.assoc));
+    k.add(p + ".block", static_cast<std::uint64_t>(d.blockBytes));
+    k.add(p + ".lat", static_cast<std::uint64_t>(d.hitLatency));
+    k.add(p + ".repl", static_cast<std::uint64_t>(d.repl));
+    k.add(p + ".size_bound", d.sizeBoundBytes);
+    k.add(p + ".miss_bound", d.missBound);
+    k.add(p + ".sense_interval", d.senseInterval);
+    k.add(p + ".divisibility",
+          static_cast<std::uint64_t>(d.divisibility));
+    k.add(p + ".throttle_bits",
+          static_cast<std::uint64_t>(d.throttleBits));
+    k.add(p + ".throttle_hold",
+          static_cast<std::uint64_t>(d.throttleHoldIntervals));
+    k.add(p + ".adaptive", d.adaptive);
+}
+
+void
+addPolicyKey(sim::ConfigKey &k, const PolicyConfig &p)
+{
+    k.add("pol.kind", static_cast<std::uint64_t>(p.kind));
+    addDriKey(k, "pol.dri", p.dri);
+    k.add("pol.decay_interval", p.decay.decayInterval);
+    k.add("pol.counter_limit",
+          static_cast<std::uint64_t>(p.decay.counterLimit));
+    k.add("pol.drowsy_interval", p.drowsy.drowsyInterval);
+    k.add("pol.wake_latency",
+          static_cast<std::uint64_t>(p.drowsy.wakeLatency));
+    k.add("pol.active_ways",
+          static_cast<std::uint64_t>(p.ways.activeWays));
+}
+
+void
+addCalKey(sim::ConfigKey &k, const FastCalibration &cal)
+{
+    k.addDouble("cal.base_cpi", cal.baseCpi);
+    k.addDouble("cal.miss_overlap", cal.missOverlap);
+}
+
+sim::ConfigKey
+baseRunKey(const BenchmarkInfo &bench, const RunConfig &config)
+{
+    sim::ConfigKey k;
+    k.add("bench", bench.name);
+    k.add("instrs", config.maxInstrs);
+    addCacheKey(k, "l1i", config.hier.l1i);
+    addCacheKey(k, "l1d", config.hier.l1d);
+    addCacheKey(k, "l2", config.hier.l2);
+    k.add("l2_dri", config.hier.l2Dri);
+    if (config.hier.l2Dri)
+        addDriKey(k, "l2dri", config.hier.l2DriParams);
+
+    const OooParams &c = config.core;
+    k.add("core.fetch", static_cast<std::uint64_t>(c.fetchWidth));
+    k.add("core.issue", static_cast<std::uint64_t>(c.issueWidth));
+    k.add("core.commit", static_cast<std::uint64_t>(c.commitWidth));
+    k.add("core.rob", static_cast<std::uint64_t>(c.robSize));
+    k.add("core.lsq", static_cast<std::uint64_t>(c.lsqSize));
+    k.add("core.fq", static_cast<std::uint64_t>(c.fetchQueueSize));
+    k.add("core.redirect",
+          static_cast<std::uint64_t>(c.redirectPenalty));
+    k.add("core.fetch_block",
+          static_cast<std::uint64_t>(c.fetchBlockBytes));
+    k.add("core.mem_ports", static_cast<std::uint64_t>(c.memPorts));
+    k.add("core.fp_ports", static_cast<std::uint64_t>(c.fpPorts));
+    k.add("core.mul_ports", static_cast<std::uint64_t>(c.mulPorts));
+    k.add("bp.bimodal",
+          static_cast<std::uint64_t>(c.bpred.bimodalEntries));
+    k.add("bp.gshare",
+          static_cast<std::uint64_t>(c.bpred.gshareEntries));
+    k.add("bp.chooser",
+          static_cast<std::uint64_t>(c.bpred.chooserEntries));
+    k.add("bp.history",
+          static_cast<std::uint64_t>(c.bpred.historyBits));
+    k.add("bp.btb_sets", static_cast<std::uint64_t>(c.bpred.btbSets));
+    k.add("bp.btb_assoc",
+          static_cast<std::uint64_t>(c.bpred.btbAssoc));
+    k.add("bp.ras", static_cast<std::uint64_t>(c.bpred.rasDepth));
+
+    k.add("sample", config.sampling.enabled);
+    if (config.sampling.enabled) {
+        k.add("sample.window", config.sampling.detailedWindow);
+        k.add("sample.period", config.sampling.period);
+    }
+    return k;
+}
+
+// ------------------------------------------------------------------
+// RunOutput <-> result-cache fields (exact string round-trip)
+// ------------------------------------------------------------------
+
+std::string
+doubleField(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+bool
+fieldU64(const sim::ResultCache::Fields &f, const char *name,
+         std::uint64_t &out)
+{
+    const auto it = f.find(name);
+    if (it == f.end() || it->second.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+fieldF64(const sim::ResultCache::Fields &f, const char *name,
+         double &out)
+{
+    const auto it = f.find(name);
+    if (it == f.end() || it->second.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+sim::ResultCache::Fields
+runOutputToFields(const RunOutput &out)
+{
+    sim::ResultCache::Fields f;
+    f["cycles"] = std::to_string(out.meas.cycles);
+    f["instructions"] = std::to_string(out.meas.instructions);
+    f["l1i_accesses"] = std::to_string(out.meas.l1iAccesses);
+    f["l1i_misses"] = std::to_string(out.meas.l1iMisses);
+    f["l1i_active_fraction"] = doubleField(out.meas.avgActiveFraction);
+    f["l1i_tag_bits"] = std::to_string(out.meas.resizingTagBits);
+    f["l1i_bytes"] = std::to_string(out.meas.l1iBytes);
+    f["ipc"] = doubleField(out.ipc);
+    f["l1d_miss_rate"] = doubleField(out.l1dMissRate);
+    f["l2_miss_rate"] = doubleField(out.l2MissRate);
+    f["l2_accesses"] = std::to_string(out.l2Accesses);
+    f["l2_misses"] = std::to_string(out.l2Misses);
+    f["mem_accesses"] = std::to_string(out.memAccesses);
+    f["resizes"] = std::to_string(out.resizes);
+    f["throttle_events"] = std::to_string(out.throttleEvents);
+    f["l2_size_bytes"] = std::to_string(out.l2SizeBytes);
+    f["l2_active_fraction"] = doubleField(out.l2AvgActiveFraction);
+    f["l2_tag_bits"] = std::to_string(out.l2ResizingTagBits);
+    f["l2_resizes"] = std::to_string(out.l2Resizes);
+    f["l1_drowsy_fraction"] = doubleField(out.l1DrowsyFraction);
+    f["wake_transitions"] = std::to_string(out.wakeTransitions);
+    f["wake_stall_cycles"] = std::to_string(out.wakeStallCycles);
+    f["policy_blocks_lost"] = std::to_string(out.policyBlocksLost);
+    return f;
+}
+
+/** Strict: any absent or malformed field rejects the entry. */
+bool
+runOutputFromFields(const sim::ResultCache::Fields &f, RunOutput &out)
+{
+    std::uint64_t u = 0;
+    if (!fieldU64(f, "cycles", u))
+        return false;
+    out.meas.cycles = u;
+    if (!fieldU64(f, "instructions", u))
+        return false;
+    out.meas.instructions = u;
+    if (!fieldU64(f, "l1i_accesses", out.meas.l1iAccesses) ||
+        !fieldU64(f, "l1i_misses", out.meas.l1iMisses) ||
+        !fieldF64(f, "l1i_active_fraction",
+                  out.meas.avgActiveFraction))
+        return false;
+    if (!fieldU64(f, "l1i_tag_bits", u))
+        return false;
+    out.meas.resizingTagBits = static_cast<unsigned>(u);
+    if (!fieldU64(f, "l1i_bytes", out.meas.l1iBytes) ||
+        !fieldF64(f, "ipc", out.ipc) ||
+        !fieldF64(f, "l1d_miss_rate", out.l1dMissRate) ||
+        !fieldF64(f, "l2_miss_rate", out.l2MissRate) ||
+        !fieldU64(f, "l2_accesses", out.l2Accesses) ||
+        !fieldU64(f, "l2_misses", out.l2Misses) ||
+        !fieldU64(f, "mem_accesses", out.memAccesses) ||
+        !fieldU64(f, "resizes", out.resizes) ||
+        !fieldU64(f, "throttle_events", out.throttleEvents) ||
+        !fieldU64(f, "l2_size_bytes", out.l2SizeBytes) ||
+        !fieldF64(f, "l2_active_fraction", out.l2AvgActiveFraction))
+        return false;
+    if (!fieldU64(f, "l2_tag_bits", u))
+        return false;
+    out.l2ResizingTagBits = static_cast<unsigned>(u);
+    if (!fieldU64(f, "l2_resizes", out.l2Resizes) ||
+        !fieldF64(f, "l1_drowsy_fraction", out.l1DrowsyFraction) ||
+        !fieldU64(f, "wake_transitions", out.wakeTransitions) ||
+        !fieldU64(f, "wake_stall_cycles", out.wakeStallCycles) ||
+        !fieldU64(f, "policy_blocks_lost", out.policyBlocksLost))
+        return false;
+    return true;
+}
+
+/**
+ * Serve @p key from the result cache when possible, else compute via
+ * @p impl and store. A hit whose payload fails strict field parsing
+ * is recomputed and overwritten, never served.
+ */
+template <typename Impl>
+RunOutput
+memoizedRun(const RunConfig &config, const sim::ConfigKey &key,
+            Impl &&impl)
+{
+    if (!config.resultCache)
+        return impl();
+    sim::ResultCache::Fields f;
+    if (config.resultCache->lookup(key, f)) {
+        RunOutput out;
+        if (runOutputFromFields(f, out))
+            return out;
+    }
+    const RunOutput out = impl();
+    config.resultCache->store(key, runOutputToFields(out));
+    return out;
+}
+
+/**
+ * Run @p core to config.maxInstrs through the midpoint checkpoint
+ * seam: restore and simulate only the second half when a snapshot of
+ * this exact key exists, else simulate the first half, snapshot, and
+ * continue. The split is aligned to the fast model's retire batch
+ * (64) so both core models continue bit-identically. Disabled (plain
+ * full run) when no checkpoint directory is configured or the run is
+ * too short to split.
+ */
+template <typename Snap, typename Restore>
+CoreStats
+runCheckpointed(const RunConfig &config, const sim::ConfigKey &key,
+                Core &core, TraceGenerator &gen, Snap &&snapExtra,
+                Restore &&restoreExtra)
+{
+    const InstCount total = config.maxInstrs;
+    const InstCount split = (total / 2) & ~InstCount{63};
+    if (config.checkpointDir.empty() || split == 0 || split >= total)
+        return core.run(gen, total);
+
+    const sim::CheckpointStore store(config.checkpointDir);
+    const std::string storeKey = "v1|" + key.canonical() + "|ckpt@" +
+                                 std::to_string(split);
+    std::string blob;
+    if (store.load(storeKey, blob)) {
+        sim::CheckpointReader r(std::move(blob));
+        r.beginSection("run");
+        gen.restoreFrom(r);
+        core.restoreFrom(r);
+        restoreExtra(r);
+        r.endSection();
+        return core.run(gen, total - split);
+    }
+
+    core.run(gen, split);
+    sim::CheckpointWriter w;
+    w.beginSection("run");
+    gen.snapshotTo(w);
+    core.snapshotTo(w);
+    snapExtra(w);
+    w.endSection();
+    store.save(storeKey, w.bytes());
+    return core.run(gen, total - split);
+}
+
 } // namespace
+
+sim::ConfigKey
+runKeyConventional(const BenchmarkInfo &bench, const RunConfig &config)
+{
+    sim::ConfigKey k = baseRunKey(bench, config);
+    k.add("mode", "conv");
+    return k;
+}
+
+sim::ConfigKey
+runKeyDri(const BenchmarkInfo &bench, const RunConfig &config,
+          const DriParams &dri)
+{
+    sim::ConfigKey k = baseRunKey(bench, config);
+    k.add("mode", "dri");
+    addDriKey(k, "dri", dri);
+    return k;
+}
+
+sim::ConfigKey
+runKeyPolicy(const BenchmarkInfo &bench, const RunConfig &config,
+             const PolicyConfig &policy)
+{
+    sim::ConfigKey k = baseRunKey(bench, config);
+    k.add("mode", "policy");
+    addPolicyKey(k, policy);
+    return k;
+}
+
+sim::ConfigKey
+runKeyCalibrate(const BenchmarkInfo &bench, const RunConfig &config)
+{
+    sim::ConfigKey k = baseRunKey(bench, config);
+    k.add("mode", "calibrate");
+    return k;
+}
+
+sim::ConfigKey
+runKeyConventionalFast(const BenchmarkInfo &bench,
+                       const RunConfig &config,
+                       const FastCalibration &cal)
+{
+    sim::ConfigKey k = baseRunKey(bench, config);
+    k.add("mode", "conv_fast");
+    addCalKey(k, cal);
+    return k;
+}
+
+sim::ConfigKey
+runKeyDriFast(const BenchmarkInfo &bench, const RunConfig &config,
+              const DriParams &dri, const FastCalibration &cal)
+{
+    sim::ConfigKey k = baseRunKey(bench, config);
+    k.add("mode", "dri_fast");
+    addDriKey(k, "dri", dri);
+    addCalKey(k, cal);
+    return k;
+}
+
+sim::ConfigKey
+runKeyPolicyFast(const BenchmarkInfo &bench, const RunConfig &config,
+                 const PolicyConfig &policy, const FastCalibration &cal)
+{
+    sim::ConfigKey k = baseRunKey(bench, config);
+    k.add("mode", "policy_fast");
+    addPolicyKey(k, policy);
+    addCalKey(k, cal);
+    return k;
+}
 
 const ProgramImage &
 programImageFor(const BenchmarkInfo &bench)
@@ -132,56 +496,91 @@ defaultRunInstrs()
 RunOutput
 runConventional(const BenchmarkInfo &bench, const RunConfig &config)
 {
-    stats::StatGroup root("sim");
-    Hierarchy hier(config.hier, &root, true);
-    OooCore core(config.core, hier.l1i(), &hier.l1d(), &root);
-    core.addResizable(hier.driL2());
+    const sim::ConfigKey key = runKeyConventional(bench, config);
+    return memoizedRun(config, key, [&] {
+        stats::StatGroup root("sim");
+        Hierarchy hier(config.hier, &root, true);
+        OooCore core(config.core, hier.l1i(), &hier.l1d(), &root);
+        core.addResizable(hier.driL2());
 
-    TraceGenerator gen(imageFor(bench));
-    CoreStats cs = core.run(gen, config.maxInstrs);
+        TraceGenerator gen(imageFor(bench));
+        const CoreStats cs =
+            config.sampling.enabled
+                ? sim::runSampled(core, hier.l1i(), &hier.l1d(), gen,
+                                  config.maxInstrs, config.sampling,
+                                  config.core.fetchBlockBytes)
+                : runCheckpointed(
+                      config, key, core, gen,
+                      [&](sim::CheckpointWriter &w) {
+                          hier.snapshotTo(w);
+                      },
+                      [&](sim::CheckpointReader &r) {
+                          hier.restoreFrom(r);
+                      });
 
-    RunOutput out;
-    Cache *l1i = hier.convL1i();
-    out.meas = measurementFromCounts(
-        cs.cycles, cs.instructions, l1i->accesses(), l1i->misses(),
-        1.0, 0, config.hier.l1i.sizeBytes);
-    out.ipc = cs.ipc();
-    out.l1dMissRate = hier.l1d().missRate();
-    fillL2Outputs(hier, out);
-    return out;
+        RunOutput out;
+        Cache *l1i = hier.convL1i();
+        out.meas = measurementFromCounts(
+            cs.cycles, cs.instructions, l1i->accesses(),
+            l1i->misses(), 1.0, 0, config.hier.l1i.sizeBytes);
+        out.ipc = cs.ipc();
+        out.l1dMissRate = hier.l1d().missRate();
+        fillL2Outputs(hier, out);
+        return out;
+    });
 }
 
 RunOutput
 runDri(const BenchmarkInfo &bench, const RunConfig &config,
        const DriParams &dri)
 {
-    stats::StatGroup root("sim");
-    Hierarchy hier(config.hier, &root, false);
-    DriICache icache(dri, hier.l2Level(), &root);
-    hier.setL1I(&icache);
-    OooCore core(config.core, &icache, &hier.l1d(), &root);
-    core.setDri(&icache);
-    core.addResizable(hier.driL2());
+    const sim::ConfigKey key = runKeyDri(bench, config, dri);
+    return memoizedRun(config, key, [&] {
+        stats::StatGroup root("sim");
+        Hierarchy hier(config.hier, &root, false);
+        DriICache icache(dri, hier.l2Level(), &root);
+        hier.setL1I(&icache);
+        OooCore core(config.core, &icache, &hier.l1d(), &root);
+        core.setDri(&icache);
+        core.addResizable(hier.driL2());
 
-    TraceGenerator gen(imageFor(bench));
-    CoreStats cs = core.run(gen, config.maxInstrs);
+        TraceGenerator gen(imageFor(bench));
+        const CoreStats cs =
+            config.sampling.enabled
+                ? sim::runSampled(core, &icache, &hier.l1d(), gen,
+                                  config.maxInstrs, config.sampling,
+                                  config.core.fetchBlockBytes)
+                : runCheckpointed(
+                      config, key, core, gen,
+                      [&](sim::CheckpointWriter &w) {
+                          hier.snapshotTo(w);
+                          icache.snapshotTo(w);
+                      },
+                      [&](sim::CheckpointReader &r) {
+                          hier.restoreFrom(r);
+                          icache.restoreFrom(r);
+                      });
 
-    RunOutput out;
-    out.meas = measurementFromCounts(
-        cs.cycles, cs.instructions, icache.accesses(), icache.misses(),
-        icache.averageActiveFraction(), dri.resizingTagBits(),
-        dri.sizeBytes);
-    out.ipc = cs.ipc();
-    out.l1dMissRate = hier.l1d().missRate();
-    fillL2Outputs(hier, out);
-    out.resizes = icache.upsizes() + icache.downsizes();
-    out.throttleEvents = icache.controller().throttleEvents();
-    return out;
+        RunOutput out;
+        out.meas = measurementFromCounts(
+            cs.cycles, cs.instructions, icache.accesses(),
+            icache.misses(), icache.averageActiveFraction(),
+            dri.resizingTagBits(), dri.sizeBytes);
+        out.ipc = cs.ipc();
+        out.l1dMissRate = hier.l1d().missRate();
+        fillL2Outputs(hier, out);
+        out.resizes = icache.upsizes() + icache.downsizes();
+        out.throttleEvents = icache.controller().throttleEvents();
+        return out;
+    });
 }
 
+namespace
+{
+
 FastCalibration
-calibrateFast(const BenchmarkInfo &bench, const RunConfig &config,
-              const RunOutput &convDetailed)
+calibrateFastImpl(const BenchmarkInfo &bench, const RunConfig &config,
+                  const RunOutput &convDetailed)
 {
     FastCalibration cal;
     // Measure the conventional fetch-miss stall with the fast model
@@ -210,29 +609,61 @@ calibrateFast(const BenchmarkInfo &bench, const RunConfig &config,
     return cal;
 }
 
+} // namespace
+
+FastCalibration
+calibrateFast(const BenchmarkInfo &bench, const RunConfig &config,
+              const RunOutput &convDetailed)
+{
+    if (!config.resultCache)
+        return calibrateFastImpl(bench, config, convDetailed);
+
+    const sim::ConfigKey key = runKeyCalibrate(bench, config);
+    sim::ResultCache::Fields f;
+    FastCalibration cal;
+    if (config.resultCache->lookup(key, f) &&
+        fieldF64(f, "base_cpi", cal.baseCpi) &&
+        fieldF64(f, "miss_overlap", cal.missOverlap))
+        return cal;
+
+    cal = calibrateFastImpl(bench, config, convDetailed);
+    sim::ResultCache::Fields out;
+    out["base_cpi"] = doubleField(cal.baseCpi);
+    out["miss_overlap"] = doubleField(cal.missOverlap);
+    config.resultCache->store(key, out);
+    return cal;
+}
+
 RunOutput
 runConventionalFast(const BenchmarkInfo &bench, const RunConfig &config,
                     const FastCalibration &cal)
 {
-    stats::StatGroup root("fast");
-    Hierarchy hier(config.hier, &root, true);
-    SimpleCoreParams scp;
-    scp.baseCpi = cal.baseCpi;
-    scp.missOverlap = cal.missOverlap;
-    scp.fetchBlockBytes = config.hier.l1i.blockBytes;
-    SimpleCore fast(scp, hier.l1i());
-    fast.addResizable(hier.driL2());
-    TraceGenerator gen(imageFor(bench));
-    CoreStats cs = fast.run(gen, config.maxInstrs);
+    const sim::ConfigKey key =
+        runKeyConventionalFast(bench, config, cal);
+    return memoizedRun(config, key, [&] {
+        stats::StatGroup root("fast");
+        Hierarchy hier(config.hier, &root, true);
+        SimpleCoreParams scp;
+        scp.baseCpi = cal.baseCpi;
+        scp.missOverlap = cal.missOverlap;
+        scp.fetchBlockBytes = config.hier.l1i.blockBytes;
+        SimpleCore fast(scp, hier.l1i());
+        fast.addResizable(hier.driL2());
+        TraceGenerator gen(imageFor(bench));
+        const CoreStats cs = runCheckpointed(
+            config, key, fast, gen,
+            [&](sim::CheckpointWriter &w) { hier.snapshotTo(w); },
+            [&](sim::CheckpointReader &r) { hier.restoreFrom(r); });
 
-    RunOutput out;
-    Cache *l1i = hier.convL1i();
-    out.meas = measurementFromCounts(
-        cs.cycles, cs.instructions, l1i->accesses(), l1i->misses(),
-        1.0, 0, config.hier.l1i.sizeBytes);
-    out.ipc = cs.ipc();
-    fillL2Outputs(hier, out);
-    return out;
+        RunOutput out;
+        Cache *l1i = hier.convL1i();
+        out.meas = measurementFromCounts(
+            cs.cycles, cs.instructions, l1i->accesses(),
+            l1i->misses(), 1.0, 0, config.hier.l1i.sizeBytes);
+        out.ipc = cs.ipc();
+        fillL2Outputs(hier, out);
+        return out;
+    });
 }
 
 std::vector<std::string>
@@ -296,78 +727,120 @@ RunOutput
 runPolicy(const BenchmarkInfo &bench, const RunConfig &config,
           const PolicyConfig &policy)
 {
-    stats::StatGroup root("sim");
-    Hierarchy hier(config.hier, &root, false);
-    std::unique_ptr<LeakagePolicy> l1i =
-        makeLeakagePolicy(policy, hier.l2Level(), &root);
-    hier.setL1I(l1i->level());
-    OooCore core(config.core, l1i->level(), &hier.l1d(), &root);
-    core.addRetireSink(l1i.get());
-    core.addResizable(hier.driL2());
+    const sim::ConfigKey key = runKeyPolicy(bench, config, policy);
+    return memoizedRun(config, key, [&] {
+        stats::StatGroup root("sim");
+        Hierarchy hier(config.hier, &root, false);
+        std::unique_ptr<LeakagePolicy> l1i =
+            makeLeakagePolicy(policy, hier.l2Level(), &root);
+        hier.setL1I(l1i->level());
+        OooCore core(config.core, l1i->level(), &hier.l1d(), &root);
+        core.addRetireSink(l1i.get());
+        core.addResizable(hier.driL2());
 
-    TraceGenerator gen(imageFor(bench));
-    CoreStats cs = core.run(gen, config.maxInstrs);
+        TraceGenerator gen(imageFor(bench));
+        const CoreStats cs =
+            config.sampling.enabled
+                ? sim::runSampled(core, l1i->level(), &hier.l1d(), gen,
+                                  config.maxInstrs, config.sampling,
+                                  config.core.fetchBlockBytes)
+                : runCheckpointed(
+                      config, key, core, gen,
+                      [&](sim::CheckpointWriter &w) {
+                          hier.snapshotTo(w);
+                          l1i->snapshotTo(w);
+                      },
+                      [&](sim::CheckpointReader &r) {
+                          hier.restoreFrom(r);
+                          l1i->restoreFrom(r);
+                      });
 
-    RunOutput out;
-    fillPolicyOutputs(*l1i, policy, cs, out);
-    out.l1dMissRate = hier.l1d().missRate();
-    fillL2Outputs(hier, out);
-    return out;
+        RunOutput out;
+        fillPolicyOutputs(*l1i, policy, cs, out);
+        out.l1dMissRate = hier.l1d().missRate();
+        fillL2Outputs(hier, out);
+        return out;
+    });
 }
 
 RunOutput
 runPolicyFast(const BenchmarkInfo &bench, const RunConfig &config,
               const PolicyConfig &policy, const FastCalibration &cal)
 {
-    stats::StatGroup root("fast");
-    Hierarchy hier(config.hier, &root, false);
-    std::unique_ptr<LeakagePolicy> l1i =
-        makeLeakagePolicy(policy, hier.l2Level(), &root);
-    hier.setL1I(l1i->level());
-    SimpleCoreParams scp;
-    scp.baseCpi = cal.baseCpi;
-    scp.missOverlap = cal.missOverlap;
-    scp.fetchBlockBytes = policy.dri.blockBytes;
-    SimpleCore fast(scp, l1i->level());
-    fast.addRetireSink(l1i.get());
-    fast.addResizable(hier.driL2());
-    TraceGenerator gen(imageFor(bench));
-    CoreStats cs = fast.run(gen, config.maxInstrs);
+    const sim::ConfigKey key =
+        runKeyPolicyFast(bench, config, policy, cal);
+    return memoizedRun(config, key, [&] {
+        stats::StatGroup root("fast");
+        Hierarchy hier(config.hier, &root, false);
+        std::unique_ptr<LeakagePolicy> l1i =
+            makeLeakagePolicy(policy, hier.l2Level(), &root);
+        hier.setL1I(l1i->level());
+        SimpleCoreParams scp;
+        scp.baseCpi = cal.baseCpi;
+        scp.missOverlap = cal.missOverlap;
+        scp.fetchBlockBytes = policy.dri.blockBytes;
+        SimpleCore fast(scp, l1i->level());
+        fast.addRetireSink(l1i.get());
+        fast.addResizable(hier.driL2());
+        TraceGenerator gen(imageFor(bench));
+        const CoreStats cs = runCheckpointed(
+            config, key, fast, gen,
+            [&](sim::CheckpointWriter &w) {
+                hier.snapshotTo(w);
+                l1i->snapshotTo(w);
+            },
+            [&](sim::CheckpointReader &r) {
+                hier.restoreFrom(r);
+                l1i->restoreFrom(r);
+            });
 
-    RunOutput out;
-    fillPolicyOutputs(*l1i, policy, cs, out);
-    fillL2Outputs(hier, out);
-    return out;
+        RunOutput out;
+        fillPolicyOutputs(*l1i, policy, cs, out);
+        fillL2Outputs(hier, out);
+        return out;
+    });
 }
 
 RunOutput
 runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
            const DriParams &dri, const FastCalibration &cal)
 {
-    stats::StatGroup root("fast");
-    Hierarchy hier(config.hier, &root, false);
-    DriICache icache(dri, hier.l2Level(), &root);
-    hier.setL1I(&icache);
-    SimpleCoreParams scp;
-    scp.baseCpi = cal.baseCpi;
-    scp.missOverlap = cal.missOverlap;
-    scp.fetchBlockBytes = dri.blockBytes;
-    SimpleCore fast(scp, &icache);
-    fast.setDri(&icache);
-    fast.addResizable(hier.driL2());
-    TraceGenerator gen(imageFor(bench));
-    CoreStats cs = fast.run(gen, config.maxInstrs);
+    const sim::ConfigKey key = runKeyDriFast(bench, config, dri, cal);
+    return memoizedRun(config, key, [&] {
+        stats::StatGroup root("fast");
+        Hierarchy hier(config.hier, &root, false);
+        DriICache icache(dri, hier.l2Level(), &root);
+        hier.setL1I(&icache);
+        SimpleCoreParams scp;
+        scp.baseCpi = cal.baseCpi;
+        scp.missOverlap = cal.missOverlap;
+        scp.fetchBlockBytes = dri.blockBytes;
+        SimpleCore fast(scp, &icache);
+        fast.setDri(&icache);
+        fast.addResizable(hier.driL2());
+        TraceGenerator gen(imageFor(bench));
+        const CoreStats cs = runCheckpointed(
+            config, key, fast, gen,
+            [&](sim::CheckpointWriter &w) {
+                hier.snapshotTo(w);
+                icache.snapshotTo(w);
+            },
+            [&](sim::CheckpointReader &r) {
+                hier.restoreFrom(r);
+                icache.restoreFrom(r);
+            });
 
-    RunOutput out;
-    out.meas = measurementFromCounts(
-        cs.cycles, cs.instructions, icache.accesses(), icache.misses(),
-        icache.averageActiveFraction(), dri.resizingTagBits(),
-        dri.sizeBytes);
-    out.ipc = cs.ipc();
-    fillL2Outputs(hier, out);
-    out.resizes = icache.upsizes() + icache.downsizes();
-    out.throttleEvents = icache.controller().throttleEvents();
-    return out;
+        RunOutput out;
+        out.meas = measurementFromCounts(
+            cs.cycles, cs.instructions, icache.accesses(),
+            icache.misses(), icache.averageActiveFraction(),
+            dri.resizingTagBits(), dri.sizeBytes);
+        out.ipc = cs.ipc();
+        fillL2Outputs(hier, out);
+        out.resizes = icache.upsizes() + icache.downsizes();
+        out.throttleEvents = icache.controller().throttleEvents();
+        return out;
+    });
 }
 
 } // namespace drisim

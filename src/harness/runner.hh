@@ -10,6 +10,7 @@
 #define DRISIM_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,8 @@
 #include "energy/energy_model.hh"
 #include "mem/hierarchy.hh"
 #include "policy/leakage_policy.hh"
+#include "sim/result_cache.hh"
+#include "sim/sampling.hh"
 #include "system/cmp.hh"
 #include "workload/spec_suite.hh"
 
@@ -48,6 +51,33 @@ struct RunConfig
      * harness/executor.hh.
      */
     unsigned jobs = 0;
+
+    /**
+     * Phase sampling (sim/sampling.hh): detailed windows separated
+     * by functional fast-forward. Applies to the detailed entry
+     * points only (the fast model is already an approximation);
+     * changes results, so it participates in the run key. When
+     * enabled, mid-run checkpointing is skipped.
+     */
+    sim::SamplingConfig sampling{};
+
+    /**
+     * Directory for mid-run architectural snapshots ("" = off).
+     * A run first looks for a snapshot of its own key at the
+     * midpoint; on a hit it restores and simulates only the second
+     * half, bit-identically (locked by tests/checkpoint_test.cc).
+     */
+    std::string checkpointDir;
+
+    /**
+     * Content-addressed result memoization (null = off). Completed
+     * RunOutputs are stored under the canonical config hash and
+     * served without simulating on later identical runs — across
+     * entry points, binaries and processes (sim/result_cache.hh).
+     * jobs/checkpointDir/resultCache never enter the key: they
+     * cannot change results.
+     */
+    std::shared_ptr<sim::ResultCache> resultCache;
 };
 
 /** What one run produced. */
@@ -141,6 +171,36 @@ RunOutput runPolicyFast(const BenchmarkInfo &bench,
                         const RunConfig &config,
                         const PolicyConfig &policy,
                         const FastCalibration &cal);
+
+/**
+ * Canonical configuration keys for the entry points above — every
+ * knob that can change the run's result, in sorted-key canonical
+ * form (sim/result_cache.hh). The hash of the key names the run in
+ * the result cache, in the checkpoint store and in every --json
+ * report row (config_hash), so artifacts from different binaries
+ * and processes join on it. jobs/checkpointDir/resultCache are
+ * deliberately absent: they cannot change results.
+ */
+sim::ConfigKey runKeyConventional(const BenchmarkInfo &bench,
+                                  const RunConfig &config);
+sim::ConfigKey runKeyDri(const BenchmarkInfo &bench,
+                         const RunConfig &config, const DriParams &dri);
+sim::ConfigKey runKeyPolicy(const BenchmarkInfo &bench,
+                            const RunConfig &config,
+                            const PolicyConfig &policy);
+sim::ConfigKey runKeyCalibrate(const BenchmarkInfo &bench,
+                               const RunConfig &config);
+sim::ConfigKey runKeyConventionalFast(const BenchmarkInfo &bench,
+                                      const RunConfig &config,
+                                      const FastCalibration &cal);
+sim::ConfigKey runKeyDriFast(const BenchmarkInfo &bench,
+                             const RunConfig &config,
+                             const DriParams &dri,
+                             const FastCalibration &cal);
+sim::ConfigKey runKeyPolicyFast(const BenchmarkInfo &bench,
+                                const RunConfig &config,
+                                const PolicyConfig &policy,
+                                const FastCalibration &cal);
 
 /**
  * The benchmark each CMP core runs: its coreK.bench override, or

@@ -84,6 +84,12 @@ searchBestEnergyDelay(const BenchmarkInfo &bench, const RunConfig &config,
     Executor exec(config.jobs);
     JobGraph graph;
 
+    // Content-addressed job keys (see bench_common::computeBase):
+    // the base-config hash keeps job-keyed artifacts distinct
+    // across differently-configured sweeps.
+    const std::string cfgHash =
+        runKeyConventional(bench, config).hashHex();
+
     FastCalibration cal;
     RunOutput conv_fast;
     double conv_misses_per_interval = 0.0;
@@ -106,10 +112,10 @@ searchBestEnergyDelay(const BenchmarkInfo &bench, const RunConfig &config,
     grid.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
         grid.push_back(graph.add(
-            strFormat("%s/sb=%llu/mbf=%g", bench.name.c_str(),
+            strFormat("%s/sb=%llu/mbf=%g#%s", bench.name.c_str(),
                       static_cast<unsigned long long>(
                           cells[i].sizeBound),
-                      cells[i].factor),
+                      cells[i].factor, cfgHash.c_str()),
             [&, i](const JobContext &) {
                 DriParams p = driTemplate;
                 p.sizeBoundBytes = cells[i].sizeBound;

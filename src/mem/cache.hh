@@ -25,6 +25,12 @@
 #include "mem/memory.hh"
 #include "mem/tag_store.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -75,6 +81,11 @@ class Cache : public MemoryLevel
     void resetStats() { group_.resetAll(); }
 
     stats::StatGroup &statGroup() { return group_; }
+
+    /** Serialize contents + stats (sim/checkpoint.hh). Restore
+     *  requires an identically-configured cache. */
+    virtual void snapshotTo(sim::CheckpointWriter &w) const;
+    virtual void restoreFrom(sim::CheckpointReader &r);
 
   protected:
     // Per-line leakage-policy hooks (no-ops for a plain cache).

@@ -15,6 +15,12 @@
 #include "mem/memory.hh"
 #include "mem/resizable_cache.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -100,6 +106,13 @@ class Hierarchy
     Cache *convL1i() { return convL1i_.get(); }
 
     const HierarchyParams &params() const { return params_; }
+
+    /** Serialize every owned level — memory, L2 (either flavour),
+     *  L1D, and the conventional L1I when one was built. A
+     *  caller-installed L1I (DRI/policy) is the caller's to
+     *  serialize (sim/checkpoint.hh). */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   private:
     HierarchyParams params_;

@@ -14,6 +14,12 @@
 #include "stats/stats.hh"
 #include "util/types.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -64,6 +70,10 @@ class MainMemory : public MemoryLevel
     Cycles transferLatency() const;
 
     std::uint64_t accesses() const { return accesses_.value(); }
+
+    /** Serialize the access counter (sim/checkpoint.hh). */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
     /** Table 1 constants. */
     static constexpr Cycles kBaseLatency = 80;

@@ -37,6 +37,12 @@
 #include "mem/tag_store.hh"
 #include "stats/stats.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -167,6 +173,13 @@ class ResizableCache : public MemoryLevel, public RetireSink
     bool mappingConsistent() const;
 
     void resetStats();
+
+    /** Serialize mask + controller + contents + integrals + stats
+     *  (sim/checkpoint.hh). Restore requires identical params.
+     *  Covers derived flavours (their extra stats register in the
+     *  same group and are walked with it). */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   protected:
     void applyDecision(ResizeDecision decision);

@@ -18,6 +18,12 @@
 #include "mem/cache_blk.hh"
 #include "mem/repl_policy.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -81,6 +87,11 @@ class TagStore
 
     /** Number of valid frames (for tests/occupancy stats). */
     std::uint64_t validCount() const;
+
+    /** Serialize frames + replacement clock (sim/checkpoint.hh).
+     *  Restore requires identical geometry. */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   private:
     std::span<CacheBlk> mutableSet(std::uint64_t set);

@@ -61,6 +61,9 @@ class DrowsyCache : public PolicyCacheBase
     Cycles onLineHit(std::uint64_t set, unsigned way) override;
     void onLineFill(std::uint64_t set, unsigned way) override;
 
+    void snapshotExtra(sim::CheckpointWriter &w) const override;
+    void restoreExtra(sim::CheckpointReader &r) override;
+
   private:
     std::size_t lineIndex(std::uint64_t set, unsigned way) const
     {

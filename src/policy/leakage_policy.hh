@@ -44,6 +44,12 @@
 #include "stats/stats.hh"
 #include "util/types.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -177,6 +183,15 @@ class LeakagePolicy : public RetireSink
 
     /** Time-integrated activity report. */
     virtual PolicyActivity activity() const = 0;
+
+    /**
+     * Serialize the managed cache's full state — contents, per-line
+     * policy state, interval bookkeeping, time integrals, stats —
+     * for checkpoint/restore (sim/checkpoint.hh). Restore requires
+     * an identically-configured policy.
+     */
+    virtual void snapshotTo(sim::CheckpointWriter &w) const = 0;
+    virtual void restoreFrom(sim::CheckpointReader &r) = 0;
 
     double l1MissRate() const
     {

@@ -52,7 +52,21 @@ class PolicyCacheBase : public Cache, public LeakagePolicy
     std::uint64_t totalLines() const { return totalLines_; }
     Cycles integratedCycles() const { return integratedCycles_; }
 
+    /** One override serves both bases (Cache and LeakagePolicy):
+     *  cache contents + stats, the shared policy bookkeeping, then
+     *  the flavour hook below. */
+    void snapshotTo(sim::CheckpointWriter &w) const override;
+    void restoreFrom(sim::CheckpointReader &r) override;
+
   protected:
+    /** Flavour-specific per-line state (decay counters, drowsy
+     *  bits). Defaults are empty for stateless flavours. */
+    virtual void snapshotExtra(sim::CheckpointWriter &w) const
+    {
+        (void)w;
+    }
+    virtual void restoreExtra(sim::CheckpointReader &r) { (void)r; }
+
     /** Length of this policy's interval in instructions (0 = no
      *  periodic behaviour; onRetire then never ticks). */
     virtual InstCount intervalLength() const = 0;

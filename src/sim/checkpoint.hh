@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Serializable-state interface for checkpoint/restore.
+ *
+ * Components expose snapshotTo(CheckpointWriter&) / restoreFrom
+ * (CheckpointReader&) member functions built from the typed
+ * primitives here. The encoding is type-tagged so a reader that
+ * drifts out of sync with the writer fails loudly (CheckpointError)
+ * instead of silently misinterpreting bytes, and sectioned so
+ * component boundaries are verified by name.
+ *
+ * CheckpointStore persists blobs keyed by an arbitrary string: the
+ * file embeds the full key and a format magic, both verified on
+ * load, so a stale or foreign file is treated as a miss, never
+ * deserialized.
+ */
+
+#ifndef DRISIM_SIM_CHECKPOINT_HH
+#define DRISIM_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace drisim::sim
+{
+
+/** Thrown on any malformed or mismatching checkpoint stream. */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    explicit CheckpointError(const std::string &what)
+        : std::runtime_error("checkpoint: " + what)
+    {}
+};
+
+/** Accumulates a type-tagged serialization of component state. */
+class CheckpointWriter
+{
+  public:
+    void putU64(std::uint64_t v);
+    void putI64(std::int64_t v);
+    /** Exact bit pattern — round-trips NaN and -0.0. */
+    void putF64(double v);
+    void putBool(bool v);
+    void putString(std::string_view s);
+
+    /** Open a named section (component boundary). */
+    void beginSection(std::string_view name);
+    void endSection();
+
+    /** The serialized blob. Valid only when all sections closed. */
+    const std::string &bytes() const;
+
+  private:
+    void raw64(std::uint64_t v);
+
+    std::string buf_;
+    unsigned depth_ = 0;
+};
+
+/**
+ * Reads a blob produced by CheckpointWriter. Every accessor verifies
+ * the type tag (and section name) before consuming; any mismatch or
+ * premature end of stream throws CheckpointError.
+ */
+class CheckpointReader
+{
+  public:
+    explicit CheckpointReader(std::string bytes);
+
+    std::uint64_t getU64();
+    std::int64_t getI64();
+    double getF64();
+    bool getBool();
+    std::string getString();
+
+    void beginSection(std::string_view name);
+    void endSection();
+
+    /** True when every byte has been consumed. */
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    char takeTag();
+    void expectTag(char want);
+    std::uint64_t raw64();
+    std::string takeBytes(std::uint64_t n);
+
+    std::string buf_;
+    std::size_t pos_ = 0;
+};
+
+/** Process-wide checkpoint activity, for bench-side reporting. */
+struct CheckpointCounters
+{
+    std::uint64_t saves = 0;
+    std::uint64_t restores = 0;
+};
+
+CheckpointCounters checkpointCounters();
+
+/**
+ * Directory of checkpoint blobs addressed by string key. Files are
+ * named by a hash of the key but store the full key; load() verifies
+ * magic and key and reports a miss on any mismatch or corruption.
+ */
+class CheckpointStore
+{
+  public:
+    /** Creates @p dir (and parents) if needed. */
+    explicit CheckpointStore(std::string dir);
+
+    /** @return true and fill @p blobOut on a verified hit. */
+    bool load(const std::string &key, std::string &blobOut) const;
+
+    /** Atomically (write-then-rename) persist @p blob under @p key. */
+    void save(const std::string &key, const std::string &blob) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string pathFor(const std::string &key) const;
+
+    std::string dir_;
+};
+
+/** FNV-1a 64-bit over @p s. */
+std::uint64_t fnv1a64(std::string_view s);
+
+/** 16-digit lowercase hex of @p v. */
+std::string toHex64(std::uint64_t v);
+
+} // namespace drisim::sim
+
+#endif // DRISIM_SIM_CHECKPOINT_HH

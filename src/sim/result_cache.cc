@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Canonical config hashing and the JSON result sidecar.
+ */
+
+#include "sim/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/checkpoint.hh"
+
+namespace drisim::sim
+{
+
+// ---------------------------------------------------------------
+// ConfigKey
+// ---------------------------------------------------------------
+
+ConfigKey &
+ConfigKey::add(std::string_view key, std::string_view value)
+{
+    pairs_.emplace_back(std::string(key), std::string(value));
+    return *this;
+}
+
+ConfigKey &
+ConfigKey::add(std::string_view key, const char *value)
+{
+    return add(key, std::string_view(value));
+}
+
+ConfigKey &
+ConfigKey::add(std::string_view key, std::uint64_t value)
+{
+    return add(key, std::string_view(std::to_string(value)));
+}
+
+ConfigKey &
+ConfigKey::add(std::string_view key, bool value)
+{
+    return add(key, std::string_view(value ? "1" : "0"));
+}
+
+ConfigKey &
+ConfigKey::addDouble(std::string_view key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return add(key, std::string_view(buf));
+}
+
+std::string
+ConfigKey::canonical() const
+{
+    auto sorted = pairs_;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out;
+    for (const auto &[k, v] : sorted) {
+        out += k;
+        out += '=';
+        out += v;
+        out += ';';
+    }
+    return out;
+}
+
+std::string
+ConfigKey::hashHex() const
+{
+    return toHex64(fnv1a64(canonical()));
+}
+
+// ---------------------------------------------------------------
+// Minimal JSON reader — only the subset the sidecar uses (objects,
+// strings, integers). Any deviation fails the whole parse and the
+// cache starts empty: recompute, never serve garbage.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+struct JsonParser
+{
+    const std::string &s;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    void skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        ok = false;
+        return false;
+    }
+
+    bool peek(char c)
+    {
+        skipWs();
+        return pos < s.size() && s[pos] == c;
+    }
+
+    std::string parseString()
+    {
+        std::string out;
+        if (!consume('"'))
+            return out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c == '\\') {
+                if (pos >= s.size()) {
+                    ok = false;
+                    return out;
+                }
+                const char e = s[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  default: ok = false; return out;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= s.size()) {
+            ok = false;
+            return out;
+        }
+        ++pos; // closing quote
+        return out;
+    }
+
+    std::uint64_t parseUInt()
+    {
+        skipWs();
+        std::uint64_t v = 0;
+        bool any = false;
+        while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+            v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+            ++pos;
+            any = true;
+        }
+        if (!any)
+            ok = false;
+        return v;
+    }
+
+    /** Parse {"k":"v",...} of string values. */
+    std::map<std::string, std::string> parseStringMap()
+    {
+        std::map<std::string, std::string> out;
+        if (!consume('{'))
+            return out;
+        if (peek('}')) {
+            consume('}');
+            return out;
+        }
+        do {
+            std::string k = parseString();
+            if (!ok || !consume(':'))
+                return out;
+            std::string v = parseString();
+            if (!ok)
+                return out;
+            out[std::move(k)] = std::move(v);
+        } while (ok && consume(','));
+        // consume(',') failing set ok=false; the char must be '}'.
+        ok = true;
+        if (!consume('}'))
+            ok = false;
+        return out;
+    }
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path)) {}
+
+ResultCache::~ResultCache()
+{
+    try {
+        flush();
+    } catch (...) {
+        // A failed final flush only loses memoization, not results.
+    }
+}
+
+void
+ResultCache::ensureLoadedLocked()
+{
+    if (loaded_)
+        return;
+    loaded_ = true;
+    loadSidecarLocked();
+}
+
+void
+ResultCache::loadSidecarLocked()
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return; // no sidecar yet: start empty
+    const std::string contents((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+
+    // {"version":1,"entries":{hash:{"config":c,"fields":{...}},...}}
+    JsonParser p{contents};
+    std::map<std::string, Entry> parsed;
+    if (!p.consume('{'))
+        return;
+    if (p.parseString() != "version" || !p.ok || !p.consume(':'))
+        return;
+    if (p.parseUInt() != 1 || !p.ok)
+        return; // unknown schema: recompute everything
+    if (!p.consume(',') || p.parseString() != "entries" || !p.ok ||
+        !p.consume(':') || !p.consume('{'))
+        return;
+    if (!p.peek('}')) {
+        do {
+            std::string hash = p.parseString();
+            if (!p.ok || !p.consume(':') || !p.consume('{'))
+                return;
+            Entry e;
+            if (p.parseString() != "config" || !p.ok ||
+                !p.consume(':'))
+                return;
+            e.config = p.parseString();
+            if (!p.ok || !p.consume(',') ||
+                p.parseString() != "fields" || !p.ok ||
+                !p.consume(':'))
+                return;
+            e.fields = p.parseStringMap();
+            if (!p.ok || !p.consume('}'))
+                return;
+            parsed[std::move(hash)] = std::move(e);
+        } while (p.ok && p.consume(','));
+        p.ok = true;
+    }
+    if (!p.consume('}') || !p.consume('}'))
+        return;
+
+    entries_ = std::move(parsed);
+}
+
+bool
+ResultCache::lookup(const ConfigKey &key, Fields &out)
+{
+    const std::string canon = key.canonical();
+    const std::string hash = toHex64(fnv1a64(canon));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ensureLoadedLocked();
+    const auto it = entries_.find(hash);
+    if (it == entries_.end() || it->second.config != canon) {
+        ++counters_.misses;
+        return false;
+    }
+    out = it->second.fields;
+    ++counters_.hits;
+    return true;
+}
+
+void
+ResultCache::store(const ConfigKey &key, const Fields &fields)
+{
+    const std::string canon = key.canonical();
+    const std::string hash = toHex64(fnv1a64(canon));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ensureLoadedLocked();
+    Entry &e = entries_[hash];
+    e.config = canon;
+    e.fields = fields;
+    dirty_ = true;
+    ++counters_.stores;
+}
+
+void
+ResultCache::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dirty_)
+        return;
+
+    std::string out = "{\"version\":1,\"entries\":{";
+    bool firstEntry = true;
+    for (const auto &[hash, e] : entries_) {
+        if (!firstEntry)
+            out += ',';
+        firstEntry = false;
+        out += '"';
+        out += jsonEscape(hash);
+        out += "\":{\"config\":\"";
+        out += jsonEscape(e.config);
+        out += "\",\"fields\":{";
+        bool firstField = true;
+        for (const auto &[k, v] : e.fields) {
+            if (!firstField)
+                out += ',';
+            firstField = false;
+            out += '"';
+            out += jsonEscape(k);
+            out += "\":\"";
+            out += jsonEscape(v);
+            out += '"';
+        }
+        out += "}}";
+    }
+    out += "}}";
+
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return; // persist failure loses memoization only
+        f.write(out.data(), static_cast<std::streamsize>(out.size()));
+        if (!f)
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (!ec)
+        dirty_ = false;
+}
+
+ResultCache::Counters
+ResultCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+} // namespace drisim::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Content-addressed result memoization.
+ *
+ * A run's full semantic configuration is collected into a ConfigKey
+ * (unordered k=v pairs), canonicalized by sorting, and hashed; cell
+ * results are stored under the hash in a JSON sidecar shared across
+ * bench binaries and across runs — the same dedup idea as
+ * programImageFor(), applied to results instead of images.
+ *
+ * Values are stored as strings and compared/parsed exactly, so a
+ * cached result is byte-identical to a recomputed one. The stored
+ * entry keeps the full canonical config string and lookup compares
+ * it, so a hash collision (or hand-edited sidecar) is a miss, never
+ * a wrong answer. A sidecar that fails to parse is treated as empty:
+ * recompute, never serve.
+ */
+
+#ifndef DRISIM_SIM_RESULT_CACHE_HH
+#define DRISIM_SIM_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace drisim::sim
+{
+
+/**
+ * Builder for a run's canonical configuration identity. Insertion
+ * order is irrelevant: canonical() sorts by key, so semantically
+ * identical configs hash equal however they were assembled.
+ */
+class ConfigKey
+{
+  public:
+    ConfigKey &add(std::string_view key, std::string_view value);
+    ConfigKey &add(std::string_view key, const char *value);
+    ConfigKey &add(std::string_view key, std::uint64_t value);
+    ConfigKey &add(std::string_view key, bool value);
+    /** Doubles rendered with %.17g: exact round-trip. */
+    ConfigKey &addDouble(std::string_view key, double value);
+
+    /** Sorted "k=v;" concatenation — the hashed identity. */
+    std::string canonical() const;
+
+    /** 16-hex-digit FNV-1a of canonical(). */
+    std::string hashHex() const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+/**
+ * Persistent result memoization keyed by ConfigKey. Thread-safe;
+ * loaded lazily, written back by flush() (also on destruction).
+ */
+class ResultCache
+{
+  public:
+    /** Result payload: field name -> exact string value. */
+    using Fields = std::map<std::string, std::string>;
+
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+    };
+
+    /** @param path JSON sidecar file (created on first flush). */
+    explicit ResultCache(std::string path);
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** @return true and fill @p out on a verified hit. */
+    bool lookup(const ConfigKey &key, Fields &out);
+
+    void store(const ConfigKey &key, const Fields &fields);
+
+    /** Persist dirty entries to the sidecar. */
+    void flush();
+
+    Counters counters() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Entry
+    {
+        std::string config; ///< full canonical string, verified
+        Fields fields;
+    };
+
+    void ensureLoadedLocked();
+    void loadSidecarLocked();
+
+    std::string path_;
+    bool loaded_ = false;
+    bool dirty_ = false;
+    std::map<std::string, Entry> entries_; ///< by hash hex
+    Counters counters_;
+    mutable std::mutex mu_;
+};
+
+} // namespace drisim::sim
+
+#endif // DRISIM_SIM_RESULT_CACHE_HH

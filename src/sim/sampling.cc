@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Systematic sampling: detailed windows + functional fast-forward.
+ */
+
+#include "sim/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace drisim::sim
+{
+
+namespace
+{
+
+/**
+ * Retire/cycle broadcast batch during fast-forward. A multiple of
+ * the fast model's retire batch so sense-interval arithmetic sees
+ * the same boundary pattern at any window split.
+ */
+constexpr InstCount kFfBatch = 4096;
+
+/**
+ * Fast-forward @p count instructions functionally: the i-cache sees
+ * one access per fetch block (taken control breaks the block run,
+ * as in both CPU models), the d-cache sees every Load/Store so its
+ * contents stay warm for the next detailed window, and the attached
+ * sinks see retirement and extrapolated cycles so resize/decay/
+ * drowsy intervals keep ticking.
+ *
+ * @return instructions actually consumed (< count iff stream ended)
+ */
+InstCount
+fastForward(Core &core, MemoryLevel *icache, MemoryLevel *dcache,
+            InstrStream &stream, InstCount count, double cpi,
+            unsigned fetchBlockBytes)
+{
+    InstCount done = 0;
+    InstCount batch = 0;
+    Addr lastBlock = kInvalidAddr;
+    Instr instr;
+
+    auto flush = [&]() {
+        if (batch == 0)
+            return;
+        core.broadcastRetire(batch);
+        core.broadcastCycles(static_cast<Cycles>(
+            std::llround(cpi * static_cast<double>(batch))));
+        batch = 0;
+    };
+
+    while (done < count && stream.next(instr)) {
+        const Addr block = instr.pc / fetchBlockBytes;
+        if (block != lastBlock) {
+            icache->access(instr.pc, AccessType::InstFetch);
+            lastBlock = block;
+        }
+        if (isControl(instr.op) && instr.taken)
+            lastBlock = kInvalidAddr;
+        if (dcache && isMem(instr.op))
+            dcache->access(instr.memAddr,
+                           instr.op == OpClass::Store
+                               ? AccessType::Store
+                               : AccessType::Load);
+        ++done;
+        if (++batch == kFfBatch)
+            flush();
+    }
+    flush();
+    return done;
+}
+
+} // namespace
+
+CoreStats
+runSampled(Core &core, MemoryLevel *icache, MemoryLevel *dcache,
+           InstrStream &stream, InstCount maxInstrs,
+           const SamplingConfig &config, unsigned fetchBlockBytes)
+{
+    drisim_assert(config.detailedWindow > 0 &&
+                      config.period > config.detailedWindow,
+                  "sampling needs 0 < window < period");
+    drisim_assert(icache != nullptr, "sampling needs an i-cache");
+
+    InstCount remaining = maxInstrs;
+    InstCount ffInstrs = 0;
+    Cycles ffCycles = 0;
+
+    // Each skip is costed trapezoidally from the two detailed
+    // windows that bracket it: the head window alone overestimates
+    // during warm-up phases (CPI is still falling when the skip
+    // starts), and averaging in the next window halves that bias.
+    // The final cost of a skip is therefore only known once the
+    // *following* window completes; `pendingSkip` carries the
+    // not-yet-costed instruction count across the loop.
+    InstCount pendingSkip = 0;
+    double prevCpi = 0.0;
+
+    while (remaining > 0) {
+        // Detailed window at the head of the period.
+        const InstCount window =
+            std::min(config.detailedWindow, remaining);
+        const CoreStats pre = core.stats();
+        const CoreStats post = core.run(stream, window);
+        const InstCount ran = post.instructions - pre.instructions;
+        remaining -= ran;
+
+        const double cpi =
+            ran == 0 ? prevCpi
+                     : static_cast<double>(post.cycles - pre.cycles) /
+                           static_cast<double>(ran);
+        if (pendingSkip > 0) {
+            ffCycles += static_cast<Cycles>(std::llround(
+                0.5 * (prevCpi + cpi) *
+                static_cast<double>(pendingSkip)));
+            pendingSkip = 0;
+        }
+        prevCpi = cpi;
+        if (ran < window)
+            break; // stream drained mid-window
+
+        const InstCount skip = std::min(
+            config.period - config.detailedWindow, remaining);
+        if (skip == 0)
+            continue;
+        // Sinks (resize/decay/drowsy intervals) need cycle
+        // broadcasts *during* the skip, so fast-forward ticks them
+        // with the head window's CPI; the reported total applies
+        // the trapezoidal correction once the next window lands.
+        const InstCount done =
+            fastForward(core, icache, dcache, stream, skip, cpi,
+                        fetchBlockBytes);
+        ffInstrs += done;
+        pendingSkip = done;
+        remaining -= done;
+        if (done < skip)
+            break; // stream drained mid-skip
+    }
+    if (pendingSkip > 0)
+        ffCycles += static_cast<Cycles>(std::llround(
+            prevCpi * static_cast<double>(pendingSkip)));
+
+    const CoreStats detailed = core.stats();
+    CoreStats total;
+    total.instructions = detailed.instructions + ffInstrs;
+    total.cycles = detailed.cycles + ffCycles;
+    return total;
+}
+
+} // namespace drisim::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SMARTS/SimPoint-style systematic phase sampling.
+ *
+ * The detailed core runs only a window at the head of each sampling
+ * period; the rest of the period is fast-forwarded with the
+ * functional model (block-granularity i-cache accesses over the same
+ * instruction stream), so cache and leakage-policy state stay warm
+ * and the DRI/decay/drowsy interval machinery keeps ticking via the
+ * core's retire/cycle broadcast. The d-cache is functionally warmed
+ * too (one access per Load/Store), SMARTS-style, so detailed windows
+ * re-enter with live cache contents instead of paying stale-miss
+ * penalties. Each skip's time is extrapolated from the CPI of the
+ * detailed window that heads its own period, which tracks program
+ * phases that a cumulative average would smear.
+ *
+ * Cache *behaviour* stays exact; only time is approximated, and only
+ * for the fast-forwarded fraction. The measured error bounds are
+ * pinned by tests/sampling_test.cc and documented in
+ * docs/REPRODUCTION.md ("Fast mode").
+ */
+
+#ifndef DRISIM_SIM_SAMPLING_HH
+#define DRISIM_SIM_SAMPLING_HH
+
+#include "cpu/core.hh"
+#include "mem/memory.hh"
+#include "util/types.hh"
+
+namespace drisim::sim
+{
+
+/** Systematic-sampling knobs (config key `sample.*`, flag --sample). */
+struct SamplingConfig
+{
+    /** Off by default: detailed simulation end to end. */
+    bool enabled = false;
+
+    /** Detailed instructions at the head of each period. */
+    InstCount detailedWindow = 200 * 1000;
+
+    /** Period length (window + fast-forward), instructions. */
+    InstCount period = 1000 * 1000;
+};
+
+/**
+ * Run @p core over @p stream for up to @p maxInstrs instructions
+ * under systematic sampling.
+ *
+ * @param core            the detailed model (resumable; sinks stay
+ *                        attached and keep receiving broadcasts
+ *                        during fast-forward)
+ * @param icache          the L1 i-cache the functional model touches
+ * @param dcache          the L1 d-cache warmed on Load/Store (may be
+ *                        null for i-side-only models)
+ * @param stream          the shared instruction stream
+ * @param maxInstrs       total instructions (detailed + skipped)
+ * @param config          sampling shape (config.enabled assumed)
+ * @param fetchBlockBytes fetch-group granularity (i-cache line)
+ * @return total instructions and estimated cycles
+ */
+CoreStats runSampled(Core &core, MemoryLevel *icache,
+                     MemoryLevel *dcache, InstrStream &stream,
+                     InstCount maxInstrs, const SamplingConfig &config,
+                     unsigned fetchBlockBytes);
+
+} // namespace drisim::sim
+
+#endif // DRISIM_SIM_SAMPLING_HH

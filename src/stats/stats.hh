@@ -17,6 +17,12 @@
 #include <string>
 #include <vector>
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim::stats
 {
 
@@ -42,6 +48,10 @@ class StatBase
     virtual void print(std::ostream &os,
                        const std::string &prefix) const = 0;
 
+    /** Serialize the current value (sim/checkpoint.hh). */
+    virtual void snapshotTo(sim::CheckpointWriter &w) const = 0;
+    virtual void restoreFrom(sim::CheckpointReader &r) = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -62,6 +72,8 @@ class Scalar : public StatBase
     void reset() override { value_ = 0; }
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void snapshotTo(sim::CheckpointWriter &w) const override;
+    void restoreFrom(sim::CheckpointReader &r) override;
 
   private:
     std::uint64_t value_ = 0;
@@ -85,6 +97,8 @@ class Average : public StatBase
     void reset() override;
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void snapshotTo(sim::CheckpointWriter &w) const override;
+    void restoreFrom(sim::CheckpointReader &r) override;
 
   private:
     double sum_ = 0.0;
@@ -112,6 +126,8 @@ class Distribution : public StatBase
     void reset() override;
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void snapshotTo(sim::CheckpointWriter &w) const override;
+    void restoreFrom(sim::CheckpointReader &r) override;
 
   private:
     double min_;
@@ -152,6 +168,15 @@ class StatGroup
 
     /** Find a directly-owned stat by name (nullptr if absent). */
     const StatBase *find(const std::string &name) const;
+
+    /**
+     * Serialize every stat in this subtree, in registration order,
+     * inside a section named after the group. Restoring requires an
+     * identically-shaped tree (same component construction order) —
+     * any drift trips a CheckpointError.
+     */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   private:
     friend class StatBase;

@@ -14,6 +14,12 @@
 
 #include <cstdint>
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -47,6 +53,10 @@ class Rng
      * @p mean (>= 1); used for loop trip counts.
      */
     std::uint64_t geometric(double mean);
+
+    /** Serialize the generator state (sim/checkpoint.hh). */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   private:
     std::uint64_t s_[4];

@@ -18,6 +18,12 @@
 #include "util/random.hh"
 #include "workload/cfg.hh"
 
+namespace drisim::sim
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace drisim::sim
+
 namespace drisim
 {
 
@@ -38,6 +44,14 @@ class TraceGenerator : public InstrStream
 
     /** Rewind to the initial state (same stream again). */
     void reset();
+
+    /**
+     * Serialize the interpreter state (sim/checkpoint.hh). The
+     * image itself is not serialized: restore into a generator
+     * built over the same ProgramImage.
+     */
+    void snapshotTo(sim::CheckpointWriter &w) const;
+    void restoreFrom(sim::CheckpointReader &r);
 
   private:
     /** One call-stack activation. */

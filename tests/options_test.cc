@@ -102,6 +102,44 @@ TEST(Options, RejectsBadValues)
     EXPECT_FALSE(parse({"dri.adaptive=maybe"}, o, err));
 }
 
+TEST(Options, ParsesFastSimKeys)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"sample=1", "sample.window=5000",
+                       "sample.period=40000",
+                       "checkpoint_dir=/tmp/ck",
+                       "result_cache=/tmp/rc.json"},
+                      o, err));
+    EXPECT_TRUE(o.run.sampling.enabled);
+    EXPECT_EQ(o.run.sampling.detailedWindow, 5000u);
+    EXPECT_EQ(o.run.sampling.period, 40000u);
+    EXPECT_EQ(o.run.checkpointDir, "/tmp/ck");
+    ASSERT_NE(o.run.resultCache, nullptr);
+    EXPECT_EQ(o.run.resultCache->path(), "/tmp/rc.json");
+}
+
+TEST(Options, FastSimDefaultsOff)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"instrs=10"}, o, err));
+    EXPECT_FALSE(o.run.sampling.enabled);
+    EXPECT_TRUE(o.run.checkpointDir.empty());
+    EXPECT_EQ(o.run.resultCache, nullptr);
+}
+
+TEST(Options, RejectsBadFastSimValues)
+{
+    Options o;
+    std::string err;
+    EXPECT_FALSE(parse({"sample=maybe"}, o, err));
+    EXPECT_FALSE(parse({"sample.window=0"}, o, err));
+    EXPECT_FALSE(parse({"sample.period=-1"}, o, err));
+    EXPECT_FALSE(parse({"checkpoint_dir="}, o, err));
+    EXPECT_FALSE(parse({"result_cache="}, o, err));
+}
+
 TEST(Options, ParsesL2GeometryAndDriKnobs)
 {
     Options o;
@@ -149,7 +187,9 @@ TEST(Options, UsageMentionsEveryKey)
           "dri.interval", "dri.divisibility", "dri.throttle_hold",
           "dri.adaptive", "l2.size", "l2.assoc", "l2.block",
           "l2.dri", "l2.size_bound", "l2.miss_bound",
-          "l2.interval", "cores", "coreK.bench", "coreK.dri"})
+          "l2.interval", "cores", "coreK.bench", "coreK.dri",
+          "sample", "sample.window", "sample.period",
+          "checkpoint_dir", "result_cache"})
         EXPECT_NE(u.find(key), std::string::npos) << key;
 }
 

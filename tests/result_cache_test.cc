@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Result-cache tests: canonical config hashing (order-invariance,
+ * default-vs-explicit equality, single-knob sensitivity), sidecar
+ * persistence and tamper resistance (corruption, truncation,
+ * hash-collision protection, JSON escaping), and the runner-level
+ * guarantee that a cached result is byte-identical to a recomputed
+ * one and a damaged entry is recomputed, never served.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/result_cache.hh"
+#include "workload/spec_suite.hh"
+
+namespace drisim
+{
+namespace
+{
+
+using sim::ConfigKey;
+using sim::ResultCache;
+
+/** Self-deleting scratch directory for sidecar files. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/drisim_rc_XXXXXX";
+        path_ = mkdtemp(tmpl);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    std::string file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+}
+
+// --- ConfigKey hashing ------------------------------------------------
+
+TEST(ConfigKeyTest, InsertionOrderIsIrrelevant)
+{
+    ConfigKey a;
+    a.add("bench", "compress").add("instrs", std::uint64_t{1000});
+    a.addDouble("bound", 0.25);
+    ConfigKey b;
+    b.addDouble("bound", 0.25);
+    b.add("instrs", std::uint64_t{1000}).add("bench", "compress");
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_EQ(a.hashHex(), b.hashHex());
+}
+
+TEST(ConfigKeyTest, DefaultAndExplicitConfigsHashEqual)
+{
+    const auto &b = findBenchmark("compress");
+    const RunConfig defaults;
+    RunConfig explicitCfg;
+    explicitCfg.maxInstrs = defaults.maxInstrs;
+    explicitCfg.hier = HierarchyParams{};
+    explicitCfg.core = OooParams{};
+    // jobs/checkpointDir/resultCache cannot change results and must
+    // not change the identity either.
+    explicitCfg.jobs = 7;
+    explicitCfg.checkpointDir = "/nonexistent";
+    EXPECT_EQ(runKeyConventional(b, defaults).hashHex(),
+              runKeyConventional(b, explicitCfg).hashHex());
+}
+
+TEST(ConfigKeyTest, FlippingAnySingleKnobChangesTheHash)
+{
+    const auto &b = findBenchmark("compress");
+    const RunConfig base;
+    std::vector<std::string> hashes;
+    hashes.push_back(runKeyConventional(b, base).hashHex());
+
+    {
+        RunConfig c = base;
+        c.maxInstrs += 1;
+        hashes.push_back(runKeyConventional(b, c).hashHex());
+    }
+    {
+        RunConfig c = base;
+        c.hier.l2Dri = true;
+        hashes.push_back(runKeyConventional(b, c).hashHex());
+    }
+    {
+        RunConfig c = base;
+        c.core.commitWidth += 1;
+        hashes.push_back(runKeyConventional(b, c).hashHex());
+    }
+    {
+        RunConfig c = base;
+        c.core.bpred.historyBits += 1;
+        hashes.push_back(runKeyConventional(b, c).hashHex());
+    }
+    {
+        RunConfig c = base;
+        c.sampling.enabled = true;
+        hashes.push_back(runKeyConventional(b, c).hashHex());
+    }
+    hashes.push_back(runKeyConventional(findBenchmark("li"), base)
+                         .hashHex());
+    {
+        DriParams d;
+        hashes.push_back(runKeyDri(b, base, d).hashHex());
+        DriParams d2 = d;
+        d2.senseInterval += 1;
+        hashes.push_back(runKeyDri(b, base, d2).hashHex());
+        DriParams d3 = d;
+        d3.missBound += 1;
+        hashes.push_back(runKeyDri(b, base, d3).hashHex());
+        DriParams d4 = d;
+        d4.sizeBoundBytes *= 2;
+        hashes.push_back(runKeyDri(b, base, d4).hashHex());
+    }
+
+    for (std::size_t i = 0; i < hashes.size(); ++i)
+        for (std::size_t j = i + 1; j < hashes.size(); ++j)
+            EXPECT_NE(hashes[i], hashes[j])
+                << "knobs " << i << " and " << j << " alias";
+}
+
+// --- store / lookup / persistence -------------------------------------
+
+TEST(ResultCacheTest, StoreThenLookupRoundTrips)
+{
+    TempDir dir;
+    ResultCache cache(dir.file("rc.json"));
+    ConfigKey key;
+    key.add("bench", "compress").add("instrs", std::uint64_t{42});
+
+    ResultCache::Fields miss;
+    EXPECT_FALSE(cache.lookup(key, miss));
+    EXPECT_EQ(cache.counters().misses, 1u);
+
+    ResultCache::Fields f{{"ipc", "1.5"}, {"cycles", "28"}};
+    cache.store(key, f);
+    EXPECT_EQ(cache.counters().stores, 1u);
+
+    ResultCache::Fields got;
+    ASSERT_TRUE(cache.lookup(key, got));
+    EXPECT_EQ(got, f);
+    EXPECT_EQ(cache.counters().hits, 1u);
+}
+
+TEST(ResultCacheTest, PersistsAcrossInstances)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    ConfigKey key;
+    key.add("k", "v");
+    const ResultCache::Fields f{{"cycles", "123"}};
+    {
+        ResultCache cache(path);
+        cache.store(key, f);
+        cache.flush();
+    }
+    ResultCache reopened(path);
+    ResultCache::Fields got;
+    ASSERT_TRUE(reopened.lookup(key, got));
+    EXPECT_EQ(got, f);
+}
+
+TEST(ResultCacheTest, JsonEscapesRoundTrip)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    ConfigKey key;
+    key.add("path", "a\"b\\c\nd\te");
+    ResultCache::Fields f{{"note", "line1\nline2 \"quoted\" \\slash"},
+                          {"ctrl", std::string("\x01\x1f", 2)}};
+    {
+        ResultCache cache(path);
+        cache.store(key, f);
+    } // flush on destruction
+    ResultCache reopened(path);
+    ResultCache::Fields got;
+    ASSERT_TRUE(reopened.lookup(key, got));
+    EXPECT_EQ(got, f);
+}
+
+// --- tamper resistance ------------------------------------------------
+
+TEST(ResultCacheTest, CorruptedSidecarIsRecomputedNotServed)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    ConfigKey key;
+    key.add("k", "v");
+    {
+        ResultCache cache(path);
+        cache.store(key, {{"cycles", "1"}});
+    }
+    spit(path, "this is not json {{{");
+    ResultCache cache(path);
+    ResultCache::Fields got;
+    EXPECT_FALSE(cache.lookup(key, got)); // parse fail -> empty cache
+    cache.store(key, {{"cycles", "2"}});
+    cache.flush();
+    ResultCache again(path);
+    ASSERT_TRUE(again.lookup(key, got));
+    EXPECT_EQ(got.at("cycles"), "2");
+}
+
+TEST(ResultCacheTest, TruncatedSidecarIsAMiss)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    ConfigKey key;
+    key.add("k", "v");
+    {
+        ResultCache cache(path);
+        cache.store(key, {{"cycles", "1"}});
+    }
+    const std::string full = slurp(path);
+    ASSERT_GT(full.size(), 4u);
+    spit(path, full.substr(0, full.size() / 2));
+    ResultCache cache(path);
+    ResultCache::Fields got;
+    EXPECT_FALSE(cache.lookup(key, got));
+}
+
+TEST(ResultCacheTest, HashCollisionIsAMissNotAWrongAnswer)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    ConfigKey key;
+    key.add("a", "1");
+    {
+        ResultCache cache(path);
+        cache.store(key, {{"cycles", "1"}});
+    }
+    // Simulate a collision: same hash slot, different config string.
+    // The stored full config must be compared, so this entry can
+    // never be served for `key`.
+    const std::string full = slurp(path);
+    const std::string edited =
+        std::string(full).replace(full.find("a=1;"), 4, "a=9;");
+    ASSERT_NE(full, edited);
+    spit(path, edited);
+    ResultCache cache(path);
+    ResultCache::Fields got;
+    EXPECT_FALSE(cache.lookup(key, got));
+}
+
+// --- runner integration -----------------------------------------------
+
+TEST(ResultCacheRunnerTest, CachedRunIsByteIdenticalToComputed)
+{
+    const auto &b = findBenchmark("compress");
+    TempDir dir;
+    RunConfig cfg;
+    cfg.maxInstrs = 200 * 1000;
+    cfg.resultCache =
+        std::make_shared<ResultCache>(dir.file("rc.json"));
+    DriParams dp;
+    dp.senseInterval = 20 * 1000;
+    dp.sizeBoundBytes = 1024;
+    dp.missBound = 100;
+
+    const RunOutput computed = runDri(b, cfg, dp);
+    EXPECT_EQ(cfg.resultCache->counters().stores, 1u);
+    const RunOutput cached = runDri(b, cfg, dp);
+    EXPECT_EQ(cfg.resultCache->counters().hits, 1u);
+
+    EXPECT_EQ(computed.meas.cycles, cached.meas.cycles);
+    EXPECT_EQ(computed.meas.avgActiveFraction,
+              cached.meas.avgActiveFraction);
+    EXPECT_EQ(computed.ipc, cached.ipc);
+    EXPECT_EQ(computed.l1dMissRate, cached.l1dMissRate);
+    EXPECT_EQ(computed.resizes, cached.resizes);
+    EXPECT_EQ(computed.l2Misses, cached.l2Misses);
+}
+
+TEST(ResultCacheRunnerTest, PartialEntryIsRecomputedNeverServed)
+{
+    const auto &b = findBenchmark("compress");
+    TempDir dir;
+    RunConfig cfg;
+    cfg.maxInstrs = 200 * 1000;
+    cfg.resultCache =
+        std::make_shared<ResultCache>(dir.file("rc.json"));
+    DriParams dp;
+    dp.senseInterval = 20 * 1000;
+    dp.sizeBoundBytes = 1024;
+    dp.missBound = 100;
+
+    // Poison the cache with an entry under the run's own key that
+    // is missing most fields (e.g. written by a newer binary with a
+    // different schema). Strict parsing must reject and recompute.
+    cfg.resultCache->store(runKeyDri(b, cfg, dp),
+                           {{"ipc", "9.0"}, {"cycles", "junk"}});
+
+    const RunOutput out = runDri(b, cfg, dp);
+    EXPECT_NE(out.ipc, 9.0);
+    EXPECT_GT(out.meas.cycles, 0u);
+
+    // The recompute overwrote the poisoned entry with a full one.
+    RunConfig cfg2 = cfg;
+    const RunOutput again = runDri(b, cfg2, dp);
+    EXPECT_EQ(out.ipc, again.ipc);
+    EXPECT_EQ(out.meas.cycles, again.meas.cycles);
+}
+
+} // namespace
+} // namespace drisim
