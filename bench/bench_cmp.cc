@@ -15,7 +15,8 @@
  * The winner's energy is reported split into per-core l1i[k] rows
  * plus shared l2/mem rows whose sums define the system total.
  *
- *   ./bench_cmp [--cores N] [--jobs N] [--json PATH] [--list]
+ *   ./bench_cmp [--cores N] [--jobs N] [--dram-banked]
+ *               [--json PATH] [--list]
  */
 
 #include <iostream>
@@ -92,6 +93,19 @@ main(int argc, char **argv)
     // stable row identity rather than a cache join key.
     std::vector<std::string> jsonCols = cols;
     jsonCols.push_back("config_hash");
+    // Under --dram-banked the rows additionally report the
+    // non-blocking memory system's activity from the conventional
+    // baseline run: MSHR coalescing/occupancy, DRAM row-buffer and
+    // queue behaviour (per-bank row hits "h0|h1|..."), and the
+    // per-core L2 demand-miss latency ("c0|c1|...") whose
+    // load-dependence the acceptance study checks.
+    const bool banked = ctx.cfg.hier.dram.banked;
+    if (banked)
+        for (const char *c :
+             {"mshr_coalesced", "mshr_full_stalls", "mshr_peak",
+              "dram_row_hits", "dram_row_misses", "dram_queue_full",
+              "dram_bank_row_hits", "core_miss_latency"})
+            jsonCols.push_back(c);
     std::vector<std::vector<std::string>> winnerRows;
 
     struct PerMix
@@ -140,6 +154,31 @@ main(int argc, char **argv)
                 k.add("l1." + std::to_string(c) + ".miss_bound",
                       sr.best.l1[c].missBound);
             row.push_back(k.hashHex());
+        }
+        if (banked) {
+            row.push_back(std::to_string(conv.mshrCoalesced));
+            row.push_back(std::to_string(conv.mshrFullStalls));
+            row.push_back(std::to_string(conv.mshrPeakOccupancy));
+            row.push_back(std::to_string(conv.dramRowHits));
+            row.push_back(std::to_string(conv.dramRowMisses));
+            row.push_back(
+                std::to_string(conv.dramQueueFullEvents));
+            std::string banks;
+            for (std::size_t b = 0;
+                 b < conv.dramBankRowHits.size(); ++b) {
+                if (b)
+                    banks += "|";
+                banks += std::to_string(conv.dramBankRowHits[b]);
+            }
+            row.push_back(banks);
+            std::string lat;
+            for (std::size_t c = 0; c < conv.cores.size(); ++c) {
+                if (c)
+                    lat += "|";
+                lat += std::to_string(
+                    conv.cores[c].l2MissLatencyCycles);
+            }
+            row.push_back(lat);
         }
         winnerRows.push_back(std::move(row));
         sum_ed += sr.best.cmp.relativeEnergyDelay();

@@ -35,7 +35,8 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
         std::string("usage: ") + (argc > 0 ? argv[0] : "bench") +
         " [--jobs N]" + (acceptCores ? " [--cores N]" : "") +
         (acceptShort ? " [--short]" : "") +
-        " [--json PATH] [--sample] [--checkpoint-dir DIR]"
+        " [--json PATH] [--dram-banked] [--sample]"
+        " [--checkpoint-dir DIR]"
         " [--result-cache FILE] [--list]   (jobs 0 = DRISIM_JOBS "
         "env, else serial; --list prints the workload names)";
     for (int i = 1; i < argc; ++i) {
@@ -62,6 +63,16 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
             continue;
         } else if (arg.rfind("--json=", 0) == 0) {
             ctx.jsonPath = arg.substr(7);
+            continue;
+        } else if (arg == "--dram-banked") {
+            // Non-blocking memory system: banked queued DRAM plus
+            // default MSHR files at every cache level. Without the
+            // flag the flat Table 1 memory stays bit-identical.
+            ctx.cfg.hier.dram.banked = true;
+            ctx.cfg.hier.l1i.mshrs = 4;
+            ctx.cfg.hier.l1d.mshrs = 4;
+            ctx.cfg.hier.l2.mshrs = 8;
+            ctx.driTemplate.mshrs = 4;
             continue;
         } else if (arg == "--sample") {
             ctx.cfg.sampling.enabled = true;

@@ -78,6 +78,11 @@ BenchContext defaultContext();
  * rejects it instead of silently running single-core — and
  * `--short` only when @p acceptShort is set (bench_policies).
  *
+ * `--dram-banked` switches the memory system to the banked queued
+ * DRAM model with default MSHR files at every cache level
+ * (mem/dram.hh); without it the flat Table 1 memory is used and
+ * results stay bit-identical to earlier versions.
+ *
  * Fast-simulation flags (sim/ layer, accepted everywhere):
  *  - `--sample`             phase sampling (detailed windows +
  *                           functional fast-forward; approximate)

@@ -363,6 +363,39 @@ parseOptions(int argc, const char *const *argv, Options &out,
             if (!parsePositiveValue(value, u))
                 return bad_value();
             out.run.hier.l2DriParams.senseInterval = u;
+        } else if (key == "l1.mshrs") {
+            if (!parseU64(value, u) || u > 256)
+                return bad_value();
+            // Both L1s and the DRI/policy template: the knob means
+            // "make the private level non-blocking", not one array.
+            out.run.hier.l1i.mshrs = static_cast<unsigned>(u);
+            out.run.hier.l1d.mshrs = static_cast<unsigned>(u);
+            out.dri.mshrs = static_cast<unsigned>(u);
+        } else if (key == "l2.mshrs") {
+            if (!parseU64(value, u) || u > 256)
+                return bad_value();
+            out.run.hier.l2.mshrs = static_cast<unsigned>(u);
+        } else if (key == "dram.banked") {
+            bool b = false;
+            if (!parseBool(value, b))
+                return bad_value();
+            out.run.hier.dram.banked = b;
+        } else if (key == "dram.banks") {
+            if (!parsePositiveValue(value, u) || u > 64)
+                return bad_value();
+            out.run.hier.dram.banks = static_cast<unsigned>(u);
+        } else if (key == "dram.row_hit") {
+            if (!parsePositiveValue(value, u))
+                return bad_value();
+            out.run.hier.dram.rowHitLatency = u;
+        } else if (key == "dram.row_miss") {
+            if (!parsePositiveValue(value, u))
+                return bad_value();
+            out.run.hier.dram.rowMissLatency = u;
+        } else if (key == "dram.queue") {
+            if (!parsePositiveValue(value, u) || u > 1024)
+                return bad_value();
+            out.run.hier.dram.queueDepth = static_cast<unsigned>(u);
         } else if (splitCoreKey(key, core, sub)) {
             if (sub == "bench") {
                 if (value.empty())
@@ -438,7 +471,9 @@ optionsUsage()
            "sample.window=N sample.period=N checkpoint_dir=DIR "
            "result_cache=FILE l2.size=1M "
            "l2.assoc=N l2.block=64 l2.dri=0|1 l2.size_bound=64K "
-           "l2.miss_bound=N l2.interval=N cores=N coreK.bench=NAME "
+           "l2.miss_bound=N l2.interval=N l1.mshrs=N l2.mshrs=N "
+           "dram.banked=0|1 dram.banks=N dram.row_hit=N "
+           "dram.row_miss=N dram.queue=N cores=N coreK.bench=NAME "
            "coreK.dri=0|1 coreK.dri.size_bound=1K "
            "coreK.dri.miss_bound=N coreK.dri.interval=N "
            "coreK.policy=NAME coreK.policy.decay.interval=N "

@@ -15,6 +15,9 @@
  *   checkpoint_dir, result_cache,
  *   l2.size, l2.assoc, l2.block,
  *   l2.dri, l2.size_bound, l2.miss_bound, l2.interval,
+ *   l1.mshrs, l2.mshrs,
+ *   dram.banked, dram.banks, dram.row_hit, dram.row_miss,
+ *   dram.queue,
  *   cores, coreK.bench, coreK.dri,
  *   coreK.dri.size_bound, coreK.dri.miss_bound, coreK.dri.interval,
  *   coreK.policy, coreK.policy.decay.interval,
@@ -27,6 +30,13 @@
  * mem/hierarchy.hh): `l2.dri=1` builds the L2 resizable, and the
  * bound/interval keys set its controller knobs (geometry always
  * follows l2.size/l2.assoc/l2.block).
+ *
+ * `l1.mshrs`/`l2.mshrs` give the private L1s (and the DRI/policy
+ * template) / the L2 a non-blocking MSHR file of N entries (0, the
+ * default, keeps the historical blocking path). `dram.banked=1`
+ * replaces the flat Table 1 memory with the banked, queued model
+ * (mem/dram.hh); `dram.banks`, `dram.row_hit`, `dram.row_miss` and
+ * `dram.queue` tune it.
  *
  * `policy=dri|decay|drowsy|ways` selects the leakage technique
  * managing the L1 i-cache (policy/leakage_policy.hh); the

@@ -26,4 +26,12 @@ DriDCache::access(Addr addr, AccessType type)
     return accessImpl(addr, type);
 }
 
+AccessResult
+DriDCache::accessAt(Addr addr, AccessType type, Cycles now)
+{
+    drisim_assert(type != AccessType::InstFetch,
+                  "DRI d-cache serves loads and stores only");
+    return accessImpl(addr, type, now);
+}
+
 } // namespace drisim

@@ -49,6 +49,8 @@ class DriDCache : public ResizableCache
 
     /** Load or Store access (instruction fetches are rejected). */
     AccessResult access(Addr addr, AccessType type) override;
+    AccessResult accessAt(Addr addr, AccessType type,
+                          Cycles now) override;
 };
 
 } // namespace drisim

@@ -28,6 +28,14 @@ DriICache::access(Addr addr, AccessType type)
     return accessImpl(addr, type);
 }
 
+AccessResult
+DriICache::accessAt(Addr addr, AccessType type, Cycles now)
+{
+    drisim_assert(type == AccessType::InstFetch,
+                  "DRI i-cache only serves instruction fetches");
+    return accessImpl(addr, type, now);
+}
+
 void
 DriICache::invalidateBlock(Addr addr)
 {

@@ -38,6 +38,8 @@ class DriICache : public ResizableCache
 
     /** Fetch access (loads/stores are rejected: i-cache only). */
     AccessResult access(Addr addr, AccessType type) override;
+    AccessResult accessAt(Addr addr, AccessType type,
+                          Cycles now) override;
 
     /**
      * Invalidate every alias of the block containing @p addr

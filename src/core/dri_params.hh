@@ -61,6 +61,9 @@ struct DriParams
     /** Master enable: false freezes the cache at sizeBytes. */
     bool adaptive = true;
 
+    /** MSHR entries; 0 keeps the historical blocking miss path. */
+    unsigned mshrs = 0;
+
     /** Number of resizing tag bits implied by the size-bound. */
     unsigned resizingTagBits() const;
 

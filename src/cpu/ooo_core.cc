@@ -108,7 +108,8 @@ OooCore::doCommit()
         if (!e.issued || e.completeAt > now_)
             break;
         if (e.instr.op == OpClass::Store && dcache_)
-            dcache_->access(e.instr.memAddr, AccessType::Store);
+            dcache_->accessAt(e.instr.memAddr, AccessType::Store,
+                              now_);
         if (isMem(e.instr.op)) {
             drisim_assert(lsqOccupancy_ > 0, "LSQ underflow");
             --lsqOccupancy_;
@@ -161,8 +162,8 @@ OooCore::doIssue()
                 lat += 1;
                 ++loadForwards_;
             } else if (dcache_) {
-                lat += dcache_->access(e.instr.memAddr,
-                                       AccessType::Load)
+                lat += dcache_->accessAt(e.instr.memAddr,
+                                         AccessType::Load, now_)
                            .latency;
             }
             ++mem_used;
@@ -303,8 +304,8 @@ OooCore::doFetch(InstrStream &stream)
         // One i-cache access per block the fetch group touches.
         const Addr block = instr.pc / fetchBlockBytes_;
         if (block != lastFetchBlock_) {
-            AccessResult r =
-                icache_->access(instr.pc, AccessType::InstFetch);
+            AccessResult r = icache_->accessAt(
+                instr.pc, AccessType::InstFetch, now_);
             lastFetchBlock_ = block;
             if (!r.hit) {
                 // Fill in progress: stall, keep the instruction.

@@ -46,8 +46,13 @@ SimpleCore::run(InstrStream &stream, InstCount maxInstrs)
     while (remaining > 0 && stream.next(instr)) {
         const Addr block = instr.pc / params_.fetchBlockBytes;
         if (block != lastBlock_) {
-            AccessResult r =
-                icache_->access(instr.pc, AccessType::InstFetch);
+            // The fast model has no cycle-accurate clock; its
+            // deterministic approximation (retired instructions
+            // plus accumulated stall) orders fetches well enough
+            // for the MSHR/DRAM models and checkpoints cleanly.
+            AccessResult r = icache_->accessAt(
+                instr.pc, AccessType::InstFetch,
+                instrs_ + missStall_);
             // Anything beyond the single-cycle hit is fetch stall:
             // a fill, or a slow hit (a drowsy line's wake-up).
             if (r.latency > hit_latency)

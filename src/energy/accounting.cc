@@ -309,6 +309,16 @@ multiLevelEnergy(const MultiLevelConstants &constants,
     LevelEnergy mem{"mem", 0.0, 0.0};
     mem.dynamicNJ =
         constants.memPerAccessNJ * static_cast<double>(extra_mem);
+    // Banked-DRAM busy/idle terms fold into the existing row; both
+    // constants default to zero, so flat runs are byte-identical.
+    if (constants.dramBusyPerCycleNJ != 0.0)
+        mem.dynamicNJ += constants.dramBusyPerCycleNJ *
+                         static_cast<double>(run.dramBusyCycles);
+    if (constants.dramIdlePerCycleNJ != 0.0) {
+        const double busy = static_cast<double>(run.dramBusyCycles);
+        mem.leakageNJ += constants.dramIdlePerCycleNJ *
+                         (cycles > busy ? cycles - busy : 0.0);
+    }
 
     HierarchyEnergy h;
     h.levels = {l1, l2, mem};
@@ -423,6 +433,16 @@ cmpEnergy(const MultiLevelConstants &constants,
     LevelEnergy mem{"mem", 0.0, 0.0};
     mem.dynamicNJ =
         constants.memPerAccessNJ * static_cast<double>(extra_mem);
+    // Banked-DRAM busy/idle terms fold into the existing row; both
+    // constants default to zero, so flat runs are byte-identical.
+    if (constants.dramBusyPerCycleNJ != 0.0)
+        mem.dynamicNJ += constants.dramBusyPerCycleNJ *
+                         static_cast<double>(run.dramBusyCycles);
+    if (constants.dramIdlePerCycleNJ != 0.0) {
+        const double busy = static_cast<double>(run.dramBusyCycles);
+        mem.leakageNJ += constants.dramIdlePerCycleNJ *
+                         (cycles > busy ? cycles - busy : 0.0);
+    }
     h.levels.push_back(mem);
 
     return h;

@@ -249,6 +249,14 @@ struct MultiLevelConstants
      * Multi-level substitutions.
      */
     double memPerAccessNJ = 32.0;
+    /**
+     * Banked-DRAM busy/idle split (nJ per cycle). Both default to
+     * zero, which keeps every flat-memory energy row byte-identical;
+     * set them when the banked model's busyCycles measurement is
+     * available and its activity should appear in the "mem" row.
+     */
+    double dramBusyPerCycleNJ = 0.0;
+    double dramIdlePerCycleNJ = 0.0;
 
     /**
      * Standby-state constants for policy-managed CMP L1Is, shared
@@ -341,6 +349,8 @@ struct MultiLevelMeasurement
     unsigned l2ResizingTagBits = 0;
 
     std::uint64_t memAccesses = 0;
+    /** Cycles the banked DRAM spent servicing fills (0 = flat). */
+    std::uint64_t dramBusyCycles = 0;
 
     double l1MissRate() const
     {
@@ -441,6 +451,8 @@ struct CmpMeasurement
     unsigned l2ResizingTagBits = 0;
 
     std::uint64_t memAccesses = 0;
+    /** Cycles the banked DRAM spent servicing fills (0 = flat). */
+    std::uint64_t dramBusyCycles = 0;
 };
 
 /**

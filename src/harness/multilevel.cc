@@ -264,6 +264,7 @@ toCmpMeasurement(const CmpRunOutput &out)
     m.l2Misses = out.l2Misses;
     m.l2ResizingTagBits = out.l2ResizingTagBits;
     m.memAccesses = out.memAccesses;
+    m.dramBusyCycles = out.dramBusyCycles;
     return m;
 }
 

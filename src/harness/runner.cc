@@ -100,14 +100,30 @@ fillL2Outputs(Hierarchy &hier, RunOutput &out)
     out.l2MissRate = hier.l2MissRate();
     out.l2Accesses = hier.l2Accesses();
     out.l2Misses = hier.l2Misses();
-    out.memAccesses = hier.mem().accesses();
+    out.memAccesses = hier.memAccesses();
+    out.memReads = hier.memReads();
+    out.memWritebacks = hier.memWritebacks();
+    if (Dram *d = hier.dram()) {
+        out.dramRowHits = d->rowHits();
+        out.dramRowMisses = d->rowMisses();
+    }
     if (ResizableCache *l2 = hier.driL2()) {
         out.l2SizeBytes = l2->params().sizeBytes;
         out.l2AvgActiveFraction = l2->averageActiveFraction();
         out.l2ResizingTagBits = l2->params().resizingTagBits();
         out.l2Resizes = l2->upsizes() + l2->downsizes();
+        out.mshrCoalesced += l2->mshrCoalesced();
+        out.mshrFullStalls += l2->mshrFullStalls();
     } else {
         out.l2SizeBytes = hier.params().l2.sizeBytes;
+        out.mshrCoalesced += hier.l2().mshrCoalesced();
+        out.mshrFullStalls += hier.l2().mshrFullStalls();
+    }
+    out.mshrCoalesced += hier.l1d().mshrCoalesced();
+    out.mshrFullStalls += hier.l1d().mshrFullStalls();
+    if (Cache *l1i = hier.convL1i()) {
+        out.mshrCoalesced += l1i->mshrCoalesced();
+        out.mshrFullStalls += l1i->mshrFullStalls();
     }
 }
 
@@ -125,6 +141,9 @@ addCacheKey(sim::ConfigKey &k, const std::string &p,
     k.add(p + ".block", static_cast<std::uint64_t>(c.blockBytes));
     k.add(p + ".lat", static_cast<std::uint64_t>(c.hitLatency));
     k.add(p + ".repl", static_cast<std::uint64_t>(c.repl));
+    // Conditional so every pre-MSHR key (and hash) is unchanged.
+    if (c.mshrs != 0)
+        k.add(p + ".mshrs", static_cast<std::uint64_t>(c.mshrs));
 }
 
 void
@@ -145,6 +164,9 @@ addDriKey(sim::ConfigKey &k, const std::string &p, const DriParams &d)
     k.add(p + ".throttle_hold",
           static_cast<std::uint64_t>(d.throttleHoldIntervals));
     k.add(p + ".adaptive", d.adaptive);
+    // Conditional so every pre-MSHR key (and hash) is unchanged.
+    if (d.mshrs != 0)
+        k.add(p + ".mshrs", static_cast<std::uint64_t>(d.mshrs));
 }
 
 void
@@ -214,6 +236,18 @@ baseRunKey(const BenchmarkInfo &bench, const RunConfig &config)
         k.add("sample.window", config.sampling.detailedWindow);
         k.add("sample.period", config.sampling.period);
     }
+    // Conditional, like sample: flat-memory hashes stay stable.
+    if (config.hier.dram.banked) {
+        const DramParams &d = config.hier.dram;
+        k.add("dram.banked", true);
+        k.add("dram.banks", static_cast<std::uint64_t>(d.banks));
+        k.add("dram.row_hit", d.rowHitLatency);
+        k.add("dram.row_miss", d.rowMissLatency);
+        k.add("dram.queue",
+              static_cast<std::uint64_t>(d.queueDepth));
+        k.add("dram.row_bytes",
+              static_cast<std::uint64_t>(d.rowBytes));
+    }
     return k;
 }
 
@@ -279,6 +313,12 @@ runOutputToFields(const RunOutput &out)
     f["l2_accesses"] = std::to_string(out.l2Accesses);
     f["l2_misses"] = std::to_string(out.l2Misses);
     f["mem_accesses"] = std::to_string(out.memAccesses);
+    f["mem_reads"] = std::to_string(out.memReads);
+    f["mem_writebacks"] = std::to_string(out.memWritebacks);
+    f["mshr_coalesced"] = std::to_string(out.mshrCoalesced);
+    f["mshr_full_stalls"] = std::to_string(out.mshrFullStalls);
+    f["dram_row_hits"] = std::to_string(out.dramRowHits);
+    f["dram_row_misses"] = std::to_string(out.dramRowMisses);
     f["resizes"] = std::to_string(out.resizes);
     f["throttle_events"] = std::to_string(out.throttleEvents);
     f["l2_size_bytes"] = std::to_string(out.l2SizeBytes);
@@ -318,6 +358,12 @@ runOutputFromFields(const sim::ResultCache::Fields &f, RunOutput &out)
         !fieldU64(f, "l2_accesses", out.l2Accesses) ||
         !fieldU64(f, "l2_misses", out.l2Misses) ||
         !fieldU64(f, "mem_accesses", out.memAccesses) ||
+        !fieldU64(f, "mem_reads", out.memReads) ||
+        !fieldU64(f, "mem_writebacks", out.memWritebacks) ||
+        !fieldU64(f, "mshr_coalesced", out.mshrCoalesced) ||
+        !fieldU64(f, "mshr_full_stalls", out.mshrFullStalls) ||
+        !fieldU64(f, "dram_row_hits", out.dramRowHits) ||
+        !fieldU64(f, "dram_row_misses", out.dramRowMisses) ||
         !fieldU64(f, "resizes", out.resizes) ||
         !fieldU64(f, "throttle_events", out.throttleEvents) ||
         !fieldU64(f, "l2_size_bytes", out.l2SizeBytes) ||
@@ -379,7 +425,9 @@ runCheckpointed(const RunConfig &config, const sim::ConfigKey &key,
         return core.run(gen, total);
 
     const sim::CheckpointStore store(config.checkpointDir);
-    const std::string storeKey = "v1|" + key.canonical() + "|ckpt@" +
+    // v2: the MSHR/DRAM refactor added state and stats to every
+    // level's blob; stale v1 snapshots must miss, not crash.
+    const std::string storeKey = "v2|" + key.canonical() + "|ckpt@" +
                                  std::to_string(split);
     std::string blob;
     if (store.load(storeKey, blob)) {

@@ -90,8 +90,18 @@ struct RunOutput
     std::uint64_t l2Accesses = 0;
     std::uint64_t l2Misses = 0;
     std::uint64_t memAccesses = 0;
+    /** Memory traffic split: demand fills vs background drains. */
+    std::uint64_t memReads = 0;
+    std::uint64_t memWritebacks = 0;
     std::uint64_t resizes = 0;
     std::uint64_t throttleEvents = 0;
+
+    /** Non-blocking memory-system activity (all zero under the
+     *  default blocking/flat configuration). */
+    std::uint64_t mshrCoalesced = 0;
+    std::uint64_t mshrFullStalls = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
 
     /** L2 activity (defaults describe a fixed, fully-powered L2). */
     std::uint64_t l2SizeBytes = 0;

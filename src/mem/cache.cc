@@ -20,6 +20,7 @@ Cache::Cache(const CacheParams &params, MemoryLevel *below,
                  (static_cast<std::uint64_t>(params.blockBytes) *
                   params.assoc),
              params.assoc, params.repl),
+      mshr_(params.mshrs),
       group_(parent, params.name),
       accesses_(&group_, "accesses", "total accesses"),
       misses_(&group_, "misses", "total misses"),
@@ -27,7 +28,14 @@ Cache::Cache(const CacheParams &params, MemoryLevel *below,
       loadAccesses_(&group_, "load_accesses", "data loads"),
       storeAccesses_(&group_, "store_accesses", "data stores"),
       writebacks_(&group_, "writebacks", "dirty blocks written back"),
-      evictions_(&group_, "evictions", "valid blocks evicted")
+      evictions_(&group_, "evictions", "valid blocks evicted"),
+      mshrCoalesced_(&group_, "mshr_coalesced",
+                     "secondary misses merged onto in-flight fills"),
+      mshrFullStalls_(&group_, "mshr_full_stalls",
+                      "primary misses finding every MSHR busy"),
+      mshrFullStallCycles_(&group_, "mshr_full_stall_cycles",
+                           "cycles stalled waiting for a free MSHR"),
+      mshrPeak_(&group_, "mshr_peak", "peak live MSHR entries")
 {
     drisim_assert(isPowerOf2(params.sizeBytes) &&
                   isPowerOf2(params.blockBytes),
@@ -53,7 +61,7 @@ Cache::contains(Addr addr) const
 }
 
 AccessResult
-Cache::access(Addr addr, AccessType type)
+Cache::accessTimed(Addr addr, AccessType type, Cycles now)
 {
     ++accesses_;
     switch (type) {
@@ -61,6 +69,9 @@ Cache::access(Addr addr, AccessType type)
       case AccessType::Load:      ++loadAccesses_; break;
       case AccessType::Store:     ++storeAccesses_; break;
     }
+
+    if (mshr_.enabled())
+        mshr_.prune(now);
 
     const Addr ba = blockAddr(addr);
     const std::uint64_t set = indexOf(ba);
@@ -72,17 +83,43 @@ Cache::access(Addr addr, AccessType type)
         store_.touch(set, static_cast<unsigned>(way));
         if (type == AccessType::Store)
             store_.markDirty(set, static_cast<unsigned>(way));
-        return {true, params_.hitLatency + wake};
+        Cycles latency = params_.hitLatency + wake;
+        // The block was inserted at miss time; if its fill is still
+        // in flight this is a secondary miss that coalesces onto
+        // the outstanding MSHR and waits out the remaining fill.
+        Cycles fill_at = 0;
+        if (mshr_.enabled() && mshr_.find(ba, fill_at)) {
+            ++mshrCoalesced_;
+            latency += fill_at - now;
+        }
+        return {true, latency};
     }
 
     ++misses_;
-    Cycles latency = params_.hitLatency;
+    // A primary miss with every register busy stalls until the
+    // earliest outstanding fill frees one (structural hazard).
+    Cycles stall = 0;
+    if (mshr_.enabled() && mshr_.full()) {
+        const Cycles free_at = mshr_.earliestFillAt();
+        if (free_at > now)
+            stall = free_at - now;
+        mshr_.prune(now + stall);
+        ++mshrFullStalls_;
+        mshrFullStallCycles_ += stall;
+    }
+    Cycles latency = params_.hitLatency + stall;
     if (below_)
-        latency += below_->access(ba << offsetBits_,
-                                  type == AccessType::Store
-                                      ? AccessType::Load // fill read
-                                      : type)
+        latency += below_->accessAt(ba << offsetBits_,
+                                    type == AccessType::Store
+                                        ? AccessType::Load // fill read
+                                        : type,
+                                    now + stall)
                        .latency;
+    if (mshr_.enabled()) {
+        mshr_.allocate(ba, now + latency);
+        if (mshr_.occupancy() > mshrPeak_.value())
+            mshrPeak_.set(mshr_.occupancy());
+    }
 
     unsigned filled = 0;
     const CacheBlk evicted = store_.insert(set, ba, allocWays(),
@@ -111,6 +148,7 @@ void
 Cache::invalidateAll()
 {
     store_.invalidateAll();
+    mshr_.clear();
 }
 
 double

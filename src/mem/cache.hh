@@ -23,6 +23,7 @@
 #include "stats/stats.hh"
 #include "util/types.hh"
 #include "mem/memory.hh"
+#include "mem/mshr.hh"
 #include "mem/tag_store.hh"
 
 namespace drisim::sim
@@ -43,6 +44,8 @@ struct CacheParams
     unsigned blockBytes = 32;
     Cycles hitLatency = 1;
     ReplPolicy repl = ReplPolicy::LRU;
+    /** MSHR entries; 0 keeps the historical blocking miss path. */
+    unsigned mshrs = 0;
 };
 
 /** A conventional cache backed by a lower MemoryLevel. */
@@ -59,7 +62,15 @@ class Cache : public MemoryLevel
     Cache(const CacheParams &params, MemoryLevel *below,
           stats::StatGroup *parent);
 
-    AccessResult access(Addr addr, AccessType type) override;
+    AccessResult access(Addr addr, AccessType type) override
+    {
+        return accessTimed(addr, type, 0);
+    }
+    AccessResult accessAt(Addr addr, AccessType type,
+                          Cycles now) override
+    {
+        return accessTimed(addr, type, now);
+    }
     void invalidateAll() override;
 
     const CacheParams &params() const { return params_; }
@@ -76,6 +87,27 @@ class Cache : public MemoryLevel
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t writebacks() const { return writebacks_.value(); }
     double missRate() const;
+
+    /** Secondary misses coalesced onto an in-flight fill. */
+    std::uint64_t mshrCoalesced() const
+    {
+        return mshrCoalesced_.value();
+    }
+    /** Primary misses that found every MSHR busy. */
+    std::uint64_t mshrFullStalls() const
+    {
+        return mshrFullStalls_.value();
+    }
+    /** Cycles spent waiting for an MSHR to free. */
+    std::uint64_t mshrFullStallCycles() const
+    {
+        return mshrFullStallCycles_.value();
+    }
+    /** High-water mark of live MSHR entries. */
+    std::uint64_t mshrPeakOccupancy() const
+    {
+        return mshrPeak_.value();
+    }
 
     /** Zero the statistics (not the contents). */
     void resetStats() { group_.resetAll(); }
@@ -116,10 +148,14 @@ class Cache : public MemoryLevel
 
     std::uint64_t indexOf(Addr blockAddr) const;
 
+    /** The shared body of access()/accessAt(); see cache.cc. */
+    AccessResult accessTimed(Addr addr, AccessType type, Cycles now);
+
     CacheParams params_;
     MemoryLevel *below_;
     unsigned offsetBits_;
     TagStore store_;
+    MshrFile mshr_;
 
     stats::StatGroup group_;
     stats::Scalar accesses_;
@@ -129,6 +165,10 @@ class Cache : public MemoryLevel
     stats::Scalar storeAccesses_;
     stats::Scalar writebacks_;
     stats::Scalar evictions_;
+    stats::Scalar mshrCoalesced_;
+    stats::Scalar mshrFullStalls_;
+    stats::Scalar mshrFullStallCycles_;
+    stats::Scalar mshrPeak_;
 };
 
 } // namespace drisim

@@ -35,6 +35,7 @@ driParamsForLevel(const CacheParams &level, const DriParams &dri)
     p.blockBytes = level.blockBytes;
     p.hitLatency = level.hitLatency;
     p.repl = level.repl;
+    p.mshrs = level.mshrs;
     if (p.sizeBoundBytes > p.sizeBytes)
         p.sizeBoundBytes = p.sizeBytes;
     const std::uint64_t set_bytes =
@@ -48,14 +49,22 @@ Hierarchy::Hierarchy(const HierarchyParams &params,
                      stats::StatGroup *parent, bool buildConvL1i)
     : params_(params)
 {
-    mem_ = std::make_unique<MainMemory>(params.l2.blockBytes, parent);
+    if (params.dram.banked) {
+        dram_ = std::make_unique<Dram>(params.dram,
+                                       params.l2.blockBytes, parent);
+        memLevel_ = dram_.get();
+    } else {
+        mem_ = std::make_unique<MainMemory>(params.l2.blockBytes,
+                                            parent);
+        memLevel_ = mem_.get();
+    }
     if (params.l2Dri) {
         driL2_ = std::make_unique<ResizableCache>(
             driParamsForLevel(params.l2, params.l2DriParams),
-            ResizePolicy::writeback(), mem_.get(), parent, "dri_l2");
+            ResizePolicy::writeback(), memLevel_, parent, "dri_l2");
         l2Level_ = driL2_.get();
     } else {
-        l2_ = std::make_unique<Cache>(params.l2, mem_.get(), parent);
+        l2_ = std::make_unique<Cache>(params.l2, memLevel_, parent);
         l2Level_ = l2_.get();
     }
     l1d_ = std::make_unique<Cache>(params.l1d, l2Level_, parent);
@@ -64,6 +73,33 @@ Hierarchy::Hierarchy(const HierarchyParams &params,
                                            parent);
         l1i_ = convL1i_.get();
     }
+}
+
+MainMemory &
+Hierarchy::mem()
+{
+    drisim_assert(mem_ != nullptr,
+                  "hierarchy was built with banked DRAM; use "
+                  "memLevel()/dram() or memAccesses()");
+    return *mem_;
+}
+
+std::uint64_t
+Hierarchy::memAccesses() const
+{
+    return mem_ ? mem_->accesses() : dram_->accesses();
+}
+
+std::uint64_t
+Hierarchy::memReads() const
+{
+    return mem_ ? mem_->reads() : dram_->reads();
+}
+
+std::uint64_t
+Hierarchy::memWritebacks() const
+{
+    return mem_ ? mem_->writebacks() : dram_->writebacks();
 }
 
 Cache &

@@ -12,6 +12,7 @@
 #include "stats/stats.hh"
 #include "core/dri_params.hh"
 #include "mem/cache.hh"
+#include "mem/dram.hh"
 #include "mem/memory.hh"
 #include "mem/resizable_cache.hh"
 
@@ -43,6 +44,10 @@ struct HierarchyParams
 
     /** Default L2 resize knobs (Table 1 geometry, 64 KB bound). */
     static DriParams defaultL2DriParams();
+
+    /** Memory model selection: flat Table 1 constant unless
+     *  dram.banked is set (mem/dram.hh). */
+    DramParams dram;
 };
 
 /**
@@ -78,7 +83,24 @@ class Hierarchy
 
     MemoryLevel *l1i() { return l1i_; }
     Cache &l1d() { return *l1d_; }
-    MainMemory &mem() { return *mem_; }
+
+    /** The flat memory (fatal if banked DRAM was built — use
+     *  memLevel()/dram() or the flavour-agnostic counters). */
+    MainMemory &mem();
+
+    /** The terminal level, whatever flavour was built. */
+    MemoryLevel *memLevel() { return memLevel_; }
+
+    /** Flat memory if built, else nullptr. */
+    MainMemory *flatMem() { return mem_.get(); }
+
+    /** Banked DRAM if built, else nullptr. */
+    Dram *dram() { return dram_.get(); }
+
+    /** Memory accesses/reads/writebacks regardless of flavour. */
+    std::uint64_t memAccesses() const;
+    std::uint64_t memReads() const;
+    std::uint64_t memWritebacks() const;
 
     /** The L2 as a plain MemoryLevel, whatever flavour was built. */
     MemoryLevel *l2Level() { return l2Level_; }
@@ -117,6 +139,8 @@ class Hierarchy
   private:
     HierarchyParams params_;
     std::unique_ptr<MainMemory> mem_;
+    std::unique_ptr<Dram> dram_;
+    MemoryLevel *memLevel_ = nullptr;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<ResizableCache> driL2_;
     MemoryLevel *l2Level_ = nullptr;

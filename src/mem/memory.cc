@@ -13,7 +13,10 @@ namespace drisim
 MainMemory::MainMemory(unsigned transferBytes, stats::StatGroup *parent)
     : transferBytes_(transferBytes),
       group_(parent, "mem"),
-      accesses_(&group_, "accesses", "main memory accesses")
+      accesses_(&group_, "accesses", "main memory accesses"),
+      reads_(&group_, "reads", "demand fills serviced"),
+      writebacks_(&group_, "writebacks",
+                  "writeback probes drained in background")
 {
     drisim_assert(transferBytes % kChunkBytes == 0,
                   "transfer size must be a multiple of %u bytes",
@@ -27,9 +30,17 @@ MainMemory::transferLatency() const
 }
 
 AccessResult
-MainMemory::access(Addr, AccessType)
+MainMemory::access(Addr, AccessType type)
 {
     ++accesses_;
+    if (type == AccessType::Store) {
+        // A writeback probe from a dirty eviction: absorbed by the
+        // write buffer and drained in the background, so it must
+        // not pay (or be counted as) a full read transfer.
+        ++writebacks_;
+        return {true, 0};
+    }
+    ++reads_;
     return {true, transferLatency()};
 }
 

@@ -46,6 +46,20 @@ class MemoryLevel
     /** Perform an access; returns hit/latency at this level. */
     virtual AccessResult access(Addr addr, AccessType type) = 0;
 
+    /**
+     * Timed access: like access(), but carries the requester's
+     * clock so contention-aware levels (MSHR files, banked DRAM)
+     * can order this reference against in-flight work. The default
+     * forwards to the untimed path — levels whose latency is
+     * load-independent need not override.
+     */
+    virtual AccessResult accessAt(Addr addr, AccessType type,
+                                  Cycles now)
+    {
+        (void)now;
+        return access(addr, type);
+    }
+
     /** Drop all cached state (no-op for memory). */
     virtual void invalidateAll() {}
 
@@ -69,7 +83,10 @@ class MainMemory : public MemoryLevel
     /** Latency for one transfer of the configured size. */
     Cycles transferLatency() const;
 
+    /** All accesses, demand fills and writeback probes alike. */
     std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
 
     /** Serialize the access counter (sim/checkpoint.hh). */
     void snapshotTo(sim::CheckpointWriter &w) const;
@@ -84,6 +101,8 @@ class MainMemory : public MemoryLevel
     unsigned transferBytes_;
     stats::StatGroup group_;
     stats::Scalar accesses_;
+    stats::Scalar reads_;
+    stats::Scalar writebacks_;
 };
 
 } // namespace drisim

@@ -23,6 +23,7 @@ ResizableCache::ResizableCache(const DriParams &params,
       mask_(makeSizeMask(params)),
       controller_(params),
       store_(mask_.maxSets(), params.assoc, params.repl),
+      mshr_(params.mshrs),
       group_(parent, groupName),
       accesses_(&group_, "accesses", "cache accesses"),
       misses_(&group_, "misses", "cache misses"),
@@ -37,7 +38,14 @@ ResizableCache::ResizableCache(const DriParams &params,
                           "dirty blocks written back by eviction"),
       remapInvalidations_(&group_, "remap_invalidations",
                           "blocks invalidated because upsizing "
-                          "changed their set index")
+                          "changed their set index"),
+      mshrCoalesced_(&group_, "mshr_coalesced",
+                     "secondary misses merged onto in-flight fills"),
+      mshrFullStalls_(&group_, "mshr_full_stalls",
+                      "primary misses finding every MSHR busy"),
+      mshrFullStallCycles_(&group_, "mshr_full_stall_cycles",
+                           "cycles stalled waiting for a free MSHR"),
+      mshrPeak_(&group_, "mshr_peak", "peak live MSHR entries")
 {
 }
 
@@ -56,9 +64,12 @@ ResizableCache::access(Addr addr, AccessType type)
 }
 
 AccessResult
-ResizableCache::accessImpl(Addr addr, AccessType type)
+ResizableCache::accessImpl(Addr addr, AccessType type, Cycles now)
 {
     ++accesses_;
+
+    if (mshr_.enabled())
+        mshr_.prune(now);
 
     const Addr ba = addr >> mask_.offsetBits();
     const std::uint64_t set = ba & mask_.mask();
@@ -68,20 +79,45 @@ ResizableCache::accessImpl(Addr addr, AccessType type)
         store_.touch(set, static_cast<unsigned>(way));
         if (type == AccessType::Store)
             store_.markDirty(set, static_cast<unsigned>(way));
-        return {true, params_.hitLatency};
+        Cycles latency = params_.hitLatency;
+        // The block was inserted at miss time; an in-flight fill
+        // makes this a secondary miss coalescing onto its MSHR.
+        Cycles fill_at = 0;
+        if (mshr_.enabled() && mshr_.find(ba, fill_at)) {
+            ++mshrCoalesced_;
+            latency += fill_at - now;
+        }
+        return {true, latency};
     }
 
     ++misses_;
     controller_.recordMiss();
-    Cycles latency = params_.hitLatency;
+    // Structural hazard: with every register busy the miss waits
+    // for the earliest outstanding fill to free one.
+    Cycles stall = 0;
+    if (mshr_.enabled() && mshr_.full()) {
+        const Cycles free_at = mshr_.earliestFillAt();
+        if (free_at > now)
+            stall = free_at - now;
+        mshr_.prune(now + stall);
+        ++mshrFullStalls_;
+        mshrFullStallCycles_ += stall;
+    }
+    Cycles latency = params_.hitLatency + stall;
     // Fills are reads: fetches propagate as fetches, loads and
     // stores (write-allocate) as loads.
     const AccessType fill = type == AccessType::InstFetch
                                 ? AccessType::InstFetch
                                 : AccessType::Load;
     if (below_)
-        latency +=
-            below_->access(ba << mask_.offsetBits(), fill).latency;
+        latency += below_->accessAt(ba << mask_.offsetBits(), fill,
+                                    now + stall)
+                       .latency;
+    if (mshr_.enabled()) {
+        mshr_.allocate(ba, now + latency);
+        if (mshr_.occupancy() > mshrPeak_.value())
+            mshrPeak_.set(mshr_.occupancy());
+    }
 
     const CacheBlk evicted = store_.insert(set, ba);
     if (evicted.valid && evicted.dirty) {
@@ -233,6 +269,7 @@ ResizableCache::invalidateAll()
         }
     }
     store_.invalidateAll();
+    mshr_.clear();
 }
 
 double

@@ -33,6 +33,7 @@
 #include "core/resize_controller.hh"
 #include "core/size_mask.hh"
 #include "mem/memory.hh"
+#include "mem/mshr.hh"
 #include "mem/retire_sink.hh"
 #include "mem/tag_store.hh"
 #include "stats/stats.hh"
@@ -80,6 +81,13 @@ class ResizableCache : public MemoryLevel, public RetireSink
 
     /** Unified write-back, write-allocate access (any type). */
     AccessResult access(Addr addr, AccessType type) override;
+
+    /** Timed flavour: orders the access against in-flight MSHRs. */
+    AccessResult accessAt(Addr addr, AccessType type,
+                          Cycles now) override
+    {
+        return accessImpl(addr, type, now);
+    }
 
     /**
      * Account @p n retired instructions; at sense-interval
@@ -135,6 +143,27 @@ class ResizableCache : public MemoryLevel, public RetireSink
         return evictionWritebacks_.value();
     }
 
+    /** Secondary misses coalesced onto an in-flight fill. */
+    std::uint64_t mshrCoalesced() const
+    {
+        return mshrCoalesced_.value();
+    }
+    /** Primary misses that found every MSHR busy. */
+    std::uint64_t mshrFullStalls() const
+    {
+        return mshrFullStalls_.value();
+    }
+    /** Cycles spent waiting for an MSHR to free. */
+    std::uint64_t mshrFullStallCycles() const
+    {
+        return mshrFullStallCycles_.value();
+    }
+    /** High-water mark of live MSHR entries. */
+    std::uint64_t mshrPeakOccupancy() const
+    {
+        return mshrPeak_.value();
+    }
+
     /** Blocks invalidated because upsizing changed their index. */
     std::uint64_t remapInvalidations() const
     {
@@ -187,7 +216,8 @@ class ResizableCache : public MemoryLevel, public RetireSink
     void writebackBlock(const CacheBlk &blk);
 
     /** The access body shared by every flavour (after type checks). */
-    AccessResult accessImpl(Addr addr, AccessType type);
+    AccessResult accessImpl(Addr addr, AccessType type,
+                            Cycles now = 0);
 
     DriParams params_;
     ResizePolicy policy_;
@@ -195,6 +225,7 @@ class ResizableCache : public MemoryLevel, public RetireSink
     SizeMask mask_;
     ResizeController controller_;
     TagStore store_;
+    MshrFile mshr_;
 
     double activeSetCycles_ = 0.0;
     Cycles integratedCycles_ = 0;
@@ -209,6 +240,10 @@ class ResizableCache : public MemoryLevel, public RetireSink
     stats::Scalar resizeWritebacks_;
     stats::Scalar evictionWritebacks_;
     stats::Scalar remapInvalidations_;
+    stats::Scalar mshrCoalesced_;
+    stats::Scalar mshrFullStalls_;
+    stats::Scalar mshrFullStallCycles_;
+    stats::Scalar mshrPeak_;
 };
 
 } // namespace drisim

@@ -25,6 +25,7 @@ cacheParamsFor(const PolicyConfig &config,
     p.blockBytes = config.dri.blockBytes;
     p.hitLatency = config.dri.hitLatency;
     p.repl = config.dri.repl;
+    p.mshrs = config.dri.mshrs;
     return p;
 }
 
@@ -47,6 +48,15 @@ PolicyCacheBase::access(Addr addr, AccessType type)
                   "%s is an i-cache: only fetches are legal",
                   params().name.c_str());
     return Cache::access(addr, type);
+}
+
+AccessResult
+PolicyCacheBase::accessAt(Addr addr, AccessType type, Cycles now)
+{
+    drisim_assert(type == AccessType::InstFetch,
+                  "%s is an i-cache: only fetches are legal",
+                  params().name.c_str());
+    return Cache::accessAt(addr, type, now);
 }
 
 void

@@ -36,6 +36,8 @@ class PolicyCacheBase : public Cache, public LeakagePolicy
 
     /** I-cache: only instruction fetches are legal. */
     AccessResult access(Addr addr, AccessType type) override;
+    AccessResult accessAt(Addr addr, AccessType type,
+                          Cycles now) override;
 
     MemoryLevel *level() override { return this; }
     std::uint64_t l1Accesses() const override { return accesses(); }

@@ -311,6 +311,7 @@ Cache::snapshotTo(sim::CheckpointWriter &w) const
 {
     w.beginSection("cache");
     store_.snapshotTo(w);
+    mshr_.snapshotTo(w);
     group_.snapshotTo(w);
     w.endSection();
 }
@@ -320,6 +321,7 @@ Cache::restoreFrom(sim::CheckpointReader &r)
 {
     r.beginSection("cache");
     store_.restoreFrom(r);
+    mshr_.restoreFrom(r);
     group_.restoreFrom(r);
     r.endSection();
 }
@@ -379,6 +381,7 @@ ResizableCache::snapshotTo(sim::CheckpointWriter &w) const
     w.putU64(mask_.numSets());
     controller_.snapshotTo(w);
     store_.snapshotTo(w);
+    mshr_.snapshotTo(w);
     w.putF64(activeSetCycles_);
     w.putU64(integratedCycles_);
     group_.snapshotTo(w);
@@ -392,6 +395,7 @@ ResizableCache::restoreFrom(sim::CheckpointReader &r)
     mask_.setNumSets(r.getU64());
     controller_.restoreFrom(r);
     store_.restoreFrom(r);
+    mshr_.restoreFrom(r);
     activeSetCycles_ = r.getF64();
     integratedCycles_ = r.getU64();
     group_.restoreFrom(r);
@@ -406,7 +410,11 @@ void
 Hierarchy::snapshotTo(sim::CheckpointWriter &w) const
 {
     w.beginSection("hier");
-    mem_->snapshotTo(w);
+    w.putBool(dram_ != nullptr);
+    if (dram_)
+        dram_->snapshotTo(w);
+    else
+        mem_->snapshotTo(w);
     w.putBool(driL2_ != nullptr);
     if (driL2_)
         driL2_->snapshotTo(w);
@@ -423,7 +431,12 @@ void
 Hierarchy::restoreFrom(sim::CheckpointReader &r)
 {
     r.beginSection("hier");
-    mem_->restoreFrom(r);
+    if (r.getBool() != (dram_ != nullptr))
+        throw sim::CheckpointError("memory flavour mismatch");
+    if (dram_)
+        dram_->restoreFrom(r);
+    else
+        mem_->restoreFrom(r);
     if (r.getBool() != (driL2_ != nullptr))
         throw sim::CheckpointError("L2 flavour mismatch");
     if (driL2_)

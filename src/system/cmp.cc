@@ -28,14 +28,20 @@ SharedL2Bus::SharedL2Bus(MemoryLevel *l2, unsigned blockBytes,
 }
 
 AccessResult
-SharedL2Bus::access(unsigned core, Addr addr, AccessType type)
+SharedL2Bus::access(unsigned core, Addr addr, AccessType type,
+                    Cycles now)
 {
     drisim_assert(core < stats_.size(), "bad bus port %u", core);
-    AccessResult r = l2_->access(addr, type);
+    AccessResult r = l2_->accessAt(addr, type, now);
     PortStats &s = stats_[core];
     ++s.accesses;
-    if (!r.hit)
+    if (!r.hit) {
         ++s.misses;
+        // Attribute the below-bus fill time to the requester;
+        // writeback probes carry no demand latency.
+        if (type != AccessType::Store)
+            s.missLatency += r.latency;
+    }
     // Block-interleaved banks: charge the contention adder when the
     // bank's previous user was another core. With one core the
     // owner never changes hands and the adder never fires, so the
@@ -68,16 +74,23 @@ CmpSystem::CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
                   "need one program image per core (%zu != %u)",
                   images.size(), n);
 
-    mem_ =
-        std::make_unique<MainMemory>(hier.l2.blockBytes, parent);
+    if (hier.dram.banked) {
+        dram_ = std::make_unique<Dram>(hier.dram, hier.l2.blockBytes,
+                                       parent);
+        memLevel_ = dram_.get();
+    } else {
+        mem_ = std::make_unique<MainMemory>(hier.l2.blockBytes,
+                                            parent);
+        memLevel_ = mem_.get();
+    }
     if (hier.l2Dri) {
         driL2_ = std::make_unique<ResizableCache>(
             driParamsForLevel(hier.l2, hier.l2DriParams),
-            ResizePolicy::writeback(), mem_.get(), parent, "dri_l2");
+            ResizePolicy::writeback(), memLevel_, parent, "dri_l2");
         l2Level_ = driL2_.get();
     } else {
         convL2_ =
-            std::make_unique<Cache>(hier.l2, mem_.get(), parent);
+            std::make_unique<Cache>(hier.l2, memLevel_, parent);
         l2Level_ = convL2_.get();
     }
     bus_ = std::make_unique<SharedL2Bus>(
@@ -244,27 +257,81 @@ CmpSystem::run(InstCount maxInstrsPerCore)
         c.l2Accesses = bus_->accesses(k);
         c.l2Misses = bus_->misses(k);
         c.l2ContentionEvents = bus_->contentionEvents(k);
+        c.l2MissLatencyCycles = bus_->missLatency(k);
 
         out.systemCycles = std::max(out.systemCycles, cs.cycles);
         out.l2Accesses += c.l2Accesses;
         out.l2Misses += c.l2Misses;
         out.l2ContentionEvents += c.l2ContentionEvents;
+        out.l2MissLatencyCycles += c.l2MissLatencyCycles;
+
+        // MSHR activity over this core's private levels (policy
+        // wrappers keep theirs in their own stat groups).
+        out.mshrCoalesced += l1ds_[k]->mshrCoalesced();
+        out.mshrFullStalls += l1ds_[k]->mshrFullStalls();
+        out.mshrPeakOccupancy = std::max(
+            out.mshrPeakOccupancy, l1ds_[k]->mshrPeakOccupancy());
+        if (convL1is_[k]) {
+            out.mshrCoalesced += convL1is_[k]->mshrCoalesced();
+            out.mshrFullStalls += convL1is_[k]->mshrFullStalls();
+            out.mshrPeakOccupancy =
+                std::max(out.mshrPeakOccupancy,
+                         convL1is_[k]->mshrPeakOccupancy());
+        } else if (driL1is_[k]) {
+            out.mshrCoalesced += driL1is_[k]->mshrCoalesced();
+            out.mshrFullStalls += driL1is_[k]->mshrFullStalls();
+            out.mshrPeakOccupancy =
+                std::max(out.mshrPeakOccupancy,
+                         driL1is_[k]->mshrPeakOccupancy());
+        }
     }
     out.l2MissRate =
         out.l2Accesses == 0
             ? 0.0
             : static_cast<double>(out.l2Misses) /
                   static_cast<double>(out.l2Accesses);
-    out.memAccesses = mem_->accesses();
+    out.memAccesses = memAccesses();
     if (driL2_) {
         out.l2SizeBytes = driL2_->params().sizeBytes;
         out.l2AvgActiveFraction = driL2_->averageActiveFraction();
         out.l2ResizingTagBits = driL2_->params().resizingTagBits();
         out.l2Resizes = driL2_->upsizes() + driL2_->downsizes();
+        out.mshrCoalesced += driL2_->mshrCoalesced();
+        out.mshrFullStalls += driL2_->mshrFullStalls();
+        out.mshrPeakOccupancy = std::max(
+            out.mshrPeakOccupancy, driL2_->mshrPeakOccupancy());
     } else {
         out.l2SizeBytes = hier_.l2.sizeBytes;
+        out.mshrCoalesced += convL2_->mshrCoalesced();
+        out.mshrFullStalls += convL2_->mshrFullStalls();
+        out.mshrPeakOccupancy = std::max(
+            out.mshrPeakOccupancy, convL2_->mshrPeakOccupancy());
+    }
+    if (dram_) {
+        out.dramRowHits = dram_->rowHits();
+        out.dramRowMisses = dram_->rowMisses();
+        out.dramQueueFullEvents = dram_->queueFullEvents();
+        out.dramBusyCycles = dram_->busyCycles();
+        out.dramBankRowHits.resize(dram_->params().banks);
+        for (unsigned b = 0; b < dram_->params().banks; ++b)
+            out.dramBankRowHits[b] = dram_->rowHitsForBank(b);
     }
     return out;
+}
+
+MainMemory &
+CmpSystem::mem()
+{
+    drisim_assert(mem_ != nullptr,
+                  "CMP was built with banked DRAM; use dram() or "
+                  "memAccesses()");
+    return *mem_;
+}
+
+std::uint64_t
+CmpSystem::memAccesses() const
+{
+    return mem_ ? mem_->accesses() : dram_->accesses();
 }
 
 } // namespace drisim

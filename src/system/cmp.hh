@@ -106,6 +106,9 @@ struct CmpCoreOutput
     std::uint64_t l2Misses = 0;
     /** Shared-L2 references that paid the bank-contention adder. */
     std::uint64_t l2ContentionEvents = 0;
+    /** Cycles this core's demand L2 misses spent below the bus —
+     *  the load-dependent part under banked DRAM. */
+    std::uint64_t l2MissLatencyCycles = 0;
 
     /** Leakage-policy activity (policy-managed cores only). The
      *  gated fraction is the state-destroying remainder that the
@@ -137,6 +140,22 @@ struct CmpRunOutput
     double l2AvgActiveFraction = 1.0;
     unsigned l2ResizingTagBits = 0;
     std::uint64_t l2Resizes = 0;
+
+    /** Demand-miss latency summed over cores (see CmpCoreOutput). */
+    std::uint64_t l2MissLatencyCycles = 0;
+
+    /** MSHR activity summed over every cache level (zero when the
+     *  system runs the blocking default). */
+    std::uint64_t mshrCoalesced = 0;
+    std::uint64_t mshrFullStalls = 0;
+    std::uint64_t mshrPeakOccupancy = 0;
+
+    /** Banked-DRAM activity (zero in flat mode). */
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+    std::uint64_t dramQueueFullEvents = 0;
+    std::uint64_t dramBusyCycles = 0;
+    std::vector<std::uint64_t> dramBankRowHits;
 };
 
 /**
@@ -157,7 +176,8 @@ class SharedL2Bus
     SharedL2Bus(MemoryLevel *l2, unsigned blockBytes, unsigned banks,
                 Cycles penalty, unsigned cores);
 
-    AccessResult access(unsigned core, Addr addr, AccessType type);
+    AccessResult access(unsigned core, Addr addr, AccessType type,
+                        Cycles now = 0);
 
     std::uint64_t accesses(unsigned core) const
     {
@@ -171,6 +191,11 @@ class SharedL2Bus
     {
         return stats_[core].contention;
     }
+    /** Cycles @p core's demand misses spent below the bus. */
+    std::uint64_t missLatency(unsigned core) const
+    {
+        return stats_[core].missLatency;
+    }
 
     MemoryLevel *level() { return l2_; }
 
@@ -180,6 +205,7 @@ class SharedL2Bus
         std::uint64_t accesses = 0;
         std::uint64_t misses = 0;
         std::uint64_t contention = 0;
+        std::uint64_t missLatency = 0;
     };
 
     MemoryLevel *l2_;
@@ -202,6 +228,12 @@ class SharedL2Port : public MemoryLevel
     AccessResult access(Addr addr, AccessType type) override
     {
         return bus_->access(core_, addr, type);
+    }
+
+    AccessResult accessAt(Addr addr, AccessType type,
+                          Cycles now) override
+    {
+        return bus_->access(core_, addr, type, now);
     }
 
     double activeFraction() const override
@@ -258,13 +290,23 @@ class CmpSystem
     }
     ResizableCache *driL2() { return driL2_.get(); }
     Cache *convL2() { return convL2_.get(); }
-    MainMemory &mem() { return *mem_; }
+
+    /** The flat memory (fatal if banked DRAM was built). */
+    MainMemory &mem();
+
+    /** Banked DRAM if built, else nullptr. */
+    Dram *dram() { return dram_.get(); }
+
+    /** Memory accesses regardless of flavour. */
+    std::uint64_t memAccesses() const;
 
   private:
     CmpConfig cmp_;
     HierarchyParams hier_;
 
     std::unique_ptr<MainMemory> mem_;
+    std::unique_ptr<Dram> dram_;
+    MemoryLevel *memLevel_ = nullptr;
     std::unique_ptr<Cache> convL2_;
     std::unique_ptr<ResizableCache> driL2_;
     MemoryLevel *l2Level_ = nullptr;

@@ -68,6 +68,20 @@ quickDri()
     return d;
 }
 
+/** quickConfig() with the non-blocking memory system: banked DRAM
+ *  plus MSHR files at every level — the snapshot now carries live
+ *  bank queues, row buffers and in-flight miss registers. */
+RunConfig
+bankedConfig()
+{
+    RunConfig c = quickConfig();
+    c.hier.dram.banked = true;
+    c.hier.l1i.mshrs = 4;
+    c.hier.l1d.mshrs = 4;
+    c.hier.l2.mshrs = 8;
+    return c;
+}
+
 /** Every RunOutput field, compared exactly (doubles included). */
 void
 expectSameRun(const RunOutput &a, const RunOutput &b)
@@ -85,8 +99,14 @@ expectSameRun(const RunOutput &a, const RunOutput &b)
     EXPECT_EQ(a.l2Accesses, b.l2Accesses);
     EXPECT_EQ(a.l2Misses, b.l2Misses);
     EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.memReads, b.memReads);
+    EXPECT_EQ(a.memWritebacks, b.memWritebacks);
     EXPECT_EQ(a.resizes, b.resizes);
     EXPECT_EQ(a.throttleEvents, b.throttleEvents);
+    EXPECT_EQ(a.mshrCoalesced, b.mshrCoalesced);
+    EXPECT_EQ(a.mshrFullStalls, b.mshrFullStalls);
+    EXPECT_EQ(a.dramRowHits, b.dramRowHits);
+    EXPECT_EQ(a.dramRowMisses, b.dramRowMisses);
     EXPECT_EQ(a.l2SizeBytes, b.l2SizeBytes);
     EXPECT_EQ(a.l2AvgActiveFraction, b.l2AvgActiveFraction);
     EXPECT_EQ(a.l2ResizingTagBits, b.l2ResizingTagBits);
@@ -346,6 +366,112 @@ TEST(CheckpointedRun, EveryPolicySplitIsExact)
             return runPolicy(b, c, pol);
         });
     }
+}
+
+// ---------------------------------------------------------------
+// Split-run bit-identity: banked DRAM + MSHRs (the snapshot must
+// carry bank queues, open rows and in-flight miss registers)
+// ---------------------------------------------------------------
+
+TEST(CheckpointedRun, ConventionalBankedDramSplitIsExact)
+{
+    const auto &b = findBenchmark("compress");
+    expectSplitEquivalence(bankedConfig(), [&](const RunConfig &c) {
+        return runConventional(b, c);
+    });
+}
+
+TEST(CheckpointedRun, DriBankedDramSplitIsExact)
+{
+    const auto &b = findBenchmark("li");
+    DriParams dp = quickDri();
+    dp.mshrs = 4;
+    expectSplitEquivalence(bankedConfig(), [&](const RunConfig &c) {
+        return runDri(b, c, dp);
+    });
+}
+
+TEST(CheckpointedRun, DriL2BankedDramSplitIsExact)
+{
+    const auto &b = findBenchmark("compress");
+    RunConfig cfg = bankedConfig();
+    cfg.hier.l2Dri = true;
+    cfg.hier.l2DriParams = HierarchyParams::defaultL2DriParams();
+    cfg.hier.l2DriParams.senseInterval = 20 * 1000;
+    DriParams dp = quickDri();
+    dp.mshrs = 4;
+    expectSplitEquivalence(cfg, [&](const RunConfig &c) {
+        return runDri(b, c, dp);
+    });
+}
+
+TEST(CheckpointedRun, EveryPolicyBankedDramSplitIsExact)
+{
+    const auto &b = findBenchmark("compress");
+    RunConfig cfg = bankedConfig();
+    cfg.hier.l1i.assoc = 4; // selective-ways needs ways to gate
+
+    for (const PolicyKind kind :
+         {PolicyKind::Dri, PolicyKind::Decay, PolicyKind::Drowsy,
+          PolicyKind::StaticWays}) {
+        PolicyConfig pol;
+        pol.kind = kind;
+        pol.dri = quickDri();
+        pol.dri.assoc = 4;
+        pol.dri.mshrs = 4;
+        pol.decay.decayInterval = 20 * 1000;
+        pol.drowsy.drowsyInterval = 20 * 1000;
+        pol.ways.activeWays = 2;
+        SCOPED_TRACE(static_cast<int>(kind));
+        expectSplitEquivalence(cfg, [&](const RunConfig &c) {
+            return runPolicy(b, c, pol);
+        });
+    }
+}
+
+TEST(CheckpointedRun, FastModelBankedDramSplitIsExact)
+{
+    const auto &b = findBenchmark("li");
+    const RunConfig cfg = bankedConfig();
+    const RunOutput conv = runConventional(b, cfg);
+    const FastCalibration cal = calibrateFast(b, cfg, conv);
+    DriParams dp = quickDri();
+    dp.mshrs = 4;
+
+    expectSplitEquivalence(cfg, [&](const RunConfig &c) {
+        return runConventionalFast(b, c, cal);
+    });
+    expectSplitEquivalence(cfg, [&](const RunConfig &c) {
+        return runDriFast(b, c, dp, cal);
+    });
+}
+
+TEST(CheckpointedRun, DifferentDramConfigsNeverShareASnapshot)
+{
+    // Flat and banked runs of the same benchmark share a checkpoint
+    // dir: the dram.* knobs are in the run key, so each flavour must
+    // save its own snapshot and restore its own bit-identical run.
+    const auto &b = findBenchmark("compress");
+    TempDir dir;
+    RunConfig flat = quickConfig();
+    RunConfig banked = bankedConfig();
+
+    const RunOutput plainFlat = runConventional(b, flat);
+    const RunOutput plainBanked = runConventional(b, banked);
+
+    flat.checkpointDir = dir.path;
+    banked.checkpointDir = dir.path;
+    const sim::CheckpointCounters before = sim::checkpointCounters();
+    expectSameRun(plainFlat, runConventional(b, flat));
+    expectSameRun(plainBanked, runConventional(b, banked));
+    const sim::CheckpointCounters after = sim::checkpointCounters();
+    EXPECT_EQ(after.saves, before.saves + 2);
+    EXPECT_EQ(after.restores, before.restores);
+
+    expectSameRun(plainFlat, runConventional(b, flat));
+    expectSameRun(plainBanked, runConventional(b, banked));
+    EXPECT_EQ(sim::checkpointCounters().restores,
+              after.restores + 2);
 }
 
 // ---------------------------------------------------------------

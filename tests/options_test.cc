@@ -1,11 +1,20 @@
 /**
  * @file
- * Option-parser tests.
+ * Option-parser tests, including the semantic-key guard: every key
+ * optionsUsage() advertises either demonstrably changes a canonical
+ * run key (so the result cache and checkpoint store can never serve
+ * stale artifacts across it) or is explicitly execution-only.
  */
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <sstream>
+
 #include "config/options.hh"
+#include "harness/runner.hh"
+#include "workload/spec_suite.hh"
 
 namespace drisim
 {
@@ -189,8 +198,203 @@ TEST(Options, UsageMentionsEveryKey)
           "l2.dri", "l2.size_bound", "l2.miss_bound",
           "l2.interval", "cores", "coreK.bench", "coreK.dri",
           "sample", "sample.window", "sample.period",
-          "checkpoint_dir", "result_cache"})
+          "checkpoint_dir", "result_cache", "l1.mshrs", "l2.mshrs",
+          "dram.banked", "dram.banks", "dram.row_hit",
+          "dram.row_miss", "dram.queue"})
         EXPECT_NE(u.find(key), std::string::npos) << key;
+}
+
+TEST(Options, ParsesMemorySystemKeys)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"l1.mshrs=4", "l2.mshrs=8", "dram.banked=1",
+                       "dram.banks=16", "dram.row_hit=30",
+                       "dram.row_miss=90", "dram.queue=4"},
+                      o, err));
+    // l1.mshrs reaches both private L1s and the DRI template.
+    EXPECT_EQ(o.run.hier.l1i.mshrs, 4u);
+    EXPECT_EQ(o.run.hier.l1d.mshrs, 4u);
+    EXPECT_EQ(o.dri.mshrs, 4u);
+    EXPECT_EQ(o.run.hier.l2.mshrs, 8u);
+    EXPECT_TRUE(o.run.hier.dram.banked);
+    EXPECT_EQ(o.run.hier.dram.banks, 16u);
+    EXPECT_EQ(o.run.hier.dram.rowHitLatency, 30u);
+    EXPECT_EQ(o.run.hier.dram.rowMissLatency, 90u);
+    EXPECT_EQ(o.run.hier.dram.queueDepth, 4u);
+    EXPECT_TRUE(o.unknown.empty());
+}
+
+TEST(Options, MemorySystemDefaultsToBlockingFlat)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({}, o, err));
+    EXPECT_EQ(o.run.hier.l1i.mshrs, 0u);
+    EXPECT_EQ(o.run.hier.l1d.mshrs, 0u);
+    EXPECT_EQ(o.run.hier.l2.mshrs, 0u);
+    EXPECT_EQ(o.dri.mshrs, 0u);
+    EXPECT_FALSE(o.run.hier.dram.banked);
+}
+
+TEST(Options, RejectsBadMemorySystemValues)
+{
+    Options o;
+    std::string err;
+    EXPECT_FALSE(parse({"l1.mshrs=-1"}, o, err));
+    EXPECT_FALSE(parse({"l1.mshrs=257"}, o, err));
+    EXPECT_FALSE(parse({"l2.mshrs=banana"}, o, err));
+    EXPECT_FALSE(parse({"dram.banked=maybe"}, o, err));
+    EXPECT_FALSE(parse({"dram.banks=0"}, o, err));
+    EXPECT_FALSE(parse({"dram.banks=65"}, o, err));
+    EXPECT_FALSE(parse({"dram.row_hit=0"}, o, err));
+    EXPECT_FALSE(parse({"dram.row_miss=-1"}, o, err));
+    EXPECT_FALSE(parse({"dram.queue=0"}, o, err));
+    EXPECT_FALSE(parse({"dram.queue=1025"}, o, err));
+    // MSHRs may be disabled explicitly.
+    EXPECT_TRUE(parse({"l1.mshrs=0", "l2.mshrs=0"}, o, err));
+}
+
+/** Combined canonical form of every single-core run-key flavour:
+ *  a knob is "semantic" iff changing it changes this string. */
+std::string
+canonicalOf(const Options &o)
+{
+    const BenchmarkInfo &b = findBenchmark(o.benchmark);
+    return runKeyConventional(b, o.run).canonical() + "|" +
+           runKeyDri(b, o.run, o.dri).canonical() + "|" +
+           runKeyPolicy(b, o.run, o.policyConfig()).canonical();
+}
+
+/**
+ * The satellite guard: a new Options knob that changes simulation
+ * results but is missing from the canonical config key would make
+ * the result cache and checkpoint store silently serve stale
+ * artifacts across it. Every key optionsUsage() advertises must
+ * therefore either (a) have a probe here proving it reaches the
+ * canonical string, or (b) be on the explicit execution-only list.
+ * Adding a key to usage without extending one of the two fails this
+ * test by name.
+ */
+TEST(Options, EveryUsageKeyIsSemanticOrExplicitlyExecutionOnly)
+{
+    // Execution-strategy keys deliberately outside the run key:
+    // jobs/checkpoint_dir/result_cache cannot change results, and
+    // the cores/coreK.* family configures CMP runs, which are never
+    // result-cached (bench_cmp derives its own row-identity key).
+    const std::set<std::string> executionOnly{
+        "jobs",
+        "checkpoint_dir",
+        "result_cache",
+        "cores",
+        "coreK.bench",
+        "coreK.dri",
+        "coreK.dri.size_bound",
+        "coreK.dri.miss_bound",
+        "coreK.dri.interval",
+        "coreK.policy",
+        "coreK.policy.decay.interval",
+        "coreK.policy.decay.limit",
+        "coreK.policy.drowsy.interval",
+        "coreK.policy.drowsy.wake",
+        "coreK.policy.ways.active",
+    };
+
+    // base = context making a conditional key participate (e.g.
+    // sample.window only enters the key once sampling is on);
+    // variant = base + a value different from the default.
+    struct Probe
+    {
+        std::vector<const char *> base;
+        std::vector<const char *> variant;
+    };
+    const std::map<std::string, Probe> probes{
+        {"instrs", {{}, {"instrs=1234"}}},
+        {"benchmark", {{}, {"benchmark=gcc"}}},
+        {"l1i.size", {{}, {"l1i.size=128K"}}},
+        {"l1i.assoc", {{}, {"l1i.assoc=4"}}},
+        {"l1i.block", {{}, {"l1i.block=64"}}},
+        {"dri.size_bound", {{}, {"dri.size_bound=2K"}}},
+        {"dri.miss_bound", {{}, {"dri.miss_bound=123"}}},
+        {"dri.interval", {{}, {"dri.interval=50000"}}},
+        {"dri.divisibility", {{}, {"dri.divisibility=4"}}},
+        {"dri.throttle_hold", {{}, {"dri.throttle_hold=7"}}},
+        {"dri.adaptive", {{}, {"dri.adaptive=0"}}},
+        {"policy", {{}, {"policy=decay"}}},
+        {"policy.decay.interval", {{}, {"policy.decay.interval=40000"}}},
+        {"policy.decay.limit", {{}, {"policy.decay.limit=2"}}},
+        {"policy.drowsy.interval",
+         {{}, {"policy.drowsy.interval=50000"}}},
+        {"policy.drowsy.wake", {{}, {"policy.drowsy.wake=2"}}},
+        {"policy.ways.active", {{}, {"policy.ways.active=3"}}},
+        {"sample", {{}, {"sample=1"}}},
+        {"sample.window",
+         {{"sample=1"}, {"sample=1", "sample.window=5000"}}},
+        {"sample.period",
+         {{"sample=1"}, {"sample=1", "sample.period=40000"}}},
+        {"l2.size", {{}, {"l2.size=512K"}}},
+        {"l2.assoc", {{}, {"l2.assoc=8"}}},
+        {"l2.block", {{}, {"l2.block=128"}}},
+        {"l2.dri", {{}, {"l2.dri=1"}}},
+        {"l2.size_bound",
+         {{"l2.dri=1"}, {"l2.dri=1", "l2.size_bound=32K"}}},
+        {"l2.miss_bound",
+         {{"l2.dri=1"}, {"l2.dri=1", "l2.miss_bound=40"}}},
+        {"l2.interval",
+         {{"l2.dri=1"}, {"l2.dri=1", "l2.interval=200000"}}},
+        {"l1.mshrs", {{}, {"l1.mshrs=4"}}},
+        {"l2.mshrs", {{}, {"l2.mshrs=8"}}},
+        {"dram.banked", {{}, {"dram.banked=1"}}},
+        {"dram.banks",
+         {{"dram.banked=1"}, {"dram.banked=1", "dram.banks=16"}}},
+        {"dram.row_hit",
+         {{"dram.banked=1"}, {"dram.banked=1", "dram.row_hit=30"}}},
+        {"dram.row_miss",
+         {{"dram.banked=1"}, {"dram.banked=1", "dram.row_miss=90"}}},
+        {"dram.queue",
+         {{"dram.banked=1"}, {"dram.banked=1", "dram.queue=4"}}},
+    };
+
+    // Every key the usage string advertises, in "key=..." tokens.
+    std::istringstream usage(optionsUsage());
+    std::string tok;
+    std::vector<std::string> keys;
+    while (usage >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq != std::string::npos && eq > 0)
+            keys.push_back(tok.substr(0, eq));
+    }
+    ASSERT_GT(keys.size(), 30u); // the usage string really parsed
+
+    for (const std::string &key : keys) {
+        if (executionOnly.count(key))
+            continue;
+        const auto it = probes.find(key);
+        ASSERT_NE(it, probes.end())
+            << "usage key '" << key
+            << "' has neither a semantic probe nor an execution-only "
+               "entry: a knob outside the canonical key serves stale "
+               "cached results";
+        SCOPED_TRACE(key);
+        Options base, variant;
+        std::string err;
+        std::vector<const char *> argvBase{"prog"};
+        argvBase.insert(argvBase.end(), it->second.base.begin(),
+                        it->second.base.end());
+        ASSERT_TRUE(parseOptions(
+            static_cast<int>(argvBase.size()), argvBase.data(),
+            base, err))
+            << err;
+        std::vector<const char *> argvVar{"prog"};
+        argvVar.insert(argvVar.end(), it->second.variant.begin(),
+                       it->second.variant.end());
+        ASSERT_TRUE(parseOptions(static_cast<int>(argvVar.size()),
+                                 argvVar.data(), variant, err))
+            << err;
+        EXPECT_NE(canonicalOf(base), canonicalOf(variant))
+            << "'" << key << "' parses but never reaches the "
+            << "canonical config string";
+    }
 }
 
 TEST(Options, ParsesCoresAndPerCoreKeys)
