@@ -15,7 +15,14 @@
  * The winner's energy is reported split into per-core l1i[k] rows
  * plus shared l2/mem rows whose sums define the system total.
  *
- *   ./bench_cmp [--cores N] [--jobs N] [--dram-banked]
+ * With --coherent the study switches from multiprogrammed private
+ * data to the class-4 sharing workloads under the MSI protocol
+ * (mem/directory.hh): every core touches one shared window, stores
+ * invalidate remote copies, and the leakage policies pay
+ * coherence-induced wakes (drowsy) and refetches (decay/DRI) that
+ * the 2001 single-core paper never modelled.
+ *
+ *   ./bench_cmp [--cores N] [--jobs N] [--dram-banked] [--coherent]
  *               [--json PATH] [--list]
  */
 
@@ -49,6 +56,128 @@ mixBenches(unsigned m, unsigned n)
     return names;
 }
 
+/**
+ * The --coherent study: sharing mixes under MSI, a conventional
+ * baseline against a leakage-managed build whose L1Is alternate
+ * drowsy and decay, so both coherence-induced wakes and refetches
+ * appear in one run.
+ */
+int
+runCoherentStudy(BenchContext &ctx, unsigned n)
+{
+    printHeader("Coherent CMP: MSI over private L1s, sharing "
+                "workloads",
+                "extension of Section 5; coherence costs the 2001 "
+                "paper never modelled (docs/DESIGN.md)");
+    std::cout << "cores: " << n << ", run length: "
+              << ctx.cfg.maxInstrs
+              << " instructions per core, drowsy/decay L1I "
+                 "alternation, "
+              << workerBanner(ctx) << "\n";
+
+    const MultiLevelConstants constants =
+        MultiLevelConstants::paper();
+
+    std::vector<std::vector<std::string>> mixes;
+    mixes.emplace_back(n, "shared_image");
+    {
+        std::vector<std::string> pc;
+        for (unsigned k = 0; k < n; ++k)
+            pc.push_back(k % 2 == 0 ? "producer" : "consumer");
+        mixes.push_back(std::move(pc));
+    }
+
+    const std::vector<std::string> cols{
+        "mix",       "sys-cycles", "inval",   "downgr",
+        "coh-wb",    "msg-cyc",    "dir-ev",  "wakes",
+        "refetches", "rel-ED"};
+    Table summary(cols);
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
+    std::vector<std::vector<std::string>> rows;
+
+    for (const std::vector<std::string> &benches : mixes) {
+        const std::string mix = cmpMixName(benches);
+
+        CmpConfig conv_cmp;
+        conv_cmp.cores = n;
+        conv_cmp.coherence.enabled = true;
+        for (const std::string &b : benches) {
+            CmpCoreConfig core;
+            core.bench = b;
+            conv_cmp.coreConfigs.push_back(std::move(core));
+        }
+
+        CmpConfig pol_cmp = conv_cmp;
+        for (unsigned k = 0; k < n; ++k) {
+            CmpCoreConfig &core = pol_cmp.coreConfigs[k];
+            core.dri = true;
+            core.policyKind = k % 2 == 0 ? PolicyKind::Drowsy
+                                         : PolicyKind::Decay;
+        }
+
+        const CmpRunOutput conv =
+            runCmp(ctx.cfg, conv_cmp, benches[0]);
+        const CmpRunOutput pol =
+            runCmp(ctx.cfg, pol_cmp, benches[0]);
+        const CmpComparison cc =
+            compareCmp(constants, toCmpMeasurement(conv),
+                       toCmpMeasurement(pol));
+
+        std::uint64_t wakes = 0;
+        std::uint64_t refetches = 0;
+        for (const CmpCoreOutput &c : pol.cores) {
+            wakes += c.coherenceWakes;
+            refetches += c.coherenceRefetches;
+        }
+
+        std::vector<std::string> row{
+            mix,
+            std::to_string(pol.systemCycles),
+            std::to_string(pol.coherenceInvalidations),
+            std::to_string(pol.coherenceDowngrades),
+            std::to_string(pol.coherenceWritebacks),
+            std::to_string(pol.coherenceMsgCycles),
+            std::to_string(pol.directoryEvictions),
+            std::to_string(wakes),
+            std::to_string(refetches),
+            fmtDouble(cc.relativeEnergyDelay(), 3)};
+        summary.addRow(row);
+        row.push_back(
+            runKeyCmp(ctx.cfg, pol_cmp, benches[0]).hashHex());
+        rows.push_back(std::move(row));
+
+        std::cout << "\n" << mix
+                  << ": per-core coherence attribution "
+                     "(leakage-managed run)\n";
+        Table t({"core", "benchmark", "policy", "inval-recv",
+                 "inval-caused", "downgr", "coh-wb", "msg-cyc",
+                 "wakes", "refetches"});
+        for (std::size_t k = 0; k < pol.cores.size(); ++k) {
+            const CmpCoreOutput &c = pol.cores[k];
+            t.addRow({std::to_string(k), c.bench,
+                      k % 2 == 0 ? "drowsy" : "decay",
+                      std::to_string(
+                          c.coherenceInvalidationsReceived),
+                      std::to_string(c.coherenceInvalidationsCaused),
+                      std::to_string(c.coherenceDowngrades),
+                      std::to_string(c.coherenceWritebacks),
+                      std::to_string(c.coherenceMsgCycles),
+                      std::to_string(c.coherenceWakes),
+                      std::to_string(c.coherenceRefetches)});
+        }
+        t.print(std::cout);
+        std::cerr << "  [cmp] " << mix << " done\n";
+    }
+
+    std::cout << "\n-- coherent sharing mixes (leakage-managed vs "
+                 "conventional, both under MSI) --\n";
+    summary.print(std::cout);
+    writeJsonReport(ctx, "bench_cmp_coherent", jsonCols, rows);
+    reportFastSim(ctx);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -64,6 +193,8 @@ main(int argc, char **argv)
     if (ctx.listOnly)
         return listBenchmarks();
     const unsigned n = ctx.cores > 0 ? ctx.cores : 2;
+    if (ctx.coherent)
+        return runCoherentStudy(ctx, n);
 
     printHeader("CMP scale-out: private DRI L1Is over a shared "
                 "resizable L2",

@@ -33,7 +33,8 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
 {
     const std::string usage =
         std::string("usage: ") + (argc > 0 ? argv[0] : "bench") +
-        " [--jobs N]" + (acceptCores ? " [--cores N]" : "") +
+        " [--jobs N]" +
+        (acceptCores ? " [--cores N] [--coherent]" : "") +
         (acceptShort ? " [--short]" : "") +
         " [--json PATH] [--dram-banked] [--sample]"
         " [--checkpoint-dir DIR]"
@@ -63,6 +64,15 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
             continue;
         } else if (arg.rfind("--json=", 0) == 0) {
             ctx.jsonPath = arg.substr(7);
+            continue;
+        } else if (arg == "--coherent") {
+            if (!acceptCores) {
+                error = "this binary does not take --coherent (the "
+                        "CMP study is bench_cmp)\n" +
+                        usage;
+                return false;
+            }
+            ctx.coherent = true;
             continue;
         } else if (arg == "--dram-banked") {
             // Non-blocking memory system: banked queued DRAM plus

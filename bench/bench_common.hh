@@ -43,6 +43,11 @@ struct BenchContext
     /** --cores N (bench_cmp's CMP width; 0 = the bench's default). */
     unsigned cores = 0;
 
+    /** --coherent (bench_cmp only): run the sharing workloads under
+     *  MSI coherence (mem/directory.hh) instead of the
+     *  multiprogrammed private-data mixes. */
+    bool coherent = false;
+
     /** --list: print the SPEC workload names and exit. */
     bool listOnly = false;
 
@@ -73,10 +78,11 @@ BenchContext defaultContext();
  * @p error (usage included) on anything unrecognized. After a
  * successful parse check ctx.listOnly: --list asks the binary to
  * print the available SPEC workload names (listBenchmarks()) and
- * exit instead of failing later on a typo. `--cores N` is accepted
- * only when @p acceptCores is set (bench_cmp) — every other binary
- * rejects it instead of silently running single-core — and
- * `--short` only when @p acceptShort is set (bench_policies).
+ * exit instead of failing later on a typo. `--cores N` and
+ * `--coherent` are accepted only when @p acceptCores is set
+ * (bench_cmp) — every other binary rejects them instead of silently
+ * running single-core — and `--short` only when @p acceptShort is
+ * set (bench_policies).
  *
  * `--dram-banked` switches the memory system to the banked queued
  * DRAM model with default MSHR files at every cache level

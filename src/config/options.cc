@@ -209,6 +209,7 @@ Options::cmpConfig(bool driByDefault) const
 {
     CmpConfig c;
     c.cores = cores;
+    c.coherence = coherence;
     c.coreConfigs = cmpCores(driByDefault);
     return c;
 }
@@ -257,6 +258,19 @@ parseOptions(int argc, const char *const *argv, Options &out,
             if (!parsePositiveValue(value, u, kMaxCmpCores))
                 return bad_value();
             out.cores = static_cast<unsigned>(u);
+        } else if (key == "coherence") {
+            bool b = false;
+            if (!parseBool(value, b))
+                return bad_value();
+            out.coherence.enabled = b;
+        } else if (key == "coherence.entries") {
+            if (!parsePositiveValue(value, u))
+                return bad_value();
+            out.coherence.directoryEntries = u;
+        } else if (key == "coherence.msg_latency") {
+            if (!parseU64(value, u))
+                return bad_value();
+            out.coherence.msgLatency = u;
         } else if (key == "benchmark") {
             if (value.empty())
                 return bad_value();
@@ -473,7 +487,9 @@ optionsUsage()
            "l2.assoc=N l2.block=64 l2.dri=0|1 l2.size_bound=64K "
            "l2.miss_bound=N l2.interval=N l1.mshrs=N l2.mshrs=N "
            "dram.banked=0|1 dram.banks=N dram.row_hit=N "
-           "dram.row_miss=N dram.queue=N cores=N coreK.bench=NAME "
+           "dram.row_miss=N dram.queue=N cores=N coherence=0|1 "
+           "coherence.entries=N coherence.msg_latency=N "
+           "coreK.bench=NAME "
            "coreK.dri=0|1 coreK.dri.size_bound=1K "
            "coreK.dri.miss_bound=N coreK.dri.interval=N "
            "coreK.policy=NAME coreK.policy.decay.interval=N "

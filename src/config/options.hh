@@ -113,6 +113,9 @@ struct Options
 
     /** `cores=`; 1 = the classic single-core scenario. */
     unsigned cores = 1;
+    /** `coherence=` + `coherence.*`: MSI over the private L1s
+     *  (mem/directory.hh); disabled by default. */
+    CoherenceConfig coherence;
     /** Sparse coreK.* overrides (index = K). */
     std::vector<CoreOverride> coreOverrides;
 

@@ -424,6 +424,11 @@ cmpEnergy(const MultiLevelConstants &constants,
                        static_cast<double>(run.l2Accesses) +
                    constants.l1.l2PerAccessNJ *
                        static_cast<double>(extra_l2);
+    // Each coherence probe is a directory lookup plus an L1 tag
+    // snoop routed through the shared level: charge it one L2-tier
+    // access. coherenceMessages is zero when the protocol is off.
+    l2.dynamicNJ += constants.l1.l2PerAccessNJ *
+                    static_cast<double>(run.coherenceMessages);
     h.levels.push_back(l2);
 
     const std::uint64_t extra_mem =

@@ -453,6 +453,11 @@ struct CmpMeasurement
     std::uint64_t memAccesses = 0;
     /** Cycles the banked DRAM spent servicing fills (0 = flat). */
     std::uint64_t dramBusyCycles = 0;
+    /** Coherence probes sent (invalidations + downgrades); each is
+     *  charged one L2-tier access energy on the shared row. Zero
+     *  when the protocol is disabled, leaving every pre-coherence
+     *  number untouched. */
+    std::uint64_t coherenceMessages = 0;
 };
 
 /**

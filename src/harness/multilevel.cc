@@ -265,6 +265,8 @@ toCmpMeasurement(const CmpRunOutput &out)
     m.l2ResizingTagBits = out.l2ResizingTagBits;
     m.memAccesses = out.memAccesses;
     m.dramBusyCycles = out.dramBusyCycles;
+    m.coherenceMessages =
+        out.coherenceInvalidations + out.coherenceDowngrades;
     return m;
 }
 

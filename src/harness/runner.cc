@@ -6,6 +6,7 @@
 
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +107,8 @@ fillL2Outputs(Hierarchy &hier, RunOutput &out)
     if (Dram *d = hier.dram()) {
         out.dramRowHits = d->rowHits();
         out.dramRowMisses = d->rowMisses();
+        out.dramQueueFullEvents = d->queueFullEvents();
+        out.dramBusyCycles = d->busyCycles();
     }
     if (ResizableCache *l2 = hier.driL2()) {
         out.l2SizeBytes = l2->params().sizeBytes;
@@ -114,16 +117,28 @@ fillL2Outputs(Hierarchy &hier, RunOutput &out)
         out.l2Resizes = l2->upsizes() + l2->downsizes();
         out.mshrCoalesced += l2->mshrCoalesced();
         out.mshrFullStalls += l2->mshrFullStalls();
+        out.mshrFullStallCycles += l2->mshrFullStallCycles();
+        out.mshrPeakOccupancy = std::max(out.mshrPeakOccupancy,
+                                         l2->mshrPeakOccupancy());
     } else {
         out.l2SizeBytes = hier.params().l2.sizeBytes;
         out.mshrCoalesced += hier.l2().mshrCoalesced();
         out.mshrFullStalls += hier.l2().mshrFullStalls();
+        out.mshrFullStallCycles += hier.l2().mshrFullStallCycles();
+        out.mshrPeakOccupancy = std::max(
+            out.mshrPeakOccupancy, hier.l2().mshrPeakOccupancy());
     }
     out.mshrCoalesced += hier.l1d().mshrCoalesced();
     out.mshrFullStalls += hier.l1d().mshrFullStalls();
+    out.mshrFullStallCycles += hier.l1d().mshrFullStallCycles();
+    out.mshrPeakOccupancy = std::max(out.mshrPeakOccupancy,
+                                     hier.l1d().mshrPeakOccupancy());
     if (Cache *l1i = hier.convL1i()) {
         out.mshrCoalesced += l1i->mshrCoalesced();
         out.mshrFullStalls += l1i->mshrFullStalls();
+        out.mshrFullStallCycles += l1i->mshrFullStallCycles();
+        out.mshrPeakOccupancy = std::max(out.mshrPeakOccupancy,
+                                         l1i->mshrPeakOccupancy());
     }
 }
 
@@ -300,6 +315,10 @@ sim::ResultCache::Fields
 runOutputToFields(const RunOutput &out)
 {
     sim::ResultCache::Fields f;
+    // Payload layout version: bumped when fields are added so
+    // pre-existing sidecar entries (which lack the new columns)
+    // miss cleanly instead of being served with silent zeros.
+    f["payload_v"] = "2";
     f["cycles"] = std::to_string(out.meas.cycles);
     f["instructions"] = std::to_string(out.meas.instructions);
     f["l1i_accesses"] = std::to_string(out.meas.l1iAccesses);
@@ -317,8 +336,13 @@ runOutputToFields(const RunOutput &out)
     f["mem_writebacks"] = std::to_string(out.memWritebacks);
     f["mshr_coalesced"] = std::to_string(out.mshrCoalesced);
     f["mshr_full_stalls"] = std::to_string(out.mshrFullStalls);
+    f["mshr_full_stall_cycles"] =
+        std::to_string(out.mshrFullStallCycles);
+    f["mshr_peak_occupancy"] = std::to_string(out.mshrPeakOccupancy);
     f["dram_row_hits"] = std::to_string(out.dramRowHits);
     f["dram_row_misses"] = std::to_string(out.dramRowMisses);
+    f["dram_queue_full"] = std::to_string(out.dramQueueFullEvents);
+    f["dram_busy_cycles"] = std::to_string(out.dramBusyCycles);
     f["resizes"] = std::to_string(out.resizes);
     f["throttle_events"] = std::to_string(out.throttleEvents);
     f["l2_size_bytes"] = std::to_string(out.l2SizeBytes);
@@ -332,10 +356,15 @@ runOutputToFields(const RunOutput &out)
     return f;
 }
 
-/** Strict: any absent or malformed field rejects the entry. */
+/** Strict: any absent or malformed field rejects the entry, and the
+ *  payload layout version must match exactly — entries written by a
+ *  binary with a different column set miss and are recomputed. */
 bool
 runOutputFromFields(const sim::ResultCache::Fields &f, RunOutput &out)
 {
+    const auto pv = f.find("payload_v");
+    if (pv == f.end() || pv->second != "2")
+        return false;
     std::uint64_t u = 0;
     if (!fieldU64(f, "cycles", u))
         return false;
@@ -362,8 +391,13 @@ runOutputFromFields(const sim::ResultCache::Fields &f, RunOutput &out)
         !fieldU64(f, "mem_writebacks", out.memWritebacks) ||
         !fieldU64(f, "mshr_coalesced", out.mshrCoalesced) ||
         !fieldU64(f, "mshr_full_stalls", out.mshrFullStalls) ||
+        !fieldU64(f, "mshr_full_stall_cycles",
+                  out.mshrFullStallCycles) ||
+        !fieldU64(f, "mshr_peak_occupancy", out.mshrPeakOccupancy) ||
         !fieldU64(f, "dram_row_hits", out.dramRowHits) ||
         !fieldU64(f, "dram_row_misses", out.dramRowMisses) ||
+        !fieldU64(f, "dram_queue_full", out.dramQueueFullEvents) ||
+        !fieldU64(f, "dram_busy_cycles", out.dramBusyCycles) ||
         !fieldU64(f, "resizes", out.resizes) ||
         !fieldU64(f, "throttle_events", out.throttleEvents) ||
         !fieldU64(f, "l2_size_bytes", out.l2SizeBytes) ||
@@ -425,9 +459,10 @@ runCheckpointed(const RunConfig &config, const sim::ConfigKey &key,
         return core.run(gen, total);
 
     const sim::CheckpointStore store(config.checkpointDir);
-    // v2: the MSHR/DRAM refactor added state and stats to every
-    // level's blob; stale v1 snapshots must miss, not crash.
-    const std::string storeKey = "v2|" + key.canonical() + "|ckpt@" +
+    // v3: the coherence layer added per-block MSI state to every
+    // tag store (plus a layout magic the reader verifies); stale
+    // v1/v2 snapshots must miss, not crash.
+    const std::string storeKey = "v3|" + key.canonical() + "|ckpt@" +
                                  std::to_string(split);
     std::string blob;
     if (store.load(storeKey, blob)) {
@@ -725,6 +760,67 @@ cmpBenchNames(const CmpConfig &cmp, const std::string &defaultBench)
                                           : cfg.bench);
     }
     return names;
+}
+
+sim::ConfigKey
+runKeyCmp(const RunConfig &config, const CmpConfig &cmp,
+          const std::string &defaultBench)
+{
+    sim::ConfigKey k;
+    k.add("mode", "cmp");
+    k.add("instrs", config.maxInstrs);
+    k.add("cores", static_cast<std::uint64_t>(cmp.cores));
+    k.add("quantum", cmp.quantum);
+    k.add("bus.banks", static_cast<std::uint64_t>(cmp.l2Banks));
+    k.add("bus.penalty",
+          static_cast<std::uint64_t>(cmp.l2ContentionPenalty));
+    addCacheKey(k, "l1i", config.hier.l1i);
+    addCacheKey(k, "l1d", config.hier.l1d);
+    addCacheKey(k, "l2", config.hier.l2);
+    k.add("l2_dri", config.hier.l2Dri);
+    if (config.hier.l2Dri)
+        addDriKey(k, "l2dri", config.hier.l2DriParams);
+    if (config.hier.dram.banked) {
+        const DramParams &d = config.hier.dram;
+        k.add("dram.banked", true);
+        k.add("dram.banks", static_cast<std::uint64_t>(d.banks));
+        k.add("dram.row_hit", d.rowHitLatency);
+        k.add("dram.row_miss", d.rowMissLatency);
+        k.add("dram.queue", static_cast<std::uint64_t>(d.queueDepth));
+        k.add("dram.row_bytes",
+              static_cast<std::uint64_t>(d.rowBytes));
+    }
+    const std::vector<std::string> names =
+        cmpBenchNames(cmp, defaultBench);
+    for (unsigned c = 0; c < cmp.cores; ++c) {
+        const CmpCoreConfig cc = cmp.coreConfig(c);
+        const std::string p = "core" + std::to_string(c);
+        k.add(p + ".bench", names[c]);
+        k.add(p + ".dri", cc.dri);
+        if (cc.dri) {
+            k.add(p + ".policy",
+                  static_cast<std::uint64_t>(cc.policyKind));
+            addDriKey(k, p + ".dri", cc.driParams);
+            k.add(p + ".decay_interval", cc.decay.decayInterval);
+            k.add(p + ".counter_limit",
+                  static_cast<std::uint64_t>(cc.decay.counterLimit));
+            k.add(p + ".drowsy_interval", cc.drowsy.drowsyInterval);
+            k.add(p + ".wake_latency",
+                  static_cast<std::uint64_t>(cc.drowsy.wakeLatency));
+            k.add(p + ".active_ways",
+                  static_cast<std::uint64_t>(cc.ways.activeWays));
+        }
+    }
+    // Conditional like dram.banked: non-coherent keys carry no
+    // coherence columns, but a coherent run can never collide with
+    // a non-coherent one (or with a differently-sized directory).
+    if (cmp.coherence.enabled) {
+        k.add("coh.enabled", true);
+        k.add("coh.entries", cmp.coherence.directoryEntries);
+        k.add("coh.msg_latency",
+              static_cast<std::uint64_t>(cmp.coherence.msgLatency));
+    }
+    return k;
 }
 
 CmpRunOutput

@@ -100,8 +100,13 @@ struct RunOutput
      *  default blocking/flat configuration). */
     std::uint64_t mshrCoalesced = 0;
     std::uint64_t mshrFullStalls = 0;
+    std::uint64_t mshrFullStallCycles = 0;
+    /** Max in-flight misses observed at any one level. */
+    std::uint64_t mshrPeakOccupancy = 0;
     std::uint64_t dramRowHits = 0;
     std::uint64_t dramRowMisses = 0;
+    std::uint64_t dramQueueFullEvents = 0;
+    std::uint64_t dramBusyCycles = 0;
 
     /** L2 activity (defaults describe a fixed, fully-powered L2). */
     std::uint64_t l2SizeBytes = 0;
@@ -219,6 +224,16 @@ sim::ConfigKey runKeyPolicyFast(const BenchmarkInfo &bench,
  */
 std::vector<std::string> cmpBenchNames(const CmpConfig &cmp,
                                        const std::string &defaultBench);
+
+/**
+ * Canonical key for a CMP run: every per-core flavour plus the
+ * sharing model, including the coherence configuration — two runs
+ * that differ only in coherence enablement, directory capacity or
+ * message latency must never share a snapshot or report identity
+ * (locked by tests/checkpoint_test.cc).
+ */
+sim::ConfigKey runKeyCmp(const RunConfig &config, const CmpConfig &cmp,
+                         const std::string &defaultBench);
 
 /**
  * Detailed CMP run (system/cmp.hh): N cores, private L1s

@@ -35,7 +35,13 @@ Cache::Cache(const CacheParams &params, MemoryLevel *below,
                       "primary misses finding every MSHR busy"),
       mshrFullStallCycles_(&group_, "mshr_full_stall_cycles",
                            "cycles stalled waiting for a free MSHR"),
-      mshrPeak_(&group_, "mshr_peak", "peak live MSHR entries")
+      mshrPeak_(&group_, "mshr_peak", "peak live MSHR entries"),
+      coherenceInvalidations_(&group_, "coherence_invalidations",
+                              "lines dropped by coherence probes"),
+      coherenceDowngrades_(&group_, "coherence_downgrades",
+                           "lines demoted Modified -> Shared"),
+      coherenceWritebacks_(&group_, "coherence_writebacks",
+                           "dirty lines flushed to answer probes")
 {
     drisim_assert(isPowerOf2(params.sizeBytes) &&
                   isPowerOf2(params.blockBytes),
@@ -81,9 +87,23 @@ Cache::accessTimed(Addr addr, AccessType type, Cycles now)
         const Cycles wake =
             onLineHit(set, static_cast<unsigned>(way));
         store_.touch(set, static_cast<unsigned>(way));
-        if (type == AccessType::Store)
-            store_.markDirty(set, static_cast<unsigned>(way));
         Cycles latency = params_.hitLatency + wake;
+        if (type == AccessType::Store) {
+            store_.markDirty(set, static_cast<unsigned>(way));
+            // A store to a line held Shared needs exclusive
+            // ownership: the directory invalidates other copies
+            // before this write may retire (write upgrade).
+            if (coherence_ &&
+                store_.coherenceState(
+                    set, static_cast<unsigned>(way)) !=
+                    CoherenceState::Modified) {
+                latency += coherence_->coherentUpgrade(
+                    coherenceCore_, ba << offsetBits_);
+                store_.setCoherenceState(
+                    set, static_cast<unsigned>(way),
+                    CoherenceState::Modified);
+            }
+        }
         // The block was inserted at miss time; if its fill is still
         // in flight this is a secondary miss that coalesces onto
         // the outstanding MSHR and waits out the remaining fill.
@@ -141,7 +161,80 @@ Cache::accessTimed(Addr addr, AccessType type, Cycles now)
         drisim_assert(w != TagStore::kNoWay, "fill lost its block");
         store_.markDirty(set, static_cast<unsigned>(w));
     }
+    if (coherence_) {
+        // Register the fill with the directory: a store miss takes
+        // the granule Modified (remote copies invalidated), a
+        // load/fetch fill takes it Shared (a remote Modified owner
+        // is downgraded). Probe latency lands on this miss.
+        latency += coherence_->coherentFill(
+            coherenceCore_, ba << offsetBits_,
+            type == AccessType::Store);
+        const int w = store_.findWay(set, ba);
+        if (w != TagStore::kNoWay)
+            store_.setCoherenceState(set, static_cast<unsigned>(w),
+                                     type == AccessType::Store
+                                         ? CoherenceState::Modified
+                                         : CoherenceState::Shared);
+    }
     return {false, latency};
+}
+
+CoherenceProbe
+Cache::coherenceInvalidate(Addr addr, unsigned bytes)
+{
+    CoherenceProbe res;
+    for (Addr a = addr; a < addr + bytes; a += params_.blockBytes) {
+        const Addr ba = blockAddr(a);
+        const std::uint64_t set = indexOf(ba);
+        const int way = store_.findWay(set, ba);
+        if (way == TagStore::kNoWay)
+            continue;
+        res.wasPresent = true;
+        res.extraCycles +=
+            onLineCoherenceEvent(set, static_cast<unsigned>(way),
+                                 /*invalidate=*/true);
+        if (store_.set(set)[static_cast<unsigned>(way)].dirty) {
+            res.wasDirty = true;
+            ++writebacks_;
+            ++coherenceWritebacks_;
+            // Flushed like a dirty eviction: counted below, off the
+            // victim's latency path (write-buffer assumption).
+            if (below_)
+                below_->access(ba << offsetBits_, AccessType::Store);
+        }
+        ++coherenceInvalidations_;
+        store_.invalidate(set, static_cast<unsigned>(way));
+    }
+    return res;
+}
+
+CoherenceProbe
+Cache::coherenceDowngrade(Addr addr, unsigned bytes)
+{
+    CoherenceProbe res;
+    for (Addr a = addr; a < addr + bytes; a += params_.blockBytes) {
+        const Addr ba = blockAddr(a);
+        const std::uint64_t set = indexOf(ba);
+        const int way = store_.findWay(set, ba);
+        if (way == TagStore::kNoWay)
+            continue;
+        res.wasPresent = true;
+        res.extraCycles +=
+            onLineCoherenceEvent(set, static_cast<unsigned>(way),
+                                 /*invalidate=*/false);
+        if (store_.set(set)[static_cast<unsigned>(way)].dirty) {
+            res.wasDirty = true;
+            ++writebacks_;
+            ++coherenceWritebacks_;
+            if (below_)
+                below_->access(ba << offsetBits_, AccessType::Store);
+            store_.clearDirty(set, static_cast<unsigned>(way));
+        }
+        ++coherenceDowngrades_;
+        store_.setCoherenceState(set, static_cast<unsigned>(way),
+                                 CoherenceState::Shared);
+    }
+    return res;
 }
 
 void

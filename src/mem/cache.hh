@@ -22,6 +22,7 @@
 
 #include "stats/stats.hh"
 #include "util/types.hh"
+#include "mem/directory.hh"
 #include "mem/memory.hh"
 #include "mem/mshr.hh"
 #include "mem/tag_store.hh"
@@ -48,8 +49,13 @@ struct CacheParams
     unsigned mshrs = 0;
 };
 
-/** A conventional cache backed by a lower MemoryLevel. */
-class Cache : public MemoryLevel
+/**
+ * A conventional cache backed by a lower MemoryLevel. When attached
+ * to a coherence fabric (setCoherence) it participates as an MSI
+ * client: fills and write upgrades consult the directory agent, and
+ * incoming probes invalidate/downgrade lines (mem/directory.hh).
+ */
+class Cache : public MemoryLevel, public CoherenceClient
 {
   public:
     /**
@@ -109,6 +115,40 @@ class Cache : public MemoryLevel
         return mshrPeak_.value();
     }
 
+    /**
+     * Attach this cache to a coherence fabric as @p core's private
+     * cache. Fills/upgrades then charge directory latency and
+     * incoming probes are honoured. Never called for shared levels
+     * (the L2 sits below the coherence point).
+     */
+    void setCoherence(CoherenceAgent *agent, unsigned core)
+    {
+        coherence_ = agent;
+        coherenceCore_ = core;
+    }
+
+    // CoherenceClient: probes from the directory controller.
+    CoherenceProbe coherenceInvalidate(Addr addr,
+                                       unsigned bytes) override;
+    CoherenceProbe coherenceDowngrade(Addr addr,
+                                      unsigned bytes) override;
+
+    /** Lines dropped by coherence invalidation probes. */
+    std::uint64_t coherenceInvalidations() const
+    {
+        return coherenceInvalidations_.value();
+    }
+    /** Lines demoted Modified -> Shared by downgrade probes. */
+    std::uint64_t coherenceDowngrades() const
+    {
+        return coherenceDowngrades_.value();
+    }
+    /** Dirty lines flushed below to answer probes. */
+    std::uint64_t coherenceWritebacks() const
+    {
+        return coherenceWritebacks_.value();
+    }
+
     /** Zero the statistics (not the contents). */
     void resetStats() { group_.resetAll(); }
 
@@ -146,6 +186,21 @@ class Cache : public MemoryLevel
      */
     virtual unsigned allocWays() const { return store_.assoc(); }
 
+    /**
+     * A coherence probe landed on (@p set, @p way) — @p invalidate
+     * distinguishes invalidation from downgrade. Returns the stall
+     * the probe costs at this cache (a drowsy line's wake); called
+     * before the frame is flushed/invalidated.
+     */
+    virtual Cycles onLineCoherenceEvent(std::uint64_t set,
+                                        unsigned way, bool invalidate)
+    {
+        (void)set;
+        (void)way;
+        (void)invalidate;
+        return 0;
+    }
+
     std::uint64_t indexOf(Addr blockAddr) const;
 
     /** The shared body of access()/accessAt(); see cache.cc. */
@@ -156,6 +211,8 @@ class Cache : public MemoryLevel
     unsigned offsetBits_;
     TagStore store_;
     MshrFile mshr_;
+    CoherenceAgent *coherence_ = nullptr;
+    unsigned coherenceCore_ = 0;
 
     stats::StatGroup group_;
     stats::Scalar accesses_;
@@ -169,6 +226,9 @@ class Cache : public MemoryLevel
     stats::Scalar mshrFullStalls_;
     stats::Scalar mshrFullStallCycles_;
     stats::Scalar mshrPeak_;
+    stats::Scalar coherenceInvalidations_;
+    stats::Scalar coherenceDowngrades_;
+    stats::Scalar coherenceWritebacks_;
 };
 
 } // namespace drisim

@@ -12,6 +12,20 @@ namespace drisim
 {
 
 /**
+ * MSI coherence state of a private-cache line (system/cmp.hh's
+ * directory protocol; see mem/directory.hh). Invalid for every line
+ * of a cache that is not attached to a coherence fabric — the field
+ * is inert outside coherent CMP runs, so single-core behaviour is
+ * untouched.
+ */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid = 0,
+    Shared = 1,
+    Modified = 2,
+};
+
+/**
  * A block frame. The simulator stores the full block address as the
  * tag; this is behaviourally identical to storing the architectural
  * tag bits (the set index supplies the remaining bits) and lets the
@@ -32,6 +46,9 @@ struct CacheBlk
     /** Replacement timestamp (LRU) or insertion order. */
     std::uint64_t lastTouch = 0;
 
+    /** MSI state (coherent CMP runs only; Invalid otherwise). */
+    CoherenceState cstate = CoherenceState::Invalid;
+
     void
     invalidate()
     {
@@ -39,6 +56,7 @@ struct CacheBlk
         valid = false;
         dirty = false;
         lastTouch = 0;
+        cstate = CoherenceState::Invalid;
     }
 };
 

@@ -45,8 +45,18 @@ ResizableCache::ResizableCache(const DriParams &params,
                       "primary misses finding every MSHR busy"),
       mshrFullStallCycles_(&group_, "mshr_full_stall_cycles",
                            "cycles stalled waiting for a free MSHR"),
-      mshrPeak_(&group_, "mshr_peak", "peak live MSHR entries")
+      mshrPeak_(&group_, "mshr_peak", "peak live MSHR entries"),
+      coherenceInvalidations_(&group_, "coherence_invalidations",
+                              "lines dropped by coherence probes"),
+      coherenceDowngrades_(&group_, "coherence_downgrades",
+                           "lines demoted Modified -> Shared"),
+      coherenceWritebacks_(&group_, "coherence_writebacks",
+                           "dirty lines flushed to answer probes"),
+      coherenceRefetches_(&group_, "coherence_refetches",
+                          "fills replacing probe-invalidated lines")
 {
+    coherenceLost_.assign(
+        static_cast<std::size_t>(mask_.maxSets()) * params_.assoc, 0);
 }
 
 void
@@ -77,9 +87,22 @@ ResizableCache::accessImpl(Addr addr, AccessType type, Cycles now)
     int way = store_.findWay(set, ba);
     if (way != TagStore::kNoWay) {
         store_.touch(set, static_cast<unsigned>(way));
-        if (type == AccessType::Store)
-            store_.markDirty(set, static_cast<unsigned>(way));
         Cycles latency = params_.hitLatency;
+        if (type == AccessType::Store) {
+            store_.markDirty(set, static_cast<unsigned>(way));
+            // Write upgrade: a Shared line needs exclusive
+            // ownership before the store may retire.
+            if (coherence_ &&
+                store_.coherenceState(
+                    set, static_cast<unsigned>(way)) !=
+                    CoherenceState::Modified) {
+                latency += coherence_->coherentUpgrade(
+                    coherenceCore_, ba << mask_.offsetBits());
+                store_.setCoherenceState(
+                    set, static_cast<unsigned>(way),
+                    CoherenceState::Modified);
+            }
+        }
         // The block was inserted at miss time; an in-flight fill
         // makes this a secondary miss coalescing onto its MSHR.
         Cycles fill_at = 0;
@@ -119,17 +142,95 @@ ResizableCache::accessImpl(Addr addr, AccessType type, Cycles now)
             mshrPeak_.set(mshr_.occupancy());
     }
 
-    const CacheBlk evicted = store_.insert(set, ba);
+    unsigned filled = 0;
+    const CacheBlk evicted =
+        store_.insert(set, ba, store_.assoc(), &filled);
     if (evicted.valid && evicted.dirty) {
         ++evictionWritebacks_;
         writebackBlock(evicted);
+    }
+    {
+        const std::size_t fi =
+            static_cast<std::size_t>(set) * params_.assoc + filled;
+        if (coherenceLost_[fi]) {
+            coherenceLost_[fi] = 0;
+            ++coherenceRefetches_;
+        }
     }
     if (type == AccessType::Store) {
         int w = store_.findWay(set, ba);
         drisim_assert(w != TagStore::kNoWay, "fill lost its block");
         store_.markDirty(set, static_cast<unsigned>(w));
     }
+    if (coherence_) {
+        // Register the fill with the directory (see Cache's access
+        // path); probe latency lands on this miss.
+        latency += coherence_->coherentFill(
+            coherenceCore_, ba << mask_.offsetBits(),
+            type == AccessType::Store);
+        const int w = store_.findWay(set, ba);
+        if (w != TagStore::kNoWay)
+            store_.setCoherenceState(set, static_cast<unsigned>(w),
+                                     type == AccessType::Store
+                                         ? CoherenceState::Modified
+                                         : CoherenceState::Shared);
+    }
     return {false, latency};
+}
+
+CoherenceProbe
+ResizableCache::coherenceInvalidate(Addr addr, unsigned bytes)
+{
+    CoherenceProbe res;
+    const unsigned block = params_.blockBytes;
+    for (Addr a = addr; a < addr + bytes; a += block) {
+        const Addr ba = a >> mask_.offsetBits();
+        const std::uint64_t set = ba & mask_.mask();
+        const int way = store_.findWay(set, ba);
+        if (way == TagStore::kNoWay)
+            continue;
+        res.wasPresent = true;
+        if (store_.set(set)[static_cast<unsigned>(way)].dirty) {
+            res.wasDirty = true;
+            ++coherenceWritebacks_;
+            if (policy_.writebackDirty)
+                writebackBlock(
+                    store_.set(set)[static_cast<unsigned>(way)]);
+        }
+        ++coherenceInvalidations_;
+        coherenceLost_[static_cast<std::size_t>(set) *
+                           params_.assoc +
+                       static_cast<unsigned>(way)] = 1;
+        store_.invalidate(set, static_cast<unsigned>(way));
+    }
+    return res;
+}
+
+CoherenceProbe
+ResizableCache::coherenceDowngrade(Addr addr, unsigned bytes)
+{
+    CoherenceProbe res;
+    const unsigned block = params_.blockBytes;
+    for (Addr a = addr; a < addr + bytes; a += block) {
+        const Addr ba = a >> mask_.offsetBits();
+        const std::uint64_t set = ba & mask_.mask();
+        const int way = store_.findWay(set, ba);
+        if (way == TagStore::kNoWay)
+            continue;
+        res.wasPresent = true;
+        if (store_.set(set)[static_cast<unsigned>(way)].dirty) {
+            res.wasDirty = true;
+            ++coherenceWritebacks_;
+            if (policy_.writebackDirty)
+                writebackBlock(
+                    store_.set(set)[static_cast<unsigned>(way)]);
+            store_.clearDirty(set, static_cast<unsigned>(way));
+        }
+        ++coherenceDowngrades_;
+        store_.setCoherenceState(set, static_cast<unsigned>(way),
+                                 CoherenceState::Shared);
+    }
+    return res;
 }
 
 bool

@@ -32,6 +32,7 @@
 #include "core/dri_params.hh"
 #include "core/resize_controller.hh"
 #include "core/size_mask.hh"
+#include "mem/directory.hh"
 #include "mem/memory.hh"
 #include "mem/mshr.hh"
 #include "mem/retire_sink.hh"
@@ -65,7 +66,8 @@ struct ResizePolicy
  * A dynamically-resizable cache level (gated-Vdd semantics: sets
  * above the current size keep no state and leak nothing).
  */
-class ResizableCache : public MemoryLevel, public RetireSink
+class ResizableCache : public MemoryLevel, public RetireSink,
+                       public CoherenceClient
 {
   public:
     /**
@@ -170,6 +172,37 @@ class ResizableCache : public MemoryLevel, public RetireSink
         return remapInvalidations_.value();
     }
 
+    /** Attach to a coherence fabric as @p core's private cache
+     *  (mem/directory.hh); see Cache::setCoherence. */
+    void setCoherence(CoherenceAgent *agent, unsigned core)
+    {
+        coherence_ = agent;
+        coherenceCore_ = core;
+    }
+
+    // CoherenceClient: probes from the directory controller.
+    CoherenceProbe coherenceInvalidate(Addr addr,
+                                       unsigned bytes) override;
+    CoherenceProbe coherenceDowngrade(Addr addr,
+                                      unsigned bytes) override;
+
+    /** Lines dropped by coherence invalidation probes. */
+    std::uint64_t coherenceInvalidations() const
+    {
+        return coherenceInvalidations_.value();
+    }
+    /** Lines demoted Modified -> Shared by downgrade probes. */
+    std::uint64_t coherenceDowngrades() const
+    {
+        return coherenceDowngrades_.value();
+    }
+    /** Fills re-fetching a block a probe invalidated from the same
+     *  frame — the coherence refetch traffic PolicyActivity reports. */
+    std::uint64_t coherenceRefetches() const
+    {
+        return coherenceRefetches_.value();
+    }
+
     /**
      * Time-integral bookkeeping: the run loop adds the cycles spent
      * since the last call; the integral of the active fraction over
@@ -226,6 +259,11 @@ class ResizableCache : public MemoryLevel, public RetireSink
     ResizeController controller_;
     TagStore store_;
     MshrFile mshr_;
+    CoherenceAgent *coherence_ = nullptr;
+    unsigned coherenceCore_ = 0;
+    /** Frames whose block a coherence probe invalidated; the next
+     *  fill of such a frame is a coherence refetch. */
+    std::vector<char> coherenceLost_;
 
     double activeSetCycles_ = 0.0;
     Cycles integratedCycles_ = 0;
@@ -244,6 +282,10 @@ class ResizableCache : public MemoryLevel, public RetireSink
     stats::Scalar mshrFullStalls_;
     stats::Scalar mshrFullStallCycles_;
     stats::Scalar mshrPeak_;
+    stats::Scalar coherenceInvalidations_;
+    stats::Scalar coherenceDowngrades_;
+    stats::Scalar coherenceWritebacks_;
+    stats::Scalar coherenceRefetches_;
 };
 
 } // namespace drisim

@@ -86,6 +86,19 @@ TagStore::markDirty(std::uint64_t set, unsigned way)
 }
 
 void
+TagStore::clearDirty(std::uint64_t set, unsigned way)
+{
+    mutableSet(set)[way].dirty = false;
+}
+
+void
+TagStore::setCoherenceState(std::uint64_t set, unsigned way,
+                            CoherenceState s)
+{
+    mutableSet(set)[way].cstate = s;
+}
+
+void
 TagStore::invalidate(std::uint64_t set, unsigned way)
 {
     mutableSet(set)[way].invalidate();

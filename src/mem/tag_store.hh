@@ -73,6 +73,18 @@ class TagStore
     /** Mark @p way of @p set dirty (store hit). */
     void markDirty(std::uint64_t set, unsigned way);
 
+    /** Clear @p way's dirty bit (coherence downgrade flushed it). */
+    void clearDirty(std::uint64_t set, unsigned way);
+
+    /** MSI state of one frame (mem/directory.hh). */
+    CoherenceState coherenceState(std::uint64_t set,
+                                  unsigned way) const
+    {
+        return this->set(set)[way].cstate;
+    }
+    void setCoherenceState(std::uint64_t set, unsigned way,
+                           CoherenceState s);
+
     /** Invalidate one frame. */
     void invalidate(std::uint64_t set, unsigned way);
 

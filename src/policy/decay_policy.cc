@@ -58,8 +58,14 @@ DecayCache::onLineHit(std::uint64_t set, unsigned way)
     return 0;
 }
 
+// No policyCoherenceEvent override: a gated frame is already
+// invalid (probes never find it), and a probe on a lit frame costs
+// no extra stall here — the frame's supply stays on, so a later
+// refill of the invalidated block is the base class's coherence
+// refetch.
+
 void
-DecayCache::onLineFill(std::uint64_t set, unsigned way)
+DecayCache::policyLineFill(std::uint64_t set, unsigned way)
 {
     const std::size_t i = lineIndex(set, way);
     counters_[i] = 0;

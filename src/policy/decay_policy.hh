@@ -53,7 +53,7 @@ class DecayCache : public PolicyCacheBase
     std::uint64_t poweredLines() const override { return powered_; }
 
     Cycles onLineHit(std::uint64_t set, unsigned way) override;
-    void onLineFill(std::uint64_t set, unsigned way) override;
+    void policyLineFill(std::uint64_t set, unsigned way) override;
 
     void snapshotExtra(sim::CheckpointWriter &w) const override;
     void restoreExtra(sim::CheckpointReader &r) override;

@@ -26,6 +26,10 @@ DriPolicy::activity() const
     a.resizes = icache_.upsizes() + icache_.downsizes();
     a.throttleEvents = icache_.controller().throttleEvents();
     a.resizingTagBits = icache_.params().resizingTagBits();
+    // Gated-Vdd keeps no drowsy lines, so probes never force wakes;
+    // invalidations and refetches map straight from the cache.
+    a.coherenceInvalidations = icache_.coherenceInvalidations();
+    a.coherenceRefetches = icache_.coherenceRefetches();
     return a;
 }
 

@@ -53,13 +53,31 @@ DrowsyCache::onLineHit(std::uint64_t set, unsigned way)
 }
 
 void
-DrowsyCache::onLineFill(std::uint64_t set, unsigned way)
+DrowsyCache::policyLineFill(std::uint64_t set, unsigned way)
 {
     const std::size_t i = lineIndex(set, way);
     // The fill drives the frame at full rail; the wake transition
     // happens but its latency hides under the miss itself.
     if (drowsy_[i])
         wakeLine(i);
+}
+
+Cycles
+DrowsyCache::policyCoherenceEvent(std::uint64_t set, unsigned way,
+                                  bool invalidate)
+{
+    (void)invalidate;
+    const std::size_t i = lineIndex(set, way);
+    if (!drowsy_[i])
+        return 0;
+    // A drowsy line cannot be snooped at the retention voltage: the
+    // probe recharges the rail first (invalidation and downgrade
+    // both), and that wake stall rides the requester's probe.
+    wakeLine(i);
+    ++coherenceWakes_;
+    const Cycles stall = config_.drowsy.wakeLatency;
+    wakeStallCycles_ += stall;
+    return stall;
 }
 
 PolicyActivity

@@ -59,7 +59,9 @@ class DrowsyCache : public PolicyCacheBase
     }
 
     Cycles onLineHit(std::uint64_t set, unsigned way) override;
-    void onLineFill(std::uint64_t set, unsigned way) override;
+    void policyLineFill(std::uint64_t set, unsigned way) override;
+    Cycles policyCoherenceEvent(std::uint64_t set, unsigned way,
+                                bool invalidate) override;
 
     void snapshotExtra(sim::CheckpointWriter &w) const override;
     void restoreExtra(sim::CheckpointReader &r) override;

@@ -159,6 +159,19 @@ struct PolicyActivity
 
     /** Resizing tag bits in use (Dri only). */
     unsigned resizingTagBits = 0;
+
+    /** Lines lost to coherence invalidation probes (coherent CMP
+     *  runs only; mem/directory.hh). */
+    std::uint64_t coherenceInvalidations = 0;
+
+    /** Wakes forced by coherence probes landing on drowsy lines —
+     *  the probe cannot be answered until the rail recharges. */
+    std::uint64_t coherenceWakes = 0;
+
+    /** Fills re-fetching a block a probe (or decay of a previously
+     *  invalidated frame) threw away — directory-visible refetch
+     *  traffic. */
+    std::uint64_t coherenceRefetches = 0;
 };
 
 /**

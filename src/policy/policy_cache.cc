@@ -37,8 +37,32 @@ PolicyCacheBase::PolicyCacheBase(const PolicyConfig &config,
                                  const std::string &groupName)
     : Cache(cacheParamsFor(config, groupName), below, parent),
       config_(config),
-      totalLines_(numSets() * params().assoc)
+      totalLines_(numSets() * params().assoc),
+      coherenceLost_(totalLines_, 0)
 {
+}
+
+void
+PolicyCacheBase::onLineFill(std::uint64_t set, unsigned way)
+{
+    const std::size_t i = frameIndex(set, way);
+    if (coherenceLost_[i]) {
+        // Refilling a frame a coherence probe emptied: the refetch
+        // the directory forced on this core.
+        coherenceLost_[i] = 0;
+        ++coherenceRefetches_;
+    }
+    policyLineFill(set, way);
+}
+
+Cycles
+PolicyCacheBase::onLineCoherenceEvent(std::uint64_t set, unsigned way,
+                                      bool invalidate)
+{
+    const Cycles stall = policyCoherenceEvent(set, way, invalidate);
+    if (invalidate)
+        coherenceLost_[frameIndex(set, way)] = 1;
+    return stall;
 }
 
 AccessResult
@@ -105,6 +129,9 @@ PolicyCacheBase::baseActivity() const
     }
     a.wakeTransitions = wakeTransitions_;
     a.wakeStallCycles = wakeStallCycles_;
+    a.coherenceInvalidations = coherenceInvalidations();
+    a.coherenceWakes = coherenceWakes_;
+    a.coherenceRefetches = coherenceRefetches_;
     return a;
 }
 

@@ -12,6 +12,7 @@
 #define DRISIM_POLICY_POLICY_CACHE_HH
 
 #include <string>
+#include <vector>
 
 #include "mem/cache.hh"
 #include "policy/leakage_policy.hh"
@@ -61,6 +62,41 @@ class PolicyCacheBase : public Cache, public LeakagePolicy
     void restoreFrom(sim::CheckpointReader &r) override;
 
   protected:
+    /**
+     * The base intercepts the Cache fill/probe hooks to account
+     * coherence refetches uniformly (a fill into a frame a probe
+     * invalidated), then forwards to these flavour hooks — the
+     * per-line policies override policyLineFill/policyCoherenceEvent
+     * instead of the Cache hooks.
+     */
+    void onLineFill(std::uint64_t set, unsigned way) final;
+    Cycles onLineCoherenceEvent(std::uint64_t set, unsigned way,
+                                bool invalidate) final;
+
+    /** Flavour reaction to a fill (see Cache::onLineFill). */
+    virtual void policyLineFill(std::uint64_t set, unsigned way)
+    {
+        (void)set;
+        (void)way;
+    }
+
+    /** Flavour reaction to a coherence probe; returns the stall the
+     *  probe costs here (a drowsy line's wake). */
+    virtual Cycles policyCoherenceEvent(std::uint64_t set,
+                                        unsigned way, bool invalidate)
+    {
+        (void)set;
+        (void)way;
+        (void)invalidate;
+        return 0;
+    }
+
+    /** Frame index shared by the per-line state vectors. */
+    std::size_t frameIndex(std::uint64_t set, unsigned way) const
+    {
+        return static_cast<std::size_t>(set) * params().assoc + way;
+    }
+
     /** Flavour-specific per-line state (decay counters, drowsy
      *  bits). Defaults are empty for stateless flavours. */
     virtual void snapshotExtra(sim::CheckpointWriter &w) const
@@ -96,6 +132,16 @@ class PolicyCacheBase : public Cache, public LeakagePolicy
 
     std::uint64_t wakeTransitions_ = 0;
     Cycles wakeStallCycles_ = 0;
+
+    /** Wakes forced by coherence probes (flavours bump this from
+     *  policyCoherenceEvent when they wake a line to answer). */
+    std::uint64_t coherenceWakes_ = 0;
+
+  private:
+    /** Frames whose block a probe invalidated; the next fill there
+     *  is a coherence refetch. */
+    std::vector<char> coherenceLost_;
+    std::uint64_t coherenceRefetches_ = 0;
 };
 
 } // namespace drisim

@@ -19,6 +19,7 @@
 #include "cpu/ooo_core.hh"
 #include "cpu/simple_core.hh"
 #include "mem/cache.hh"
+#include "mem/directory.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
 #include "mem/resizable_cache.hh"
@@ -145,6 +146,7 @@ TraceGenerator::snapshotTo(sim::CheckpointWriter &w) const
     w.putU64(recentIdx_);
     w.putU64(seqLoadOff_);
     w.putU64(seqStoreOff_);
+    w.putU64(seqSharedOff_);
     w.endSection();
 }
 
@@ -175,6 +177,7 @@ TraceGenerator::restoreFrom(sim::CheckpointReader &r)
     recentIdx_ = static_cast<unsigned>(r.getU64());
     seqLoadOff_ = r.getU64();
     seqStoreOff_ = r.getU64();
+    seqSharedOff_ = r.getU64();
     r.endSection();
 }
 
@@ -270,10 +273,25 @@ namespace drisim
 // mem/tag_store
 // ---------------------------------------------------------------
 
+namespace
+{
+
+/**
+ * Layout magic leading every v3 tag-store stream. v1/v2 streams
+ * started with numSets_ (a small power of two), so a v3 reader that
+ * opens an old stream sees a wild mismatch here and reports a
+ * version error instead of silently mis-restoring per-block
+ * coherence state.
+ */
+constexpr std::uint64_t kTagStoreLayoutV3 = 0x6472'6973'2d76'3303ULL;
+
+} // namespace
+
 void
 TagStore::snapshotTo(sim::CheckpointWriter &w) const
 {
     w.beginSection("tags");
+    w.putU64(kTagStoreLayoutV3);
     w.putU64(numSets_);
     w.putU64(assoc_);
     w.putU64(tick_);
@@ -282,6 +300,7 @@ TagStore::snapshotTo(sim::CheckpointWriter &w) const
         w.putBool(b.valid);
         w.putBool(b.dirty);
         w.putU64(b.lastTouch);
+        w.putU64(static_cast<std::uint64_t>(b.cstate));
     }
     w.endSection();
 }
@@ -290,6 +309,9 @@ void
 TagStore::restoreFrom(sim::CheckpointReader &r)
 {
     r.beginSection("tags");
+    if (r.getU64() != kTagStoreLayoutV3)
+        throw CheckpointError(
+            "tag-store layout version mismatch (pre-v3 snapshot?)");
     expectU64(r, numSets_, "tag-store sets");
     expectU64(r, assoc_, "tag-store assoc");
     tick_ = r.getU64();
@@ -298,6 +320,81 @@ TagStore::restoreFrom(sim::CheckpointReader &r)
         b.valid = r.getBool();
         b.dirty = r.getBool();
         b.lastTouch = r.getU64();
+        b.cstate = static_cast<CoherenceState>(r.getU64());
+    }
+    r.endSection();
+}
+
+// ---------------------------------------------------------------
+// mem/directory
+// ---------------------------------------------------------------
+
+void
+SparseDirectory::snapshotTo(sim::CheckpointWriter &w) const
+{
+    w.beginSection("dir");
+    w.putU64(maxEntries_);
+    w.putU64(tick_);
+    w.putU64(allocations_);
+    w.putU64(capacityEvictions_);
+    for (const Entry &e : slots_) {
+        w.putU64(e.block);
+        w.putU64(e.sharers);
+        w.putI64(e.owner);
+        w.putU64(e.lastTouch);
+        w.putBool(e.valid);
+    }
+    w.endSection();
+}
+
+void
+SparseDirectory::restoreFrom(sim::CheckpointReader &r)
+{
+    r.beginSection("dir");
+    expectU64(r, maxEntries_, "directory capacity");
+    tick_ = r.getU64();
+    allocations_ = r.getU64();
+    capacityEvictions_ = r.getU64();
+    index_.clear();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Entry &e = slots_[i];
+        e.block = r.getU64();
+        e.sharers = r.getU64();
+        e.owner = static_cast<int>(r.getI64());
+        e.lastTouch = r.getU64();
+        e.valid = r.getBool();
+        if (e.valid)
+            index_.emplace(e.block, i);
+    }
+    r.endSection();
+}
+
+void
+CoherenceController::snapshotTo(sim::CheckpointWriter &w) const
+{
+    w.beginSection("coherence");
+    dir_.snapshotTo(w);
+    for (const CoreStats &s : stats_) {
+        w.putU64(s.invalidationsReceived);
+        w.putU64(s.invalidationsCaused);
+        w.putU64(s.downgradesReceived);
+        w.putU64(s.coherenceWritebacks);
+        w.putU64(s.messageCycles);
+    }
+    w.endSection();
+}
+
+void
+CoherenceController::restoreFrom(sim::CheckpointReader &r)
+{
+    r.beginSection("coherence");
+    dir_.restoreFrom(r);
+    for (CoreStats &s : stats_) {
+        s.invalidationsReceived = r.getU64();
+        s.invalidationsCaused = r.getU64();
+        s.downgradesReceived = r.getU64();
+        s.coherenceWritebacks = r.getU64();
+        s.messageCycles = r.getU64();
     }
     r.endSection();
 }
@@ -384,6 +481,7 @@ ResizableCache::snapshotTo(sim::CheckpointWriter &w) const
     mshr_.snapshotTo(w);
     w.putF64(activeSetCycles_);
     w.putU64(integratedCycles_);
+    putByteVector(w, coherenceLost_);
     group_.snapshotTo(w);
     w.endSection();
 }
@@ -398,6 +496,7 @@ ResizableCache::restoreFrom(sim::CheckpointReader &r)
     mshr_.restoreFrom(r);
     activeSetCycles_ = r.getF64();
     integratedCycles_ = r.getU64();
+    getByteVector(r, coherenceLost_, "rcache coherence-lost bits");
     group_.restoreFrom(r);
     r.endSection();
 }
@@ -656,6 +755,9 @@ PolicyCacheBase::snapshotTo(sim::CheckpointWriter &w) const
     w.putF64(drowsyLineCycles_);
     w.putU64(wakeTransitions_);
     w.putU64(wakeStallCycles_);
+    w.putU64(coherenceWakes_);
+    w.putU64(coherenceRefetches_);
+    putByteVector(w, coherenceLost_);
     snapshotExtra(w);
     w.endSection();
 }
@@ -671,6 +773,9 @@ PolicyCacheBase::restoreFrom(sim::CheckpointReader &r)
     drowsyLineCycles_ = r.getF64();
     wakeTransitions_ = r.getU64();
     wakeStallCycles_ = r.getU64();
+    coherenceWakes_ = r.getU64();
+    coherenceRefetches_ = r.getU64();
+    getByteVector(r, coherenceLost_, "policy coherence-lost bits");
     restoreExtra(r);
     r.endSection();
 }

@@ -27,13 +27,41 @@ SharedL2Bus::SharedL2Bus(MemoryLevel *l2, unsigned blockBytes,
     drisim_assert(blockBytes > 0, "bank granule must be positive");
 }
 
+void
+SharedL2Bus::enableCoherence(const CoherenceConfig &cfg,
+                             unsigned cores)
+{
+    drisim_assert(!coherence_, "coherence already enabled");
+    coherence_ = std::make_unique<CoherenceController>(cfg, cores,
+                                                       blockBytes_);
+}
+
 AccessResult
 SharedL2Bus::access(unsigned core, Addr addr, AccessType type,
                     Cycles now)
 {
     drisim_assert(core < stats_.size(), "bad bus port %u", core);
-    AccessResult r = l2_->accessAt(addr, type, now);
+    // Block-interleaved banks: charge the contention adder when the
+    // bank's previous user was another core. With one core the
+    // owner never changes hands and the adder never fires, so the
+    // single-core system is latency-identical to a direct L1->L2
+    // connection. The adder delays the request's *arrival* below
+    // the bus as well as its completion — computed up front and
+    // folded into `now`, so banked DRAM queueing sees the true
+    // schedule instead of requests landing penalty_ cycles early.
+    const std::size_t bank = static_cast<std::size_t>(
+        (addr / blockBytes_) % lastOwner_.size());
+    const int self = static_cast<int>(core);
     PortStats &s = stats_[core];
+    Cycles adder = 0;
+    if (lastOwner_[bank] != self) {
+        if (lastOwner_[bank] >= 0) {
+            adder = penalty_;
+            ++s.contention;
+        }
+        lastOwner_[bank] = self;
+    }
+    AccessResult r = l2_->accessAt(addr, type, now + adder);
     ++s.accesses;
     if (!r.hit) {
         ++s.misses;
@@ -42,21 +70,7 @@ SharedL2Bus::access(unsigned core, Addr addr, AccessType type,
         if (type != AccessType::Store)
             s.missLatency += r.latency;
     }
-    // Block-interleaved banks: charge the contention adder when the
-    // bank's previous user was another core. With one core the
-    // owner never changes hands and the adder never fires, so the
-    // single-core system is latency-identical to a direct L1->L2
-    // connection.
-    const std::size_t bank = static_cast<std::size_t>(
-        (addr / blockBytes_) % lastOwner_.size());
-    const int self = static_cast<int>(core);
-    if (lastOwner_[bank] != self) {
-        if (lastOwner_[bank] >= 0) {
-            r.latency += penalty_;
-            ++s.contention;
-        }
-        lastOwner_[bank] = self;
-    }
+    r.latency += adder;
     return r;
 }
 
@@ -96,6 +110,8 @@ CmpSystem::CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
     bus_ = std::make_unique<SharedL2Bus>(
         l2Level_, hier.l2.blockBytes, cmp.l2Banks,
         cmp.l2ContentionPenalty, n);
+    if (cmp.coherence.enabled)
+        bus_->enableCoherence(cmp.coherence, n);
 
     convL1is_.resize(n);
     driL1is_.resize(n);
@@ -132,6 +148,28 @@ CmpSystem::CmpSystem(const CmpConfig &cmp, const HierarchyParams &hier,
             convL1is_[k] =
                 std::make_unique<Cache>(hier.l1i, port, grp);
             l1i = convL1is_[k].get();
+        }
+        // Coherent runs attach every private L1 to the fabric: the
+        // bus is the requester-side agent, and the controller probes
+        // the L1D and the L1I (whatever flavour) as core k.
+        if (CoherenceController *cc = bus_->coherence()) {
+            l1ds_.back()->setCoherence(bus_.get(), k);
+            cc->addClient(k, l1ds_.back().get());
+            if (convL1is_[k]) {
+                convL1is_[k]->setCoherence(bus_.get(), k);
+                cc->addClient(k, convL1is_[k].get());
+            } else if (driL1is_[k]) {
+                driL1is_[k]->setCoherence(bus_.get(), k);
+                cc->addClient(k, driL1is_[k].get());
+            } else if (auto *pc = dynamic_cast<Cache *>(
+                           policyL1is_[k]->level())) {
+                pc->setCoherence(bus_.get(), k);
+                cc->addClient(k, pc);
+            } else if (auto *rc = dynamic_cast<ResizableCache *>(
+                           policyL1is_[k]->level())) {
+                rc->setCoherence(bus_.get(), k);
+                cc->addClient(k, rc);
+            }
         }
         cores_.push_back(std::make_unique<OooCore>(
             coreParams, l1i, l1ds_.back().get(), grp));
@@ -258,12 +296,37 @@ CmpSystem::run(InstCount maxInstrsPerCore)
         c.l2Misses = bus_->misses(k);
         c.l2ContentionEvents = bus_->contentionEvents(k);
         c.l2MissLatencyCycles = bus_->missLatency(k);
+        if (const CoherenceController *cc = bus_->coherence()) {
+            const CoherenceController::CoreStats &ccs =
+                cc->coreStats(k);
+            c.coherenceInvalidationsReceived =
+                ccs.invalidationsReceived;
+            c.coherenceInvalidationsCaused =
+                ccs.invalidationsCaused;
+            c.coherenceDowngrades = ccs.downgradesReceived;
+            c.coherenceWritebacks = ccs.coherenceWritebacks;
+            c.coherenceMsgCycles = ccs.messageCycles;
+            if (policyL1is_[k]) {
+                const PolicyActivity act =
+                    policyL1is_[k]->activity();
+                c.coherenceWakes = act.coherenceWakes;
+                c.coherenceRefetches = act.coherenceRefetches;
+            } else if (driL1is_[k]) {
+                c.coherenceRefetches =
+                    driL1is_[k]->coherenceRefetches();
+            }
+        }
 
         out.systemCycles = std::max(out.systemCycles, cs.cycles);
         out.l2Accesses += c.l2Accesses;
         out.l2Misses += c.l2Misses;
         out.l2ContentionEvents += c.l2ContentionEvents;
         out.l2MissLatencyCycles += c.l2MissLatencyCycles;
+        out.coherenceInvalidations +=
+            c.coherenceInvalidationsReceived;
+        out.coherenceDowngrades += c.coherenceDowngrades;
+        out.coherenceWritebacks += c.coherenceWritebacks;
+        out.coherenceMsgCycles += c.coherenceMsgCycles;
 
         // MSHR activity over this core's private levels (policy
         // wrappers keep theirs in their own stat groups).
@@ -307,6 +370,9 @@ CmpSystem::run(InstCount maxInstrsPerCore)
         out.mshrPeakOccupancy = std::max(
             out.mshrPeakOccupancy, convL2_->mshrPeakOccupancy());
     }
+    if (const CoherenceController *cc = bus_->coherence())
+        out.directoryEvictions =
+            cc->directory().capacityEvictions();
     if (dram_) {
         out.dramRowHits = dram_->rowHits();
         out.dramRowMisses = dram_->rowMisses();

@@ -32,6 +32,7 @@
 
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
+#include "mem/directory.hh"
 #include "mem/hierarchy.hh"
 #include "policy/leakage_policy.hh"
 #include "workload/generator.hh"
@@ -80,6 +81,13 @@ struct CmpConfig
     unsigned l2Banks = 8;
     /** Extra latency when a bank's last user was another core. */
     Cycles l2ContentionPenalty = 4;
+    /**
+     * MSI coherence over the private L1s (mem/directory.hh).
+     * Disabled by default: multiprogrammed mixes with private data
+     * need no protocol and stay bit-identical to pre-coherence
+     * builds (locked by the CMP goldens).
+     */
+    CoherenceConfig coherence{};
     /** Sparse per-core overrides; missing entries take defaults. */
     std::vector<CmpCoreConfig> coreConfigs;
 
@@ -118,6 +126,19 @@ struct CmpCoreOutput
     double l1GatedFraction = 0.0;
     std::uint64_t wakeTransitions = 0;
     std::uint64_t wakeStallCycles = 0;
+
+    /** Coherence attribution (coherent runs only; zero otherwise).
+     *  Received = probes landing on this core's L1s; caused =
+     *  invalidations this core's writes forced elsewhere. */
+    std::uint64_t coherenceInvalidationsReceived = 0;
+    std::uint64_t coherenceInvalidationsCaused = 0;
+    std::uint64_t coherenceDowngrades = 0;
+    std::uint64_t coherenceWritebacks = 0;
+    /** Message cycles charged to this core's requests. */
+    std::uint64_t coherenceMsgCycles = 0;
+    /** Policy-visible coherence effects (policy-managed L1Is). */
+    std::uint64_t coherenceWakes = 0;
+    std::uint64_t coherenceRefetches = 0;
 };
 
 /** What one CMP run produced. */
@@ -156,6 +177,14 @@ struct CmpRunOutput
     std::uint64_t dramQueueFullEvents = 0;
     std::uint64_t dramBusyCycles = 0;
     std::vector<std::uint64_t> dramBankRowHits;
+
+    /** Coherence totals (sums over cores; zero when disabled). */
+    std::uint64_t coherenceInvalidations = 0;
+    std::uint64_t coherenceDowngrades = 0;
+    std::uint64_t coherenceWritebacks = 0;
+    std::uint64_t coherenceMsgCycles = 0;
+    /** Directory capacity evictions (each forced invalidations). */
+    std::uint64_t directoryEvictions = 0;
 };
 
 /**
@@ -163,7 +192,7 @@ struct CmpRunOutput
  * path that counts per-core hits/misses and applies the
  * bank-contention latency adder. Banks are block-interleaved.
  */
-class SharedL2Bus
+class SharedL2Bus : public CoherenceAgent
 {
   public:
     /**
@@ -199,6 +228,34 @@ class SharedL2Bus
 
     MemoryLevel *level() { return l2_; }
 
+    /**
+     * Build the MSI controller + sparse directory this bus routes
+     * probes through (coherent CMP runs). The coherence granule is
+     * the L2 block size. Must be called before the L1s register as
+     * clients; off by default (coherence() then stays null and the
+     * agent methods are free no-ops).
+     */
+    void enableCoherence(const CoherenceConfig &cfg, unsigned cores);
+
+    CoherenceController *coherence() { return coherence_.get(); }
+    const CoherenceController *coherence() const
+    {
+        return coherence_.get();
+    }
+
+    // CoherenceAgent: requester-side entry points (L1 fills and
+    // write upgrades land here; the controller does the routing).
+    Cycles coherentFill(unsigned core, Addr addr,
+                        bool exclusive) override
+    {
+        return coherence_ ? coherence_->fill(core, addr, exclusive)
+                          : 0;
+    }
+    Cycles coherentUpgrade(unsigned core, Addr addr) override
+    {
+        return coherence_ ? coherence_->upgrade(core, addr) : 0;
+    }
+
   private:
     struct PortStats
     {
@@ -214,6 +271,7 @@ class SharedL2Bus
     /** Last core to touch each bank (-1 = untouched). */
     std::vector<int> lastOwner_;
     std::vector<PortStats> stats_;
+    std::unique_ptr<CoherenceController> coherence_;
 };
 
 /** One core's window onto the shared L2 (a MemoryLevel adapter). */

@@ -91,6 +91,16 @@ struct Phase
     /** Data region for loads/stores. */
     Addr dataBase = 0;
     std::uint64_t dataBytes = 32 * 1024;
+    /**
+     * Cross-core shared window: when sharedBytes != 0, a
+     * sharedFraction of loads/stores is routed into
+     * [sharedBase, sharedBase + sharedBytes) instead of the private
+     * data region. Every core runs the same image, so the window is
+     * genuinely shared and drives the coherence protocol.
+     */
+    Addr sharedBase = 0;
+    std::uint64_t sharedBytes = 0;
+    double sharedFraction = 0.0;
 };
 
 /** A fully-built program. */

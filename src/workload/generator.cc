@@ -32,6 +32,7 @@ TraceGenerator::reset()
     recentIdx_ = 0;
     seqLoadOff_ = 0;
     seqStoreOff_ = 0;
+    seqSharedOff_ = 0;
     stack_.clear();
     enterPhase(0);
 }
@@ -45,6 +46,7 @@ TraceGenerator::enterPhase(size_t phase)
     pushFrame(img_.phases[phase].driver);
     seqLoadOff_ = 0;
     seqStoreOff_ = 0;
+    seqSharedOff_ = 0;
 }
 
 void
@@ -70,6 +72,13 @@ Addr
 TraceGenerator::loadAddress()
 {
     const Phase &ph = img_.phases[phaseIdx_];
+    // Shared-window references come first so a sharing-free phase
+    // (sharedBytes == 0) draws exactly the same RNG sequence as
+    // before the window existed.
+    if (ph.sharedBytes != 0 && rng_.chance(ph.sharedFraction)) {
+        seqSharedOff_ = (seqSharedOff_ + 8) % ph.sharedBytes;
+        return ph.sharedBase + seqSharedOff_;
+    }
     if (rng_.chance(0.7)) {
         seqLoadOff_ = (seqLoadOff_ + 8) % ph.dataBytes;
         return ph.dataBase + seqLoadOff_;
@@ -81,6 +90,10 @@ Addr
 TraceGenerator::storeAddress()
 {
     const Phase &ph = img_.phases[phaseIdx_];
+    if (ph.sharedBytes != 0 && rng_.chance(ph.sharedFraction)) {
+        seqSharedOff_ = (seqSharedOff_ + 8) % ph.sharedBytes;
+        return ph.sharedBase + seqSharedOff_;
+    }
     if (rng_.chance(0.8)) {
         seqStoreOff_ = (seqStoreOff_ + 8) % ph.dataBytes;
         return ph.dataBase + seqStoreOff_;

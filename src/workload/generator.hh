@@ -92,6 +92,8 @@ class TraceGenerator : public InstrStream
     /** Data-stream state. */
     Addr seqLoadOff_ = 0;
     Addr seqStoreOff_ = 0;
+    /** Strided walk over the phase's cross-core shared window. */
+    Addr seqSharedOff_ = 0;
 };
 
 } // namespace drisim

@@ -164,6 +164,9 @@ buildProgram(const ProgramSpec &spec)
         phase.mix = ps.mix;
         phase.dataBase = data_cursor;
         phase.dataBytes = ps.dataBytes;
+        phase.sharedBase = ps.sharedBase;
+        phase.sharedBytes = ps.sharedBytes;
+        phase.sharedFraction = ps.sharedFraction;
 
         // --- Workers ---------------------------------------------
         const std::uint64_t budget_instrs = ps.codeBytes / kInstrBytes;

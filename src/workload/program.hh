@@ -50,6 +50,16 @@ struct PhaseSpec
     unsigned maxFnInstrs = 384;
     /** Data working set for loads/stores. */
     std::uint64_t dataBytes = 32 * 1024;
+    /**
+     * Cross-core shared window (coherence workloads): a
+     * sharedFraction of memory references lands in a sharedBytes
+     * window at sharedBase, common to all cores running the image.
+     * sharedBytes == 0 (the default) keeps the phase sharing-free
+     * and its reference stream byte-identical to earlier versions.
+     */
+    std::uint64_t sharedBytes = 0;
+    double sharedFraction = 0.0;
+    Addr sharedBase = 0x2000'0000;
 };
 
 /** Declarative description of a whole benchmark program. */

@@ -1,6 +1,8 @@
 /**
  * @file
- * The fifteen synthetic SPEC95 benchmark specs and their classes.
+ * The fifteen synthetic SPEC95 benchmark specs and their classes,
+ * plus the class-4 sharing workloads that drive the CMP coherence
+ * protocol (shared_image, producer, consumer).
  */
 
 #include "workload/spec_suite.hh"
@@ -250,6 +252,53 @@ buildSuite()
         PhaseSpec p3 = phase("smooth", 12 * kKiB, 600 * kK);
         p3.mix = fpMix(0.3);
         add("tomcatv", 3, 305, {p0, p1, p2, p3});
+    }
+
+    // ----- Class 4: cross-core sharing (coherence workloads) -------
+    // Every core of a CMP runs the same image, so a phase's shared
+    // window is genuinely common: stores from one core invalidate
+    // (or downgrade) the copies the others cached. Appended after
+    // the classic fifteen so all existing mixes and indices are
+    // unchanged.
+    {
+        // shared_image: all cores read and moderately update one
+        // shared image (read-mostly sharing, invalidations from the
+        // update stores).
+        PhaseSpec main = phase("main", 8 * kKiB, 10 * kM);
+        main.mix = intMix();
+        main.meanInnerTrips = 16;
+        main.dataBytes = 64 * kKiB;
+        main.sharedBytes = 64 * kKiB;
+        main.sharedFraction = 0.4;
+        add("shared_image", 4, 401, {main});
+    }
+    {
+        // producer: store-heavy walker over a small shared buffer —
+        // the invalidation source in producer/consumer pairs.
+        PhaseSpec main = phase("main", 6 * kKiB, 10 * kM);
+        OpMix m = intMix();
+        m.storeFrac = 0.24;
+        m.loadFrac = 0.14;
+        main.mix = m;
+        main.meanInnerTrips = 12;
+        main.dataBytes = 32 * kKiB;
+        main.sharedBytes = 32 * kKiB;
+        main.sharedFraction = 0.5;
+        add("producer", 4, 402, {main});
+    }
+    {
+        // consumer: load-heavy walker over the same shared buffer —
+        // refetches what the producer keeps invalidating.
+        PhaseSpec main = phase("main", 6 * kKiB, 10 * kM);
+        OpMix m = intMix();
+        m.loadFrac = 0.32;
+        m.storeFrac = 0.04;
+        main.mix = m;
+        main.meanInnerTrips = 12;
+        main.dataBytes = 32 * kKiB;
+        main.sharedBytes = 32 * kKiB;
+        main.sharedFraction = 0.5;
+        add("consumer", 4, 403, {main});
     }
 
     return suite;

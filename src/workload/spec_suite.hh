@@ -16,6 +16,11 @@
  * Benchmarks the paper reports as exhibiting direct-mapped conflict
  * misses (gcc, go, hydro2d, su2cor, swim, tomcatv — Figure 6) place
  * part of their hot code in banks 64 KB apart.
+ *
+ * Beyond the paper's fifteen, class 4 holds the sharing workloads
+ * for the coherent CMP (shared_image, producer, consumer): phases
+ * that route part of their references into a cross-core shared
+ * window (workload/cfg.hh) to exercise the MSI protocol.
  */
 
 #ifndef DRISIM_WORKLOAD_SPEC_SUITE_HH
@@ -33,12 +38,13 @@ namespace drisim
 struct BenchmarkInfo
 {
     std::string name;
-    /** Paper class 1..3 (Section 5.3). */
+    /** Paper class 1..3 (Section 5.3); 4 = sharing workloads. */
     int benchClass = 1;
     ProgramSpec spec;
 };
 
-/** All 15 benchmarks in the paper's presentation order. */
+/** The 15 paper benchmarks in presentation order, then the class-4
+ *  sharing workloads (18 total). */
 const std::vector<BenchmarkInfo> &specSuite();
 
 /** Look up one benchmark by name (fatal if unknown). */

@@ -23,6 +23,7 @@
 #include "harness/runner.hh"
 #include "mem/hierarchy.hh"
 #include "sim/checkpoint.hh"
+#include "system/cmp.hh"
 
 namespace drisim
 {
@@ -543,6 +544,49 @@ TEST(CheckpointedRun, DifferentConfigsNeverShareASnapshot)
     expectSameRun(plainC, runDri(b, cfg, c));
     EXPECT_EQ(sim::checkpointCounters().restores,
               after.restores + 2);
+}
+
+TEST(CheckpointedRun, DistinctCoherenceConfigsNeverShareAKey)
+{
+    // The CMP run identity must cover the coherence layer: a
+    // coherent run restored into (or memoized for) a protocol-off
+    // system — or one with a different directory size or message
+    // latency — would replay a different machine. Every knob must
+    // move the canonical key.
+    RunConfig cfg;
+    cfg.maxInstrs = 100 * 1000;
+    CmpConfig off;
+    off.cores = 2;
+
+    CmpConfig on = off;
+    on.coherence.enabled = true;
+    CmpConfig bigDir = on;
+    bigDir.coherence.directoryEntries = 512;
+    CmpConfig slowMsg = on;
+    slowMsg.coherence.msgLatency = 7;
+
+    const std::string kOff =
+        runKeyCmp(cfg, off, "compress").canonical();
+    const std::string kOn =
+        runKeyCmp(cfg, on, "compress").canonical();
+    const std::string kBig =
+        runKeyCmp(cfg, bigDir, "compress").canonical();
+    const std::string kSlow =
+        runKeyCmp(cfg, slowMsg, "compress").canonical();
+
+    EXPECT_NE(kOff, kOn);
+    EXPECT_NE(kOn, kBig);
+    EXPECT_NE(kOn, kSlow);
+    EXPECT_NE(kBig, kSlow);
+
+    // With the protocol off the directory knobs are inert: they
+    // must NOT perturb the key, or pre-coherence sidecar entries
+    // and snapshots would be orphaned.
+    CmpConfig offTuned = off;
+    offTuned.coherence.directoryEntries = 512;
+    offTuned.coherence.msgLatency = 7;
+    EXPECT_EQ(kOff,
+              runKeyCmp(cfg, offTuned, "compress").canonical());
 }
 
 TEST(CheckpointedRun, SamplingDisablesMidRunSnapshots)

@@ -266,6 +266,49 @@ TEST(Mshr, FullFileStallsPrimaryMiss)
     EXPECT_EQ(c.mshrFullStallCycles(), 101u);
 }
 
+TEST(Mshr, FillLandingExactlyAtNowIsRetiredNotCoalesced)
+{
+    // The prune boundary: an entry whose fill completes at exactly
+    // `now` has delivered its data. prune() runs before find() in
+    // the cache's access path, so the boundary access must see a
+    // retired entry — never a zero-remainder coalesce target, which
+    // would count the fill as both completed and in flight.
+    MshrFile m(2);
+    m.allocate(0x0, 101);
+    m.prune(101);
+    EXPECT_EQ(m.occupancy(), 0u);
+    Cycles fillAt = 0;
+    EXPECT_FALSE(m.find(0x0, fillAt));
+
+    // One cycle earlier the same fill is still outstanding.
+    MshrFile n(2);
+    n.allocate(0x0, 101);
+    n.prune(100);
+    EXPECT_EQ(n.occupancy(), 1u);
+    EXPECT_TRUE(n.find(0x0, fillAt));
+    EXPECT_EQ(fillAt, 101u);
+}
+
+TEST(Mshr, AccessAtExactFillTimeFreesTheRegister)
+{
+    stats::StatGroup root("t");
+    FixedLevel below(100);
+    Cache c(mshrCache(1), &below, &root);
+
+    // Primary miss at t=0 fills at t=101.
+    EXPECT_EQ(c.accessAt(0, AccessType::Load, 0).latency, 101u);
+
+    // A different block at t=101, the completion cycle itself: the
+    // register is already free — a normal primary miss, no
+    // structural stall.
+    EXPECT_EQ(c.accessAt(64, AccessType::Load, 101).latency, 101u);
+    EXPECT_EQ(c.mshrFullStalls(), 0u);
+
+    // And the first block is home: a plain hit, not a coalesce.
+    EXPECT_TRUE(c.accessAt(0, AccessType::Load, 202).hit);
+    EXPECT_EQ(c.mshrCoalesced(), 0u);
+}
+
 TEST(Mshr, DisabledFileKeepsBlockingBehaviour)
 {
     stats::StatGroup root("t");

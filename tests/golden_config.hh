@@ -91,6 +91,36 @@ struct CmpGoldenCase
 };
 
 /**
+ * Pinned expectations for the coherent cores=2 shared_image run:
+ * both cores walk one shared window under MSI, core 0's L1I is
+ * drowsy and core 1's is decay, so invalidation-induced wakes and
+ * refetches both appear (system/cmp.hh, mem/directory.hh).
+ */
+struct CoherentCmpGoldenCase
+{
+    const char *mix;
+    std::uint64_t systemCycles;
+    // Coherence totals (leakage-managed run).
+    std::uint64_t invalidations;
+    std::uint64_t downgrades;
+    std::uint64_t writebacks;
+    std::uint64_t msgCycles;
+    std::uint64_t directoryEvictions;
+    // Per-core attribution — nonzero on both cores by design.
+    std::uint64_t invalRecv0;
+    std::uint64_t invalRecv1;
+    // Policy-visible effects: drowsy core 0 wakes and refetches,
+    // decay core 1 refetches only (no wakeable state).
+    std::uint64_t wakes0;
+    std::uint64_t refetches0;
+    std::uint64_t refetches1;
+    // Winner comparison vs the coherent conventional baseline.
+    double relativeEnergyDelay;
+    // Rendered bench_cmp --coherent summary row.
+    const char *row;
+};
+
+/**
  * Pinned expectations for one benchmark's policy head-to-head: one
  * entry per policy kind in search order (dri, decay, drowsy, ways).
  */
@@ -344,6 +374,127 @@ serializeCmpResult(const CmpSearchResult &sr)
         cand(c);
     os << "best: ";
     cand(sr.best);
+    return os.str();
+}
+
+/** Both halves of the fixed coherent CMP golden run. */
+struct CoherentCmpGoldenRun
+{
+    CmpRunOutput conv; ///< conventional L1Is, protocol on
+    CmpRunOutput pol;  ///< drowsy/decay L1Is, protocol on
+};
+
+/**
+ * The fixed coherent CMP golden run — the same pairing bench_cmp
+ * --coherent evaluates for the all-shared_image mix: MSI enabled in
+ * both runs, the leakage-managed build alternating drowsy (core 0)
+ * and decay (core 1) L1Is. A direct paired run, not a searchCmp
+ * grid: the DRI-bound search varies knobs drowsy/decay cores never
+ * consume, so a search golden would pin nothing coherent.
+ */
+inline CoherentCmpGoldenRun
+runGoldenCoherentCmp()
+{
+    RunConfig cfg;
+    cfg.maxInstrs = 300 * 1000;
+
+    CmpConfig conv;
+    conv.cores = 2;
+    conv.coherence.enabled = true;
+    for (unsigned k = 0; k < conv.cores; ++k) {
+        CmpCoreConfig core;
+        core.bench = "shared_image";
+        conv.coreConfigs.push_back(std::move(core));
+    }
+
+    CmpConfig pol = conv;
+    for (unsigned k = 0; k < pol.cores; ++k) {
+        CmpCoreConfig &core = pol.coreConfigs[k];
+        core.dri = true;
+        core.policyKind =
+            k % 2 == 0 ? PolicyKind::Drowsy : PolicyKind::Decay;
+    }
+
+    CoherentCmpGoldenRun out;
+    out.conv = runCmp(cfg, conv, "shared_image");
+    out.pol = runCmp(cfg, pol, "shared_image");
+    return out;
+}
+
+/** The cells bench_cmp --coherent prints for a mix, as CSV. */
+inline std::string
+renderCoherentCmpGoldenRow(const CoherentCmpGoldenRun &run)
+{
+    const CmpComparison cc = compareCmp(
+        MultiLevelConstants::paper(), toCmpMeasurement(run.conv),
+        toCmpMeasurement(run.pol));
+    std::uint64_t wakes = 0;
+    std::uint64_t refetches = 0;
+    for (const CmpCoreOutput &c : run.pol.cores) {
+        wakes += c.coherenceWakes;
+        refetches += c.coherenceRefetches;
+    }
+    Table t({"mix", "sys-cycles", "inval", "downgr", "coh-wb",
+             "msg-cyc", "dir-ev", "wakes", "refetches", "rel-ED"});
+    t.addRow({"shared_image+shared_image",
+              std::to_string(run.pol.systemCycles),
+              std::to_string(run.pol.coherenceInvalidations),
+              std::to_string(run.pol.coherenceDowngrades),
+              std::to_string(run.pol.coherenceWritebacks),
+              std::to_string(run.pol.coherenceMsgCycles),
+              std::to_string(run.pol.directoryEvictions),
+              std::to_string(wakes), std::to_string(refetches),
+              fmtDouble(cc.relativeEnergyDelay(), 3)});
+    return csvRow(t);
+}
+
+/**
+ * Full-precision serialization of every observable of one coherent
+ * CMP run pair — the replay-determinism contract for the coherent
+ * path (any two executions, including ones racing on different
+ * threads, must be byte-identical).
+ */
+inline std::string
+serializeCoherentCmp(const CoherentCmpGoldenRun &run)
+{
+    std::ostringstream os;
+    auto half = [&](const char *tag, const CmpRunOutput &o) {
+        os << strFormat(
+            "%s sys=%llu inval=%llu downgr=%llu wb=%llu msg=%llu "
+            "dirEv=%llu l2acc=%llu l2miss=%llu mem=%llu\n",
+            tag, static_cast<unsigned long long>(o.systemCycles),
+            static_cast<unsigned long long>(
+                o.coherenceInvalidations),
+            static_cast<unsigned long long>(o.coherenceDowngrades),
+            static_cast<unsigned long long>(o.coherenceWritebacks),
+            static_cast<unsigned long long>(o.coherenceMsgCycles),
+            static_cast<unsigned long long>(o.directoryEvictions),
+            static_cast<unsigned long long>(o.l2Accesses),
+            static_cast<unsigned long long>(o.l2Misses),
+            static_cast<unsigned long long>(o.memAccesses));
+        for (const CmpCoreOutput &c : o.cores)
+            os << strFormat(
+                "  core cyc=%llu recv=%llu caused=%llu downgr=%llu "
+                "wb=%llu msg=%llu wakes=%llu refetch=%llu "
+                "drowsy=%.17g gated=%.17g\n",
+                static_cast<unsigned long long>(c.meas.cycles),
+                static_cast<unsigned long long>(
+                    c.coherenceInvalidationsReceived),
+                static_cast<unsigned long long>(
+                    c.coherenceInvalidationsCaused),
+                static_cast<unsigned long long>(
+                    c.coherenceDowngrades),
+                static_cast<unsigned long long>(
+                    c.coherenceWritebacks),
+                static_cast<unsigned long long>(
+                    c.coherenceMsgCycles),
+                static_cast<unsigned long long>(c.coherenceWakes),
+                static_cast<unsigned long long>(
+                    c.coherenceRefetches),
+                c.l1DrowsyFraction, c.l1GatedFraction);
+    };
+    half("conv", run.conv);
+    half("pol", run.pol);
     return os.str();
 }
 

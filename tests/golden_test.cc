@@ -22,6 +22,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "golden_config.hh"
 
 namespace drisim
@@ -30,6 +34,7 @@ namespace
 {
 
 using golden::CmpGoldenCase;
+using golden::CoherentCmpGoldenCase;
 using golden::GoldenCase;
 using golden::MultiLevelGoldenCase;
 using golden::PolicyGoldenCase;
@@ -182,6 +187,102 @@ TEST_P(CmpGolden, WinnerRowAndJobsInvarianceMatchGolden)
     EXPECT_EQ(golden::renderCmpGoldenRow(sr4), gold.row);
 }
 
+class CoherentCmpGolden
+    : public ::testing::TestWithParam<CoherentCmpGoldenCase>
+{
+};
+
+TEST_P(CoherentCmpGolden, AttributionEnergyAndReplayMatchGolden)
+{
+    const CoherentCmpGoldenCase &gold = GetParam();
+    const golden::CoherentCmpGoldenRun run =
+        golden::runGoldenCoherentCmp();
+    const CmpRunOutput &pol = run.pol;
+    ASSERT_EQ(pol.cores.size(), 2u);
+    const CmpCoreOutput &c0 = pol.cores[0];
+    const CmpCoreOutput &c1 = pol.cores[1];
+
+    // Pinned system view of the leakage-managed coherent run.
+    EXPECT_EQ(pol.systemCycles, gold.systemCycles);
+    EXPECT_EQ(pol.coherenceInvalidations, gold.invalidations);
+    EXPECT_EQ(pol.coherenceDowngrades, gold.downgrades);
+    EXPECT_EQ(pol.coherenceWritebacks, gold.writebacks);
+    EXPECT_EQ(pol.coherenceMsgCycles, gold.msgCycles);
+    EXPECT_EQ(pol.directoryEvictions, gold.directoryEvictions);
+
+    // Per-core attribution: pinned, nonzero on both cores, and a
+    // partition of the system totals.
+    EXPECT_EQ(c0.coherenceInvalidationsReceived, gold.invalRecv0);
+    EXPECT_EQ(c1.coherenceInvalidationsReceived, gold.invalRecv1);
+    EXPECT_GT(gold.invalRecv0, 0u);
+    EXPECT_GT(gold.invalRecv1, 0u);
+    EXPECT_EQ(c0.coherenceInvalidationsReceived +
+                  c1.coherenceInvalidationsReceived,
+              pol.coherenceInvalidations);
+    EXPECT_EQ(c0.coherenceInvalidationsCaused +
+                  c1.coherenceInvalidationsCaused,
+              pol.coherenceInvalidations);
+    EXPECT_EQ(c0.coherenceMsgCycles + c1.coherenceMsgCycles,
+              pol.coherenceMsgCycles);
+
+    // Policy-visible effects: the drowsy core 0 reports
+    // invalidation-induced wakes and refetches; the decay core 1
+    // refetches but has no wakeable state.
+    EXPECT_EQ(c0.coherenceWakes, gold.wakes0);
+    EXPECT_EQ(c0.coherenceRefetches, gold.refetches0);
+    EXPECT_EQ(c1.coherenceRefetches, gold.refetches1);
+    EXPECT_GT(gold.wakes0, 0u);
+    EXPECT_GT(gold.refetches0, 0u);
+    EXPECT_GT(gold.refetches1, 0u);
+    EXPECT_EQ(c1.coherenceWakes, 0u);
+
+    // Energy plumbing: every probe (invalidation or downgrade) is
+    // one L2-tier access charged on the shared l2 row — silencing
+    // coherenceMessages must remove exactly that much dynamic nJ.
+    const MultiLevelConstants constants =
+        MultiLevelConstants::paper();
+    const CmpMeasurement conv_m = toCmpMeasurement(run.conv);
+    const CmpMeasurement pol_m = toCmpMeasurement(pol);
+    EXPECT_EQ(pol_m.coherenceMessages,
+              pol.coherenceInvalidations + pol.coherenceDowngrades);
+    CmpMeasurement quiet_m = pol_m;
+    quiet_m.coherenceMessages = 0;
+    const HierarchyEnergy loud =
+        cmpEnergy(constants, pol_m, conv_m);
+    const HierarchyEnergy quiet =
+        cmpEnergy(constants, quiet_m, conv_m);
+    ASSERT_EQ(loud.levels.size(), 4u); // l1i[0], l1i[1], l2, mem
+    EXPECT_EQ(loud.levels[2].level, "l2");
+    EXPECT_NEAR(loud.levels[2].dynamicNJ -
+                    quiet.levels[2].dynamicNJ,
+                constants.l1.l2PerAccessNJ *
+                    static_cast<double>(pol_m.coherenceMessages),
+                1e-9);
+
+    // Winner comparison and the rendered bench_cmp --coherent row.
+    const CmpComparison cc =
+        compareCmp(constants, conv_m, pol_m);
+    EXPECT_NEAR(cc.relativeEnergyDelay(), gold.relativeEnergyDelay,
+                1e-9);
+    EXPECT_EQ(golden::renderCoherentCmpGoldenRow(run), gold.row);
+
+    // The determinism contract: coherent runs racing on four
+    // threads must each be byte-identical to the serial run (the
+    // TSan leg executes this test via the concurrency label).
+    const std::string serial = golden::serializeCoherentCmp(run);
+    std::vector<std::string> replays(4);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < replays.size(); ++t)
+        threads.emplace_back([&replays, t] {
+            replays[t] = golden::serializeCoherentCmp(
+                golden::runGoldenCoherentCmp());
+        });
+    for (std::thread &th : threads)
+        th.join();
+    for (const std::string &s : replays)
+        EXPECT_EQ(s, serial);
+}
+
 class PolicyGolden
     : public ::testing::TestWithParam<PolicyGoldenCase>
 {
@@ -277,6 +378,19 @@ INSTANTIATE_TEST_SUITE_P(
                       "compress+li,192/2981,1M,3220,0.934,0.464/0.332,1.000,0.00%"}),
     [](const ::testing::TestParamInfo<CmpGoldenCase> &) {
         return std::string("compress_li");
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    CoherentCmpPath, CoherentCmpGolden,
+    ::testing::Values(
+        CoherentCmpGoldenCase{"shared_image+shared_image", 206322,
+                              44124, 113, 18860, 133755, 43914,
+                              22190, 21934,
+                              95, 2315, 2317,
+                              0.981542905589987,
+                              "shared_image+shared_image,206322,44124,113,18860,133755,43914,95,4632,0.982"}),
+    [](const ::testing::TestParamInfo<CoherentCmpGoldenCase> &) {
+        return std::string("shared_image_x2");
     });
 
 INSTANTIATE_TEST_SUITE_P(

@@ -280,13 +280,18 @@ TEST(Options, EveryUsageKeyIsSemanticOrExplicitlyExecutionOnly)
 {
     // Execution-strategy keys deliberately outside the run key:
     // jobs/checkpoint_dir/result_cache cannot change results, and
-    // the cores/coreK.* family configures CMP runs, which are never
-    // result-cached (bench_cmp derives its own row-identity key).
+    // the cores/coreK.*/coherence.* families configure CMP runs,
+    // which are never result-cached (bench_cmp derives its own
+    // row-identity key; coherent identity is locked by runKeyCmp,
+    // tests/checkpoint_test.cc).
     const std::set<std::string> executionOnly{
         "jobs",
         "checkpoint_dir",
         "result_cache",
         "cores",
+        "coherence",
+        "coherence.entries",
+        "coherence.msg_latency",
         "coreK.bench",
         "coreK.dri",
         "coreK.dri.size_bound",

@@ -333,5 +333,73 @@ TEST(ResultCacheRunnerTest, PartialEntryIsRecomputedNeverServed)
     EXPECT_EQ(out.meas.cycles, again.meas.cycles);
 }
 
+TEST(ResultCacheRunnerTest, NonBlockingMemoryFieldsRoundTrip)
+{
+    // The payload must carry the non-blocking-memory columns: a
+    // banked-DRAM run served from the cache has to reproduce them
+    // exactly (they feed the bench tables), not as silent zeros.
+    const auto &b = findBenchmark("compress");
+    TempDir dir;
+    RunConfig cfg;
+    cfg.maxInstrs = 200 * 1000;
+    cfg.hier.dram.banked = true;
+    cfg.hier.l1i.mshrs = 2;
+    cfg.hier.l1d.mshrs = 2;
+    cfg.hier.l2.mshrs = 4;
+    cfg.resultCache =
+        std::make_shared<ResultCache>(dir.file("rc.json"));
+
+    const RunOutput computed = runConventional(b, cfg);
+    EXPECT_GT(computed.mshrPeakOccupancy, 0u);
+    EXPECT_GT(computed.dramBusyCycles, 0u);
+
+    const RunOutput cached = runConventional(b, cfg);
+    EXPECT_EQ(cfg.resultCache->counters().hits, 1u);
+    EXPECT_EQ(cached.mshrFullStallCycles,
+              computed.mshrFullStallCycles);
+    EXPECT_EQ(cached.mshrPeakOccupancy, computed.mshrPeakOccupancy);
+    EXPECT_EQ(cached.dramQueueFullEvents,
+              computed.dramQueueFullEvents);
+    EXPECT_EQ(cached.dramBusyCycles, computed.dramBusyCycles);
+}
+
+TEST(ResultCacheRunnerTest, StalePayloadVersionIsAMissNotServed)
+{
+    // An entry written under the previous payload layout (before
+    // the non-blocking-memory columns) carries payload_v=1 — or no
+    // marker at all. Either must miss cleanly and be recomputed,
+    // never served with the missing columns zeroed.
+    const auto &b = findBenchmark("compress");
+    TempDir dir;
+    RunConfig cfg;
+    cfg.maxInstrs = 200 * 1000;
+    cfg.resultCache =
+        std::make_shared<ResultCache>(dir.file("rc.json"));
+
+    const RunOutput computed = runConventional(b, cfg);
+    const sim::ConfigKey key = runKeyConventional(b, cfg);
+    sim::ResultCache::Fields f;
+    ASSERT_TRUE(cfg.resultCache->lookup(key, f));
+    ASSERT_EQ(f.at("payload_v"), "2");
+
+    // Rewrite the entry as an older binary would have left it.
+    f["payload_v"] = "1";
+    cfg.resultCache->store(key, f);
+    const auto before = cfg.resultCache->counters();
+    const RunOutput out = runConventional(b, cfg);
+    EXPECT_EQ(cfg.resultCache->counters().stores,
+              before.stores + 1);
+    EXPECT_EQ(out.meas.cycles, computed.meas.cycles);
+
+    // Same for an entry with the marker stripped entirely.
+    f.erase("payload_v");
+    cfg.resultCache->store(key, f);
+    const auto before2 = cfg.resultCache->counters();
+    const RunOutput again = runConventional(b, cfg);
+    EXPECT_EQ(cfg.resultCache->counters().stores,
+              before2.stores + 1);
+    EXPECT_EQ(again.meas.cycles, computed.meas.cycles);
+}
+
 } // namespace
 } // namespace drisim

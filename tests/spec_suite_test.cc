@@ -1,7 +1,8 @@
 /**
  * @file
- * Synthetic SPEC95 suite tests: the 15 benchmarks exist, class
- * properties hold, images build with the right footprints.
+ * Synthetic SPEC95 suite tests: the 15 paper benchmarks plus the
+ * class-4 sharing workloads exist, class properties hold, images
+ * build with the right footprints.
  */
 
 #include <gtest/gtest.h>
@@ -16,14 +17,15 @@ namespace drisim
 namespace
 {
 
-TEST(SpecSuite, FifteenBenchmarksInPaperOrder)
+TEST(SpecSuite, PaperBenchmarksThenSharingWorkloadsInOrder)
 {
     const auto &suite = specSuite();
-    ASSERT_EQ(suite.size(), 15u);
+    ASSERT_EQ(suite.size(), 18u);
     const std::vector<std::string> expected = {
         "applu", "compress", "li", "mgrid", "swim",
         "apsi", "fpppp", "go", "m88ksim", "perl",
-        "gcc", "hydro2d", "ijpeg", "su2cor", "tomcatv"};
+        "gcc", "hydro2d", "ijpeg", "su2cor", "tomcatv",
+        "shared_image", "producer", "consumer"};
     for (size_t i = 0; i < expected.size(); ++i)
         EXPECT_EQ(suite[i].name, expected[i]);
 }
@@ -34,11 +36,15 @@ TEST(SpecSuite, ClassAssignmentsMatchSection53)
                                           "mgrid", "swim"};
     const std::set<std::string> class2 = {"apsi", "fpppp", "go",
                                           "m88ksim", "perl"};
+    const std::set<std::string> class4 = {"shared_image", "producer",
+                                          "consumer"};
     for (const auto &b : specSuite()) {
         if (class1.count(b.name))
             EXPECT_EQ(b.benchClass, 1) << b.name;
         else if (class2.count(b.name))
             EXPECT_EQ(b.benchClass, 2) << b.name;
+        else if (class4.count(b.name))
+            EXPECT_EQ(b.benchClass, 4) << b.name;
         else
             EXPECT_EQ(b.benchClass, 3) << b.name;
     }
@@ -131,6 +137,26 @@ TEST(SpecSuite, AllStreamsGenerate)
         Instr ins;
         for (int i = 0; i < 2000; ++i)
             ASSERT_TRUE(gen.next(ins)) << b.name;
+    }
+}
+
+TEST(SpecSuite, SharingWorkloadsShareOneWindowOthersNone)
+{
+    // Class-4 benchmarks draw part of their data stream from one
+    // cross-core shared window (same base on every core); every
+    // paper benchmark keeps sharedBytes == 0, which also pins the
+    // generator's sharing-free RNG sequence (workload/generator.cc).
+    for (const auto &b : specSuite()) {
+        bool shares = false;
+        for (const auto &p : b.spec.phases) {
+            if (p.sharedBytes == 0)
+                continue;
+            shares = true;
+            EXPECT_GT(p.sharedFraction, 0.0) << b.name;
+            EXPECT_LT(p.sharedFraction, 1.0) << b.name;
+            EXPECT_EQ(p.sharedBase, 0x2000'0000u) << b.name;
+        }
+        EXPECT_EQ(shares, b.benchClass == 4) << b.name;
     }
 }
 

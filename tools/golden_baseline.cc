@@ -145,6 +145,51 @@ printCmp()
 }
 
 void
+printCoherentCmp()
+{
+    const golden::CoherentCmpGoldenRun run =
+        golden::runGoldenCoherentCmp();
+    const CmpRunOutput &pol = run.pol;
+    const CmpComparison cc = compareCmp(
+        MultiLevelConstants::paper(), toCmpMeasurement(run.conv),
+        toCmpMeasurement(pol));
+    std::printf("\nINSTANTIATE_TEST_SUITE_P(\n"
+                "    CoherentCmpPath, CoherentCmpGolden,\n"
+                "    ::testing::Values(\n");
+    std::printf(
+        "        CoherentCmpGoldenCase{\"%s\", %llu,\n"
+        "                              %llu, %llu, %llu, %llu, "
+        "%llu,\n"
+        "                              %llu, %llu,\n"
+        "                              %llu, %llu, %llu,\n"
+        "                              %s,\n"
+        "                              \"%s\"}),\n",
+        "shared_image+shared_image",
+        static_cast<unsigned long long>(pol.systemCycles),
+        static_cast<unsigned long long>(pol.coherenceInvalidations),
+        static_cast<unsigned long long>(pol.coherenceDowngrades),
+        static_cast<unsigned long long>(pol.coherenceWritebacks),
+        static_cast<unsigned long long>(pol.coherenceMsgCycles),
+        static_cast<unsigned long long>(pol.directoryEvictions),
+        static_cast<unsigned long long>(
+            pol.cores[0].coherenceInvalidationsReceived),
+        static_cast<unsigned long long>(
+            pol.cores[1].coherenceInvalidationsReceived),
+        static_cast<unsigned long long>(
+            pol.cores[0].coherenceWakes),
+        static_cast<unsigned long long>(
+            pol.cores[0].coherenceRefetches),
+        static_cast<unsigned long long>(
+            pol.cores[1].coherenceRefetches),
+        g(cc.relativeEnergyDelay()).c_str(),
+        golden::renderCoherentCmpGoldenRow(run).c_str());
+    std::printf("    [](const ::testing::TestParamInfo"
+                "<CoherentCmpGoldenCase> &) {\n"
+                "        return std::string(\"shared_image_x2\");\n"
+                "    });\n");
+}
+
+void
 printPolicy(const std::vector<std::string> &benches)
 {
     std::printf("\nINSTANTIATE_TEST_SUITE_P(\n"
@@ -192,10 +237,12 @@ main()
     const std::vector<std::string> benches{"compress", "li"};
     std::fprintf(stderr, "regenerating golden expectations for "
                          "compress and li (single-level, "
-                         "multi-level, cmp, policies)...\n");
+                         "multi-level, cmp, coherent-cmp, "
+                         "policies)...\n");
     printSingleLevel(benches);
     printMultiLevel(benches);
     printCmp();
+    printCoherentCmp();
     printPolicy(benches);
     return 0;
 }
