@@ -23,7 +23,7 @@
  * the 2001 single-core paper never modelled.
  *
  *   ./bench_cmp [--cores N] [--jobs N] [--dram-banked] [--coherent]
- *               [--json PATH] [--list]
+ *               [--shard K/N] [--part PATH] [--json PATH] [--list]
  */
 
 #include <iostream>
@@ -37,24 +37,6 @@ using namespace drisim::bench;
 
 namespace
 {
-
-/** Default number of benchmark mixes evaluated per run. */
-constexpr unsigned kDefaultMixes = 2;
-
-/** Mix @p m: @p n consecutive suite benchmarks, rotating. */
-std::vector<std::string>
-mixBenches(unsigned m, unsigned n)
-{
-    const auto &suite = specSuite();
-    std::vector<std::string> names;
-    names.reserve(n);
-    for (unsigned k = 0; k < n; ++k)
-        names.push_back(
-            suite[(static_cast<std::size_t>(m) * n + k) %
-                  suite.size()]
-                .name);
-    return names;
-}
 
 /**
  * The --coherent study: sharing mixes under MSI, a conventional
@@ -78,14 +60,8 @@ runCoherentStudy(BenchContext &ctx, unsigned n)
     const MultiLevelConstants constants =
         MultiLevelConstants::paper();
 
-    std::vector<std::vector<std::string>> mixes;
-    mixes.emplace_back(n, "shared_image");
-    {
-        std::vector<std::string> pc;
-        for (unsigned k = 0; k < n; ++k)
-            pc.push_back(k % 2 == 0 ? "producer" : "consumer");
-        mixes.push_back(std::move(pc));
-    }
+    const std::vector<std::vector<std::string>> mixes =
+        farm::cmpCoherentMixes(n);
 
     const std::vector<std::string> cols{
         "mix",       "sys-cycles", "inval",   "downgr",
@@ -94,9 +70,13 @@ runCoherentStudy(BenchContext &ctx, unsigned n)
     Table summary(cols);
     std::vector<std::string> jsonCols = cols;
     jsonCols.push_back("config_hash");
-    std::vector<std::vector<std::string>> rows;
+    SweepDriver drv(ctx, "bench_cmp_coherent", "cmp_coherent",
+                    jsonCols);
 
-    for (const std::vector<std::string> &benches : mixes) {
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        if (!drv.shouldRun(m))
+            continue;
+        const std::vector<std::string> &benches = mixes[m];
         const std::string mix = cmpMixName(benches);
 
         CmpConfig conv_cmp;
@@ -145,7 +125,7 @@ runCoherentStudy(BenchContext &ctx, unsigned n)
         summary.addRow(row);
         row.push_back(
             runKeyCmp(ctx.cfg, pol_cmp, benches[0]).hashHex());
-        rows.push_back(std::move(row));
+        drv.unitDone(m, {std::move(row)});
 
         std::cout << "\n" << mix
                   << ": per-core coherence attribution "
@@ -173,7 +153,7 @@ runCoherentStudy(BenchContext &ctx, unsigned n)
     std::cout << "\n-- coherent sharing mixes (leakage-managed vs "
                  "conventional, both under MSI) --\n";
     summary.print(std::cout);
-    writeJsonReport(ctx, "bench_cmp_coherent", jsonCols, rows);
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }
@@ -186,7 +166,8 @@ main(int argc, char **argv)
     BenchContext ctx = defaultContext();
     std::string err;
     if (!parseBenchArgs(argc, argv, ctx, err,
-                        /*acceptCores=*/true)) {
+                        /*acceptCores=*/true, /*acceptShort=*/false,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -237,7 +218,7 @@ main(int argc, char **argv)
               "dram_row_hits", "dram_row_misses", "dram_queue_full",
               "dram_bank_row_hits", "core_miss_latency"})
             jsonCols.push_back(c);
-    std::vector<std::vector<std::string>> winnerRows;
+    SweepDriver drv(ctx, "bench_cmp", "cmp", jsonCols);
 
     struct PerMix
     {
@@ -247,8 +228,11 @@ main(int argc, char **argv)
     std::vector<PerMix> results;
 
     double sum_ed = 0.0;
-    for (unsigned m = 0; m < kDefaultMixes; ++m) {
-        const std::vector<std::string> benches = mixBenches(m, n);
+    for (unsigned m = 0; m < farm::kDefaultCmpMixes; ++m) {
+        if (!drv.shouldRun(m))
+            continue;
+        const std::vector<std::string> benches =
+            farm::cmpMixBenches(m, n);
         const std::string mix = cmpMixName(benches);
 
         CmpConfig cmp;
@@ -311,7 +295,7 @@ main(int argc, char **argv)
             }
             row.push_back(lat);
         }
-        winnerRows.push_back(std::move(row));
+        drv.unitDone(m, {std::move(row)});
         sum_ed += sr.best.cmp.relativeEnergyDelay();
         results.push_back({mix, sr});
         std::cerr << "  [cmp] " << mix << " done\n";
@@ -354,10 +338,12 @@ main(int argc, char **argv)
     std::cout << "\n== headline ==\n";
     std::cout << "mean system energy-delay reduction over "
               << results.size() << " mixes: "
-              << fmtReduction(sum_ed /
-                              static_cast<double>(results.size()))
+              << fmtReduction(
+                     sum_ed /
+                     static_cast<double>(
+                         results.empty() ? 1 : results.size()))
               << "\n";
-    writeJsonReport(ctx, "bench_cmp", jsonCols, winnerRows);
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "farm/merge.hh"
 #include "sim/checkpoint.hh"
 #include "util/parse.hh"
 #include "util/str.hh"
@@ -29,13 +30,14 @@ defaultContext()
 bool
 parseBenchArgs(int argc, char **argv, BenchContext &ctx,
                std::string &error, bool acceptCores,
-               bool acceptShort)
+               bool acceptShort, bool acceptShard)
 {
     const std::string usage =
         std::string("usage: ") + (argc > 0 ? argv[0] : "bench") +
         " [--jobs N]" +
         (acceptCores ? " [--cores N] [--coherent]" : "") +
         (acceptShort ? " [--short]" : "") +
+        (acceptShard ? " [--shard K/N] [--part PATH]" : "") +
         " [--json PATH] [--dram-banked] [--sample]"
         " [--checkpoint-dir DIR]"
         " [--result-cache FILE] [--list]   (jobs 0 = DRISIM_JOBS "
@@ -109,6 +111,53 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
             ctx.cfg.resultCache =
                 std::make_shared<sim::ResultCache>(arg.substr(15));
             continue;
+        } else if (arg == "--shard" || arg.rfind("--shard=", 0) == 0) {
+            if (!acceptShard) {
+                error = "this binary has no sweep to shard "
+                        "(--shard)\n" +
+                        usage;
+                return false;
+            }
+            std::string spec;
+            if (arg == "--shard") {
+                if (i + 1 >= argc) {
+                    error = "missing value after " + arg + "\n" +
+                            usage;
+                    return false;
+                }
+                spec = argv[++i];
+            } else {
+                spec = arg.substr(8);
+            }
+            std::string shardErr;
+            if (!farm::parseShardSpec(spec, ctx.cfg.shard,
+                                      shardErr)) {
+                error = shardErr + "\n" + usage;
+                return false;
+            }
+            continue;
+        } else if (arg == "--part") {
+            if (!acceptShard) {
+                error = "this binary has no sweep to shard "
+                        "(--part)\n" +
+                        usage;
+                return false;
+            }
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            ctx.partPath = argv[++i];
+            continue;
+        } else if (arg.rfind("--part=", 0) == 0) {
+            if (!acceptShard) {
+                error = "this binary has no sweep to shard "
+                        "(--part)\n" +
+                        usage;
+                return false;
+            }
+            ctx.partPath = arg.substr(7);
+            continue;
         } else if (arg == "--jobs" || arg == "-j") {
             if (i + 1 >= argc) {
                 error = "missing value after " + arg + "\n" + usage;
@@ -163,33 +212,6 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
     return true;
 }
 
-namespace
-{
-
-/** Minimal JSON string escaping (quotes, backslash, control). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strFormat("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
-}
-
-} // namespace
-
 bool
 writeJsonReport(const BenchContext &ctx,
                 const std::string &benchName,
@@ -198,10 +220,22 @@ writeJsonReport(const BenchContext &ctx,
 {
     if (ctx.jsonPath.empty())
         return true;
-    const double wall =
+    double wall =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - ctx.startTime)
             .count();
+    // Pinning the wall clock makes reports reproducible, so a
+    // merged sharded run can be compared byte-for-byte against an
+    // unsharded one (the CI farm leg sets 0).
+    if (const char *env = std::getenv("DRISIM_JSON_WALL_SECONDS")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0')
+            wall = v;
+    }
+    const std::string doc = farm::renderBenchJson(
+        benchName, ctx.cfg.shard, wall,
+        resolveJobCount(ctx.cfg.jobs), columns, rows);
     std::FILE *f = std::fopen(ctx.jsonPath.c_str(), "w");
     if (!f) {
         std::fprintf(stderr,
@@ -209,30 +243,99 @@ writeJsonReport(const BenchContext &ctx,
                      ctx.jsonPath.c_str());
         return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
-                 jsonEscape(benchName).c_str());
-    std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
-    std::fprintf(f, "  \"workers\": %u,\n",
-                 resolveJobCount(ctx.cfg.jobs));
-    std::fprintf(f, "  \"columns\": [");
-    for (std::size_t i = 0; i < columns.size(); ++i)
-        std::fprintf(f, "%s\"%s\"", i ? ", " : "",
-                     jsonEscape(columns[i]).c_str());
-    std::fprintf(f, "],\n  \"winners\": [\n");
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-        std::fprintf(f, "    {");
-        const std::size_t n =
-            std::min(columns.size(), rows[r].size());
-        for (std::size_t i = 0; i < n; ++i)
-            std::fprintf(f, "%s\"%s\": \"%s\"", i ? ", " : "",
-                         jsonEscape(columns[i]).c_str(),
-                         jsonEscape(rows[r][i]).c_str());
-        std::fprintf(f, "}%s\n",
-                     r + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     return true;
+}
+
+farm::SweepSetup
+sweepSetup(const BenchContext &ctx)
+{
+    farm::SweepSetup s;
+    s.cfg = ctx.cfg;
+    s.cores = ctx.cores > 0 ? ctx.cores : 2;
+    s.shortRun = ctx.shortRun;
+    return s;
+}
+
+SweepDriver::SweepDriver(const BenchContext &ctx,
+                         std::string benchName,
+                         const std::string &sweepName,
+                         std::vector<std::string> jsonColumns)
+    : ctx_(ctx), benchName_(std::move(benchName)),
+      columns_(std::move(jsonColumns)),
+      units_(farm::sweepUnits(sweepName, sweepSetup(ctx)))
+{
+    if (!ctx.partPath.empty()) {
+        writer_ = std::make_unique<farm::FragmentWriter>(
+            ctx.partPath, benchName_, ctx.cfg.shard, columns_,
+            units_);
+        // Adopt resumed rows so a resumed shard's own --json (and
+        // its finalized fragment) still covers every owned unit.
+        for (const farm::FragmentRecord &r :
+             writer_->fragment().records)
+            rows_[r.index] = r.rows;
+        if (writer_->resumedRecords() > 0)
+            std::fprintf(
+                stderr,
+                "[farm] shard %s: resumed %zu completed unit%s "
+                "from %s\n",
+                ctx.cfg.shard.spec().c_str(),
+                writer_->resumedRecords(),
+                writer_->resumedRecords() == 1 ? "" : "s",
+                ctx.partPath.c_str());
+    }
+    if (ctx.cfg.shard.active()) {
+        std::size_t owned = 0;
+        for (const farm::SweepUnit &u : units_)
+            if (ctx.cfg.shard.owns(u.hash))
+                ++owned;
+        std::fprintf(stderr,
+                     "[farm] shard %s owns %zu of %zu sweep "
+                     "units\n",
+                     ctx.cfg.shard.spec().c_str(), owned,
+                     units_.size());
+    }
+}
+
+bool
+SweepDriver::shouldRun(std::size_t i) const
+{
+    if (!ctx_.cfg.shard.owns(units_[i].hash))
+        return false;
+    return !(writer_ && writer_->hasRecord(i));
+}
+
+void
+SweepDriver::unitDone(std::size_t i,
+                      std::vector<std::vector<std::string>> rows)
+{
+    if (writer_)
+        writer_->addRecord(i, units_[i], rows);
+    rows_[i] = std::move(rows);
+    // Unit boundary = durability point: with the rows safely in the
+    // fragment, persist the unit's memoized sub-runs too, so a kill
+    // during the next unit loses only that unit's work.
+    if (ctx_.cfg.resultCache)
+        ctx_.cfg.resultCache->flush();
+}
+
+std::size_t
+SweepDriver::resumedUnits() const
+{
+    return writer_ ? writer_->resumedRecords() : 0;
+}
+
+void
+SweepDriver::finish()
+{
+    if (writer_)
+        writer_->finalize();
+    std::vector<std::vector<std::string>> all;
+    for (const auto &[index, unitRows] : rows_)
+        for (const std::vector<std::string> &row : unitRows)
+            all.push_back(row);
+    writeJsonReport(ctx_, benchName_, columns_, all);
 }
 
 int

@@ -12,10 +12,13 @@
 #define DRISIM_BENCH_BENCH_COMMON_HH
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "farm/fragment.hh"
+#include "farm/sweep_registry.hh"
 #include "harness/executor.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
@@ -61,6 +64,14 @@ struct BenchContext
      *  accept it; the CI smoke uses it). */
     bool shortRun = false;
 
+    /**
+     * --part PATH: stream every completed sweep unit into a
+     * resumable fragment at PATH (farm/fragment.hh), written
+     * record-at-a-time with atomic rename. tools/farm_runner points
+     * each shard here. Empty = off.
+     */
+    std::string partPath;
+
     /** Wall-clock anchor for the JSON report (context creation). */
     std::chrono::steady_clock::time_point startTime =
         std::chrono::steady_clock::now();
@@ -95,10 +106,19 @@ BenchContext defaultContext();
  *  - `--checkpoint-dir DIR` midpoint snapshot store (bit-exact)
  *  - `--result-cache FILE`  content-addressed result memoization
  *                           (bit-exact; shared across binaries)
+ *
+ * Sweep-farm flags, accepted only when @p acceptShard is set (the
+ * sweep binaries; bench_table1/2 have no sweep to shard):
+ *  - `--shard K/N`          run only the sweep units whose config
+ *                           hash lands on 1-based shard K of N
+ *                           (strict parse, farm/shard_plan.hh)
+ *  - `--part PATH`          stream completed units into a resumable
+ *                           fragment (farm/fragment.hh)
  */
 bool parseBenchArgs(int argc, char **argv, BenchContext &ctx,
                     std::string &error, bool acceptCores = false,
-                    bool acceptShort = false);
+                    bool acceptShort = false,
+                    bool acceptShard = false);
 
 /**
  * One stderr line per configured fast-simulation mechanism
@@ -112,14 +132,78 @@ void reportFastSim(const BenchContext &ctx);
 
 /**
  * Write the bench's winner rows + wall-clock since context creation
- * to ctx.jsonPath ({"bench", "wall_seconds", "columns", "winners"}
- * — one object per row, keyed by column). No-op when --json was not
- * given; warns and returns false when the file cannot be written.
+ * to ctx.jsonPath. Serialized by farm::renderBenchJson — schema 2:
+ * {"bench", "schema_version", "shard", "of_shards",
+ * "wall_seconds", "workers", "columns", "winners"} with one winner
+ * object per row, keyed by column; shard/of_shards are 0 unless
+ * this process ran under --shard. The DRISIM_JSON_WALL_SECONDS
+ * environment variable overrides the measured wall clock (the CI
+ * farm leg pins it to compare sharded-merged against unsharded
+ * output byte for byte). No-op when --json was not given; warns and
+ * returns false when the file cannot be written.
  */
 bool writeJsonReport(const BenchContext &ctx,
                      const std::string &benchName,
                      const std::vector<std::string> &columns,
                      const std::vector<std::vector<std::string>> &rows);
+
+/** The registry setup describing this process's sweep (resolved CMP
+ *  width, --short, final cfg). */
+farm::SweepSetup sweepSetup(const BenchContext &ctx);
+
+/**
+ * Drives one binary's sweep loop through the farm layer. The binary
+ * asks shouldRun(i) before computing unit i — false when another
+ * shard owns the unit (--shard) or a resumed fragment already holds
+ * it (--part after a kill) — and hands the unit's finished report
+ * rows to unitDone(i, rows), which appends them to the fragment
+ * (rename-atomic) and flushes the result cache so a later kill
+ * loses at most the in-flight unit. finish() finalizes the fragment
+ * and writes the --json report from all recorded rows in plan
+ * order. Unsharded without --part, the driver degrades to plain
+ * row bookkeeping and changes nothing.
+ */
+class SweepDriver
+{
+  public:
+    /**
+     * @param sweepName registry name (farm/sweep_registry.hh);
+     *        the unit list/order must match the binary's loop.
+     * @param jsonColumns full --json column set.
+     */
+    SweepDriver(const BenchContext &ctx, std::string benchName,
+                const std::string &sweepName,
+                std::vector<std::string> jsonColumns);
+
+    std::size_t size() const { return units_.size(); }
+    const farm::SweepUnit &unit(std::size_t i) const
+    {
+        return units_[i];
+    }
+
+    /** Should this process compute unit @p i now? */
+    bool shouldRun(std::size_t i) const;
+
+    /** Hand over unit @p i's finished report rows. */
+    void unitDone(std::size_t i,
+                  std::vector<std::vector<std::string>> rows);
+
+    /** Units adopted from a resumed fragment (skipped this run). */
+    std::size_t resumedUnits() const;
+
+    /** Finalize the fragment and write the --json report. */
+    void finish();
+
+  private:
+    const BenchContext &ctx_;
+    std::string benchName_;
+    std::vector<std::string> columns_;
+    std::vector<farm::SweepUnit> units_;
+    std::unique_ptr<farm::FragmentWriter> writer_;
+    /** Rows per completed unit, keyed by plan index. */
+    std::map<std::uint64_t, std::vector<std::vector<std::string>>>
+        rows_;
+};
 
 /** Print the SPEC workload names with their paper class; returns 0
  *  (the --list exit status). */

@@ -42,7 +42,9 @@ main(int argc, char **argv)
 {
     BenchContext ctx = defaultContext();
     std::string err;
-    if (!parseBenchArgs(argc, argv, ctx, err)) {
+    if (!parseBenchArgs(argc, argv, ctx, err,
+                        /*acceptCores=*/false, /*acceptShort=*/false,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -70,7 +72,7 @@ main(int argc, char **argv)
     // --result-cache sidecar and the checkpoint store.
     std::vector<std::string> jsonCols = cols;
     jsonCols.push_back("config_hash");
-    std::vector<std::vector<std::string>> winnerRows;
+    SweepDriver drv(ctx, "bench_figure3", "figure3", jsonCols);
 
     double sum_ed_c = 0.0;
     double sum_ed_u = 0.0;
@@ -78,14 +80,18 @@ main(int argc, char **argv)
     std::vector<std::pair<std::string, double>> bars_c;
     std::vector<std::pair<std::string, double>> bars_size;
 
-    for (const auto &b : specSuite()) {
+    const auto &suite = specSuite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &b = suite[i];
+        if (!drv.shouldRun(i))
+            continue;
         const BaseResult base = computeBase(b, ctx);
         std::vector<std::string> rc =
             rowCells(b.name, b.benchClass, base.constrained);
         tc.addRow(rc);
         rc.push_back(
             runKeyDri(b, ctx.cfg, base.constrained.dri).hashHex());
-        winnerRows.push_back(std::move(rc));
+        drv.unitDone(i, {rc});
         tu.addRow(rowCells(b.name, b.benchClass,
                            base.unconstrained));
         sum_ed_c += base.constrained.cmp.relativeEnergyDelay();
@@ -103,7 +109,10 @@ main(int argc, char **argv)
     std::cout << "\n-- performance-unconstrained (right bars) --\n";
     tu.print(std::cout);
 
-    const double n = static_cast<double>(specSuite().size());
+    // Means cover the units this process ran (all of them
+    // unsharded; this shard's subset under --shard).
+    const double n = static_cast<double>(
+        bars_c.empty() ? 1 : bars_c.size());
     std::cout << "\nrelative energy-delay (constrained), 0..1:\n";
     for (const auto &[name, v] : bars_c)
         std::cout << "  " << name << std::string(10 - name.size(), ' ')
@@ -122,7 +131,7 @@ main(int argc, char **argv)
               << fmtReduction(sum_ed_u / n) << "  (paper: ~67%)\n";
     std::cout << "mean cache size reduction, constrained:     "
               << fmtReduction(sum_size_c / n) << "  (paper: ~62%)\n";
-    writeJsonReport(ctx, "bench_figure3", jsonCols, winnerRows);
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

@@ -22,7 +22,9 @@ main(int argc, char **argv)
 {
     BenchContext ctx = defaultContext();
     std::string err;
-    if (!parseBenchArgs(argc, argv, ctx, err)) {
+    if (!parseBenchArgs(argc, argv, ctx, err,
+                        /*acceptCores=*/false, /*acceptShort=*/false,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -33,13 +35,25 @@ main(int argc, char **argv)
                 "Section 5.4.1, Figure 4");
     std::cout << workerBanner(ctx) << "\n";
 
-    Table t({"benchmark", "ED 0.5x", "ED 1x (base)", "ED 2x",
-             "slow 0.5x", "slow 1x", "slow 2x", "max ED spread"});
+    const std::vector<std::string> cols{
+        "benchmark", "ED 0.5x", "ED 1x (base)", "ED 2x",
+        "slow 0.5x", "slow 1x",  "slow 2x",     "max ED spread"};
+    Table t(cols);
+    // JSON rows additionally carry the unit's canonical config hash
+    // (runKeyConventional + the sweep tag), the farm's shard/merge
+    // join key.
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
+    SweepDriver drv(ctx, "bench_figure4", "figure4", jsonCols);
 
     double worst_spread = 0.0;
     std::string worst_name;
 
-    for (const auto &b : specSuite()) {
+    const auto &suite = specSuite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &b = suite[i];
+        if (!drv.shouldRun(i))
+            continue;
         const BaseResult base = computeBase(b, ctx);
         const DriParams &bp = base.constrained.dri;
 
@@ -73,12 +87,18 @@ main(int argc, char **argv)
             worst_spread = spread;
             worst_name = b.name;
         }
-        t.addRow({b.name, fmtDouble(ed[0], 3), fmtDouble(ed[1], 3),
-                  fmtDouble(ed[2], 3),
-                  fmtDouble(slow[0], 1) + "%",
-                  fmtDouble(slow[1], 1) + "%",
-                  fmtDouble(slow[2], 1) + "%",
-                  fmtDouble(spread, 3)});
+        std::vector<std::string> row{
+            b.name,
+            fmtDouble(ed[0], 3),
+            fmtDouble(ed[1], 3),
+            fmtDouble(ed[2], 3),
+            fmtDouble(slow[0], 1) + "%",
+            fmtDouble(slow[1], 1) + "%",
+            fmtDouble(slow[2], 1) + "%",
+            fmtDouble(spread, 3)};
+        t.addRow(row);
+        row.push_back(drv.unit(i).hashHex);
+        drv.unitDone(i, {std::move(row)});
         std::cerr << "  [figure4] " << b.name << " done\n";
     }
     t.print(std::cout);
@@ -89,6 +109,7 @@ main(int argc, char **argv)
     std::cout << "paper: most benchmarks move little; gcc, go, "
                  "perl, tomcatv downsize more at high miss-bounds "
                  "at 5-8% slowdown\n";
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

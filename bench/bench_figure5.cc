@@ -20,7 +20,9 @@ main(int argc, char **argv)
 {
     BenchContext ctx = defaultContext();
     std::string err;
-    if (!parseBenchArgs(argc, argv, ctx, err)) {
+    if (!parseBenchArgs(argc, argv, ctx, err,
+                        /*acceptCores=*/false, /*acceptShort=*/false,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -31,10 +33,22 @@ main(int argc, char **argv)
                 "Section 5.4.2, Figure 5");
     std::cout << workerBanner(ctx) << "\n";
 
-    Table t({"benchmark", "base sb", "ED 2x", "ED 1x (base)",
-             "ED 0.5x", "slow 2x", "slow 1x", "slow 0.5x"});
+    const std::vector<std::string> cols{
+        "benchmark", "base sb", "ED 2x",   "ED 1x (base)",
+        "ED 0.5x",   "slow 2x", "slow 1x", "slow 0.5x"};
+    Table t(cols);
+    // JSON rows additionally carry the unit's canonical config hash
+    // (runKeyConventional + the sweep tag), the farm's shard/merge
+    // join key.
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
+    SweepDriver drv(ctx, "bench_figure5", "figure5", jsonCols);
 
-    for (const auto &b : specSuite()) {
+    const auto &suite = specSuite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &b = suite[i];
+        if (!drv.shouldRun(i))
+            continue;
         const BaseResult base = computeBase(b, ctx);
         const DriParams &bp = base.constrained.dri;
 
@@ -78,8 +92,14 @@ main(int argc, char **argv)
             slow[variantSlot[k]] =
                 fmtDouble(batch[k].slowdownPercent(), 1) + "%";
         }
-        t.addRow({b.name, bytesToString(bp.sizeBoundBytes), ed[0],
-                  ed[1], ed[2], slow[0], slow[1], slow[2]});
+        std::vector<std::string> row{
+            b.name, bytesToString(bp.sizeBoundBytes),
+            ed[0],  ed[1],
+            ed[2],  slow[0],
+            slow[1], slow[2]};
+        t.addRow(row);
+        row.push_back(drv.unit(i).hashHex);
+        drv.unitDone(i, {std::move(row)});
         std::cerr << "  [figure5] " << b.name << " done\n";
     }
     t.print(std::cout);
@@ -87,6 +107,7 @@ main(int argc, char **argv)
                  "(leakage) and for a halved one (extra L2 "
                  "traffic); class 2 thrashes when pushed below its "
                  "working set; fpppp's 2x case is not applicable\n";
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

@@ -32,7 +32,9 @@ main(int argc, char **argv)
 {
     BenchContext ctx = defaultContext();
     std::string err;
-    if (!parseBenchArgs(argc, argv, ctx, err)) {
+    if (!parseBenchArgs(argc, argv, ctx, err,
+                        /*acceptCores=*/false, /*acceptShort=*/false,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -51,10 +53,22 @@ main(int argc, char **argv)
         {"C 128K/dm", 128 * 1024, 1},
     };
 
-    Table t({"benchmark", "ED A", "ED B", "ED C", "size A", "size B",
-             "size C", "slow A", "slow B", "slow C"});
+    const std::vector<std::string> cols{
+        "benchmark", "ED A",   "ED B",   "ED C",   "size A",
+        "size B",    "size C", "slow A", "slow B", "slow C"};
+    Table t(cols);
+    // JSON rows additionally carry the unit's canonical config hash
+    // (runKeyConventional + the sweep tag), the farm's shard/merge
+    // join key.
+    std::vector<std::string> jsonCols = cols;
+    jsonCols.push_back("config_hash");
+    SweepDriver drv(ctx, "bench_figure6", "figure6", jsonCols);
 
-    for (const auto &b : specSuite()) {
+    const auto &suite = specSuite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &b = suite[i];
+        if (!drv.shouldRun(i))
+            continue;
         // The base 64K direct-mapped search supplies the bounds.
         const BaseResult base = computeBase(b, ctx);
         const DriParams &bp = base.constrained.dri;
@@ -100,8 +114,12 @@ main(int argc, char **argv)
             size[i] = fmtDouble(cmps[i]->averageSizeFraction(), 3);
             slow[i] = fmtDouble(cmps[i]->slowdownPercent(), 1) + "%";
         }
-        t.addRow({b.name, ed[0], ed[1], ed[2], size[0], size[1],
-                  size[2], slow[0], slow[1], slow[2]});
+        std::vector<std::string> row{
+            b.name,  ed[0],   ed[1],   ed[2],   size[0],
+            size[1], size[2], slow[0], slow[1], slow[2]};
+        t.addRow(row);
+        row.push_back(drv.unit(i).hashHex);
+        drv.unitDone(i, {std::move(row)});
         std::cerr << "  [figure6] " << b.name << " done\n";
     }
     t.print(std::cout);
@@ -112,6 +130,7 @@ main(int argc, char **argv)
            "tomcatv) downsize further at 4 ways; the 128K cache "
            "gives a smaller *fraction* (bigger standby share) where "
            "the working set still fits\n";
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

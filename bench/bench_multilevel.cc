@@ -30,7 +30,9 @@ main(int argc, char **argv)
 {
     BenchContext ctx = defaultContext();
     std::string err;
-    if (!parseBenchArgs(argc, argv, ctx, err)) {
+    if (!parseBenchArgs(argc, argv, ctx, err,
+                        /*acceptCores=*/false, /*acceptShort=*/false,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -61,7 +63,7 @@ main(int argc, char **argv)
     // config), joinable with the --result-cache sidecar.
     std::vector<std::string> jsonCols = cols;
     jsonCols.push_back("config_hash");
-    std::vector<std::vector<std::string>> winnerRows;
+    SweepDriver drv(ctx, "bench_multilevel", "multilevel", jsonCols);
 
     struct PerBench
     {
@@ -73,7 +75,11 @@ main(int argc, char **argv)
     double sum_ed = 0.0;
     double sum_l1_size = 0.0;
     double sum_l2_size = 0.0;
-    for (const auto &b : specSuite()) {
+    const auto &suite = specSuite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &b = suite[i];
+        if (!drv.shouldRun(i))
+            continue;
         const RunOutput conv = runConventional(b, ctx.cfg);
         const MultiLevelSearchResult sr = searchMultiLevel(
             b, ctx.cfg, ctx.driTemplate, l2Template, space, constants,
@@ -85,7 +91,7 @@ main(int argc, char **argv)
         ml.hier.l2Dri = true;
         ml.hier.l2DriParams = sr.best.l2;
         row.push_back(runKeyDri(b, ml, sr.best.l1).hashHex());
-        winnerRows.push_back(std::move(row));
+        drv.unitDone(i, {std::move(row)});
         winners.push_back({b.name, sr.best});
         sum_ed += sr.best.cmp.relativeEnergyDelay();
         sum_l1_size += sr.best.cmp.l1AverageSizeFraction();
@@ -105,7 +111,10 @@ main(int argc, char **argv)
         t.print(std::cout);
     }
 
-    const double n = static_cast<double>(specSuite().size());
+    // Means cover the units this process ran (all of them
+    // unsharded; this shard's subset under --shard).
+    const double n = static_cast<double>(
+        winners.empty() ? 1 : winners.size());
     std::cout << "\n== headline ==\n";
     std::cout << "mean hierarchy energy-delay reduction: "
               << fmtReduction(sum_ed / n) << "\n";
@@ -113,7 +122,7 @@ main(int argc, char **argv)
               << fmtDouble(sum_l1_size / n, 3)
               << ", mean L2 active size: "
               << fmtDouble(sum_l2_size / n, 3) << "\n";
-    writeJsonReport(ctx, "bench_multilevel", jsonCols, winnerRows);
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

@@ -37,7 +37,8 @@ main(int argc, char **argv)
     BenchContext ctx = defaultContext();
     std::string err;
     if (!parseBenchArgs(argc, argv, ctx, err,
-                        /*acceptCores=*/false, /*acceptShort=*/true)) {
+                        /*acceptCores=*/false, /*acceptShort=*/true,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -73,7 +74,7 @@ main(int argc, char **argv)
     // --result-cache sidecar and the checkpoint store.
     std::vector<std::string> jsonCols = cols;
     jsonCols.push_back("config_hash");
-    std::vector<std::vector<std::string>> winnerRows;
+    SweepDriver drv(ctx, "bench_policies", "policies", jsonCols);
     std::map<std::string, unsigned> wins;
     // Means are over *feasible* winners only, matching the <=4%
     // banner (an infeasible fallback's ED is not achievable under
@@ -88,12 +89,16 @@ main(int argc, char **argv)
         benches.push_back(b);
     }
 
-    for (const auto &b : benches) {
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const auto &b = benches[i];
+        if (!drv.shouldRun(i))
+            continue;
         const RunOutput conv = runConventional(b, ctx.cfg);
         const PolicySearchResult sr = searchPolicies(
             b, ctx.cfg, tmpl, space, constants, ctx.maxSlowdownPct,
             conv, &benchExecutor(ctx));
 
+        std::vector<std::vector<std::string>> unitRows;
         bool have_winner = false;
         double best_ed = 0.0;
         std::string winner;
@@ -107,7 +112,7 @@ main(int argc, char **argv)
             summary.addRow(row);
             row.push_back(
                 runKeyPolicy(b, ctx.cfg, cand.config).hashHex());
-            winnerRows.push_back(std::move(row));
+            unitRows.push_back(std::move(row));
             const double ed = cand.cmp.relativeEnergyDelay();
             const char *name = policyKindName(cand.config.kind);
             if (cand.feasible) {
@@ -122,6 +127,7 @@ main(int argc, char **argv)
         }
         if (have_winner)
             ++wins[winner];
+        drv.unitDone(i, std::move(unitRows));
         std::cerr << "  [policies] " << b.name << " done ("
                   << (have_winner ? winner : std::string("none"))
                   << " wins)\n";
@@ -141,7 +147,7 @@ main(int argc, char **argv)
                   << "wins " << wins[policy] << "/"
                   << benches.size() << "\n";
 
-    writeJsonReport(ctx, "bench_policies", jsonCols, winnerRows);
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

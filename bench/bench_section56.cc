@@ -21,7 +21,9 @@ main(int argc, char **argv)
 {
     BenchContext ctx = defaultContext();
     std::string err;
-    if (!parseBenchArgs(argc, argv, ctx, err)) {
+    if (!parseBenchArgs(argc, argv, ctx, err,
+                        /*acceptCores=*/false, /*acceptShort=*/false,
+                        /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -42,10 +44,22 @@ main(int argc, char **argv)
     Table tt({"benchmark", "ED throttled (base)", "ED no-throttle",
               "resizes base", "resizes no-throttle"});
 
+    // JSON rows: the interval sweep's cells plus the unit's
+    // canonical config hash (runKeyConventional + the sweep tag),
+    // the farm's shard/merge join key.
+    const std::vector<std::string> jsonCols{
+        "benchmark", "ED 0.25x", "ED 0.5x", "ED 1x",
+        "ED 2x",     "ED 4x",    "max dev", "config_hash"};
+    SweepDriver drv(ctx, "bench_section56", "section56", jsonCols);
+
     double worst_dev = 0.0;
     std::string worst_name;
 
-    for (const auto &b : specSuite()) {
+    const auto &suite = specSuite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &b = suite[i];
+        if (!drv.shouldRun(i))
+            continue;
         const BaseResult base = computeBase(b, ctx);
         const DriParams &bp = base.constrained.dri;
 
@@ -97,6 +111,8 @@ main(int argc, char **argv)
         }
         row.push_back(fmtDouble(dev, 3));
         ti.addRow(row);
+        std::vector<std::string> jsonRow = row;
+        jsonRow.push_back(drv.unit(i).hashHex);
         if (dev > worst_dev) {
             worst_dev = dev;
             worst_name = b.name;
@@ -128,6 +144,7 @@ main(int argc, char **argv)
                    fmtDouble(c.relativeEnergyDelay(), 3),
                    std::to_string(with_thr.resizes),
                    std::to_string(no_thr.resizes)});
+        drv.unitDone(i, {std::move(jsonRow)});
         std::cerr << "  [section56] " << b.name << " done\n";
     }
 
@@ -146,6 +163,7 @@ main(int argc, char **argv)
     std::cout << "\n-- throttle ablation (not plotted in the paper; "
                  "docs/DESIGN.md, Throttling) --\n";
     tt.print(std::cout);
+    drv.finish();
     reportFastSim(ctx);
     return 0;
 }

@@ -254,6 +254,13 @@ parseOptions(int argc, const char *const *argv, Options &out,
             if (!parseJobsValue(value, jobs))
                 return bad_value();
             out.run.jobs = jobs;
+        } else if (key == "shard") {
+            std::string shardErr;
+            if (!farm::parseShardSpec(value, out.run.shard,
+                                      shardErr)) {
+                error = shardErr;
+                return false;
+            }
         } else if (key == "cores") {
             if (!parsePositiveValue(value, u, kMaxCmpCores))
                 return bad_value();
@@ -475,7 +482,8 @@ parseOptions(int argc, const char *const *argv, Options &out,
 std::string
 optionsUsage()
 {
-    return "options: instrs=N jobs=N benchmark=NAME l1i.size=64K "
+    return "options: instrs=N jobs=N shard=K/N benchmark=NAME "
+           "l1i.size=64K "
            "l1i.assoc=N l1i.block=32 dri.size_bound=1K "
            "dri.miss_bound=N dri.interval=N dri.divisibility=2 "
            "dri.throttle_hold=N dri.adaptive=0|1 "

@@ -5,7 +5,7 @@
  * parameter, so experiments are scriptable without recompiling.
  *
  * Accepted keys (sizes take 512 / 4K / 1M suffixes):
- *   instrs, jobs, benchmark,
+ *   instrs, jobs, shard, benchmark,
  *   l1i.size, l1i.assoc, l1i.block,
  *   dri.size_bound, dri.miss_bound, dri.interval,
  *   dri.divisibility, dri.throttle_hold, dri.adaptive,
@@ -25,7 +25,10 @@
  *   coreK.policy.ways.active
  *
  * `jobs` is the sweep worker count (0 = DRISIM_JOBS env, else
- * serial); see harness/executor.hh. The `l2.*` resize keys
+ * serial); see harness/executor.hh. `shard=K/N` assigns the run
+ * 1-based shard K of an N-way sweep-farm partition
+ * (src/farm/shard_plan.hh) — execution-only like `jobs`, it never
+ * enters a run's identity key. The `l2.*` resize keys
  * configure the multi-level scenario (DRI-enabled L2,
  * mem/hierarchy.hh): `l2.dri=1` builds the L2 resizable, and the
  * bound/interval keys set its controller knobs (geometry always

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Joining per-shard fragments back into the single merged BENCH
+ * report (tools/sweep_merge), plus the resume manifest written when
+ * units are missing.
+ *
+ * Dedup follows the result-cache rule (sim/result_cache.hh): two
+ * records joining on the same hash must carry the same full
+ * canonical config string — an exact duplicate is dropped, a hash
+ * collision with differing configs is a hard error, never a silent
+ * pick. The merged document is rendered by the same serializer the
+ * unsharded binaries use (renderBenchJson), so a complete merge is
+ * byte-identical to a single-process --json run (locked by the CI
+ * farm leg).
+ */
+
+#ifndef DRISIM_FARM_MERGE_HH
+#define DRISIM_FARM_MERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "farm/fragment.hh"
+
+namespace drisim::farm
+{
+
+/** A planned unit no fragment delivered. */
+struct MissingUnit
+{
+    std::uint64_t index = 0;
+    std::string hash;
+    /** 1-based owner shard (hash % of_shards + 1). */
+    unsigned shard = 0;
+};
+
+/** Outcome of merging a fragment set. */
+struct MergeResult
+{
+    std::string bench;
+    unsigned ofShards = 0;
+    std::vector<std::string> columns;
+    /** Report rows of every delivered unit, in plan order. */
+    std::vector<std::vector<std::string>> rows;
+    /** Plan units with no record in any fragment. */
+    std::vector<MissingUnit> missing;
+    /** Exact duplicate records dropped (overlapping re-runs). */
+    std::size_t duplicates = 0;
+};
+
+/**
+ * Merge the fragments at @p paths. Fails (false + @p error) on an
+ * unreadable/malformed fragment, on fragments from different
+ * sweeps (bench, columns, shard count or plan mismatch), on a
+ * record contradicting the plan, and on a hash collision (same
+ * hash, different config). Holes are NOT an error here — they come
+ * back in MergeResult::missing for the caller to turn into a
+ * resume manifest.
+ */
+bool mergeFragments(const std::vector<std::string> &paths,
+                    MergeResult &out, std::string &error);
+
+/**
+ * The canonical BENCH_*.json serialization, shared by the unsharded
+ * binaries (bench_common writeJsonReport) and tools/sweep_merge:
+ * schema_version 2 with shard/of_shards provenance (1-based shard;
+ * both 0 for an unsharded or merged report).
+ */
+std::string renderBenchJson(
+    const std::string &benchName, const ShardPlan &shard,
+    double wallSeconds, unsigned workers,
+    const std::vector<std::string> &columns,
+    const std::vector<std::vector<std::string>> &rows);
+
+/** Serialize a resume manifest for @p missing units. */
+std::string renderResumeManifest(
+    const std::string &bench, unsigned ofShards,
+    const std::vector<MissingUnit> &missing);
+
+/** Parsed resume manifest (tools/farm_runner --resume). */
+struct ResumeManifest
+{
+    std::string bench;
+    unsigned ofShards = 0;
+    std::vector<MissingUnit> missing;
+
+    /** The distinct 1-based shards owning missing units, sorted. */
+    std::vector<unsigned> shards() const;
+};
+
+bool parseResumeManifest(const std::string &path, ResumeManifest &out,
+                         std::string &error);
+
+} // namespace drisim::farm
+
+#endif // DRISIM_FARM_MERGE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shard-spec parsing and ownership tests for the sweep farm.
+ */
+
+#include "farm/shard_plan.hh"
+
+#include "sim/result_cache.hh"
+#include "util/parse.hh"
+
+namespace drisim::farm
+{
+
+bool
+ShardPlan::owns(const sim::ConfigKey &key) const
+{
+    return owns(key.hash());
+}
+
+std::string
+ShardPlan::spec() const
+{
+    if (ofShards == 0)
+        return "1/1";
+    return std::to_string(shard + 1) + "/" +
+           std::to_string(ofShards);
+}
+
+bool
+parseShardSpec(std::string_view text, ShardPlan &out,
+               std::string &error)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string_view::npos) {
+        error = "shard spec must be K/N (e.g. 2/3), got '" +
+                std::string(text) + "'";
+        return false;
+    }
+    const std::string_view kText = text.substr(0, slash);
+    const std::string_view nText = text.substr(slash + 1);
+    std::uint64_t n = 0;
+    if (!parsePositiveValue(nText, n, kMaxShards)) {
+        error = "bad shard count '" + std::string(nText) +
+                "' in shard spec '" + std::string(text) +
+                "' (need 1.." + std::to_string(kMaxShards) + ")";
+        return false;
+    }
+    std::uint64_t k = 0;
+    if (!parsePositiveValue(kText, k, n)) {
+        error = "bad shard index '" + std::string(kText) +
+                "' in shard spec '" + std::string(text) +
+                "' (need 1.." + std::to_string(n) +
+                ", 1-based)";
+        return false;
+    }
+    out.shard = static_cast<unsigned>(k - 1);
+    out.ofShards = static_cast<unsigned>(n);
+    return true;
+}
+
+} // namespace drisim::farm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shard-plan algebra for the sweep farm (docs/REPRODUCTION.md,
+ * Farm mode): a sweep's units are partitioned across N OS processes
+ * by the stable FNV-1a hash of each unit's canonical ConfigKey
+ * (sim/result_cache.hh), so the partition is
+ *
+ *   - disjoint and covering: every unit belongs to exactly one
+ *     shard (hash % N picks it),
+ *   - stable: the same configuration shards identically across
+ *     runs, binaries and job-execution orders (the hash depends
+ *     only on the canonical config string),
+ *
+ * which is what makes per-shard result fragments mergeable and
+ * killed shards resumable (farm/fragment.hh, tools/sweep_merge).
+ * Locked by tests/farm_test.cc.
+ *
+ * The user-facing spec is `K/N` with 1 <= K <= N ("shard K of N");
+ * internally shards are 0-based. A default-constructed plan
+ * (ofShards == 0) means "unsharded": it owns everything.
+ */
+
+#ifndef DRISIM_FARM_SHARD_PLAN_HH
+#define DRISIM_FARM_SHARD_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace drisim::sim
+{
+class ConfigKey;
+}
+
+namespace drisim::farm
+{
+
+/** Hard cap on the shard count (matches the executor's job cap —
+ *  far beyond any sensible farm width, small enough to catch
+ *  typos). */
+constexpr std::uint64_t kMaxShards = 4096;
+
+struct ShardPlan
+{
+    /** 0-based shard index; meaningful only when ofShards > 0. */
+    unsigned shard = 0;
+    /** Total shard count; 0 = unsharded (owns every unit). */
+    unsigned ofShards = 0;
+
+    /** True when this plan actually partitions (N >= 2). */
+    bool active() const { return ofShards >= 2; }
+
+    /** Does this shard own the unit with the given stable hash? */
+    bool owns(std::uint64_t hash) const
+    {
+        return ofShards < 2 || hash % ofShards == shard;
+    }
+
+    bool owns(const sim::ConfigKey &key) const;
+
+    /** User-facing "K/N" (1-based); "1/1" when unsharded. */
+    std::string spec() const;
+
+    bool operator==(const ShardPlan &) const = default;
+};
+
+/**
+ * Parse a user-facing "K/N" shard spec. Both halves ride the strict
+ * bounded parser (util/parse.hh): sign characters, junk, K == 0,
+ * K > N, N == 0 and N > kMaxShards are all rejected with a message
+ * naming the offending half. On success @p out holds the 0-based
+ * plan.
+ */
+bool parseShardSpec(std::string_view text, ShardPlan &out,
+                    std::string &error);
+
+} // namespace drisim::farm
+
+#endif // DRISIM_FARM_SHARD_PLAN_HH

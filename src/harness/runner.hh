@@ -16,6 +16,7 @@
 
 #include "core/dri_params.hh"
 #include "cpu/ooo_core.hh"
+#include "farm/shard_plan.hh"
 #include "energy/energy_model.hh"
 #include "mem/hierarchy.hh"
 #include "policy/leakage_policy.hh"
@@ -68,6 +69,16 @@ struct RunConfig
      * half, bit-identically (locked by tests/checkpoint_test.cc).
      */
     std::string checkpointDir;
+
+    /**
+     * Sweep-farm shard assignment (--shard K/N, shard=K/N): a
+     * sharded bench runs only the sweep units whose stable config
+     * hash lands on this shard (farm/shard_plan.hh). Default =
+     * unsharded. Execution-only, like jobs: which process ran a
+     * unit cannot change its result, so the plan never enters run
+     * keys (locked by tests/options_test.cc).
+     */
+    farm::ShardPlan shard;
 
     /**
      * Content-addressed result memoization (null = off). Completed

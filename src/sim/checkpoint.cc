@@ -251,6 +251,24 @@ toHex64(std::uint64_t v)
     return buf;
 }
 
+std::uint64_t
+fromHex64(std::string_view s)
+{
+    if (s.empty() || s.size() > 16)
+        return 0;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return 0;
+    }
+    return v;
+}
+
 CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir))
 {
     std::error_code ec;

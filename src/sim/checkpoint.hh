@@ -132,6 +132,10 @@ std::uint64_t fnv1a64(std::string_view s);
 /** 16-digit lowercase hex of @p v. */
 std::string toHex64(std::uint64_t v);
 
+/** Inverse of toHex64 (lowercase hex, up to 16 digits); 0 on any
+ *  non-hex input. */
+std::uint64_t fromHex64(std::string_view s);
+
 } // namespace drisim::sim
 
 #endif // DRISIM_SIM_CHECKPOINT_HH

@@ -1,16 +1,21 @@
 /**
  * @file
- * Canonical config hashing and the JSON result sidecar.
+ * Canonical config hashing and the append-only newline-delimited
+ * result sidecar.
  */
 
 #include "sim/result_cache.hh"
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "sim/checkpoint.hh"
+#include "util/json.hh"
 
 namespace drisim::sim
 {
@@ -67,149 +72,17 @@ ConfigKey::canonical() const
     return out;
 }
 
+std::uint64_t
+ConfigKey::hash() const
+{
+    return fnv1a64(canonical());
+}
+
 std::string
 ConfigKey::hashHex() const
 {
-    return toHex64(fnv1a64(canonical()));
+    return toHex64(hash());
 }
-
-// ---------------------------------------------------------------
-// Minimal JSON reader — only the subset the sidecar uses (objects,
-// strings, integers). Any deviation fails the whole parse and the
-// cache starts empty: recompute, never serve garbage.
-// ---------------------------------------------------------------
-
-namespace
-{
-
-struct JsonParser
-{
-    const std::string &s;
-    std::size_t pos = 0;
-    bool ok = true;
-
-    void skipWs()
-    {
-        while (pos < s.size() &&
-               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
-                s[pos] == '\r'))
-            ++pos;
-    }
-
-    bool consume(char c)
-    {
-        skipWs();
-        if (pos < s.size() && s[pos] == c) {
-            ++pos;
-            return true;
-        }
-        ok = false;
-        return false;
-    }
-
-    bool peek(char c)
-    {
-        skipWs();
-        return pos < s.size() && s[pos] == c;
-    }
-
-    std::string parseString()
-    {
-        std::string out;
-        if (!consume('"'))
-            return out;
-        while (pos < s.size() && s[pos] != '"') {
-            char c = s[pos++];
-            if (c == '\\') {
-                if (pos >= s.size()) {
-                    ok = false;
-                    return out;
-                }
-                const char e = s[pos++];
-                switch (e) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  default: ok = false; return out;
-                }
-            } else {
-                out += c;
-            }
-        }
-        if (pos >= s.size()) {
-            ok = false;
-            return out;
-        }
-        ++pos; // closing quote
-        return out;
-    }
-
-    std::uint64_t parseUInt()
-    {
-        skipWs();
-        std::uint64_t v = 0;
-        bool any = false;
-        while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
-            v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
-            ++pos;
-            any = true;
-        }
-        if (!any)
-            ok = false;
-        return v;
-    }
-
-    /** Parse {"k":"v",...} of string values. */
-    std::map<std::string, std::string> parseStringMap()
-    {
-        std::map<std::string, std::string> out;
-        if (!consume('{'))
-            return out;
-        if (peek('}')) {
-            consume('}');
-            return out;
-        }
-        do {
-            std::string k = parseString();
-            if (!ok || !consume(':'))
-                return out;
-            std::string v = parseString();
-            if (!ok)
-                return out;
-            out[std::move(k)] = std::move(v);
-        } while (ok && consume(','));
-        // consume(',') failing set ok=false; the char must be '}'.
-        ok = true;
-        if (!consume('}'))
-            ok = false;
-        return out;
-    }
-};
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default: out += c;
-        }
-    }
-    return out;
-}
-
-} // namespace
 
 // ---------------------------------------------------------------
 // ResultCache
@@ -244,43 +117,42 @@ ResultCache::loadSidecarLocked()
     const std::string contents((std::istreambuf_iterator<char>(in)),
                                std::istreambuf_iterator<char>());
 
-    // {"version":1,"entries":{hash:{"config":c,"fields":{...}},...}}
-    JsonParser p{contents};
-    std::map<std::string, Entry> parsed;
-    if (!p.consume('{'))
-        return;
-    if (p.parseString() != "version" || !p.ok || !p.consume(':'))
-        return;
-    if (p.parseUInt() != 1 || !p.ok)
-        return; // unknown schema: recompute everything
-    if (!p.consume(',') || p.parseString() != "entries" || !p.ok ||
-        !p.consume(':') || !p.consume('{'))
-        return;
-    if (!p.peek('}')) {
-        do {
-            std::string hash = p.parseString();
-            if (!p.ok || !p.consume(':') || !p.consume('{'))
-                return;
-            Entry e;
-            if (p.parseString() != "config" || !p.ok ||
-                !p.consume(':'))
-                return;
-            e.config = p.parseString();
-            if (!p.ok || !p.consume(',') ||
-                p.parseString() != "fields" || !p.ok ||
-                !p.consume(':'))
-                return;
-            e.fields = p.parseStringMap();
-            if (!p.ok || !p.consume('}'))
-                return;
-            parsed[std::move(hash)] = std::move(e);
-        } while (p.ok && p.consume(','));
-        p.ok = true;
-    }
-    if (!p.consume('}') || !p.consume('}'))
-        return;
+    // One {"hash":h,"config":c,"fields":{...}} record per line. A
+    // line that fails to parse — torn tail of a killed writer,
+    // hand-edited junk — is skipped on its own; every other record
+    // survives. A trailing chunk without '\n' is by definition an
+    // incomplete append and is never parsed.
+    std::size_t start = 0;
+    while (start < contents.size()) {
+        const std::size_t nl = contents.find('\n', start);
+        if (nl == std::string::npos)
+            break; // torn final append
+        const std::string line = contents.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty())
+            continue;
 
-    entries_ = std::move(parsed);
+        JsonParser p{line};
+        if (!p.consume('{') || p.parseString() != "hash" || !p.ok ||
+            !p.consume(':'))
+            continue;
+        std::string hash = p.parseString();
+        if (!p.ok || !p.consume(',') ||
+            p.parseString() != "config" || !p.ok || !p.consume(':'))
+            continue;
+        Entry e;
+        e.config = p.parseString();
+        if (!p.ok || !p.consume(',') ||
+            p.parseString() != "fields" || !p.ok || !p.consume(':'))
+            continue;
+        e.fields = p.parseStringMap();
+        if (!p.ok || !p.consume('}') || !p.ok)
+            continue;
+        p.skipWs();
+        if (p.pos != line.size())
+            continue; // trailing junk: treat the line as torn
+        entries_[std::move(hash)] = std::move(e);
+    }
 }
 
 bool
@@ -312,56 +184,113 @@ ResultCache::store(const ConfigKey &key, const Fields &fields)
     Entry &e = entries_[hash];
     e.config = canon;
     e.fields = fields;
-    dirty_ = true;
+    pending_.push_back(hash);
     ++counters_.stores;
+}
+
+std::string
+ResultCache::renderRecord(const std::string &hash,
+                          const Entry &e) const
+{
+    std::string out = "{\"hash\":\"";
+    out += jsonEscape(hash);
+    out += "\",\"config\":\"";
+    out += jsonEscape(e.config);
+    out += "\",\"fields\":{";
+    bool first = true;
+    for (const auto &[k, v] : e.fields) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(k);
+        out += "\":\"";
+        out += jsonEscape(v);
+        out += '"';
+    }
+    out += "}}\n";
+    return out;
 }
 
 void
 ResultCache::flush()
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!dirty_)
+    if (pending_.empty())
         return;
 
-    std::string out = "{\"version\":1,\"entries\":{";
-    bool firstEntry = true;
-    for (const auto &[hash, e] : entries_) {
-        if (!firstEntry)
-            out += ',';
-        firstEntry = false;
-        out += '"';
-        out += jsonEscape(hash);
-        out += "\":{\"config\":\"";
-        out += jsonEscape(e.config);
-        out += "\",\"fields\":{";
-        bool firstField = true;
-        for (const auto &[k, v] : e.fields) {
-            if (!firstField)
-                out += ',';
-            firstField = false;
-            out += '"';
-            out += jsonEscape(k);
-            out += "\":\"";
-            out += jsonEscape(v);
-            out += '"';
-        }
-        out += "}}";
+    std::string out;
+    for (const std::string &hash : pending_) {
+        const auto it = entries_.find(hash);
+        if (it != entries_.end())
+            out += renderRecord(hash, it->second);
     }
-    out += "}}";
 
-    const std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-        if (!f)
-            return; // persist failure loses memoization only
-        f.write(out.data(), static_cast<std::streamsize>(out.size()));
-        if (!f)
-            return;
+    // One O_APPEND write of whole lines: POSIX appends land wholly
+    // at EOF, so concurrent flushing processes (sharded farm runs
+    // on one sidecar) interleave records, never bytes of a record.
+    const int fd = ::open(path_.c_str(),
+                          O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return; // persist failure loses memoization only
+    // A tail without '\n' (torn write of a killed process, hand
+    // edits) would glue our first record onto the junk line and
+    // lose it too; a leading newline quarantines the junk to its
+    // own (skipped) line. Cooperating writers always end in '\n',
+    // so a race here at worst adds a blank line the loader skips.
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        char last = '\n';
+        if (::pread(fd, &last, 1, st.st_size - 1) == 1 &&
+            last != '\n')
+            out.insert(out.begin(), '\n');
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path_, ec);
-    if (!ec)
-        dirty_ = false;
+    std::size_t done = 0;
+    bool failed = false;
+    while (done < out.size()) {
+        const ssize_t n =
+            ::write(fd, out.data() + done, out.size() - done);
+        if (n <= 0) {
+            failed = true;
+            break;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    if (!failed)
+        pending_.clear();
+}
+
+void
+ResultCache::reload()
+{
+    flush();
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    loaded_ = true;
+    loadSidecarLocked();
+}
+
+bool
+ResultCache::lookupHash(const std::string &hashHex,
+                        std::string &config, Fields &fields)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ensureLoadedLocked();
+    const auto it = entries_.find(hashHex);
+    if (it == entries_.end())
+        return false;
+    config = it->second.config;
+    fields = it->second.fields;
+    return true;
+}
+
+std::size_t
+ResultCache::size()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ensureLoadedLocked();
+    return entries_.size();
 }
 
 ResultCache::Counters

@@ -4,16 +4,25 @@
  *
  * A run's full semantic configuration is collected into a ConfigKey
  * (unordered k=v pairs), canonicalized by sorting, and hashed; cell
- * results are stored under the hash in a JSON sidecar shared across
- * bench binaries and across runs — the same dedup idea as
+ * results are stored under the hash in a sidecar shared across
+ * bench binaries, runs and *processes* — the same dedup idea as
  * programImageFor(), applied to results instead of images.
+ *
+ * The sidecar is newline-delimited JSON: one self-contained record
+ * per line, appended with a single O_APPEND write per flush so any
+ * number of concurrent writer processes (a sharded sweep farm,
+ * tools/farm_runner) interleave whole records, never bytes. A torn
+ * or corrupt line — a writer killed mid-append, a hand-edited file
+ * — invalidates only itself: the loader skips it and keeps every
+ * other record (two-process hammer locked by
+ * tests/result_cache_test.cc). Later records win, which is
+ * harmless: results are deterministic functions of the config.
  *
  * Values are stored as strings and compared/parsed exactly, so a
  * cached result is byte-identical to a recomputed one. The stored
- * entry keeps the full canonical config string and lookup compares
+ * record keeps the full canonical config string and lookup compares
  * it, so a hash collision (or hand-edited sidecar) is a miss, never
- * a wrong answer. A sidecar that fails to parse is treated as empty:
- * recompute, never serve.
+ * a wrong answer.
  */
 
 #ifndef DRISIM_SIM_RESULT_CACHE_HH
@@ -48,7 +57,10 @@ class ConfigKey
     /** Sorted "k=v;" concatenation — the hashed identity. */
     std::string canonical() const;
 
-    /** 16-hex-digit FNV-1a of canonical(). */
+    /** FNV-1a of canonical() — the sweep-farm shard key. */
+    std::uint64_t hash() const;
+
+    /** 16-hex-digit rendering of hash(). */
     std::string hashHex() const;
 
   private:
@@ -56,8 +68,10 @@ class ConfigKey
 };
 
 /**
- * Persistent result memoization keyed by ConfigKey. Thread-safe;
- * loaded lazily, written back by flush() (also on destruction).
+ * Persistent result memoization keyed by ConfigKey. Thread-safe
+ * within a process; safe against concurrent writer processes on one
+ * sidecar (append-only records, see file comment). Loaded lazily,
+ * written back by flush() (also on destruction).
  */
 class ResultCache
 {
@@ -72,7 +86,7 @@ class ResultCache
         std::uint64_t stores = 0;
     };
 
-    /** @param path JSON sidecar file (created on first flush). */
+    /** @param path sidecar file (created on first flush). */
     explicit ResultCache(std::string path);
     ~ResultCache();
 
@@ -84,8 +98,29 @@ class ResultCache
 
     void store(const ConfigKey &key, const Fields &fields);
 
-    /** Persist dirty entries to the sidecar. */
+    /** Append records stored since the last flush to the sidecar
+     *  (one O_APPEND write: concurrent flushing processes never
+     *  tear each other's records). */
     void flush();
+
+    /**
+     * Re-read the sidecar, merging records appended by other
+     * processes since this instance loaded (sweep_merge's
+     * re-read-on-merge). Unflushed local stores are flushed first,
+     * so nothing pending is lost.
+     */
+    void reload();
+
+    /**
+     * Merge-side accessor: the record stored under @p hashHex, if
+     * any. Fills the full canonical config (for collision checks
+     * against fragment rows) and the payload fields.
+     */
+    bool lookupHash(const std::string &hashHex, std::string &config,
+                    Fields &fields);
+
+    /** Number of loaded + stored records currently visible. */
+    std::size_t size();
 
     Counters counters() const;
 
@@ -100,11 +135,13 @@ class ResultCache
 
     void ensureLoadedLocked();
     void loadSidecarLocked();
+    std::string renderRecord(const std::string &hash,
+                             const Entry &e) const;
 
     std::string path_;
     bool loaded_ = false;
-    bool dirty_ = false;
     std::map<std::string, Entry> entries_; ///< by hash hex
+    std::vector<std::string> pending_;     ///< hashes not yet flushed
     Counters counters_;
     mutable std::mutex mu_;
 };

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Minimal JSON reader/escaper shared by the sidecar and farm
+ * layers.
+ */
+
+#include "util/json.hh"
+
+#include <cstdio>
+
+namespace drisim
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonParser::parseString()
+{
+    std::string out;
+    if (!consume('"'))
+        return out;
+    while (pos < s.size() && s[pos] != '"') {
+        char c = s[pos++];
+        if (c == '\\') {
+            if (pos >= s.size()) {
+                ok = false;
+                return out;
+            }
+            const char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                // Only the escapes jsonEscape emits: 4 hex digits,
+                // code points below 0x100.
+                if (pos + 4 > s.size()) {
+                    ok = false;
+                    return out;
+                }
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s[pos++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        ok = false;
+                        return out;
+                    }
+                }
+                if (v > 0xff) {
+                    ok = false;
+                    return out;
+                }
+                out += static_cast<char>(v);
+                break;
+              }
+              default: ok = false; return out;
+            }
+        } else {
+            out += c;
+        }
+    }
+    if (pos >= s.size()) {
+        ok = false;
+        return out;
+    }
+    ++pos; // closing quote
+    return out;
+}
+
+std::uint64_t
+JsonParser::parseUInt()
+{
+    skipWs();
+    std::uint64_t v = 0;
+    bool any = false;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+        ++pos;
+        any = true;
+    }
+    if (!any)
+        ok = false;
+    return v;
+}
+
+bool
+JsonParser::parseBool()
+{
+    skipWs();
+    if (s.compare(pos, 4, "true") == 0) {
+        pos += 4;
+        return true;
+    }
+    if (s.compare(pos, 5, "false") == 0) {
+        pos += 5;
+        return false;
+    }
+    ok = false;
+    return false;
+}
+
+std::map<std::string, std::string>
+JsonParser::parseStringMap()
+{
+    std::map<std::string, std::string> out;
+    if (!consume('{'))
+        return out;
+    if (peek('}')) {
+        consume('}');
+        return out;
+    }
+    do {
+        std::string k = parseString();
+        if (!ok || !consume(':'))
+            return out;
+        std::string v = parseString();
+        if (!ok)
+            return out;
+        out[std::move(k)] = std::move(v);
+    } while (ok && consume(','));
+    // consume(',') failing set ok=false; the char must be '}'.
+    ok = true;
+    if (!consume('}'))
+        ok = false;
+    return out;
+}
+
+std::vector<std::string>
+JsonParser::parseStringArray()
+{
+    std::vector<std::string> out;
+    if (!consume('['))
+        return out;
+    if (peek(']')) {
+        consume(']');
+        return out;
+    }
+    do {
+        out.push_back(parseString());
+        if (!ok)
+            return out;
+    } while (ok && consume(','));
+    ok = true;
+    if (!consume(']'))
+        ok = false;
+    return out;
+}
+
+std::vector<std::vector<std::string>>
+JsonParser::parseStringArrayArray()
+{
+    std::vector<std::vector<std::string>> out;
+    if (!consume('['))
+        return out;
+    if (peek(']')) {
+        consume(']');
+        return out;
+    }
+    do {
+        out.push_back(parseStringArray());
+        if (!ok)
+            return out;
+    } while (ok && consume(','));
+    ok = true;
+    if (!consume(']'))
+        ok = false;
+    return out;
+}
+
+} // namespace drisim

@@ -20,9 +20,15 @@ parseUnsignedValue(std::string_view text, std::uint64_t &out,
             return false;
         const std::uint64_t digit =
             static_cast<std::uint64_t>(c - '0');
-        if (v > maxValue / 10 || v * 10 > maxValue - digit)
+        // Guard the multiply, then the add, in unsigned-safe order
+        // (maxValue - digit could underflow when digit > maxValue,
+        // which is exactly the small-bound single-digit case).
+        if (v > maxValue / 10)
             return false;
-        v = v * 10 + digit;
+        v *= 10;
+        if (digit > maxValue - v)
+            return false;
+        v += digit;
     }
     out = v;
     return true;

@@ -286,6 +286,7 @@ TEST(Options, EveryUsageKeyIsSemanticOrExplicitlyExecutionOnly)
     // tests/checkpoint_test.cc).
     const std::set<std::string> executionOnly{
         "jobs",
+        "shard", // farm partition assignment (src/farm/shard_plan.hh)
         "checkpoint_dir",
         "result_cache",
         "cores",
@@ -400,6 +401,38 @@ TEST(Options, EveryUsageKeyIsSemanticOrExplicitlyExecutionOnly)
             << "'" << key << "' parses but never reaches the "
             << "canonical config string";
     }
+}
+
+TEST(Options, ParsesShardSpec)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"shard=2/3"}, o, err));
+    EXPECT_TRUE(o.run.shard.active());
+    EXPECT_EQ(o.run.shard.shard, 1u); // 0-based internally
+    EXPECT_EQ(o.run.shard.ofShards, 3u);
+    EXPECT_EQ(o.run.shard.spec(), "2/3");
+    // 1/1 parses but does not partition.
+    ASSERT_TRUE(parse({"shard=1/1"}, o, err));
+    EXPECT_FALSE(o.run.shard.active());
+}
+
+TEST(Options, RejectsBadShardSpecs)
+{
+    Options o;
+    std::string err;
+    // Strict parsing: the shard index is 1-based and bounded by the
+    // shard count; signs, junk and missing halves are all rejected.
+    EXPECT_FALSE(parse({"shard=0/3"}, o, err));
+    EXPECT_FALSE(parse({"shard=4/3"}, o, err));
+    EXPECT_FALSE(parse({"shard=-1/3"}, o, err));
+    EXPECT_FALSE(parse({"shard=2/-3"}, o, err));
+    EXPECT_FALSE(parse({"shard=2"}, o, err));
+    EXPECT_FALSE(parse({"shard=2/"}, o, err));
+    EXPECT_FALSE(parse({"shard=/3"}, o, err));
+    EXPECT_FALSE(parse({"shard=a/b"}, o, err));
+    EXPECT_FALSE(parse({"shard=2/4097"}, o, err)); // > kMaxShards
+    EXPECT_FALSE(err.empty());
 }
 
 TEST(Options, ParsesCoresAndPerCoreKeys)

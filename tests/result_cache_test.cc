@@ -15,6 +15,8 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <sys/wait.h>
+#include <unistd.h>
 #include <vector>
 
 #include "harness/runner.hh"
@@ -89,10 +91,12 @@ TEST(ConfigKeyTest, DefaultAndExplicitConfigsHashEqual)
     explicitCfg.maxInstrs = defaults.maxInstrs;
     explicitCfg.hier = HierarchyParams{};
     explicitCfg.core = OooParams{};
-    // jobs/checkpointDir/resultCache cannot change results and must
-    // not change the identity either.
+    // jobs/checkpointDir/resultCache/shard cannot change results
+    // and must not change the identity either (a unit computes the
+    // same answer whichever farm shard runs it).
     explicitCfg.jobs = 7;
     explicitCfg.checkpointDir = "/nonexistent";
+    explicitCfg.shard = farm::ShardPlan{1, 3};
     EXPECT_EQ(runKeyConventional(b, defaults).hashHex(),
               runKeyConventional(b, explicitCfg).hashHex());
 }
@@ -272,6 +276,150 @@ TEST(ResultCacheTest, HashCollisionIsAMissNotAWrongAnswer)
     ResultCache cache(path);
     ResultCache::Fields got;
     EXPECT_FALSE(cache.lookup(key, got));
+}
+
+// --- concurrent multi-process writers (sweep farm) --------------------
+
+ConfigKey
+numberedKey(const std::string &who, int i)
+{
+    ConfigKey k;
+    k.add("writer", who).add("cell", std::to_string(i));
+    return k;
+}
+
+/**
+ * The farm guarantee: any number of shard processes flushing to one
+ * sidecar interleave whole records, never bytes (single O_APPEND
+ * write per flush). Two real processes hammer the same file with
+ * per-record flushes; afterwards a fresh reader must see every
+ * record from both, intact.
+ */
+TEST(ResultCacheTest, TwoProcessHammerInterleavesWholeRecords)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    constexpr int kRecords = 200;
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: its own cache instance on the same sidecar. A long
+        // payload makes a torn interleave overwhelmingly likely if
+        // flushes ever split across writes.
+        ResultCache cache(path);
+        const std::string blob(256, 'c');
+        for (int i = 0; i < kRecords; ++i) {
+            cache.store(numberedKey("child", i),
+                        {{"cycles", std::to_string(i)},
+                         {"blob", blob}});
+            cache.flush();
+        }
+        _exit(0);
+    }
+    {
+        ResultCache cache(path);
+        const std::string blob(256, 'p');
+        for (int i = 0; i < kRecords; ++i) {
+            cache.store(numberedKey("parent", i),
+                        {{"cycles", std::to_string(i)},
+                         {"blob", blob}});
+            cache.flush();
+        }
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+    ResultCache reader(path);
+    EXPECT_EQ(reader.size(), 2u * kRecords);
+    ResultCache::Fields got;
+    for (int i = 0; i < kRecords; ++i) {
+        EXPECT_TRUE(reader.lookup(numberedKey("parent", i), got))
+            << i;
+        EXPECT_TRUE(reader.lookup(numberedKey("child", i), got))
+            << i;
+        EXPECT_EQ(got.at("cycles"), std::to_string(i));
+    }
+}
+
+TEST(ResultCacheTest, TornLineInvalidatesOnlyItself)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    ConfigKey first = numberedKey("w", 1);
+    ConfigKey second = numberedKey("w", 2);
+    {
+        ResultCache cache(path);
+        cache.store(first, {{"cycles", "1"}});
+        cache.flush();
+    }
+    // A writer killed mid-append leaves a torn line; records around
+    // it must survive. Splice junk (newline-terminated) between two
+    // valid records.
+    std::string contents = slurp(path);
+    contents += "{\"hash\":\"torn torn to";
+    contents += '\n';
+    spit(path, contents);
+    {
+        ResultCache cache(path);
+        cache.store(second, {{"cycles", "2"}});
+        cache.flush();
+    }
+    ResultCache reader(path);
+    ResultCache::Fields got;
+    EXPECT_TRUE(reader.lookup(first, got));
+    EXPECT_TRUE(reader.lookup(second, got));
+    EXPECT_EQ(reader.size(), 2u);
+}
+
+TEST(ResultCacheTest, AppendAfterUnterminatedTailIsNotLost)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    // Junk tail with no trailing newline (torn final append): the
+    // next flush must start on a fresh line or its first record is
+    // glued to the junk and lost with it.
+    spit(path, "this is not json {{{");
+    ConfigKey key = numberedKey("w", 1);
+    {
+        ResultCache cache(path);
+        cache.store(key, {{"cycles", "1"}});
+        cache.flush();
+    }
+    ResultCache reader(path);
+    ResultCache::Fields got;
+    EXPECT_TRUE(reader.lookup(key, got));
+    EXPECT_EQ(got.at("cycles"), "1");
+}
+
+TEST(ResultCacheTest, ReloadSeesOtherWritersRecords)
+{
+    TempDir dir;
+    const std::string path = dir.file("rc.json");
+    ConfigKey mine = numberedKey("a", 1);
+    ConfigKey theirs = numberedKey("b", 1);
+
+    ResultCache a(path);
+    a.store(mine, {{"cycles", "1"}});
+    a.flush();
+    ResultCache::Fields got;
+    EXPECT_FALSE(a.lookup(theirs, got)); // not written yet
+    {
+        // "Another process": an independent instance on the path.
+        ResultCache b(path);
+        b.store(theirs, {{"cycles", "2"}});
+        b.flush();
+    }
+    // Without reload the stale in-memory view still misses...
+    EXPECT_FALSE(a.lookup(theirs, got));
+    // ...and reload (sweep_merge's re-read-on-merge) picks it up
+    // without losing unflushed local state.
+    a.store(numberedKey("a", 2), {{"cycles", "3"}});
+    a.reload();
+    EXPECT_TRUE(a.lookup(theirs, got));
+    EXPECT_EQ(got.at("cycles"), "2");
+    EXPECT_TRUE(a.lookup(numberedKey("a", 2), got));
 }
 
 // --- runner integration -----------------------------------------------

@@ -187,6 +187,14 @@ TEST(Parse, UnsignedEnforcesCapWithoutWrapping)
     EXPECT_TRUE(parseUnsignedValue("4096", v, 4096));
     EXPECT_EQ(v, 4096u);
     EXPECT_FALSE(parseUnsignedValue("4097", v, 4096));
+    // Single digit past a small cap: the old guard's
+    // `maxValue - digit` underflowed here and let it through
+    // (caught by the farm's shard=K/N bound, K <= N).
+    EXPECT_FALSE(parseUnsignedValue("4", v, 3));
+    EXPECT_TRUE(parseUnsignedValue("3", v, 3));
+    EXPECT_EQ(v, 3u);
+    EXPECT_FALSE(parseUnsignedValue("9", v, 0));
+    EXPECT_TRUE(parseUnsignedValue("0", v, 0));
     // Values overflowing u64 must fail, not wrap.
     EXPECT_FALSE(parseUnsignedValue("18446744073709551616", v));
     EXPECT_FALSE(

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Farm-mode end-to-end smoke (docs/REPRODUCTION.md, Farm mode; the
+# CI farm leg runs exactly this):
+#
+#   1. unsharded reference: one bench process, --json, pinned wall
+#      clock and worker count,
+#   2. 3-shard farm_runner run of the same sweep with one shard
+#      SIGKILLed after its first completed unit,
+#   3. sweep_merge on the fragments -> must report holes (exit 4)
+#      and write a resume manifest,
+#   4. farm_runner --resume re-runs only the killed shard; its
+#      resumed fragment must recompute zero already-completed units
+#      (result-cache hits stay 0: completed units are skipped
+#      outright, never re-looked-up),
+#   5. sweep_merge again -> merged BENCH json, byte-identical to the
+#      reference.
+#
+# Usage: tools/farm_smoke.sh BUILD_DIR [WORK_DIR]
+# Env: DRISIM_SCALE (default 0.05) scales the run length.
+
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: farm_smoke.sh BUILD_DIR [WORK_DIR]}
+WORK_DIR=${2:-$(mktemp -d /tmp/drisim_farm_smoke.XXXXXX)}
+BENCH=${FARM_SMOKE_BENCH:-bench_figure4}
+export DRISIM_SCALE=${DRISIM_SCALE:-0.05}
+# Pin the provenance fields so the merged and reference reports can
+# be compared byte-for-byte.
+export DRISIM_JSON_WALL_SECONDS=0
+
+mkdir -p "$WORK_DIR"
+echo "== farm smoke: $BENCH, scale $DRISIM_SCALE, work dir $WORK_DIR"
+
+echo "== 1. unsharded reference run"
+"$BUILD_DIR/$BENCH" --jobs 1 --json "$WORK_DIR/reference.json" \
+    > "$WORK_DIR/reference.out" 2> "$WORK_DIR/reference.err"
+
+echo "== 2. 3-shard farm run, killing shard 2 after 1 unit"
+# The kill is expected: farm_runner exits 0 when the only casualty
+# is the requested victim.
+"$BUILD_DIR/farm_runner" \
+    --bin "$BUILD_DIR/$BENCH" --shards 3 --dir "$WORK_DIR/farm" \
+    --args "--jobs 1 --result-cache $WORK_DIR/farm/cache.json" \
+    --kill-shard 2 --kill-after-records 1
+
+echo "== 3. merge must detect the hole and emit a manifest"
+set +e
+"$BUILD_DIR/sweep_merge" \
+    --out "$WORK_DIR/merged.json" \
+    --manifest "$WORK_DIR/resume.json" \
+    "$WORK_DIR"/farm/shard_*.part.json
+rc=$?
+set -e
+if [ "$rc" -ne 4 ]; then
+    echo "FAIL: expected sweep_merge exit 4 (holes), got $rc" >&2
+    exit 1
+fi
+[ -f "$WORK_DIR/resume.json" ] || {
+    echo "FAIL: no resume manifest written" >&2; exit 1; }
+
+echo "== 4. resume re-runs only the killed shard"
+"$BUILD_DIR/farm_runner" \
+    --bin "$BUILD_DIR/$BENCH" --dir "$WORK_DIR/farm" \
+    --args "--jobs 1 --result-cache $WORK_DIR/farm/cache.json" \
+    --resume "$WORK_DIR/resume.json"
+
+# Zero-recompute proof: the resumed shard adopted its fragment's
+# completed units, so it skipped them outright — its result-cache
+# line must show hits=0 (a hit would mean a unit was re-entered and
+# served from cache instead of being skipped).
+err="$WORK_DIR/farm/shard_2.err"
+grep -q "resumed 1 completed unit" "$err" || {
+    echo "FAIL: resumed shard did not adopt its fragment:" >&2
+    cat "$err" >&2; exit 1; }
+grep -q "result-cache: hits=0 " "$err" || {
+    echo "FAIL: resumed shard recomputed or re-looked-up completed" \
+         "units (want hits=0):" >&2
+    grep "result-cache:" "$err" >&2 || true; exit 1; }
+
+echo "== 5. merge again and compare against the reference"
+"$BUILD_DIR/sweep_merge" \
+    --out "$WORK_DIR/merged.json" \
+    "$WORK_DIR"/farm/shard_*.part.json
+
+if ! cmp "$WORK_DIR/reference.json" "$WORK_DIR/merged.json"; then
+    echo "FAIL: merged report differs from the unsharded run" >&2
+    diff "$WORK_DIR/reference.json" "$WORK_DIR/merged.json" >&2 ||
+        true
+    exit 1
+fi
+
+echo "PASS: merged 3-shard (kill + resume) report is byte-identical"
+echo "      to the unsharded run ($WORK_DIR/merged.json)"

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Fragment joiner for the sweep farm (docs/REPRODUCTION.md, Farm
+ * mode): merges the per-shard BENCH_*.part.json fragments a
+ * farm_runner run produced into the single merged BENCH_*.json
+ * report, byte-identical to what one unsharded `--json` run of the
+ * same binary would have written (same serializer,
+ * farm/merge.hh renderBenchJson; locked by the CI farm leg).
+ *
+ *   sweep_merge --out MERGED.json [--manifest PATH]
+ *               [--result-cache FILE] [--wall-seconds S]
+ *               [--workers W] FRAGMENT...
+ *
+ * Duplicate records (overlapping re-runs) are dropped under the
+ * result-cache rule — same hash must mean same config and same
+ * rows; a collision or contradiction is a hard error. When plan
+ * units are missing (a killed shard), the merge writes a resume
+ * manifest (--manifest, default OUT.resume.json) naming each hole
+ * and its owning shard, and exits 4 so scripts can branch into
+ * `farm_runner --resume`.
+ *
+ * --wall-seconds (default 0) and --workers (default 1) set the
+ * merged report's provenance fields; the byte-identity comparison
+ * pins the reference run the same way (DRISIM_JSON_WALL_SECONDS=0,
+ * --jobs 1). --result-cache re-reads the shared sidecar after the
+ * merge and reports how many memoized records the farm left behind.
+ *
+ * Exit codes: 0 merged, 2 error, 4 holes (manifest written).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "farm/merge.hh"
+#include "sim/result_cache.hh"
+
+using namespace drisim;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --out MERGED.json [--manifest PATH]\n"
+        "          [--result-cache FILE] [--wall-seconds S]\n"
+        "          [--workers W] FRAGMENT...\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    std::string manifestPath;
+    std::string cachePath;
+    double wallSeconds = 0.0;
+    unsigned workers = 1;
+    std::vector<std::string> fragments;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](std::string &dst) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value after %s\n",
+                             arg.c_str());
+                return false;
+            }
+            dst = argv[++i];
+            return true;
+        };
+        std::string value;
+        if (arg == "--out") {
+            if (!next(outPath))
+                return usage(argv[0]);
+        } else if (arg == "--manifest") {
+            if (!next(manifestPath))
+                return usage(argv[0]);
+        } else if (arg == "--result-cache") {
+            if (!next(cachePath))
+                return usage(argv[0]);
+        } else if (arg == "--wall-seconds") {
+            if (!next(value))
+                return usage(argv[0]);
+            char *end = nullptr;
+            wallSeconds = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0') {
+                std::fprintf(stderr, "bad --wall-seconds '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (arg == "--workers") {
+            if (!next(value))
+                return usage(argv[0]);
+            char *end = nullptr;
+            const unsigned long v =
+                std::strtoul(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || v == 0) {
+                std::fprintf(stderr, "bad --workers '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+            workers = static_cast<unsigned>(v);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            fragments.push_back(arg);
+        }
+    }
+    if (outPath.empty() || fragments.empty())
+        return usage(argv[0]);
+    if (manifestPath.empty())
+        manifestPath = outPath + ".resume.json";
+
+    farm::MergeResult merged;
+    std::string error;
+    if (!farm::mergeFragments(fragments, merged, error)) {
+        std::fprintf(stderr, "sweep_merge: %s\n", error.c_str());
+        return 2;
+    }
+
+    if (merged.duplicates > 0)
+        std::fprintf(stderr,
+                     "sweep_merge: dropped %zu exact duplicate "
+                     "record%s (overlapping re-runs)\n",
+                     merged.duplicates,
+                     merged.duplicates == 1 ? "" : "s");
+
+    if (!cachePath.empty()) {
+        // Re-read-on-merge: pick up every record concurrent shard
+        // processes appended to the shared sidecar.
+        sim::ResultCache cache(cachePath);
+        cache.reload();
+        std::fprintf(stderr,
+                     "sweep_merge: result-cache sidecar %s holds "
+                     "%zu record%s\n",
+                     cachePath.c_str(), cache.size(),
+                     cache.size() == 1 ? "" : "s");
+    }
+
+    if (!merged.missing.empty()) {
+        std::fprintf(stderr,
+                     "sweep_merge: %zu plan unit%s missing:\n",
+                     merged.missing.size(),
+                     merged.missing.size() == 1 ? "" : "s");
+        for (const farm::MissingUnit &m : merged.missing)
+            std::fprintf(
+                stderr, "  unit %llu hash %s (owner shard %u/%u)\n",
+                static_cast<unsigned long long>(m.index),
+                m.hash.c_str(), m.shard, merged.ofShards);
+        const std::string doc = farm::renderResumeManifest(
+            merged.bench, merged.ofShards, merged.missing);
+        if (!farm::writeFileAtomic(manifestPath, doc, error)) {
+            std::fprintf(stderr, "sweep_merge: %s\n", error.c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "sweep_merge: resume manifest written to %s "
+                     "(farm_runner --resume)\n",
+                     manifestPath.c_str());
+        return 4;
+    }
+
+    const std::string doc = farm::renderBenchJson(
+        merged.bench, farm::ShardPlan{}, wallSeconds, workers,
+        merged.columns, merged.rows);
+    if (!farm::writeFileAtomic(outPath, doc, error)) {
+        std::fprintf(stderr, "sweep_merge: %s\n", error.c_str());
+        return 2;
+    }
+    std::fprintf(stderr,
+                 "sweep_merge: merged %zu row%s from %zu "
+                 "fragment%s into %s\n",
+                 merged.rows.size(),
+                 merged.rows.size() == 1 ? "" : "s",
+                 fragments.size(), fragments.size() == 1 ? "" : "s",
+                 outPath.c_str());
+    return 0;
+}
