@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "farm/merge.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/checkpoint.hh"
 #include "util/parse.hh"
 #include "util/str.hh"
@@ -40,7 +42,8 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
         (acceptShard ? " [--shard K/N] [--part PATH]" : "") +
         " [--json PATH] [--dram-banked] [--sample]"
         " [--checkpoint-dir DIR]"
-        " [--result-cache FILE] [--list]   (jobs 0 = DRISIM_JOBS "
+        " [--result-cache FILE] [--trace PATH] [--metrics PATH]"
+        " [--metrics-interval N] [--list]   (jobs 0 = DRISIM_JOBS "
         "env, else serial; --list prints the workload names)";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -98,6 +101,48 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
             continue;
         } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
             ctx.cfg.checkpointDir = arg.substr(17);
+            continue;
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            ctx.tracePath = argv[++i];
+            continue;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            ctx.tracePath = arg.substr(8);
+            continue;
+        } else if (arg == "--metrics") {
+            if (i + 1 >= argc) {
+                error = "missing value after " + arg + "\n" + usage;
+                return false;
+            }
+            ctx.metricsPath = argv[++i];
+            continue;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            ctx.metricsPath = arg.substr(10);
+            continue;
+        } else if (arg == "--metrics-interval" ||
+                   arg.rfind("--metrics-interval=", 0) == 0) {
+            std::string spec;
+            if (arg == "--metrics-interval") {
+                if (i + 1 >= argc) {
+                    error = "missing value after " + arg + "\n" +
+                            usage;
+                    return false;
+                }
+                spec = argv[++i];
+            } else {
+                spec = arg.substr(19);
+            }
+            std::uint64_t v = 0;
+            if (!parsePositiveValue(spec, v,
+                                    std::uint64_t(1) << 40)) {
+                error = "bad metrics interval '" + spec + "'\n" +
+                        usage;
+                return false;
+            }
+            ctx.metricsInterval = v;
             continue;
         } else if (arg == "--result-cache") {
             if (i + 1 >= argc) {
@@ -208,6 +253,17 @@ parseBenchArgs(int argc, char **argv, BenchContext &ctx,
         }
     }
     ctx.exec.reset(); // rebuilt lazily with the parsed worker count
+    // Install the global observability sinks now so every layer's
+    // hooks (executor, runner, sampling, farm) see them without
+    // threading a handle through; both stay null — one dead branch
+    // per hook — unless asked for.
+    if (!ctx.tracePath.empty())
+        obs::initTrace(ctx.tracePath);
+    if (!ctx.metricsPath.empty())
+        obs::initMetrics(ctx.metricsPath,
+                         ctx.metricsInterval > 0
+                             ? ctx.metricsInterval
+                             : obs::kDefaultMetricsInterval);
     error.clear();
     return true;
 }
@@ -303,15 +359,46 @@ SweepDriver::shouldRun(std::size_t i) const
 {
     if (!ctx_.cfg.shard.owns(units_[i].hash))
         return false;
-    return !(writer_ && writer_->hasRecord(i));
+    if (writer_ && writer_->hasRecord(i))
+        return false;
+    unitStart_[i] = std::chrono::steady_clock::now();
+    return true;
 }
 
 void
 SweepDriver::unitDone(std::size_t i,
                       std::vector<std::vector<std::string>> rows)
 {
+    // Per-unit wall clock, pinned by the same switch as the report
+    // wall clock so sharded byte-comparisons stay stable.
+    double unitWall = 0.0;
+    const auto started = unitStart_.find(i);
+    if (started != unitStart_.end()) {
+        unitWall = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() -
+                       started->second)
+                       .count();
+        unitStart_.erase(started);
+    }
+    double pinnedWall = 0.0;
+    const bool pinned = obs::pinnedWallSeconds(pinnedWall);
+    if (pinned)
+        unitWall = pinnedWall;
+    if (obs::TraceWriter *tw = obs::trace()) {
+        obs::TraceSpan span;
+        span.cat = "farm";
+        span.name = benchName_ + "/unit/" + units_[i].hashHex;
+        if (!tw->pinned()) {
+            span.dur = static_cast<std::uint64_t>(unitWall * 1e6);
+            const std::uint64_t now = tw->nowMicros();
+            span.ts = now > span.dur ? now - span.dur : 0;
+        }
+        span.args.emplace_back("label", units_[i].label);
+        tw->complete(std::move(span));
+    }
     if (writer_)
-        writer_->addRecord(i, units_[i], rows);
+        writer_->addRecord(i, units_[i], rows,
+                           strFormat("%.3f", unitWall));
     rows_[i] = std::move(rows);
     // Unit boundary = durability point: with the rows safely in the
     // fragment, persist the unit's memoized sub-runs too, so a kill
@@ -385,6 +472,23 @@ reportFastSim(const BenchContext &ctx)
             static_cast<unsigned long long>(c.saves),
             static_cast<unsigned long long>(c.restores),
             ctx.cfg.checkpointDir.c_str());
+    }
+    // Observability artifacts flush here, after the report, so a
+    // trace covers the whole run; like the lines above, the summary
+    // goes to stderr to keep stdout byte-comparable.
+    if (obs::TraceWriter *tw = obs::trace()) {
+        std::string err;
+        if (!tw->write(err))
+            std::fprintf(stderr, "warning: %s\n", err.c_str());
+        std::fprintf(stderr, "trace: %zu spans -> %s\n",
+                     tw->spanCount(), tw->path().c_str());
+    }
+    if (obs::TimeSeriesRecorder *m = obs::metrics()) {
+        std::string err;
+        if (!m->write(err))
+            std::fprintf(stderr, "warning: %s\n", err.c_str());
+        std::fprintf(stderr, "metrics: %zu samples -> %s\n",
+                     m->sampleCount(), m->path().c_str());
     }
 }
 

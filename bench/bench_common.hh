@@ -72,6 +72,21 @@ struct BenchContext
      */
     std::string partPath;
 
+    /**
+     * Observability sinks (src/obs/) — strictly execution-only:
+     * none of these enters any ConfigKey, and with all three unset
+     * every output byte is identical to a build without them.
+     *  - --trace PATH            Perfetto/chrome://tracing span file
+     *  - --metrics PATH          interval time-series CSV
+     *  - --metrics-interval N    sampling interval in instructions
+     *                            (0 = obs::kDefaultMetricsInterval)
+     * parseBenchArgs installs the global obs sinks on success;
+     * reportFastSim() flushes them to disk.
+     */
+    std::string tracePath;
+    std::string metricsPath;
+    InstCount metricsInterval = 0;
+
     /** Wall-clock anchor for the JSON report (context creation). */
     std::chrono::steady_clock::time_point startTime =
         std::chrono::steady_clock::now();
@@ -203,6 +218,12 @@ class SweepDriver
     /** Rows per completed unit, keyed by plan index. */
     std::map<std::uint64_t, std::vector<std::vector<std::string>>>
         rows_;
+    /** When each in-flight unit started (set by shouldRun(i) ==
+     *  true, consumed by unitDone(i) for the fragment's per-unit
+     *  wall seconds and the "farm" trace span). */
+    mutable std::map<std::uint64_t,
+                     std::chrono::steady_clock::time_point>
+        unitStart_;
 };
 
 /** Print the SPEC workload names with their paper class; returns 0

@@ -23,7 +23,7 @@ main(int argc, char **argv)
     BenchContext ctx = defaultContext();
     std::string err;
     if (!parseBenchArgs(argc, argv, ctx, err,
-                        /*acceptCores=*/false, /*acceptShort=*/false,
+                        /*acceptCores=*/false, /*acceptShort=*/true,
                         /*acceptShard=*/true)) {
         std::cerr << err << "\n";
         return 2;
@@ -49,7 +49,14 @@ main(int argc, char **argv)
     double worst_spread = 0.0;
     std::string worst_name;
 
-    const auto &suite = specSuite();
+    // --short keeps compress+li, the same filter the sweep registry
+    // applies, so loop indices keep matching the plan.
+    std::vector<BenchmarkInfo> suite;
+    for (const auto &b : specSuite()) {
+        if (ctx.shortRun && b.name != "compress" && b.name != "li")
+            continue;
+        suite.push_back(b);
+    }
     for (std::size_t i = 0; i < suite.size(); ++i) {
         const auto &b = suite[i];
         if (!drv.shouldRun(i))

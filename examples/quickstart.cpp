@@ -39,6 +39,8 @@
 #include "harness/multilevel.hh"
 #include "harness/policies.hh"
 #include "harness/runner.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace drisim;
 
@@ -246,6 +248,29 @@ main(int argc, char **argv)
     for (const std::string &key : opts.unknown)
         std::fprintf(stderr, "warning: unknown option '%s'\n",
                      key.c_str());
+
+    // trace=/metrics= install the observability sinks; a flusher
+    // writes them out whichever return path the run takes.
+    if (!opts.tracePath.empty())
+        obs::initTrace(opts.tracePath);
+    if (!opts.metricsPath.empty())
+        obs::initMetrics(opts.metricsPath,
+                         opts.metricsInterval
+                             ? opts.metricsInterval
+                             : obs::kDefaultMetricsInterval);
+    struct ObsFlush
+    {
+        ~ObsFlush()
+        {
+            std::string err;
+            if (obs::TraceWriter *tw = obs::trace())
+                if (!tw->write(err))
+                    std::fprintf(stderr, "%s\n", err.c_str());
+            if (obs::TimeSeriesRecorder *m = obs::metrics())
+                if (!m->write(err))
+                    std::fprintf(stderr, "%s\n", err.c_str());
+        }
+    } obsFlush;
 
     if (opts.cores > 1)
         return runCmpQuickstart(opts);

@@ -355,6 +355,18 @@ parseOptions(int argc, const char *const *argv, Options &out,
                 return bad_value();
             out.run.resultCache =
                 std::make_shared<sim::ResultCache>(value);
+        } else if (key == "trace") {
+            if (value.empty())
+                return bad_value();
+            out.tracePath = value;
+        } else if (key == "metrics") {
+            if (value.empty())
+                return bad_value();
+            out.metricsPath = value;
+        } else if (key == "metrics.interval") {
+            if (!parsePositiveValue(value, u))
+                return bad_value();
+            out.metricsInterval = u;
         } else if (key == "l2.size") {
             if (!parseBytes(value, u) || u == 0)
                 return bad_value();
@@ -491,7 +503,8 @@ optionsUsage()
            "policy.decay.limit=N policy.drowsy.interval=N "
            "policy.drowsy.wake=N policy.ways.active=N sample=0|1 "
            "sample.window=N sample.period=N checkpoint_dir=DIR "
-           "result_cache=FILE l2.size=1M "
+           "result_cache=FILE trace=FILE metrics=FILE "
+           "metrics.interval=N l2.size=1M "
            "l2.assoc=N l2.block=64 l2.dri=0|1 l2.size_bound=64K "
            "l2.miss_bound=N l2.interval=N l1.mshrs=N l2.mshrs=N "
            "dram.banked=0|1 dram.banks=N dram.row_hit=N "

@@ -13,6 +13,7 @@
  *   policy.drowsy.interval, policy.drowsy.wake, policy.ways.active,
  *   sample, sample.window, sample.period,
  *   checkpoint_dir, result_cache,
+ *   trace, metrics, metrics.interval,
  *   l2.size, l2.assoc, l2.block,
  *   l2.dri, l2.size_bound, l2.miss_bound, l2.interval,
  *   l1.mshrs, l2.mshrs,
@@ -69,6 +70,7 @@
 #ifndef DRISIM_CONFIG_OPTIONS_HH
 #define DRISIM_CONFIG_OPTIONS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -121,6 +123,18 @@ struct Options
     CoherenceConfig coherence;
     /** Sparse coreK.* overrides (index = K). */
     std::vector<CoreOverride> coreOverrides;
+
+    /** `trace=FILE`: Perfetto/chrome-trace span output
+     *  (src/obs/trace.hh). Execution-only like `jobs` — never
+     *  enters a run's identity key; empty = disabled. Consumers
+     *  install it with obs::initTrace(). */
+    std::string tracePath;
+    /** `metrics=FILE`: interval time-series CSV output
+     *  (src/obs/metrics.hh). Execution-only; empty = disabled. */
+    std::string metricsPath;
+    /** `metrics.interval=N`: instructions per metrics sample
+     *  (0 = obs::kDefaultMetricsInterval). Execution-only. */
+    std::uint64_t metricsInterval = 0;
 
     /** Keys that were not recognized (caller decides severity). */
     std::vector<std::string> unknown;

@@ -70,6 +70,8 @@ renderFragment(const Fragment &f)
         out += jsonEscape(r.hash);
         out += "\",\"config\":\"";
         out += jsonEscape(r.config);
+        out += "\",\"wall_seconds\":\"";
+        out += jsonEscape(r.wallSeconds);
         out += "\",\"rows\":[";
         for (std::size_t j = 0; j < r.rows.size(); ++j) {
             if (j)
@@ -189,6 +191,10 @@ readFragment(const std::string &path, Fragment &out,
                 break;
             r.config = p.parseString();
             p.consume(',');
+            if (!expectKey(p, "wall_seconds"))
+                break;
+            r.wallSeconds = p.parseString();
+            p.consume(',');
             if (!expectKey(p, "rows"))
                 break;
             r.rows = p.parseStringArrayArray();
@@ -301,12 +307,15 @@ FragmentWriter::hasRecord(std::uint64_t index) const
 void
 FragmentWriter::addRecord(
     std::uint64_t index, const SweepUnit &unit,
-    const std::vector<std::vector<std::string>> &rows)
+    const std::vector<std::vector<std::string>> &rows,
+    const std::string &wallSeconds)
 {
     FragmentRecord r;
     r.index = index;
     r.hash = unit.hashHex;
     r.config = unit.config;
+    if (!wallSeconds.empty())
+        r.wallSeconds = wallSeconds;
     r.rows = rows;
     frag_.records.push_back(std::move(r));
     rewrite();

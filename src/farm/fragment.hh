@@ -51,6 +51,13 @@ struct FragmentRecord
     std::uint64_t index = 0; ///< plan index
     std::string hash;        ///< unit hash (hex)
     std::string config;      ///< full canonical config string
+    /**
+     * Wall seconds the unit took, formatted "%.3f" (pinned by
+     * DRISIM_JSON_WALL_SECONDS like the report wall clock).
+     * Provenance only: merge dedup compares config and rows, never
+     * this — overlapping re-runs legitimately differ here.
+     */
+    std::string wallSeconds = "0.000";
     /** The unit's report rows (>= 0 rows of column cells). */
     std::vector<std::vector<std::string>> rows;
 };
@@ -65,7 +72,10 @@ struct FragmentPlanEntry
 /** One shard's result stream, as read from/written to disk. */
 struct Fragment
 {
-    unsigned schemaVersion = 1;
+    /** 2: records carry per-unit wall_seconds. A version-1 file
+     *  fails the strict parse and is discarded on resume (the shard
+     *  starts clean), never misread. */
+    unsigned schemaVersion = 2;
     std::string bench; ///< report name, e.g. "bench_figure4"
     ShardPlan shard;
     std::vector<std::string> columns;
@@ -123,10 +133,13 @@ class FragmentWriter
     /**
      * Append one completed unit and rewrite the fragment atomically
      * (rename). A crash between units loses nothing; a crash inside
-     * a unit loses only that unit.
+     * a unit loses only that unit. @p wallSeconds is the unit's
+     * wall clock, already formatted "%.3f" (empty keeps the "0.000"
+     * default).
      */
     void addRecord(std::uint64_t index, const SweepUnit &unit,
-                   const std::vector<std::vector<std::string>> &rows);
+                   const std::vector<std::vector<std::string>> &rows,
+                   const std::string &wallSeconds = std::string());
 
     /** Mark the shard's work complete and rewrite. */
     void finalize();

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
 #include "util/str.hh"
@@ -127,9 +128,12 @@ Executor::run(JobGraph &graph)
         job.state = JobState::Pending;
         job.pendingDeps = job.depCount;
     }
+    const int submitSlot = WorkStealingPool::currentSlot();
     for (JobId id = 0; id < graph.jobs_.size(); ++id)
         if (graph.jobs_[id].depCount == 0)
-            pool_.submit([this, &graph, id] { runJob(graph, id); });
+            pool_.submit([this, &graph, id, submitSlot] {
+                runJob(graph, id, submitSlot);
+            });
 
     pool_.helpWhile([this] {
         return remaining_.load(std::memory_order_acquire) > 0;
@@ -141,7 +145,7 @@ Executor::run(JobGraph &graph)
 }
 
 void
-Executor::runJob(JobGraph &graph, JobId id)
+Executor::runJob(JobGraph &graph, JobId id, int submitSlot)
 {
     auto &job = graph.jobs_[id];
 
@@ -157,6 +161,18 @@ Executor::runJob(JobGraph &graph, JobId id)
         {
             std::lock_guard<std::mutex> lock(mu_);
             job.state = JobState::Running;
+        }
+        // One span per job body. Worker/steal annotations are
+        // scheduling-dependent, so a pinned trace (byte-compared at
+        // --jobs 1 vs --jobs 4) omits them.
+        obs::TraceWriter *tw = obs::trace();
+        obs::ScopedSpan span(tw, "job", job.key);
+        if (tw && !tw->pinned()) {
+            span.tid(ctx.worker);
+            span.arg("worker", std::to_string(ctx.worker));
+            span.arg("stolen", submitSlot >= 0 && submitSlot != slot
+                                   ? "true"
+                                   : "false");
         }
         try {
             job.fn(ctx);
@@ -182,9 +198,11 @@ Executor::runJob(JobGraph &graph, JobId id)
                 ready.push_back(dep);
         }
     }
+    const int slot = WorkStealingPool::currentSlot();
     for (const JobId dep : ready)
-        pool_.submit(
-            [this, &graph, dep] { runJob(graph, dep); });
+        pool_.submit([this, &graph, dep, slot] {
+            runJob(graph, dep, slot);
+        });
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
 }
 

@@ -161,7 +161,10 @@ class Executor
             &fn);
 
   private:
-    void runJob(JobGraph &graph, JobId id);
+    /** @param submitSlot pool slot that enqueued the job (-1 for a
+     *  foreign thread) — differing from the executing slot marks the
+     *  job as stolen in the trace (obs/trace.hh). */
+    void runJob(JobGraph &graph, JobId id, int submitSlot);
 
     WorkStealingPool pool_;
 

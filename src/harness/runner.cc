@@ -17,6 +17,9 @@
 
 #include "core/dri_icache.hh"
 #include "cpu/simple_core.hh"
+#include "obs/metrics.hh"
+#include "obs/probe.hh"
+#include "obs/trace.hh"
 #include "sim/checkpoint.hh"
 #include "util/logging.hh"
 #include "workload/generator.hh"
@@ -420,6 +423,21 @@ runOutputFromFields(const sim::ResultCache::Fields &f, RunOutput &out)
  * @p impl and store. A hit whose payload fails strict field parsing
  * is recomputed and overwritten, never served.
  */
+/** Instant ("dur":0) cache-lookup event on the trace timeline. */
+void
+cacheEvent(const char *name, const sim::ConfigKey &key)
+{
+    obs::TraceWriter *tw = obs::trace();
+    if (!tw)
+        return;
+    obs::TraceSpan s;
+    s.cat = "cache";
+    s.name = name;
+    s.ts = tw->nowMicros();
+    s.args.emplace_back("key", key.hashHex());
+    tw->complete(std::move(s));
+}
+
 template <typename Impl>
 RunOutput
 memoizedRun(const RunConfig &config, const sim::ConfigKey &key,
@@ -430,9 +448,12 @@ memoizedRun(const RunConfig &config, const sim::ConfigKey &key,
     sim::ResultCache::Fields f;
     if (config.resultCache->lookup(key, f)) {
         RunOutput out;
-        if (runOutputFromFields(f, out))
+        if (runOutputFromFields(f, out)) {
+            cacheEvent("hit", key);
             return out;
+        }
     }
+    cacheEvent("miss", key);
     const RunOutput out = impl();
     config.resultCache->store(key, runOutputToFields(out));
     return out;
@@ -466,24 +487,288 @@ runCheckpointed(const RunConfig &config, const sim::ConfigKey &key,
                                  std::to_string(split);
     std::string blob;
     if (store.load(storeKey, blob)) {
-        sim::CheckpointReader r(std::move(blob));
-        r.beginSection("run");
-        gen.restoreFrom(r);
-        core.restoreFrom(r);
-        restoreExtra(r);
-        r.endSection();
+        {
+            obs::ScopedSpan span(obs::trace(), "checkpoint",
+                                 "restore");
+            sim::CheckpointReader r(std::move(blob));
+            r.beginSection("run");
+            gen.restoreFrom(r);
+            core.restoreFrom(r);
+            restoreExtra(r);
+            r.endSection();
+        }
         return core.run(gen, total - split);
     }
 
     core.run(gen, split);
-    sim::CheckpointWriter w;
-    w.beginSection("run");
-    gen.snapshotTo(w);
-    core.snapshotTo(w);
-    snapExtra(w);
-    w.endSection();
-    store.save(storeKey, w.bytes());
+    {
+        obs::ScopedSpan span(obs::trace(), "checkpoint", "save");
+        sim::CheckpointWriter w;
+        w.beginSection("run");
+        gen.snapshotTo(w);
+        core.snapshotTo(w);
+        snapExtra(w);
+        w.endSection();
+        store.save(storeKey, w.bytes());
+    }
     return core.run(gen, total - split);
+}
+
+/** The series a run's trace span and interval samples share. */
+std::string
+obsSeries(const BenchmarkInfo &bench, const char *mode,
+          const sim::ConfigKey &key)
+{
+    return bench.name + "/" + mode + "#" + key.hashHex();
+}
+
+/**
+ * Per-interval differencing over a probe registry of *cumulative*
+ * readouts (obs/probe.hh). Entry points register probes under the
+ * canonical names below; sample() derives the already-differenced
+ * interval metrics the CSV carries — interval CPI and miss rates,
+ * active/drowsy fractions from the cycle-area integrals, resize and
+ * wake deltas, the instantaneous active-byte count.
+ */
+class IntervalSampler
+{
+  public:
+    explicit IntervalSampler(std::string series)
+        : series_(std::move(series))
+    {
+    }
+
+    obs::MetricRegistry &registry() { return reg_; }
+
+    void sample(const CoreStats &cs)
+    {
+        obs::TimeSeriesRecorder *m = obs::metrics();
+        if (!m)
+            return;
+        std::map<std::string, double> cur;
+        for (auto &[name, value] : reg_.sample())
+            cur[name] = value;
+        const auto has = [&cur](const char *name) {
+            return cur.count(name) > 0;
+        };
+
+        const double dc = delta(cur, "cycles");
+        const double di =
+            static_cast<double>(cs.instructions) - prevInstrs_;
+
+        std::vector<std::pair<std::string, double>> out;
+        out.emplace_back("cycles", dc);
+        out.emplace_back("cpi", di > 0.0 ? dc / di : 0.0);
+        missRate(cur, "l1i", out);
+        missRate(cur, "l1d", out);
+        missRate(cur, "l2", out);
+
+        const bool hasActive = has("active_cycle_area");
+        double activeFraction = 1.0;
+        if (hasActive) {
+            activeFraction =
+                fraction(delta(cur, "active_cycle_area"), dc);
+            out.emplace_back("active_fraction", activeFraction);
+        }
+        if (has("drowsy_cycle_area"))
+            out.emplace_back(
+                "drowsy_fraction",
+                fraction(delta(cur, "drowsy_cycle_area"), dc));
+        if (has("active_bytes")) {
+            out.emplace_back("active_bytes",
+                             cur.at("active_bytes"));
+        } else if (has("l1i_size_bytes")) {
+            // No instantaneous size probe (time-integrated
+            // policies): reconstruct the interval's average active
+            // bytes from the fraction.
+            out.emplace_back("active_bytes",
+                             activeFraction *
+                                 cur.at("l1i_size_bytes"));
+        }
+        for (const char *counter :
+             {"resizes", "wakes", "wake_stall_cycles",
+              "dram_busy_cycles", "coherence_invalidations",
+              "coherence_wakes", "coherence_refetches"})
+            if (has(counter))
+                out.emplace_back(counter, delta(cur, counter));
+        if (has("mshr_peak_occupancy"))
+            out.emplace_back("mshr_peak_occupancy",
+                             cur.at("mshr_peak_occupancy"));
+
+        m->record(series_, cs.instructions, std::move(out));
+        prev_ = std::move(cur);
+        prevInstrs_ = static_cast<double>(cs.instructions);
+    }
+
+  private:
+    double delta(const std::map<std::string, double> &cur,
+                 const std::string &name)
+    {
+        const auto it = cur.find(name);
+        if (it == cur.end())
+            return 0.0;
+        const auto pit = prev_.find(name);
+        return it->second -
+               (pit == prev_.end() ? 0.0 : pit->second);
+    }
+
+    static double fraction(double area, double cycles)
+    {
+        if (cycles <= 0.0)
+            return 0.0;
+        return std::min(1.0, std::max(0.0, area / cycles));
+    }
+
+    void missRate(const std::map<std::string, double> &cur,
+                  const std::string &level,
+                  std::vector<std::pair<std::string, double>> &out)
+    {
+        if (cur.count(level + "_accesses") == 0)
+            return;
+        const double da = delta(cur, level + "_accesses");
+        const double dm = delta(cur, level + "_misses");
+        out.emplace_back(level + "_miss_rate",
+                         da > 0.0 ? dm / da : 0.0);
+    }
+
+    std::string series_;
+    obs::MetricRegistry reg_;
+    std::map<std::string, double> prev_;
+    double prevInstrs_ = 0.0;
+};
+
+/** Common probes: core clock, D-side/L2 hierarchy counters. */
+void
+addHierProbes(obs::MetricRegistry &reg, Core &core, Hierarchy &hier)
+{
+    reg.add("cycles", [&core] {
+        return static_cast<double>(core.stats().cycles);
+    });
+    reg.add("l1d_accesses", [&hier] {
+        return static_cast<double>(hier.l1d().accesses());
+    });
+    reg.add("l1d_misses", [&hier] {
+        return static_cast<double>(hier.l1d().misses());
+    });
+    reg.add("l2_accesses", [&hier] {
+        return static_cast<double>(hier.l2Accesses());
+    });
+    reg.add("l2_misses", [&hier] {
+        return static_cast<double>(hier.l2Misses());
+    });
+    reg.add("mshr_peak_occupancy", [&hier] {
+        return static_cast<double>(
+            hier.l1d().mshrPeakOccupancy());
+    });
+    if (Dram *d = hier.dram())
+        reg.add("dram_busy_cycles", [d] {
+            return static_cast<double>(d->busyCycles());
+        });
+}
+
+/** Conventional L1I: full-size, always active. */
+void
+addConvL1iProbes(obs::MetricRegistry &reg, Cache &l1i,
+                 std::uint64_t sizeBytes)
+{
+    reg.add("l1i_accesses", [&l1i] {
+        return static_cast<double>(l1i.accesses());
+    });
+    reg.add("l1i_misses", [&l1i] {
+        return static_cast<double>(l1i.misses());
+    });
+    reg.add("active_bytes", [sizeBytes] {
+        return static_cast<double>(sizeBytes);
+    });
+}
+
+/** DRI L1I: instantaneous size plus the active-area integral. */
+void
+addDriL1iProbes(obs::MetricRegistry &reg, DriICache &icache,
+                Core &core)
+{
+    reg.add("l1i_accesses", [&icache] {
+        return static_cast<double>(icache.accesses());
+    });
+    reg.add("l1i_misses", [&icache] {
+        return static_cast<double>(icache.misses());
+    });
+    reg.add("active_cycle_area", [&icache, &core] {
+        return icache.averageActiveFraction() *
+               static_cast<double>(core.stats().cycles);
+    });
+    reg.add("active_bytes", [&icache] {
+        return static_cast<double>(icache.currentSizeBytes());
+    });
+    reg.add("resizes", [&icache] {
+        return static_cast<double>(icache.upsizes() +
+                                   icache.downsizes());
+    });
+}
+
+/** Leakage-policy L1I: time-integrated activity + wake events. */
+void
+addPolicyL1iProbes(obs::MetricRegistry &reg, LeakagePolicy &policy,
+                   Core &core, std::uint64_t sizeBytes)
+{
+    reg.add("l1i_accesses", [&policy] {
+        return static_cast<double>(policy.l1Accesses());
+    });
+    reg.add("l1i_misses", [&policy] {
+        return static_cast<double>(policy.l1Misses());
+    });
+    reg.add("l1i_size_bytes", [sizeBytes] {
+        return static_cast<double>(sizeBytes);
+    });
+    reg.add("active_cycle_area", [&policy, &core] {
+        return policy.activity().avgActiveFraction *
+               static_cast<double>(core.stats().cycles);
+    });
+    reg.add("drowsy_cycle_area", [&policy, &core] {
+        return policy.activity().avgDrowsyFraction *
+               static_cast<double>(core.stats().cycles);
+    });
+    reg.add("resizes", [&policy] {
+        return static_cast<double>(policy.activity().resizes);
+    });
+    reg.add("wakes", [&policy] {
+        return static_cast<double>(
+            policy.activity().wakeTransitions);
+    });
+    reg.add("wake_stall_cycles", [&policy] {
+        return static_cast<double>(
+            policy.activity().wakeStallCycles);
+    });
+}
+
+/**
+ * Interval-metered alternative to runCheckpointed: chunk the run at
+ * the recorder's interval (a multiple of the fast model's
+ * 64-instruction retire batch, so chunked execution is bit-identical
+ * to one call) and sample after every chunk. Only reached when a
+ * metrics sink is installed; checkpoints are skipped for the run —
+ * observability is execution-only, so results are unchanged either
+ * way.
+ */
+template <typename Sampler>
+CoreStats
+runMetered(Core &core, TraceGenerator &gen, InstCount total,
+           Sampler &&sample)
+{
+    const InstCount interval = obs::metrics()->interval();
+    CoreStats cs = core.stats();
+    InstCount done = 0;
+    while (done < total) {
+        const InstCount chunk = std::min(interval, total - done);
+        const InstCount before = core.stats().instructions;
+        cs = core.run(gen, chunk);
+        const InstCount ran = cs.instructions - before;
+        done += ran;
+        sample(cs);
+        if (ran < chunk)
+            break; // stream drained
+    }
+    return cs;
 }
 
 } // namespace
@@ -581,25 +866,38 @@ runConventional(const BenchmarkInfo &bench, const RunConfig &config)
 {
     const sim::ConfigKey key = runKeyConventional(bench, config);
     return memoizedRun(config, key, [&] {
+        const std::string series = obsSeries(bench, "conv", key);
+        obs::ScopedSpan runSpan(obs::trace(), "run", series);
         stats::StatGroup root("sim");
         Hierarchy hier(config.hier, &root, true);
         OooCore core(config.core, hier.l1i(), &hier.l1d(), &root);
         core.addResizable(hier.driL2());
 
         TraceGenerator gen(imageFor(bench));
-        const CoreStats cs =
-            config.sampling.enabled
-                ? sim::runSampled(core, hier.l1i(), &hier.l1d(), gen,
-                                  config.maxInstrs, config.sampling,
-                                  config.core.fetchBlockBytes)
-                : runCheckpointed(
-                      config, key, core, gen,
-                      [&](sim::CheckpointWriter &w) {
-                          hier.snapshotTo(w);
-                      },
-                      [&](sim::CheckpointReader &r) {
-                          hier.restoreFrom(r);
-                      });
+        CoreStats cs;
+        if (config.sampling.enabled) {
+            cs = sim::runSampled(core, hier.l1i(), &hier.l1d(), gen,
+                                 config.maxInstrs, config.sampling,
+                                 config.core.fetchBlockBytes);
+        } else if (obs::metrics()) {
+            IntervalSampler sampler(series);
+            addHierProbes(sampler.registry(), core, hier);
+            addConvL1iProbes(sampler.registry(), *hier.convL1i(),
+                             config.hier.l1i.sizeBytes);
+            cs = runMetered(core, gen, config.maxInstrs,
+                            [&](const CoreStats &s) {
+                                sampler.sample(s);
+                            });
+        } else {
+            cs = runCheckpointed(
+                config, key, core, gen,
+                [&](sim::CheckpointWriter &w) {
+                    hier.snapshotTo(w);
+                },
+                [&](sim::CheckpointReader &r) {
+                    hier.restoreFrom(r);
+                });
+        }
 
         RunOutput out;
         Cache *l1i = hier.convL1i();
@@ -619,6 +917,8 @@ runDri(const BenchmarkInfo &bench, const RunConfig &config,
 {
     const sim::ConfigKey key = runKeyDri(bench, config, dri);
     return memoizedRun(config, key, [&] {
+        const std::string series = obsSeries(bench, "dri", key);
+        obs::ScopedSpan runSpan(obs::trace(), "run", series);
         stats::StatGroup root("sim");
         Hierarchy hier(config.hier, &root, false);
         DriICache icache(dri, hier.l2Level(), &root);
@@ -628,21 +928,31 @@ runDri(const BenchmarkInfo &bench, const RunConfig &config,
         core.addResizable(hier.driL2());
 
         TraceGenerator gen(imageFor(bench));
-        const CoreStats cs =
-            config.sampling.enabled
-                ? sim::runSampled(core, &icache, &hier.l1d(), gen,
-                                  config.maxInstrs, config.sampling,
-                                  config.core.fetchBlockBytes)
-                : runCheckpointed(
-                      config, key, core, gen,
-                      [&](sim::CheckpointWriter &w) {
-                          hier.snapshotTo(w);
-                          icache.snapshotTo(w);
-                      },
-                      [&](sim::CheckpointReader &r) {
-                          hier.restoreFrom(r);
-                          icache.restoreFrom(r);
-                      });
+        CoreStats cs;
+        if (config.sampling.enabled) {
+            cs = sim::runSampled(core, &icache, &hier.l1d(), gen,
+                                 config.maxInstrs, config.sampling,
+                                 config.core.fetchBlockBytes);
+        } else if (obs::metrics()) {
+            IntervalSampler sampler(series);
+            addHierProbes(sampler.registry(), core, hier);
+            addDriL1iProbes(sampler.registry(), icache, core);
+            cs = runMetered(core, gen, config.maxInstrs,
+                            [&](const CoreStats &s) {
+                                sampler.sample(s);
+                            });
+        } else {
+            cs = runCheckpointed(
+                config, key, core, gen,
+                [&](sim::CheckpointWriter &w) {
+                    hier.snapshotTo(w);
+                    icache.snapshotTo(w);
+                },
+                [&](sim::CheckpointReader &r) {
+                    hier.restoreFrom(r);
+                    icache.restoreFrom(r);
+                });
+        }
 
         RunOutput out;
         out.meas = measurementFromCounts(
@@ -666,6 +976,8 @@ calibrateFastImpl(const BenchmarkInfo &bench, const RunConfig &config,
                   const RunOutput &convDetailed)
 {
     FastCalibration cal;
+    obs::ScopedSpan runSpan(obs::trace(), "run",
+                            bench.name + "/calibrate");
     // Measure the conventional fetch-miss stall with the fast model
     // (independent of CPI), then solve baseCpi so the fast model
     // reproduces the detailed conventional cycle count.
@@ -724,6 +1036,8 @@ runConventionalFast(const BenchmarkInfo &bench, const RunConfig &config,
     const sim::ConfigKey key =
         runKeyConventionalFast(bench, config, cal);
     return memoizedRun(config, key, [&] {
+        const std::string series = obsSeries(bench, "conv-fast", key);
+        obs::ScopedSpan runSpan(obs::trace(), "run", series);
         stats::StatGroup root("fast");
         Hierarchy hier(config.hier, &root, true);
         SimpleCoreParams scp;
@@ -733,10 +1047,26 @@ runConventionalFast(const BenchmarkInfo &bench, const RunConfig &config,
         SimpleCore fast(scp, hier.l1i());
         fast.addResizable(hier.driL2());
         TraceGenerator gen(imageFor(bench));
-        const CoreStats cs = runCheckpointed(
-            config, key, fast, gen,
-            [&](sim::CheckpointWriter &w) { hier.snapshotTo(w); },
-            [&](sim::CheckpointReader &r) { hier.restoreFrom(r); });
+        CoreStats cs;
+        if (obs::metrics()) {
+            IntervalSampler sampler(series);
+            addHierProbes(sampler.registry(), fast, hier);
+            addConvL1iProbes(sampler.registry(), *hier.convL1i(),
+                             config.hier.l1i.sizeBytes);
+            cs = runMetered(fast, gen, config.maxInstrs,
+                            [&](const CoreStats &s) {
+                                sampler.sample(s);
+                            });
+        } else {
+            cs = runCheckpointed(
+                config, key, fast, gen,
+                [&](sim::CheckpointWriter &w) {
+                    hier.snapshotTo(w);
+                },
+                [&](sim::CheckpointReader &r) {
+                    hier.restoreFrom(r);
+                });
+        }
 
         RunOutput out;
         Cache *l1i = hier.convL1i();
@@ -836,6 +1166,12 @@ runCmp(const RunConfig &config, const CmpConfig &cmp,
 
     stats::StatGroup root("cmp");
     CmpSystem sys(cmp, config.hier, config.core, images, &root);
+    obs::ScopedSpan runSpan(obs::trace(), "run",
+                            defaultBench + "/cmp");
+    if (obs::metrics())
+        sys.setObsSeries(
+            defaultBench + "/cmp#" +
+            runKeyCmp(config, cmp, defaultBench).hashHex());
     CmpRunOutput out = sys.run(config.maxInstrs);
     for (std::size_t k = 0; k < out.cores.size(); ++k)
         out.cores[k].bench = names[k];
@@ -873,6 +1209,8 @@ runPolicy(const BenchmarkInfo &bench, const RunConfig &config,
 {
     const sim::ConfigKey key = runKeyPolicy(bench, config, policy);
     return memoizedRun(config, key, [&] {
+        const std::string series = obsSeries(bench, "policy", key);
+        obs::ScopedSpan runSpan(obs::trace(), "run", series);
         stats::StatGroup root("sim");
         Hierarchy hier(config.hier, &root, false);
         std::unique_ptr<LeakagePolicy> l1i =
@@ -883,21 +1221,33 @@ runPolicy(const BenchmarkInfo &bench, const RunConfig &config,
         core.addResizable(hier.driL2());
 
         TraceGenerator gen(imageFor(bench));
-        const CoreStats cs =
-            config.sampling.enabled
-                ? sim::runSampled(core, l1i->level(), &hier.l1d(), gen,
-                                  config.maxInstrs, config.sampling,
-                                  config.core.fetchBlockBytes)
-                : runCheckpointed(
-                      config, key, core, gen,
-                      [&](sim::CheckpointWriter &w) {
-                          hier.snapshotTo(w);
-                          l1i->snapshotTo(w);
-                      },
-                      [&](sim::CheckpointReader &r) {
-                          hier.restoreFrom(r);
-                          l1i->restoreFrom(r);
-                      });
+        CoreStats cs;
+        if (config.sampling.enabled) {
+            cs = sim::runSampled(core, l1i->level(), &hier.l1d(),
+                                 gen, config.maxInstrs,
+                                 config.sampling,
+                                 config.core.fetchBlockBytes);
+        } else if (obs::metrics()) {
+            IntervalSampler sampler(series);
+            addHierProbes(sampler.registry(), core, hier);
+            addPolicyL1iProbes(sampler.registry(), *l1i, core,
+                               policy.dri.sizeBytes);
+            cs = runMetered(core, gen, config.maxInstrs,
+                            [&](const CoreStats &s) {
+                                sampler.sample(s);
+                            });
+        } else {
+            cs = runCheckpointed(
+                config, key, core, gen,
+                [&](sim::CheckpointWriter &w) {
+                    hier.snapshotTo(w);
+                    l1i->snapshotTo(w);
+                },
+                [&](sim::CheckpointReader &r) {
+                    hier.restoreFrom(r);
+                    l1i->restoreFrom(r);
+                });
+        }
 
         RunOutput out;
         fillPolicyOutputs(*l1i, policy, cs, out);
@@ -914,6 +1264,9 @@ runPolicyFast(const BenchmarkInfo &bench, const RunConfig &config,
     const sim::ConfigKey key =
         runKeyPolicyFast(bench, config, policy, cal);
     return memoizedRun(config, key, [&] {
+        const std::string series =
+            obsSeries(bench, "policy-fast", key);
+        obs::ScopedSpan runSpan(obs::trace(), "run", series);
         stats::StatGroup root("fast");
         Hierarchy hier(config.hier, &root, false);
         std::unique_ptr<LeakagePolicy> l1i =
@@ -927,16 +1280,28 @@ runPolicyFast(const BenchmarkInfo &bench, const RunConfig &config,
         fast.addRetireSink(l1i.get());
         fast.addResizable(hier.driL2());
         TraceGenerator gen(imageFor(bench));
-        const CoreStats cs = runCheckpointed(
-            config, key, fast, gen,
-            [&](sim::CheckpointWriter &w) {
-                hier.snapshotTo(w);
-                l1i->snapshotTo(w);
-            },
-            [&](sim::CheckpointReader &r) {
-                hier.restoreFrom(r);
-                l1i->restoreFrom(r);
-            });
+        CoreStats cs;
+        if (obs::metrics()) {
+            IntervalSampler sampler(series);
+            addHierProbes(sampler.registry(), fast, hier);
+            addPolicyL1iProbes(sampler.registry(), *l1i, fast,
+                               policy.dri.sizeBytes);
+            cs = runMetered(fast, gen, config.maxInstrs,
+                            [&](const CoreStats &s) {
+                                sampler.sample(s);
+                            });
+        } else {
+            cs = runCheckpointed(
+                config, key, fast, gen,
+                [&](sim::CheckpointWriter &w) {
+                    hier.snapshotTo(w);
+                    l1i->snapshotTo(w);
+                },
+                [&](sim::CheckpointReader &r) {
+                    hier.restoreFrom(r);
+                    l1i->restoreFrom(r);
+                });
+        }
 
         RunOutput out;
         fillPolicyOutputs(*l1i, policy, cs, out);
@@ -951,6 +1316,8 @@ runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
 {
     const sim::ConfigKey key = runKeyDriFast(bench, config, dri, cal);
     return memoizedRun(config, key, [&] {
+        const std::string series = obsSeries(bench, "dri-fast", key);
+        obs::ScopedSpan runSpan(obs::trace(), "run", series);
         stats::StatGroup root("fast");
         Hierarchy hier(config.hier, &root, false);
         DriICache icache(dri, hier.l2Level(), &root);
@@ -963,16 +1330,27 @@ runDriFast(const BenchmarkInfo &bench, const RunConfig &config,
         fast.setDri(&icache);
         fast.addResizable(hier.driL2());
         TraceGenerator gen(imageFor(bench));
-        const CoreStats cs = runCheckpointed(
-            config, key, fast, gen,
-            [&](sim::CheckpointWriter &w) {
-                hier.snapshotTo(w);
-                icache.snapshotTo(w);
-            },
-            [&](sim::CheckpointReader &r) {
-                hier.restoreFrom(r);
-                icache.restoreFrom(r);
-            });
+        CoreStats cs;
+        if (obs::metrics()) {
+            IntervalSampler sampler(series);
+            addHierProbes(sampler.registry(), fast, hier);
+            addDriL1iProbes(sampler.registry(), icache, fast);
+            cs = runMetered(fast, gen, config.maxInstrs,
+                            [&](const CoreStats &s) {
+                                sampler.sample(s);
+                            });
+        } else {
+            cs = runCheckpointed(
+                config, key, fast, gen,
+                [&](sim::CheckpointWriter &w) {
+                    hier.snapshotTo(w);
+                    icache.snapshotTo(w);
+                },
+                [&](sim::CheckpointReader &r) {
+                    hier.restoreFrom(r);
+                    icache.restoreFrom(r);
+                });
+        }
 
         RunOutput out;
         out.meas = measurementFromCounts(

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Interval time-series buffering and canonical CSV emission.
+ */
+
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "util/str.hh"
+
+namespace drisim::obs
+{
+
+namespace
+{
+
+std::unique_ptr<TimeSeriesRecorder> gMetrics;
+
+/** Shortest round-trippable rendering of a metric value. */
+std::string
+formatValue(double v)
+{
+    return strFormat("%.9g", v);
+}
+
+} // namespace
+
+TimeSeriesRecorder::TimeSeriesRecorder(std::string path,
+                                       InstCount interval)
+    : path_(std::move(path))
+{
+    // Align to the fast model's retire batch so the metered run loop
+    // (harness/runner.cc) splits at boundaries both core models
+    // cross bit-identically (same rule as the checkpoint midpoint).
+    interval_ = std::max<InstCount>(64, interval & ~InstCount{63});
+}
+
+void
+TimeSeriesRecorder::record(
+    const std::string &series, std::uint64_t instrs,
+    std::vector<std::pair<std::string, double>> values)
+{
+    Sample s;
+    s.instrs = instrs;
+    s.values = std::move(values);
+    std::lock_guard<std::mutex> lock(mu_);
+    series_[series].push_back(std::move(s));
+}
+
+std::size_t
+TimeSeriesRecorder::sampleCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &[name, samples] : series_)
+        n += samples.size();
+    return n;
+}
+
+std::string
+TimeSeriesRecorder::renderCsv() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Canonical column order: the sorted union of every metric name
+    // seen anywhere, so the document's shape is independent of which
+    // series happened to record first.
+    std::set<std::string> names;
+    for (const auto &[name, samples] : series_)
+        for (const Sample &s : samples)
+            for (const auto &[metric, value] : s.values)
+                names.insert(metric);
+
+    std::string out = "series,instrs";
+    for (const std::string &n : names)
+        out += "," + n;
+    out += "\n";
+
+    for (const auto &[name, samples] : series_) {
+        for (const Sample &s : samples) {
+            out += name + "," + std::to_string(s.instrs);
+            for (const std::string &n : names) {
+                double v = 0.0;
+                for (const auto &[metric, value] : s.values)
+                    if (metric == n) {
+                        v = value;
+                        break;
+                    }
+                out += "," + formatValue(v);
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+bool
+TimeSeriesRecorder::write(std::string &error) const
+{
+    const std::string doc = renderCsv();
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        error = "cannot write metrics '" + path_ + "'";
+        return false;
+    }
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
+                    doc.size();
+    std::fclose(f);
+    if (!ok)
+        error = "short write to '" + path_ + "'";
+    return ok;
+}
+
+TimeSeriesRecorder *
+metrics()
+{
+    return gMetrics.get();
+}
+
+TimeSeriesRecorder *
+initMetrics(const std::string &path, InstCount interval)
+{
+    gMetrics = std::make_unique<TimeSeriesRecorder>(path, interval);
+    return gMetrics.get();
+}
+
+void
+resetMetrics()
+{
+    gMetrics.reset();
+}
+
+} // namespace drisim::obs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Interval time-series recorder: the sink the per-run samplers feed
+ * every `metrics.interval` retired instructions (aligned down to the
+ * fast model's 64-instruction retire batch so chunked execution
+ * stays bit-identical to a single run).
+ *
+ * One *series* is one simulated run, named
+ * `<bench>/<mode>#<confighash>` (or `<mix>/cmp#<hash>/coreK` for CMP
+ * cores); each sample carries already-differenced per-interval
+ * values (interval CPI, interval miss rates, resize/wake deltas,
+ * instantaneous active bytes). The CSV emission canonicalizes
+ * everything at write time — series sorted by name, columns the
+ * sorted union of metric names — so output bytes depend only on the
+ * sample set, never on worker scheduling (byte-identical at
+ * --jobs 1 vs --jobs 4; locked by tests/obs_test.cc).
+ *
+ * Execution-only, like the trace writer: a null sink costs one
+ * branch per hook, and no metrics knob enters the ConfigKey.
+ */
+
+#ifndef DRISIM_OBS_METRICS_HH
+#define DRISIM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace drisim::obs
+{
+
+/** Default sampling interval in retired instructions. */
+constexpr InstCount kDefaultMetricsInterval = 100 * 1000;
+
+/** Buffers interval samples per series; writes one canonical CSV. */
+class TimeSeriesRecorder
+{
+  public:
+    TimeSeriesRecorder(std::string path,
+                       InstCount interval = kDefaultMetricsInterval);
+
+    /** Sampling interval, already aligned down to a multiple of 64
+     *  (and at least 64). */
+    InstCount interval() const { return interval_; }
+
+    /**
+     * Record one interval sample for @p series at cumulative
+     * instruction count @p instrs (thread-safe). Values arrive as
+     * (metric name, value) pairs; missing metrics render as 0.
+     */
+    void record(
+        const std::string &series, std::uint64_t instrs,
+        std::vector<std::pair<std::string, double>> values);
+
+    std::size_t sampleCount() const;
+    const std::string &path() const { return path_; }
+
+    /** Render the canonical CSV document. */
+    std::string renderCsv() const;
+
+    /** Render + write the CSV to path(). */
+    bool write(std::string &error) const;
+
+  private:
+    struct Sample
+    {
+        std::uint64_t instrs = 0;
+        std::vector<std::pair<std::string, double>> values;
+    };
+
+    std::string path_;
+    InstCount interval_;
+    mutable std::mutex mu_;
+    /** Keyed by series name: map order IS the canonical order. */
+    std::map<std::string, std::vector<Sample>> series_;
+};
+
+/** @name Global metrics sink
+ *  Installed by the bench front-ends (`--metrics PATH`); null by
+ *  default. Not a knob: never part of any run's identity.
+ */
+///@{
+TimeSeriesRecorder *metrics();
+TimeSeriesRecorder *initMetrics(
+    const std::string &path,
+    InstCount interval = kDefaultMetricsInterval);
+void resetMetrics(); ///< drop the installed recorder (tests)
+///@}
+
+} // namespace drisim::obs
+
+#endif // DRISIM_OBS_METRICS_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Probe registry implementation.
+ */
+
+#include "obs/probe.hh"
+
+#include "util/logging.hh"
+
+namespace drisim::obs
+{
+
+void
+MetricRegistry::add(std::string name, std::function<double()> read)
+{
+    drisim_assert(read != nullptr, "probe '%s' has no reader",
+                  name.c_str());
+    probes_.push_back(Probe{std::move(name), std::move(read)});
+}
+
+std::vector<std::pair<std::string, double>>
+MetricRegistry::sample() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(probes_.size());
+    for (const Probe &p : probes_)
+        out.emplace_back(p.name, p.read());
+    return out;
+}
+
+} // namespace drisim::obs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Probe registry: named scalar readouts over live simulator state.
+ *
+ * A Probe is a (name, closure) pair the instrumented layer registers
+ * once per run; the interval sampler (obs/metrics.hh) reads the
+ * whole registry at each boundary. Everything here is strictly
+ * execution-only observability: probes never feed back into the
+ * simulation and none of their knobs enter the ConfigKey, so every
+ * golden stays byte-identical whether or not anything is attached
+ * (locked by tests/obs_test.cc and the options_test guard).
+ *
+ * Zero overhead when disabled: nothing in the simulator ever builds
+ * a registry unless a sink (obs::metrics()) is installed — the fast
+ * path in every hook is a single branch on a null pointer.
+ */
+
+#ifndef DRISIM_OBS_PROBE_HH
+#define DRISIM_OBS_PROBE_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drisim::obs
+{
+
+/** One named scalar readout of live simulator state. */
+struct Probe
+{
+    std::string name;
+    std::function<double()> read;
+};
+
+/**
+ * An ordered collection of probes. Registration order is the
+ * caller's; the CSV emission layer canonicalizes column order at
+ * write time, so registration order never affects output bytes.
+ */
+class MetricRegistry
+{
+  public:
+    /** Register @p read under @p name (names should be unique). */
+    void add(std::string name, std::function<double()> read);
+
+    const std::vector<Probe> &probes() const { return probes_; }
+
+    /** Read every probe once, in registration order. */
+    std::vector<std::pair<std::string, double>> sample() const;
+
+  private:
+    std::vector<Probe> probes_;
+};
+
+} // namespace drisim::obs
+
+#endif // DRISIM_OBS_PROBE_HH

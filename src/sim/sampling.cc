@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace drisim::sim
@@ -104,7 +105,12 @@ runSampled(Core &core, MemoryLevel *icache, MemoryLevel *dcache,
         const InstCount window =
             std::min(config.detailedWindow, remaining);
         const CoreStats pre = core.stats();
-        const CoreStats post = core.run(stream, window);
+        CoreStats post;
+        {
+            obs::ScopedSpan span(obs::trace(), "sample",
+                                 "detailed-window");
+            post = core.run(stream, window);
+        }
         const InstCount ran = post.instructions - pre.instructions;
         remaining -= ran;
 
@@ -130,9 +136,13 @@ runSampled(Core &core, MemoryLevel *icache, MemoryLevel *dcache,
         // broadcasts *during* the skip, so fast-forward ticks them
         // with the head window's CPI; the reported total applies
         // the trapezoidal correction once the next window lands.
-        const InstCount done =
-            fastForward(core, icache, dcache, stream, skip, cpi,
-                        fetchBlockBytes);
+        InstCount done = 0;
+        {
+            obs::ScopedSpan span(obs::trace(), "sample",
+                                 "fast-forward");
+            done = fastForward(core, icache, dcache, stream, skip,
+                               cpi, fetchBlockBytes);
+        }
         ffInstrs += done;
         pendingSkip = done;
         remaining -= done;

@@ -7,7 +7,9 @@
 #include "system/cmp.hh"
 
 #include <algorithm>
+#include <map>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -196,6 +198,152 @@ CmpSystem::run(InstCount maxInstrsPerCore)
     std::vector<InstCount> remaining(n, maxInstrsPerCore);
     Cycles sysClock = 0;
 
+    // Per-core interval metrics (observation only): each core is
+    // sampled once its committed-instruction count has advanced by
+    // the recorder interval since its previous sample. Probes read
+    // cumulative state; the recorder rows carry interval deltas
+    // (counters) or cycle-area fractions, mirroring the single-core
+    // runner's sampler so downstream reports treat both alike.
+    obs::TimeSeriesRecorder *metrics =
+        obsSeries_.empty() ? nullptr : obs::metrics();
+    struct ObsPrev
+    {
+        std::map<std::string, double> vals;
+        InstCount instrs = 0;
+    };
+    std::vector<ObsPrev> obsPrev(metrics ? n : 0);
+    const InstCount obsInterval = metrics ? metrics->interval() : 0;
+
+    auto readCore = [&](unsigned k) {
+        std::map<std::string, double> v;
+        const CoreStats cs = cores_[k]->stats();
+        v["cycles"] = static_cast<double>(cs.cycles);
+        if (driL1is_[k]) {
+            const DriICache &ic = *driL1is_[k];
+            v["l1i_accesses"] =
+                static_cast<double>(ic.accesses());
+            v["l1i_misses"] = static_cast<double>(ic.misses());
+            v["active_cycle_area"] =
+                ic.averageActiveFraction() *
+                static_cast<double>(cs.cycles);
+            v["active_bytes"] =
+                static_cast<double>(ic.currentSizeBytes());
+            v["resizes"] = static_cast<double>(ic.upsizes() +
+                                               ic.downsizes());
+        } else if (policyL1is_[k]) {
+            const LeakagePolicy &p = *policyL1is_[k];
+            const PolicyActivity act = p.activity();
+            v["l1i_accesses"] =
+                static_cast<double>(p.l1Accesses());
+            v["l1i_misses"] = static_cast<double>(p.l1Misses());
+            v["l1i_size_bytes"] =
+                static_cast<double>(hier_.l1i.sizeBytes);
+            v["active_cycle_area"] =
+                act.avgActiveFraction *
+                static_cast<double>(cs.cycles);
+            v["drowsy_cycle_area"] =
+                act.avgDrowsyFraction *
+                static_cast<double>(cs.cycles);
+            v["resizes"] = static_cast<double>(act.resizes);
+            v["wakes"] =
+                static_cast<double>(act.wakeTransitions);
+            v["wake_stall_cycles"] =
+                static_cast<double>(act.wakeStallCycles);
+        } else {
+            const Cache &ic = *convL1is_[k];
+            v["l1i_accesses"] =
+                static_cast<double>(ic.accesses());
+            v["l1i_misses"] = static_cast<double>(ic.misses());
+            v["active_cycle_area"] =
+                static_cast<double>(cs.cycles);
+            v["active_bytes"] =
+                static_cast<double>(hier_.l1i.sizeBytes);
+        }
+        v["l2_accesses"] =
+            static_cast<double>(bus_->accesses(k));
+        v["l2_misses"] = static_cast<double>(bus_->misses(k));
+        if (const CoherenceController *cc = bus_->coherence()) {
+            v["coherence_invalidations"] = static_cast<double>(
+                cc->coreStats(k).invalidationsReceived);
+            if (policyL1is_[k]) {
+                const PolicyActivity act =
+                    policyL1is_[k]->activity();
+                v["coherence_wakes"] =
+                    static_cast<double>(act.coherenceWakes);
+                v["coherence_refetches"] =
+                    static_cast<double>(act.coherenceRefetches);
+            } else if (driL1is_[k]) {
+                v["coherence_refetches"] = static_cast<double>(
+                    driL1is_[k]->coherenceRefetches());
+            }
+        }
+        return v;
+    };
+
+    auto sampleCore = [&](unsigned k) {
+        std::map<std::string, double> cur = readCore(k);
+        ObsPrev &p = obsPrev[k];
+        auto has = [&](const char *name) {
+            return cur.count(name) > 0;
+        };
+        auto delta = [&](const char *name) {
+            const auto it = cur.find(name);
+            const double now =
+                it == cur.end() ? 0.0 : it->second;
+            const auto pit = p.vals.find(name);
+            const double was =
+                pit == p.vals.end() ? 0.0 : pit->second;
+            return now - was;
+        };
+        auto clamp01 = [](double f) {
+            return std::min(1.0, std::max(0.0, f));
+        };
+
+        const CoreStats cs = cores_[k]->stats();
+        const double dc = delta("cycles");
+        const double di =
+            static_cast<double>(cs.instructions - p.instrs);
+        std::vector<std::pair<std::string, double>> out;
+        out.emplace_back("cycles", dc);
+        out.emplace_back("cpi", di > 0.0 ? dc / di : 0.0);
+        const double dAcc = delta("l1i_accesses");
+        out.emplace_back("l1i_miss_rate",
+                         dAcc > 0.0 ? delta("l1i_misses") / dAcc
+                                    : 0.0);
+        const double activeFraction =
+            dc > 0.0 ? clamp01(delta("active_cycle_area") / dc)
+                     : 0.0;
+        out.emplace_back("active_fraction", activeFraction);
+        if (has("drowsy_cycle_area"))
+            out.emplace_back(
+                "drowsy_fraction",
+                dc > 0.0
+                    ? clamp01(delta("drowsy_cycle_area") / dc)
+                    : 0.0);
+        if (has("active_bytes"))
+            out.emplace_back("active_bytes",
+                             cur.at("active_bytes"));
+        else if (has("l1i_size_bytes"))
+            out.emplace_back("active_bytes",
+                             activeFraction *
+                                 cur.at("l1i_size_bytes"));
+        const double dL2 = delta("l2_accesses");
+        out.emplace_back("l2_miss_rate",
+                         dL2 > 0.0 ? delta("l2_misses") / dL2
+                                   : 0.0);
+        for (const char *name :
+             {"resizes", "wakes", "wake_stall_cycles",
+              "coherence_invalidations", "coherence_wakes",
+              "coherence_refetches"})
+            if (has(name))
+                out.emplace_back(name, delta(name));
+
+        metrics->record(obsSeries_ + "/core" + std::to_string(k),
+                        cs.instructions, std::move(out));
+        p.vals = std::move(cur);
+        p.instrs = cs.instructions;
+    };
+
     while (true) {
         bool pending = false;
         bool progressed = false;
@@ -225,6 +373,11 @@ CmpSystem::run(InstCount maxInstrsPerCore)
                 remaining[k] = 0;
             if (remaining[k] > 0)
                 pending = true;
+            if (metrics &&
+                cores_[k]->stats().instructions -
+                        obsPrev[k].instrs >=
+                    obsInterval)
+                sampleCore(k);
         }
 
         // The shared resizable L2 belongs to no single core: its
@@ -249,6 +402,14 @@ CmpSystem::run(InstCount maxInstrsPerCore)
         drisim_assert(progressed,
                       "CMP scheduler made no progress");
     }
+
+    // Tail sample: whatever each core committed since its last
+    // full interval still shows up in the series.
+    if (metrics)
+        for (unsigned k = 0; k < n; ++k)
+            if (cores_[k]->stats().instructions >
+                obsPrev[k].instrs)
+                sampleCore(k);
 
     CmpRunOutput out;
     out.cores.resize(n);

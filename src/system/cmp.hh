@@ -358,6 +358,18 @@ class CmpSystem
     /** Memory accesses regardless of flavour. */
     std::uint64_t memAccesses() const;
 
+    /**
+     * Enable per-core interval metrics: when the global interval
+     * recorder (obs/metrics.hh) is live, run() records a sample
+     * under "<prefix>/core<k>" every recorder interval of committed
+     * instructions per core. Observation only — simulated state and
+     * results are untouched.
+     */
+    void setObsSeries(std::string prefix)
+    {
+        obsSeries_ = std::move(prefix);
+    }
+
   private:
     CmpConfig cmp_;
     HierarchyParams hier_;
@@ -378,6 +390,9 @@ class CmpSystem
     std::vector<std::unique_ptr<LeakagePolicy>> policyL1is_;
     std::vector<std::unique_ptr<OooCore>> cores_;
     std::vector<std::unique_ptr<TraceGenerator>> gens_;
+
+    /** Interval-metrics series prefix; empty = no sampling. */
+    std::string obsSeries_;
 };
 
 } // namespace drisim

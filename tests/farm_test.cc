@@ -227,6 +227,7 @@ TEST(Fragment, RenderReadRoundTrip)
 {
     Fragment f = sampleFragment(1, 3);
     f.records.push_back(sampleRecord(1));
+    f.records.back().wallSeconds = "1.234";
     f.records.push_back(sampleRecord(3));
     f.complete = true;
 
@@ -246,7 +247,9 @@ TEST(Fragment, RenderReadRoundTrip)
     }
     ASSERT_EQ(g.records.size(), 2u);
     EXPECT_EQ(g.records[0].config, f.records[0].config);
+    EXPECT_EQ(g.records[0].wallSeconds, "1.234");
     EXPECT_EQ(g.records[1].rows, f.records[1].rows);
+    EXPECT_EQ(g.records[1].wallSeconds, "0.000");
     EXPECT_TRUE(g.complete);
     std::filesystem::remove(path);
 }
@@ -278,7 +281,8 @@ TEST(FragmentWriter, StreamsAndResumes)
     {
         FragmentWriter w(path, "bench_test", shard, cols, units);
         EXPECT_EQ(w.resumedRecords(), 0u);
-        w.addRecord(1, units[1], {{"unit1", "10", units[1].hashHex}});
+        w.addRecord(1, units[1], {{"unit1", "10", units[1].hashHex}},
+                    "2.500");
         // No finalize: simulates a shard killed mid-sweep. The
         // record-at-a-time rewrite means the file on disk already
         // holds unit 1.
@@ -300,6 +304,8 @@ TEST(FragmentWriter, StreamsAndResumes)
     EXPECT_TRUE(f.complete);
     ASSERT_EQ(f.records.size(), 2u);
     EXPECT_EQ(f.records[0].index, 1u);
+    // The resumed record keeps its original per-unit wall seconds.
+    EXPECT_EQ(f.records[0].wallSeconds, "2.500");
     EXPECT_EQ(f.records[1].index, 2u);
 
     {
@@ -362,6 +368,9 @@ TEST(Merge, DropsExactDuplicates)
     a.records.push_back(sampleRecord(1)); // overlap with b
     Fragment b = sampleFragment(1, 2);
     b.records.push_back(sampleRecord(1));
+    // Dedup compares config+rows only: a re-run's differing wall
+    // seconds never turns an exact duplicate into a conflict.
+    b.records.back().wallSeconds = "9.999";
     b.records.push_back(sampleRecord(2));
     b.records.push_back(sampleRecord(3));
 

@@ -149,6 +149,28 @@ TEST(Options, RejectsBadFastSimValues)
     EXPECT_FALSE(parse({"result_cache="}, o, err));
 }
 
+TEST(Options, ParsesObservabilityKeys)
+{
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse({"trace=/tmp/t.json", "metrics=/tmp/m.csv",
+                       "metrics.interval=50000"},
+                      o, err));
+    EXPECT_EQ(o.tracePath, "/tmp/t.json");
+    EXPECT_EQ(o.metricsPath, "/tmp/m.csv");
+    EXPECT_EQ(o.metricsInterval, 50000u);
+    // Defaults: both sinks off, interval 0 (= library default).
+    Options d;
+    ASSERT_TRUE(parse({}, d, err));
+    EXPECT_TRUE(d.tracePath.empty());
+    EXPECT_TRUE(d.metricsPath.empty());
+    EXPECT_EQ(d.metricsInterval, 0u);
+    EXPECT_FALSE(parse({"trace="}, o, err));
+    EXPECT_FALSE(parse({"metrics="}, o, err));
+    EXPECT_FALSE(parse({"metrics.interval=0"}, o, err));
+    EXPECT_FALSE(parse({"metrics.interval=-1"}, o, err));
+}
+
 TEST(Options, ParsesL2GeometryAndDriKnobs)
 {
     Options o;
@@ -198,7 +220,8 @@ TEST(Options, UsageMentionsEveryKey)
           "l2.dri", "l2.size_bound", "l2.miss_bound",
           "l2.interval", "cores", "coreK.bench", "coreK.dri",
           "sample", "sample.window", "sample.period",
-          "checkpoint_dir", "result_cache", "l1.mshrs", "l2.mshrs",
+          "checkpoint_dir", "result_cache", "trace", "metrics",
+          "metrics.interval", "l1.mshrs", "l2.mshrs",
           "dram.banked", "dram.banks", "dram.row_hit",
           "dram.row_miss", "dram.queue"})
         EXPECT_NE(u.find(key), std::string::npos) << key;
@@ -289,6 +312,12 @@ TEST(Options, EveryUsageKeyIsSemanticOrExplicitlyExecutionOnly)
         "shard", // farm partition assignment (src/farm/shard_plan.hh)
         "checkpoint_dir",
         "result_cache",
+        // Observability sinks (src/obs/): pure output taps that can
+        // never change simulation results, so goldens stay
+        // byte-identical whether or not tracing is on.
+        "trace",
+        "metrics",
+        "metrics.interval",
         "cores",
         "coherence",
         "coherence.entries",

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "util/bitops.hh"
+#include "util/json.hh"
 #include "util/parse.hh"
 #include "util/random.hh"
 #include "util/str.hh"
@@ -199,6 +200,72 @@ TEST(Parse, UnsignedEnforcesCapWithoutWrapping)
     EXPECT_FALSE(parseUnsignedValue("18446744073709551616", v));
     EXPECT_FALSE(
         parseUnsignedValue("99999999999999999999999999", v));
+}
+
+/** Escape, embed in a quoted literal, and parse back. */
+std::string
+jsonRoundTrip(const std::string &s, bool &ok)
+{
+    const std::string doc = "\"" + jsonEscape(s) + "\"";
+    JsonParser p(doc);
+    const std::string out = p.parseString();
+    ok = p.ok && p.pos == doc.size();
+    return out;
+}
+
+TEST(Json, EscapeRoundTripsControlCharacters)
+{
+    // Every byte below 0x20 plus the two mandatory escapes must
+    // survive escape -> parse unchanged (the sidecar format is
+    // line-oriented, so embedded newlines in particular must never
+    // reach the output raw).
+    std::string all;
+    for (int c = 1; c < 0x20; ++c)
+        all += static_cast<char>(c);
+    all += "\"\\";
+    EXPECT_EQ(jsonEscape("\n"), "\\n");
+    EXPECT_EQ(jsonEscape("\x01"), "\\u0001");
+    EXPECT_EQ(jsonEscape("\x1f"), "\\u001f");
+    EXPECT_EQ(jsonEscape("\""), "\\\"");
+    bool ok = false;
+    EXPECT_EQ(jsonRoundTrip(all, ok), all);
+    EXPECT_TRUE(ok);
+    // The escaped form itself carries no raw control bytes.
+    for (const char c : jsonEscape(all))
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Json, EscapePassesUtf8MultibyteThrough)
+{
+    // Multibyte UTF-8 (all bytes >= 0x80) is not escaped — it
+    // round-trips byte-for-byte.
+    const std::string s = "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97";
+    EXPECT_EQ(jsonEscape(s), s);
+    bool ok = false;
+    EXPECT_EQ(jsonRoundTrip(s, ok), s);
+    EXPECT_TRUE(ok);
+}
+
+TEST(Json, ParseStringUnescapesFourHexDigits)
+{
+    // The \uXXXX unescape path: both hex cases, bounds at 0x00ff,
+    // and the strictness rules (short escapes, non-hex digits and
+    // code points past 0xff all poison the parse).
+    {
+        const std::string doc = "\"\\u0041\\u00Ff\\u001F\"";
+        JsonParser p(doc);
+        const std::string out = p.parseString();
+        ASSERT_TRUE(p.ok);
+        EXPECT_EQ(out, std::string("A\xff\x1f"));
+    }
+    for (const char *bad :
+         {"\"\\u12\"", "\"\\u12g4\"", "\"\\u0100\"", "\"\\uzzzz\"",
+          "\"\\u123"}) {
+        const std::string doc = bad;
+        JsonParser p(doc);
+        p.parseString();
+        EXPECT_FALSE(p.ok) << bad;
+    }
 }
 
 TEST(Parse, PositiveRejectsZero)

@@ -9,7 +9,7 @@
  * the fragments and emits a resume manifest for the holes.
  *
  *   farm_runner --bin PATH --shards N --dir DIR [--args "..."]
- *               [--resume MANIFEST]
+ *               [--trace] [--resume MANIFEST]
  *               [--kill-shard K [--kill-after-records M]]
  *
  *   --bin PATH       sweep binary (bench_figure4, bench_cmp, ...)
@@ -20,6 +20,9 @@
  *   --args "..."     extra arguments passed through to every child,
  *                    split on whitespace (e.g. "--jobs 1
  *                    --result-cache DIR/cache.json")
+ *   --trace          give each child --trace=DIR/shard_k.trace.json
+ *                    (obs/trace.hh); sweep_merge --trace/--trace-out
+ *                    joins the per-shard files into one trace
  *   --resume M       spawn only the shards a sweep_merge resume
  *                    manifest names as owning missing units; their
  *                    existing fragments are adopted, so completed
@@ -64,7 +67,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s --bin PATH --shards N --dir DIR [--args \"...\"]\n"
-        "          [--resume MANIFEST]\n"
+        "          [--trace] [--resume MANIFEST]\n"
         "          [--kill-shard K [--kill-after-records M]]\n",
         argv0);
     return 2;
@@ -97,6 +100,8 @@ struct Child
     bool done = false;
     int status = 0;
     std::string partPath;
+    /** Spawn time, for the exit summary's wall seconds. */
+    std::chrono::steady_clock::time_point start;
 };
 
 /** Fork+exec one shard child with stdout/stderr redirected. */
@@ -104,12 +109,13 @@ bool
 spawnShard(const std::string &bin,
            const std::vector<std::string> &passthrough,
            const std::string &dir, unsigned k, unsigned n,
-           Child &out)
+           bool trace, Child &out)
 {
     const std::string stem =
         dir + "/shard_" + std::to_string(k);
     out.shard = k;
     out.partPath = stem + ".part.json";
+    out.start = std::chrono::steady_clock::now();
 
     const pid_t pid = fork();
     if (pid < 0) {
@@ -134,6 +140,8 @@ spawnShard(const std::string &bin,
         args.push_back("--shard=" + std::to_string(k) + "/" +
                        std::to_string(n));
         args.push_back("--part=" + out.partPath);
+        if (trace)
+            args.push_back("--trace=" + stem + ".trace.json");
         std::vector<char *> argvp;
         for (std::string &a : args)
             argvp.push_back(a.data());
@@ -148,9 +156,11 @@ spawnShard(const std::string &bin,
     return true;
 }
 
-/** Completed-record count of a shard's fragment (0 if absent). */
+/** Completed-record count of a shard's fragment (0 if absent);
+ *  also reports the full plan size when asked. */
 std::size_t
-fragmentRecords(const std::string &path)
+fragmentRecords(const std::string &path,
+                std::size_t *planSize = nullptr)
 {
     if (!std::filesystem::exists(path))
         return 0;
@@ -158,6 +168,8 @@ fragmentRecords(const std::string &path)
     std::string err;
     if (!farm::readFragment(path, f, err))
         return 0;
+    if (planSize)
+        *planSize = f.plan.size();
     return f.records.size();
 }
 
@@ -170,6 +182,7 @@ main(int argc, char **argv)
     std::string dir;
     std::string argsText;
     std::string resumePath;
+    bool trace = false;
     std::uint64_t shards = 0;
     std::uint64_t killShard = 0;
     std::uint64_t killAfter = 1;
@@ -198,6 +211,8 @@ main(int argc, char **argv)
         } else if (arg == "--resume") {
             if (!next(resumePath))
                 return usage(argv[0]);
+        } else if (arg == "--trace") {
+            trace = true;
         } else if (arg == "--shards") {
             if (!next(value) ||
                 !parsePositiveValue(value, shards, farm::kMaxShards)) {
@@ -293,7 +308,7 @@ main(int argc, char **argv)
     for (unsigned k : toRun) {
         Child c;
         if (!spawnShard(bin, passthrough, dir, k,
-                        static_cast<unsigned>(shards), c))
+                        static_cast<unsigned>(shards), trace, c))
             return 2;
         children.push_back(c);
     }
@@ -301,6 +316,8 @@ main(int argc, char **argv)
     bool killed = false;
     bool failed = false;
     std::size_t running = children.size();
+    const auto farmStart = std::chrono::steady_clock::now();
+    auto lastBeat = farmStart;
     while (running > 0) {
         for (Child &c : children) {
             if (c.done)
@@ -311,6 +328,12 @@ main(int argc, char **argv)
                 c.done = true;
                 c.status = status;
                 --running;
+                const double wall =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - c.start)
+                        .count();
+                const std::size_t units =
+                    fragmentRecords(c.partPath);
                 const bool wasKill =
                     killed && c.shard == killShard &&
                     WIFSIGNALED(status) &&
@@ -323,22 +346,57 @@ main(int argc, char **argv)
                                  c.shard);
                 } else if (WIFEXITED(status) &&
                            WEXITSTATUS(status) == 0) {
-                    std::fprintf(stderr,
-                                 "[farm_runner] shard %u finished\n",
-                                 c.shard);
+                    std::fprintf(
+                        stderr,
+                        "[farm_runner] shard %u finished: %zu "
+                        "unit%s in %.1fs (exit 0)\n",
+                        c.shard, units, units == 1 ? "" : "s",
+                        wall);
                 } else {
                     failed = true;
                     std::fprintf(
                         stderr,
-                        "[farm_runner] shard %u FAILED (%s %d); "
+                        "[farm_runner] shard %u FAILED (%s %d) "
+                        "after %zu unit%s in %.1fs; "
                         "see %s/shard_%u.err\n",
                         c.shard,
                         WIFSIGNALED(status) ? "signal" : "exit",
                         WIFSIGNALED(status) ? WTERMSIG(status)
                                             : WEXITSTATUS(status),
+                        units, units == 1 ? "" : "s", wall,
                         dir.c_str(), c.shard);
                 }
             }
+        }
+        // Heartbeat: every ~2s, total progress across shards plus a
+        // crude ETA (elapsed scaled by remaining/done). Plan size
+        // comes from any readable fragment — every shard's fragment
+        // carries the full plan.
+        const auto now = std::chrono::steady_clock::now();
+        if (running > 0 && now - lastBeat >=
+                               std::chrono::milliseconds(2000)) {
+            lastBeat = now;
+            std::size_t done = 0;
+            std::size_t plan = 0;
+            for (const Child &c : children) {
+                std::size_t p = 0;
+                done += fragmentRecords(c.partPath, &p);
+                if (p > plan)
+                    plan = p;
+            }
+            const double elapsed =
+                std::chrono::duration<double>(now - farmStart)
+                    .count();
+            std::string eta = "?";
+            if (done > 0 && plan >= done)
+                eta = std::to_string(static_cast<long>(
+                    elapsed * static_cast<double>(plan - done) /
+                    static_cast<double>(done)));
+            std::fprintf(stderr,
+                         "[farm_runner] progress: %zu/%zu units, "
+                         "%zu shard%s running, ~%ss left\n",
+                         done, plan, running,
+                         running == 1 ? "" : "s", eta.c_str());
         }
         // Fault injection: once the victim's fragment shows enough
         // completed records, SIGKILL it mid-sweep. Polling the

@@ -9,7 +9,14 @@
  *
  *   sweep_merge --out MERGED.json [--manifest PATH]
  *               [--result-cache FILE] [--wall-seconds S]
- *               [--workers W] FRAGMENT...
+ *               [--workers W] [--trace IN]... [--trace-out OUT]
+ *               FRAGMENT...
+ *
+ * --trace names one per-shard trace file (repeatable; the files
+ * farm_runner --trace leaves behind) and --trace-out where to write
+ * the union: span sets concatenate and are re-sorted into the
+ * writer's canonical order, so the merged span count is exactly the
+ * sum of the inputs'.
  *
  * Duplicate records (overlapping re-runs) are dropped under the
  * result-cache rule — same hash must mean same config and same
@@ -30,10 +37,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "farm/merge.hh"
+#include "obs/trace.hh"
 #include "sim/result_cache.hh"
 
 using namespace drisim;
@@ -48,7 +57,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s --out MERGED.json [--manifest PATH]\n"
         "          [--result-cache FILE] [--wall-seconds S]\n"
-        "          [--workers W] FRAGMENT...\n",
+        "          [--workers W] [--trace IN]... [--trace-out OUT]\n"
+        "          FRAGMENT...\n",
         argv0);
     return 2;
 }
@@ -61,9 +71,11 @@ main(int argc, char **argv)
     std::string outPath;
     std::string manifestPath;
     std::string cachePath;
+    std::string traceOutPath;
     double wallSeconds = 0.0;
     unsigned workers = 1;
     std::vector<std::string> fragments;
+    std::vector<std::string> traces;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -85,6 +97,13 @@ main(int argc, char **argv)
                 return usage(argv[0]);
         } else if (arg == "--result-cache") {
             if (!next(cachePath))
+                return usage(argv[0]);
+        } else if (arg == "--trace") {
+            if (!next(value))
+                return usage(argv[0]);
+            traces.push_back(value);
+        } else if (arg == "--trace-out") {
+            if (!next(traceOutPath))
                 return usage(argv[0]);
         } else if (arg == "--wall-seconds") {
             if (!next(value))
@@ -120,9 +139,46 @@ main(int argc, char **argv)
         return usage(argv[0]);
     if (manifestPath.empty())
         manifestPath = outPath + ".resume.json";
+    if (traces.empty() != traceOutPath.empty()) {
+        std::fprintf(stderr, "sweep_merge: --trace and --trace-out "
+                             "go together\n");
+        return usage(argv[0]);
+    }
 
     farm::MergeResult merged;
     std::string error;
+
+    // Trace union first: the span files are provenance, useful even
+    // when the result merge below finds holes. Spans concatenate and
+    // the writer re-sorts canonically, so the merged count is the
+    // exact sum of the inputs'.
+    if (!traces.empty()) {
+        std::vector<obs::TraceSpan> all;
+        for (const std::string &t : traces) {
+            std::vector<obs::TraceSpan> spans;
+            if (!obs::readTrace(t, spans, error)) {
+                std::fprintf(stderr, "sweep_merge: %s\n",
+                             error.c_str());
+                return 2;
+            }
+            all.insert(all.end(),
+                       std::make_move_iterator(spans.begin()),
+                       std::make_move_iterator(spans.end()));
+        }
+        const std::size_t total = all.size();
+        if (!obs::writeTraceFile(traceOutPath, std::move(all),
+                                 error)) {
+            std::fprintf(stderr, "sweep_merge: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "sweep_merge: merged %zu span%s from %zu "
+                     "trace file%s into %s\n",
+                     total, total == 1 ? "" : "s", traces.size(),
+                     traces.size() == 1 ? "" : "s",
+                     traceOutPath.c_str());
+    }
     if (!farm::mergeFragments(fragments, merged, error)) {
         std::fprintf(stderr, "sweep_merge: %s\n", error.c_str());
         return 2;
